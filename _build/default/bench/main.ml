@@ -1,0 +1,568 @@
+(* The benchmark harness: regenerates every panel of the paper's
+   evaluation (Figure 2a-2i), the primitive-cost microbenchmark table, the
+   robustness (stalled-thread) experiment, and the design ablations listed
+   in DESIGN.md.
+
+   Absolute numbers are not comparable to the paper's 64-core testbed (see
+   EXPERIMENTS.md); the comparisons of interest are the per-panel ordering
+   of schemes and the rough ratios between them. *)
+
+open Harness
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: the 3x3 grid of throughput panels.                        *)
+(* ------------------------------------------------------------------ *)
+
+type figure = {
+  fid : string;
+  structure : string;
+  profile : Workload.profile;
+  range : int;
+  paper_ref : string;
+}
+
+let figures =
+  [
+    { fid = "fig2a"; structure = "list"; profile = Workload.search_intensive;
+      range = 1024; paper_ref = "Fig 2a: list, 10i/10d/80r" };
+    { fid = "fig2b"; structure = "list"; profile = Workload.balanced;
+      range = 1024; paper_ref = "Fig 2b: list, 25i/25d/50r" };
+    { fid = "fig2c"; structure = "list"; profile = Workload.update_intensive;
+      range = 1024; paper_ref = "Fig 2c: list, 50i/50d" };
+    { fid = "fig2d"; structure = "skiplist";
+      profile = Workload.search_intensive; range = 65536;
+      paper_ref = "Fig 2d: skiplist, 10i/10d/80r" };
+    { fid = "fig2e"; structure = "skiplist"; profile = Workload.balanced;
+      range = 65536; paper_ref = "Fig 2e: skiplist, 25i/25d/50r" };
+    { fid = "fig2f"; structure = "skiplist";
+      profile = Workload.update_intensive; range = 65536;
+      paper_ref = "Fig 2f: skiplist, 50i/50d" };
+    { fid = "fig2g"; structure = "hash"; profile = Workload.search_intensive;
+      range = 262144; paper_ref = "Fig 2g: hash (10M->262k), 10i/10d/80r" };
+    { fid = "fig2h"; structure = "hash"; profile = Workload.balanced;
+      range = 262144; paper_ref = "Fig 2h: hash (10M->262k), 25i/25d/50r" };
+    { fid = "fig2i"; structure = "hash"; profile = Workload.update_intensive;
+      range = 262144; paper_ref = "Fig 2i: hash (10M->262k), 50i/50d" };
+  ]
+
+(* Arena sizing: sentinels + live set + churn slack; NoRecl additionally
+   needs headroom for every insert of the run since it never reuses. *)
+let capacity_for ~structure ~scheme ~range ~duration
+    ~(profile : Workload.profile) =
+  let sentinels = if structure = "hash" then range + 2 else 70 in
+  let churn_slack = 400_000 in
+  let base = sentinels + range + churn_slack in
+  let cap =
+    if scheme = "NoRecl" then
+      base
+      + int_of_float
+          (8_000_000.0 *. duration *. float_of_int profile.Workload.inserts
+         /. 100.0)
+    else base
+  in
+  min cap Memsim.Packed.max_index
+
+let schemes_for structure =
+  List.filter
+    (fun s -> Registry.supports ~structure ~scheme:s)
+    Registry.schemes
+
+let run_figure fig ~threads_list ~duration ~repeats =
+  let columns = schemes_for fig.structure in
+  let rows =
+    List.map
+      (fun threads ->
+        let values =
+          List.map
+            (fun scheme ->
+              let capacity =
+                capacity_for ~structure:fig.structure ~scheme ~range:fig.range
+                  ~duration ~profile:fig.profile
+              in
+              let make () =
+                Registry.make ~structure:fig.structure ~scheme
+                  ~n_threads:threads ~range:fig.range ~capacity ()
+              in
+              let p =
+                Throughput.measure ~make ~profile:fig.profile ~threads
+                  ~range:fig.range ~duration ~repeats
+              in
+              p.Throughput.mops)
+            columns
+        in
+        (threads, values))
+      threads_list
+  in
+  Report.print_series
+    ~title:
+      (Printf.sprintf "[%s] %s (range %d)" fig.fid fig.paper_ref fig.range)
+    ~ylabel:"Mops/s" ~columns ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmark: per-primitive costs (the §5.2 cost story).          *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let mk_scheme scheme =
+    Registry.make ~structure:"list" ~scheme ~n_threads:2 ~range:1024
+      ~capacity:100_000 ()
+  in
+  let alloc_retire scheme =
+    let inst = mk_scheme scheme in
+    Test.make
+      ~name:(Printf.sprintf "%s insert+delete (alloc/retire cycle)" scheme)
+      (Staged.stage (fun () ->
+           ignore (inst.Registry.insert ~tid:0 77);
+           ignore (inst.Registry.delete ~tid:0 77)))
+  in
+  let read_hit scheme =
+    let inst = mk_scheme scheme in
+    for k = 0 to 127 do
+      ignore (inst.Registry.insert ~tid:0 (k * 8))
+    done;
+    let key = ref 0 in
+    Test.make
+      ~name:(Printf.sprintf "%s contains(hit)" scheme)
+      (Staged.stage (fun () ->
+           key := (!key + 8) land 1023;
+           ignore (inst.Registry.contains ~tid:0 !key)))
+  in
+  let vbr_specials () =
+    let arena = Memsim.Arena.create ~capacity:10_000 in
+    let global = Memsim.Global_pool.create ~max_level:1 in
+    let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads:2 () in
+    let c = Vbr_core.Vbr.ctx vbr ~tid:0 in
+    let i, _b =
+      Vbr_core.Vbr.checkpoint c (fun () ->
+          let i, b = Vbr_core.Vbr.alloc c 1 in
+          Vbr_core.Vbr.commit_alloc c i;
+          (i, b))
+    in
+    [
+      Test.make ~name:"VBR checkpoint install"
+        (Staged.stage (fun () -> Vbr_core.Vbr.checkpoint c (fun () -> ())));
+      Test.make ~name:"VBR get_next (validated read)"
+        (Staged.stage (fun () ->
+             Vbr_core.Vbr.checkpoint c (fun () -> Vbr_core.Vbr.get_next c i)));
+      Test.make ~name:"VBR rollback (forced, incl. epoch bump)"
+        (Staged.stage (fun () ->
+             let first = ref true in
+             Vbr_core.Vbr.checkpoint c (fun () ->
+                 if !first then begin
+                   first := false;
+                   ignore
+                     (Vbr_core.Epoch.try_advance (Vbr_core.Vbr.epoch vbr)
+                        ~expected:(Vbr_core.Epoch.get (Vbr_core.Vbr.epoch vbr)));
+                   ignore (Vbr_core.Vbr.get_key c i)
+                 end)));
+    ]
+  in
+  let tests =
+    List.concat_map (fun s -> [ alloc_retire s; read_hit s ]) Registry.schemes
+    @ vbr_specials ()
+  in
+  let grouped = Test.make_grouped ~name:"primitives" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_newline ();
+  print_endline "----------------------------------------------------------";
+  print_endline "[micro] primitive costs (ns/op, OLS estimate)";
+  print_endline "----------------------------------------------------------";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> (name, est) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Printf.printf "%-55s %12.1f\n" name est) rows;
+  print_endline "----------------------------------------------------------"
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: a stalled thread vs. unreclaimed garbage (§1, §A.2).    *)
+(* ------------------------------------------------------------------ *)
+
+let robust ~threads =
+  let range = 16384 in
+  let checkpoints = 4 and ops_per_checkpoint = 50_000 in
+  let columns = Registry.schemes in
+  let per_scheme =
+    List.map
+      (fun scheme ->
+        let capacity =
+          capacity_for ~structure:"hash" ~scheme ~range ~duration:2.0
+            ~profile:Workload.balanced
+        in
+        let make () =
+          Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
+            ~capacity ()
+        in
+        Throughput.run_stalled ~make ~profile:Workload.balanced ~threads ~range
+          ~checkpoints ~ops_per_checkpoint)
+      columns
+  in
+  let ops_axis = List.map (fun (ops, _, _) -> ops) (List.hd per_scheme) in
+  let row_at i f = List.map (fun series -> f (List.nth series i)) per_scheme in
+  Report.print_counts
+    ~title:
+      (Printf.sprintf
+         "[robust] unreclaimed nodes with 1 stalled thread (%d workers, hash \
+          range %d, balanced)"
+         (threads - 1) range)
+    ~columns
+    ~rows:
+      (List.mapi (fun i ops -> (ops, row_at i (fun (_, u, _) -> u))) ops_axis);
+  Report.print_counts
+    ~title:
+      "[robust] arena slots claimed (memory footprint) at same checkpoints"
+    ~columns
+    ~rows:
+      (List.mapi (fun i ops -> (ops, row_at i (fun (_, _, a) -> a))) ops_axis)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: VBR retired-list threshold vs throughput and epoch rate.  *)
+(* ------------------------------------------------------------------ *)
+
+let ablate ~threads ~duration ~repeats =
+  let range = 16384 in
+  let thresholds = [ 0; 8; 64; 512; 4096 ] in
+  print_newline ();
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf
+    "[ablate] VBR retired-list threshold (hash, range %d, update-heavy, %d \
+     threads)\n"
+    range threads;
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf "%-12s %12s %22s\n" "threshold" "Mops/s"
+    "epoch advances / 200k ops";
+  List.iter
+    (fun threshold ->
+      let capacity =
+        capacity_for ~structure:"hash" ~scheme:"VBR" ~range ~duration
+          ~profile:Workload.update_intensive
+      in
+      let make () =
+        Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
+          ~range ~capacity ~retire_threshold:threshold ()
+      in
+      let p =
+        Throughput.measure ~make ~profile:Workload.update_intensive ~threads
+          ~range ~duration ~repeats
+      in
+      (* A deterministic single-threaded drive to report the epoch-advance
+         rate this threshold induces. *)
+      let inst =
+        Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
+          ~range ~capacity ~retire_threshold:threshold ()
+      in
+      Throughput.prefill inst ~range;
+      let rng = Rng.create ~seed:99 in
+      for _ = 1 to 200_000 do
+        let k = Rng.below rng range in
+        if Rng.below rng 2 = 0 then ignore (inst.Registry.insert ~tid:0 k)
+        else ignore (inst.Registry.delete ~tid:0 k)
+      done;
+      Printf.printf "%-12d %12.3f %22d\n" threshold p.Throughput.mops
+        (inst.Registry.epoch_advances ()))
+    thresholds;
+  print_endline
+    "------------------------------------------------------------"
+
+(* Ablation: conservative epoch frequency (EBR/HE/IBR need frequent epoch
+   advances to reclaim promptly; VBR does not — §5.2's explanation). *)
+let ablate_epoch_freq ~threads ~duration ~repeats =
+  let range = 16384 in
+  let freqs = [ 1; 8; 32; 128; 1024 ] in
+  let columns = [ "EBR"; "HE"; "IBR" ] in
+  print_newline ();
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf
+    "[ablate-freq] allocations per epoch advance (hash, range %d, balanced, \
+     %d threads) - Mops/s\n"
+    range threads;
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf "%-12s" "freq";
+  List.iter (fun c -> Printf.printf "%10s " c) columns;
+  print_newline ();
+  List.iter
+    (fun freq ->
+      Printf.printf "%-12d" freq;
+      List.iter
+        (fun scheme ->
+          let capacity =
+            capacity_for ~structure:"hash" ~scheme ~range ~duration
+              ~profile:Workload.balanced
+          in
+          let make () =
+            Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
+              ~capacity ~epoch_freq:freq ()
+          in
+          let p =
+            Throughput.measure ~make ~profile:Workload.balanced ~threads
+              ~range ~duration ~repeats
+          in
+          Printf.printf "%10.3f " p.Throughput.mops)
+        columns;
+      print_newline ())
+    freqs;
+  print_endline
+    "------------------------------------------------------------"
+
+(* ------------------------------------------------------------------ *)
+(* Applicability: Harris's original list (§5's HP-inapplicability).    *)
+(* ------------------------------------------------------------------ *)
+
+let harris ~threads_list ~duration ~repeats =
+  let range = 1024 in
+  let profile = Workload.balanced in
+  let columns =
+    [ "harris/NoRecl"; "harris/EBR"; "harris/VBR"; "michael/EBR" ]
+  in
+  let make_of = function
+    | "harris/NoRecl" -> ("harris", "NoRecl")
+    | "harris/EBR" -> ("harris", "EBR")
+    | "harris/VBR" -> ("harris", "VBR")
+    | _ -> ("list", "EBR")
+  in
+  let rows =
+    List.map
+      (fun threads ->
+        let values =
+          List.map
+            (fun col ->
+              let structure, scheme = make_of col in
+              let capacity =
+                capacity_for ~structure ~scheme ~range ~duration ~profile
+              in
+              let make () =
+                Registry.make ~structure ~scheme ~n_threads:threads ~range
+                  ~capacity ()
+              in
+              (Throughput.measure ~make ~profile ~threads ~range ~duration
+                 ~repeats)
+                .Throughput.mops)
+            columns
+        in
+        (threads, values))
+      threads_list
+  in
+  Report.print_series
+    ~title:
+      "[harris] Harris's original list: applicable schemes only (HP/HE/IBR \
+       cannot support it, section 5)"
+    ~ylabel:"Mops/s" ~columns ~rows
+
+(* ------------------------------------------------------------------ *)
+(* Extension: queue and stack throughput across schemes (structures    *)
+(* the paper cites as VBR-compatible but does not evaluate).           *)
+(* ------------------------------------------------------------------ *)
+
+type pool_handle = {
+  produce : tid:int -> int -> unit;
+  consume : tid:int -> int option;
+}
+
+let make_pool kind scheme ~n_threads =
+  let capacity = 600_000 in
+  let arena = Memsim.Arena.create ~capacity in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  if scheme = "VBR" then begin
+    let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads () in
+    if kind = `Queue then begin
+      let q = Dstruct.Vbr_queue.create vbr in
+      {
+        produce = (fun ~tid v -> Dstruct.Vbr_queue.enqueue q ~tid v);
+        consume = (fun ~tid -> Dstruct.Vbr_queue.dequeue q ~tid);
+      }
+    end
+    else begin
+      let s = Dstruct.Vbr_stack.create vbr in
+      {
+        produce = (fun ~tid v -> Dstruct.Vbr_stack.push s ~tid v);
+        consume = (fun ~tid -> Dstruct.Vbr_stack.pop s ~tid);
+      }
+    end
+  end
+  else begin
+    let (module R : Reclaim.Smr_intf.S) =
+      match scheme with
+      | "NoRecl" -> (module Reclaim.No_recl)
+      | "EBR" -> (module Reclaim.Ebr)
+      | "HP" -> (module Reclaim.Hp)
+      | "HE" -> (module Reclaim.He)
+      | "IBR" -> (module Reclaim.Ibr)
+      | s -> invalid_arg s
+    in
+    let r =
+      R.create ~arena ~global ~n_threads ~hazards:2 ~retire_threshold:128
+        ~epoch_freq:32
+    in
+    if kind = `Queue then begin
+      let module Q = Dstruct.Ms_queue.Make (R) in
+      let q = Q.create r ~arena in
+      {
+        produce = (fun ~tid v -> Q.enqueue q ~tid v);
+        consume = (fun ~tid -> Q.dequeue q ~tid);
+      }
+    end
+    else begin
+      let module S = Dstruct.Treiber_stack.Make (R) in
+      let s = S.create r ~arena in
+      {
+        produce = (fun ~tid v -> S.push s ~tid v);
+        consume = (fun ~tid -> S.pop s ~tid);
+      }
+    end
+  end
+
+(* 50/50 produce/consume pairs, fixed-time. *)
+let pool_throughput kind scheme ~threads ~duration ~repeats =
+  let one () =
+    let h = make_pool kind scheme ~n_threads:threads in
+    (* Warm pool so consumers rarely see empty. *)
+    for i = 1 to 1_000 do
+      h.produce ~tid:0 i
+    done;
+    let start = Atomic.make false and stop = Atomic.make false in
+    let counts = Array.init threads (fun _ -> ref 0) in
+    let domains =
+      List.init threads (fun tid ->
+          Domain.spawn (fun () ->
+              while not (Atomic.get start) do
+                Domain.cpu_relax ()
+              done;
+              let ops = ref 0 in
+              (try
+                 while not (Atomic.get stop) do
+                   h.produce ~tid !ops;
+                   ignore (h.consume ~tid);
+                   ops := !ops + 2
+                 done
+               with Memsim.Arena.Exhausted -> ());
+              counts.(tid) := !ops))
+    in
+    let t0 = Unix.gettimeofday () in
+    Atomic.set start true;
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    let t1 = Unix.gettimeofday () in
+    List.iter Domain.join domains;
+    let total = Array.fold_left (fun acc c -> acc + !c) 0 counts in
+    float_of_int total /. (t1 -. t0) /. 1e6
+  in
+  let samples = List.init repeats (fun _ -> one ()) in
+  List.fold_left ( +. ) 0.0 samples /. float_of_int repeats
+
+let pools ~threads_list ~duration ~repeats =
+  List.iter
+    (fun (kind, kname) ->
+      let columns = Registry.schemes in
+      let rows =
+        List.map
+          (fun threads ->
+            ( threads,
+              List.map
+                (fun scheme ->
+                  pool_throughput kind scheme ~threads ~duration ~repeats)
+                columns ))
+          threads_list
+      in
+      Report.print_series
+        ~title:
+          (Printf.sprintf
+             "[pools] %s: produce+consume pairs (extension; not in the paper)"
+             kname)
+        ~ylabel:"Mops/s" ~columns ~rows)
+    [ (`Queue, "MS queue"); (`Stack, "Treiber stack") ]
+
+(* ------------------------------------------------------------------ *)
+(* CLI.                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  List.map (fun f -> f.fid) figures
+  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "pools" ]
+
+let run_experiments names ~threads_list ~duration ~repeats =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun f -> f.fid = name) figures with
+      | Some fig -> run_figure fig ~threads_list ~duration ~repeats
+      | None -> (
+          match name with
+          | "micro" -> micro ()
+          | "robust" ->
+              robust ~threads:(max 2 (List.fold_left max 1 threads_list))
+          | "ablate" ->
+              ablate
+                ~threads:(max 2 (List.fold_left max 1 threads_list))
+                ~duration ~repeats
+          | "ablate-freq" ->
+              ablate_epoch_freq
+                ~threads:(max 2 (List.fold_left max 1 threads_list))
+                ~duration ~repeats
+          | "harris" -> harris ~threads_list ~duration ~repeats
+          | "pools" -> pools ~threads_list ~duration ~repeats
+          | other -> Printf.eprintf "unknown experiment: %s (skipped)\n" other))
+    names;
+  Printf.printf "\ntotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
+
+let () =
+  let open Cmdliner in
+  let experiments =
+    let doc =
+      "Experiments to run: fig2a..fig2i, micro, robust, ablate, ablate-freq, \
+       harris, or 'all' / 'figures'."
+    in
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let threads =
+    let doc = "Comma-separated worker-thread counts." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "threads" ] ~doc)
+  in
+  let duration =
+    let doc = "Seconds per measurement point." in
+    Arg.(value & opt float 0.4 & info [ "duration" ] ~doc)
+  in
+  let repeats =
+    let doc = "Repeats per point (mean reported)." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~doc)
+  in
+  let quick =
+    let doc = "Shrink to a smoke-test run (threads 1,4; 0.1s; 1 repeat)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let main exps threads duration repeats quick =
+    let names =
+      List.concat_map
+        (function
+          | "all" -> all_experiments
+          | "figures" -> List.map (fun f -> f.fid) figures
+          | n -> [ n ])
+        exps
+    in
+    let threads_list, duration, repeats =
+      if quick then ([ 1; 4 ], 0.1, 1) else (threads, duration, repeats)
+    in
+    run_experiments names ~threads_list ~duration ~repeats
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-bench"
+         ~doc:"Regenerate the VBR paper's evaluation (SPAA 2021, Figure 2)")
+      Term.(const main $ experiments $ threads $ duration $ repeats $ quick)
+  in
+  exit (Cmd.eval cmd)

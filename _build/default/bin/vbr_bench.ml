@@ -1,0 +1,117 @@
+(* A one-shot measurement CLI: pick any structure, scheme, workload and
+   parameters, and get a throughput point plus the scheme's bookkeeping.
+
+   Examples:
+     dune exec bin/vbr_bench.exe -- --structure hash --scheme VBR --threads 4
+     dune exec bin/vbr_bench.exe -- --structure skiplist --scheme HP \
+       --profile update-heavy --range 4096 --duration 1.0 *)
+
+open Harness
+
+let run structure scheme threads range profile_name duration repeats
+    retire_threshold epoch_freq capacity =
+  match Workload.of_name profile_name with
+  | None ->
+      Printf.eprintf "unknown profile %s (expected %s)\n" profile_name
+        (String.concat ", "
+           (List.map (fun p -> p.Workload.pname) Workload.all));
+      exit 2
+  | Some profile ->
+      if not (Registry.supports ~structure ~scheme) then begin
+        Printf.eprintf "%s does not support %s\n" structure scheme;
+        exit 2
+      end;
+      let capacity =
+        match capacity with
+        | Some c -> c
+        | None ->
+            let sentinels = if structure = "hash" then range + 2 else 70 in
+            let base = sentinels + range + 400_000 in
+            if scheme = "NoRecl" then
+              base
+              + int_of_float
+                  (8_000_000.0 *. duration
+                  *. float_of_int profile.Workload.inserts
+                  /. 100.0)
+            else base
+      in
+      let last = ref None in
+      let make () =
+        let inst =
+          Registry.make ~structure ~scheme ~n_threads:threads ~range ~capacity
+            ?retire_threshold
+            ~epoch_freq ()
+        in
+        last := Some inst;
+        inst
+      in
+      let p =
+        Throughput.measure ~make ~profile ~threads ~range ~duration ~repeats
+      in
+      Printf.printf "%s/%s  threads=%d  range=%d  profile=%s\n" structure
+        scheme threads range profile.Workload.pname;
+      Printf.printf "throughput: %.3f Mops/s  (stddev %.3f over %d repeats)\n"
+        p.Throughput.mops p.Throughput.stddev p.Throughput.repeats;
+      (match !last with
+      | Some inst ->
+          Printf.printf
+            "last run: arena slots %d, unreclaimed %d, epoch advances %d\n"
+            (inst.Registry.allocated ())
+            (inst.Registry.unreclaimed ())
+            (inst.Registry.epoch_advances ())
+      | None -> ())
+
+let () =
+  let open Cmdliner in
+  let structure =
+    Arg.(
+      value
+      & opt (enum (List.map (fun s -> (s, s)) Registry.structures)) "hash"
+      & info [ "structure" ] ~doc:"list | hash | skiplist | harris")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt (enum (List.map (fun s -> (s, s)) Registry.schemes)) "VBR"
+      & info [ "scheme" ] ~doc:"NoRecl | EBR | HP | HE | IBR | VBR")
+  in
+  let threads =
+    Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Worker domains.")
+  in
+  let range =
+    Arg.(value & opt int 16384 & info [ "range" ] ~doc:"Key range.")
+  in
+  let profile =
+    Arg.(
+      value & opt string "balanced"
+      & info [ "profile" ] ~doc:"read-heavy | balanced | update-heavy")
+  in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Seconds per run.")
+  in
+  let repeats = Arg.(value & opt int 3 & info [ "repeats" ] ~doc:"Repeats.") in
+  let retire_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retire-threshold" ] ~doc:"Retired-list flush threshold.")
+  in
+  let epoch_freq =
+    Arg.(
+      value & opt int 32
+      & info [ "epoch-freq" ] ~doc:"Allocations per epoch advance (EBR/HE/IBR).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~doc:"Arena capacity (default: auto-sized).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-bench" ~doc:"One-shot throughput measurement")
+      Term.(
+        const run $ structure $ scheme $ threads $ range $ profile $ duration
+        $ repeats $ retire_threshold $ epoch_freq $ capacity)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+devtools/dbg.ml: Arena Global_pool List Memsim Pool Printf Random

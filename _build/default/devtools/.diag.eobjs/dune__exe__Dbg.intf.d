@@ -1,0 +1,1 @@
+devtools/dbg.mli:

@@ -1,0 +1,1 @@
+devtools/diag.ml: Array Atomic Domain Dstruct Format List Memsim Random Unix Vbr_core

@@ -1,0 +1,1 @@
+devtools/diag2.ml: Arena Array Atomic Domain Dstruct Format Global_pool Hashtbl List Memsim Node Packed Printexc Printf Unix Vbr_core

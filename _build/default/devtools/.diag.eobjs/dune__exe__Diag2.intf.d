@@ -1,0 +1,1 @@
+devtools/diag2.mli:

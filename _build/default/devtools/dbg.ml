@@ -1,0 +1,27 @@
+open Memsim
+let () =
+  let arena = Arena.create ~capacity:1_000 in
+  let global = Global_pool.create ~max_level:4 in
+  let pool = Pool.create arena global ~spill:5 in
+  let held = ref [] in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 2_000 do
+    if Random.State.bool rng && !held <> [] then begin
+      match !held with
+      | s :: rest -> held := rest; Pool.put pool s
+      | [] -> ()
+    end
+    else begin
+      let lvl = 1 + Random.State.int rng 3 in
+      held := Pool.take pool ~level:lvl :: !held
+    end
+  done;
+  List.iter (Pool.put pool) !held;
+  Printf.printf "allocated=%d local_free=%d global_batches=%d\n"
+    (Arena.allocated arena) (Pool.local_free pool) (Global_pool.approx_batches global);
+  let drained = ref 0 in
+  for lvl = 1 to 4 do
+    (try while true do ignore (Pool.take pool ~level:lvl); incr drained done
+     with Arena.Exhausted -> ());
+    Printf.printf "after lvl %d: drained=%d allocated=%d\n" lvl !drained (Arena.allocated arena)
+  done

@@ -1,0 +1,28 @@
+let () =
+  let arena = Memsim.Arena.create ~capacity:500_000 in
+  let global = Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
+  let vbr = Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads:4 () in
+  let s = Dstruct.Vbr_skiplist.create vbr in
+  let ops = Array.init 4 (fun _ -> Atomic.make 0) in
+  let stop = Atomic.make false in
+  let worker tid =
+    let st = ref (Random.State.make [| tid |]) in
+    while not (Atomic.get stop) do
+      let k = Random.State.int !st 24 in
+      (match Random.State.int !st 3 with
+      | 0 -> ignore (Dstruct.Vbr_skiplist.insert s ~tid k)
+      | 1 -> ignore (Dstruct.Vbr_skiplist.delete s ~tid k)
+      | _ -> ignore (Dstruct.Vbr_skiplist.contains s ~tid k));
+      Atomic.incr ops.(tid)
+    done
+  in
+  let ds = List.init 3 (fun i -> Domain.spawn (fun () -> worker (i+1))) in
+  for sec = 1 to 25 do
+    Unix.sleepf 1.0;
+    let total = Array.fold_left (fun a o -> a + Atomic.get o) 0 ops in
+    let st = Vbr_core.Vbr.total_stats vbr in
+    Format.printf "t=%d ops=%d %a epoch=%d@." sec total Vbr_core.Vbr.pp_stats st
+      (Vbr_core.Epoch.get (Vbr_core.Vbr.epoch vbr))
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join ds

@@ -1,0 +1,1 @@
+examples/dedup_pipeline.ml: Array Atomic Domain Dstruct Harness List Memsim Printf Vbr_core

@@ -1,0 +1,1 @@
+examples/job_queue.ml: Array Atomic Domain Dstruct List Memsim Printf Vbr_core

@@ -1,0 +1,1 @@
+examples/ordered_index.ml: Array Atomic Domain Dstruct List Memsim Printf Vbr_core

@@ -1,0 +1,1 @@
+examples/ordered_index.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Atomic Domain Dstruct Format List Memsim Printf Vbr_core

@@ -1,0 +1,1 @@
+examples/reclamation_lab.ml: Domain Harness List Printf Registry Rng String Throughput Workload

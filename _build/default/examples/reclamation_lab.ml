@@ -1,0 +1,69 @@
+(* The reclamation lab: run the same churn workload under all six
+   reclamation schemes, with and without a stalled thread, and watch what
+   each scheme does to memory — the paper's §1 robustness story in one
+   screen.
+
+   Run with: dune exec examples/reclamation_lab.exe *)
+
+open Harness
+
+let range = 4096
+let threads = 3
+let ops = 120_000
+
+let run ~pin scheme =
+  let capacity = 600_000 in
+  let make () =
+    Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
+      ~capacity ()
+  in
+  let series =
+    if pin then
+      Throughput.run_stalled ~make ~profile:Workload.balanced ~threads ~range
+        ~checkpoints:1 ~ops_per_checkpoint:ops
+    else begin
+      (* Same traffic, nobody stalled. *)
+      let inst = make () in
+      Throughput.prefill inst ~range;
+      let workers = threads in
+      let ds =
+        List.init workers (fun tid ->
+            Domain.spawn (fun () ->
+                let rng = Rng.create ~seed:(tid + 5) in
+                for _ = 1 to ops / workers do
+                  let k = Rng.below rng range in
+                  match Workload.pick Workload.balanced rng with
+                  | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
+                  | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
+                  | Workload.Search -> ignore (inst.Registry.contains ~tid k)
+                done))
+      in
+      List.iter Domain.join ds;
+      [ (ops, inst.Registry.unreclaimed (), inst.Registry.allocated ()) ]
+    end
+  in
+  match List.rev series with
+  | (_, unreclaimed, allocated) :: _ -> (unreclaimed, allocated)
+  | [] -> (0, 0)
+
+let () =
+  Printf.printf
+    "Churn: %d balanced ops over a hash set (range %d), %d threads.\n" ops
+    range threads;
+  Printf.printf "%-8s | %14s %14s | %14s %14s\n" "" "healthy" "" "stalled" "";
+  Printf.printf "%-8s | %14s %14s | %14s %14s\n" "scheme" "unreclaimed"
+    "arena slots" "unreclaimed" "arena slots";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun scheme ->
+      let hu, ha = run ~pin:false scheme in
+      let su, sa = run ~pin:true scheme in
+      Printf.printf "%-8s | %14d %14d | %14d %14d\n" scheme hu ha su sa)
+    Registry.schemes;
+  Printf.printf "%s\n" (String.make 72 '-');
+  print_endline
+    "Reading guide: NoRecl never reclaims (and its arena grows with every\n\
+     insert). EBR reclaims well until a thread stalls — then garbage grows\n\
+     with traffic. HE/IBR cap the damage at roughly the heap size when the\n\
+     stall began. HP pins only what hazard pointers name. VBR is unaffected\n\
+     by the stall entirely: no thread can delay its reclamation."

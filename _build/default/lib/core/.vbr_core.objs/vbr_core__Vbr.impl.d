@@ -1,0 +1,1 @@
+lib/core/vbr.ml: Arena Array Atomic Epoch Format List Memsim Node Packed Pool

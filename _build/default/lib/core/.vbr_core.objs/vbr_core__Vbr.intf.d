@@ -1,0 +1,1 @@
+lib/core/vbr.mli: Atomic Epoch Format Memsim

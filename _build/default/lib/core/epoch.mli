@@ -1,0 +1,23 @@
+(** The shared global epoch counter [e] (§4.1).
+
+    Epochs start at 1 so that [Node.no_epoch] (-1) compares below every
+    real epoch. VBR advances the counter only when an allocation finds a
+    node whose retire epoch equals the current epoch, which is what makes
+    its epoch traffic negligible compared to EBR/HE/IBR. *)
+
+type t
+
+val create : unit -> t
+(** A fresh counter at epoch 1. *)
+
+val get : t -> int
+(** Current epoch. *)
+
+val try_advance : t -> expected:int -> bool
+(** [try_advance t ~expected] CASes the counter from [expected] to
+    [expected + 1] (Figure 1, line 4). Returns whether this thread did the
+    increment; a [false] means some other thread already moved the epoch,
+    which is just as good for the caller. *)
+
+val advance_counted : t -> int
+(** Number of successful increments so far (stats). *)

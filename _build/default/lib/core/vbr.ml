@@ -1,0 +1,303 @@
+open Memsim
+
+exception Rollback
+
+type ctx = {
+  tid : int;
+  arena : Arena.t;
+  epoch : Epoch.t;
+  retire_threshold : int;
+  mutable my_e : int;
+  pool : Pool.t;
+  mutable retired : int list;
+  mutable retired_len : int;
+  (* Appendix B, type 1: nodes allocated since the last checkpoint that are
+     not yet reachable. Recycled (not retired) on rollback. *)
+  mutable pending : int list;
+  (* stats *)
+  mutable allocs : int;
+  mutable retires : int;
+  mutable rollbacks : int;
+  mutable epoch_bumps : int;
+}
+
+type t = { arena : Arena.t; epoch : Epoch.t; ctxs : ctx array }
+
+let create ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global ~n_threads
+    () =
+  if n_threads < 1 then invalid_arg "Vbr.create: n_threads < 1";
+  if retire_threshold < 0 then invalid_arg "Vbr.create: retire_threshold < 0";
+  let epoch = Epoch.create () in
+  let ctxs =
+    Array.init n_threads (fun tid ->
+        {
+          tid;
+          arena;
+          epoch;
+          retire_threshold;
+          my_e = 1;
+          pool = Pool.create arena global ~spill;
+          retired = [];
+          retired_len = 0;
+          pending = [];
+          allocs = 0;
+          retires = 0;
+          rollbacks = 0;
+          epoch_bumps = 0;
+        })
+  in
+  { arena; epoch; ctxs }
+
+let ctx (t : t) ~tid = t.ctxs.(tid)
+let arena (t : t) = t.arena
+let epoch (t : t) = t.epoch
+let node (c : ctx) i = Arena.get c.arena i
+let refresh_epoch (c : ctx) = c.my_e <- Epoch.get c.epoch
+
+(* Epoch check shared by the read methods (Figure 1, lines 20/24): raise if
+   the global epoch moved since this thread's last checkpoint, i.e. a value
+   just read may originate from reclaimed memory. *)
+let validate (c : ctx) = if c.my_e <> Epoch.get c.epoch then raise Rollback
+
+(* Appendix B: before re-running from a checkpoint, nodes allocated since
+   the checkpoint that never became reachable go back to the allocation
+   pool (their retire epoch is still ⊥, so re-allocation is immediate). *)
+let flush_pending (c : ctx) =
+  match c.pending with
+  | [] -> ()
+  | pending ->
+      c.pending <- [];
+      List.iter (Pool.put c.pool) pending
+
+let checkpoint (c : ctx) f =
+  let rec loop () =
+    refresh_epoch c;
+    match f () with
+    | v ->
+        c.pending <- [];
+        v
+    | exception Rollback ->
+        c.rollbacks <- c.rollbacks + 1;
+        flush_pending c;
+        loop ()
+  in
+  loop ()
+
+(* Move a full retired list to the allocation pool as a whole (§4.1). *)
+let maybe_flush_retired (c : ctx) =
+  if c.retired_len >= c.retire_threshold then begin
+    let batch = c.retired in
+    c.retired <- [];
+    c.retired_len <- 0;
+    Pool.put_batch c.pool batch
+  end
+
+let alloc (c : ctx) ?(level = 1) key =
+  let i = Pool.take c.pool ~level in
+  let n = node c i in
+  if Atomic.get n.Node.retire >= c.my_e then begin
+    (* Figure 1, lines 3-6: the slot was retired in the current epoch; bump
+       the epoch (any thread's success is enough) and roll back so my_e is
+       refreshed above the slot's retire epoch. *)
+    c.epoch_bumps <- c.epoch_bumps + 1;
+    ignore (Epoch.try_advance c.epoch ~expected:c.my_e);
+    Pool.put c.pool i;
+    raise Rollback
+  end;
+  let b = c.my_e in
+  Atomic.set n.Node.birth b;
+  Atomic.set n.Node.retire Node.no_epoch;
+  let reinit lvl =
+    let word = n.Node.next.(lvl) in
+    let ok =
+      Atomic.compare_and_set word (Atomic.get word)
+        (Packed.pack ~marked:false ~index:0 ~version:b)
+    in
+    (* Line 9: always succeeds — the fields of a retired node are
+       invalidated and immutable (Assumption 3), so no concurrent update
+       can intervene. *)
+    assert ok
+  in
+  for lvl = 0 to n.Node.level - 1 do
+    reinit lvl
+  done;
+  n.Node.key <- key;
+  c.pending <- i :: c.pending;
+  c.allocs <- c.allocs + 1;
+  (i, b)
+
+let commit_alloc (c : ctx) i =
+  c.pending <- List.filter (fun j -> j <> i) c.pending
+
+let retire (c : ctx) i ~birth =
+  let n = node c i in
+  if
+    Atomic.get n.Node.birth > birth
+    || Atomic.get n.Node.retire <> Node.no_epoch
+  then () (* line 13: already re-allocated or already retired *)
+  else begin
+    let re = Epoch.get c.epoch in
+    Atomic.set n.Node.retire re;
+    c.retired <- i :: c.retired;
+    c.retired_len <- c.retired_len + 1;
+    c.retires <- c.retires + 1;
+    (* A freshly allocated node that failed its insertion CAS is retired
+       (Figure 4, line 15); it must not also be recycled as pending. *)
+    (match c.pending with
+    | [] -> ()
+    | _ -> c.pending <- List.filter (fun j -> j <> i) c.pending);
+    maybe_flush_retired c;
+    if re > c.my_e then raise Rollback (* line 16 *)
+  end
+
+let birth_of (c : ctx) i = if i = 0 then 0 else Atomic.get (node c i).Node.birth
+
+let get_next (c : ctx) ?(lvl = 0) i =
+  let w = Atomic.get (node c i).Node.next.(lvl) in
+  let succ = Packed.index w in
+  let succ_b = birth_of c succ in
+  validate c;
+  (succ, succ_b)
+
+let get_next_word (c : ctx) ?(lvl = 0) i =
+  let w = Atomic.get (node c i).Node.next.(lvl) in
+  let succ = Packed.index w in
+  let succ_b = birth_of c succ in
+  validate c;
+  (succ, succ_b, Packed.is_marked w)
+
+let get_key (c : ctx) i =
+  let k = (node c i).Node.key in
+  validate c;
+  k
+
+let is_marked (c : ctx) ?(lvl = 0) i ~birth =
+  let n = node c i in
+  let res = Packed.is_marked (Atomic.get n.Node.next.(lvl)) in
+  if Atomic.get n.Node.birth <> birth then true (* already removed *)
+  else res
+
+let read_birth (t : t) i =
+  if i = 0 then 0 else Atomic.get (Arena.get t.arena i).Node.birth
+
+let read_retire (t : t) i = Atomic.get (Arena.get t.arena i).Node.retire
+let read_level (t : t) i = (Arena.get t.arena i).Node.level
+let validate_epoch = validate
+
+let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_birth =
+  let n = node c i in
+  let exp_v = max birth expected_birth in
+  let new_v = max birth new_birth in
+  Atomic.compare_and_set n.Node.next.(lvl)
+    (Packed.pack ~marked:false ~index:expected ~version:exp_v)
+    (Packed.pack ~marked:false ~index:new_ ~version:new_v)
+
+(* Figure 1 computes the expected version as max(n_b, exp's birth) (line
+   36). That recomputation livelocks on partially-linked skiplist towers:
+   an un-linked upper-level pointer may legitimately reference an
+   already-recycled slot, so the recomputed version never matches the
+   stored word and the CAS can fail forever while isMarked stays false.
+   CASing from the word actually read is equally safe — the stored word's
+   version is at most the old incarnation's retire epoch (Claim 10), and
+   every word a recycled slot can ever hold carries a version at least its
+   new birth epoch, which is strictly larger (Claim 6) — and it always
+   terminates. See DESIGN.md §"Divergences from the paper's pseudo-code". *)
+let mark (c : ctx) ?(lvl = 0) i ~birth =
+  let n = node c i in
+  let w = Atomic.get n.Node.next.(lvl) in
+  if Atomic.get n.Node.birth <> birth then false (* line 37: already gone *)
+  else if Packed.is_marked w then false
+  else Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w)
+
+(* Raw-expected variant of [update] for a node's *own* not-yet-linked
+   field (a skiplist inserter refreshing its forward pointer): the caller
+   cannot supply a consistent (expected, expected_birth) pair because the
+   current target may already be recycled. Safe for the same version-
+   algebra reason as [mark]. *)
+let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
+  let n = node c i in
+  let w = Atomic.get n.Node.next.(lvl) in
+  if Atomic.get n.Node.birth <> birth then false
+  else if Packed.is_marked w then false
+  else
+    Atomic.compare_and_set n.Node.next.(lvl) w
+      (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth))
+
+(* A garbage edge — one whose stored version is below its target's
+   current birth epoch — can never be touched by a versioned CAS (every
+   reconstructible expected version uses the target's *current* birth),
+   so traversals that must remove it would restart forever. Healing
+   redirects such an edge, raw, to a caller-supplied safe target (a
+   never-retired sentinel). Only upper skiplist levels can ever carry
+   garbage edges; see DESIGN.md. *)
+let heal_stale_edge (c : ctx) ?(lvl = 0) i ~birth ~to_ ~to_birth =
+  let n = node c i in
+  let w = Atomic.get n.Node.next.(lvl) in
+  if Atomic.get n.Node.birth <> birth then false
+  else if Packed.is_marked w then false
+  else begin
+    let tgt = Packed.index w in
+    tgt <> 0
+    && Packed.version w < birth_of c tgt
+    && Atomic.compare_and_set n.Node.next.(lvl) w
+         (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth))
+  end
+
+let make_root ~init ~init_birth =
+  Atomic.make (Packed.pack ~marked:false ~index:init ~version:init_birth)
+
+let read_root (c : ctx) root =
+  let w = Atomic.get root in
+  validate c;
+  (Packed.index w, Packed.version w)
+
+let cas_root (_c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
+  Atomic.compare_and_set root
+    (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
+    (Packed.pack ~marked:false ~index:new_ ~version:new_birth)
+
+type stats = {
+  allocs : int;
+  retires : int;
+  rollbacks : int;
+  epoch_bumps : int;
+  recycled : int;
+  retired_pending : int;
+}
+
+let stats (c : ctx) =
+  {
+    allocs = c.allocs;
+    retires = c.retires;
+    rollbacks = c.rollbacks;
+    epoch_bumps = c.epoch_bumps;
+    recycled = Pool.recycled c.pool;
+    retired_pending = c.retired_len;
+  }
+
+let total_stats t =
+  Array.fold_left
+    (fun acc c ->
+      let s = stats c in
+      {
+        allocs = acc.allocs + s.allocs;
+        retires = acc.retires + s.retires;
+        rollbacks = acc.rollbacks + s.rollbacks;
+        epoch_bumps = acc.epoch_bumps + s.epoch_bumps;
+        recycled = acc.recycled + s.recycled;
+        retired_pending = acc.retired_pending + s.retired_pending;
+      })
+    {
+      allocs = 0;
+      retires = 0;
+      rollbacks = 0;
+      epoch_bumps = 0;
+      recycled = 0;
+      retired_pending = 0;
+    }
+    t.ctxs
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "allocs=%d retires=%d rollbacks=%d epoch_bumps=%d recycled=%d pending=%d"
+    s.allocs s.retires s.rollbacks s.epoch_bumps s.recycled s.retired_pending

@@ -1,0 +1,1 @@
+lib/dstruct/harris_list.ml: Arena Atomic List Memsim Node Packed Reclaim Set_intf

@@ -1,0 +1,1 @@
+lib/dstruct/harris_list.mli: Memsim Reclaim Set_intf

@@ -1,0 +1,1 @@
+lib/dstruct/hash_table.ml: Array Linked_list List Reclaim

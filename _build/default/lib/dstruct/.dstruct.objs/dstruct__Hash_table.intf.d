@@ -1,0 +1,1 @@
+lib/dstruct/hash_table.mli: Memsim Reclaim Set_intf

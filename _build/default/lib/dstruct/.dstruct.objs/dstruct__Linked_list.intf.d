@@ -1,0 +1,1 @@
+lib/dstruct/linked_list.mli: Memsim Reclaim Set_intf

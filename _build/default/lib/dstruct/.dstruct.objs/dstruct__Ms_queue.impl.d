@@ -1,0 +1,1 @@
+lib/dstruct/ms_queue.ml: Arena Atomic List Memsim Node Packed Reclaim

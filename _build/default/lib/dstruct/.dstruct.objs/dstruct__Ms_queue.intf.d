@@ -1,0 +1,1 @@
+lib/dstruct/ms_queue.mli: Memsim Reclaim

@@ -1,0 +1,1 @@
+lib/dstruct/set_intf.ml:

@@ -1,0 +1,1 @@
+lib/dstruct/skiplist.ml: Arena Array Atomic List Memsim Node Packed Reclaim Set_intf

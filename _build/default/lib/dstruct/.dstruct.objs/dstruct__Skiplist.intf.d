@@ -1,0 +1,1 @@
+lib/dstruct/skiplist.mli: Memsim Reclaim Set_intf

@@ -1,0 +1,1 @@
+lib/dstruct/treiber_stack.ml: Arena Atomic List Memsim Node Packed Reclaim

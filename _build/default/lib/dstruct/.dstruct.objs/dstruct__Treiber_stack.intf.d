@@ -1,0 +1,1 @@
+lib/dstruct/treiber_stack.mli: Memsim Reclaim

@@ -1,0 +1,1 @@
+lib/dstruct/vbr_hash.ml: Array List Vbr_list

@@ -1,0 +1,1 @@
+lib/dstruct/vbr_hash.mli: Set_intf Vbr_core

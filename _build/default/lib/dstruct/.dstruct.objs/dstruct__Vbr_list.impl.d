@@ -1,0 +1,1 @@
+lib/dstruct/vbr_list.ml: Atomic List Memsim Set_intf Vbr Vbr_core

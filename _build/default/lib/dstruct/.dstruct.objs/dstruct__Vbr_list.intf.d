@@ -1,0 +1,1 @@
+lib/dstruct/vbr_list.mli: Set_intf Vbr_core

@@ -1,0 +1,1 @@
+lib/dstruct/vbr_queue.ml: Atomic List Memsim Vbr Vbr_core

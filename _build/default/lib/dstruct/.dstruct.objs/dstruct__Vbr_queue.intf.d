@@ -1,0 +1,1 @@
+lib/dstruct/vbr_queue.mli: Vbr_core

@@ -1,0 +1,1 @@
+lib/dstruct/vbr_skiplist.ml: Array Atomic List Memsim Set_intf Skiplist Vbr Vbr_core

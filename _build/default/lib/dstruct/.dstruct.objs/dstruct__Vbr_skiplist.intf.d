@@ -1,0 +1,1 @@
+lib/dstruct/vbr_skiplist.mli: Set_intf Vbr_core

@@ -1,0 +1,1 @@
+lib/dstruct/vbr_stack.ml: Atomic List Memsim Vbr Vbr_core

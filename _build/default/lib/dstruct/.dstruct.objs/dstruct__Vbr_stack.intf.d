@@ -1,0 +1,1 @@
+lib/dstruct/vbr_stack.mli: Vbr_core

@@ -1,0 +1,23 @@
+(** Harris's original lock-free linked list [22], as a functor over a
+    reclamation scheme — the applicability ablation of §5.
+
+    Unlike Michael's variant ({!Linked_list}), a traversal here walks
+    *through* marked nodes and snips whole marked segments with one CAS.
+    Because a traversal can stand on a marked, already-unlinked node and
+    keep following its pointers, pointer-based schemes (HP, HE, IBR)
+    cannot protect it — the node a hazard would validate against may
+    already be retired ("Pointer-based methods require that it would not
+    be possible to reach a reclaimed node by traversing the data structure
+    from a protected node"). Instantiate only with NoRecl or EBR; the VBR
+    counterpart is {!Vbr_list}, whose Figure-3 find is already the
+    Harris-style segment-trimming traversal.
+
+    Retirement protocol: the thread whose CAS snips a marked segment
+    retires every node of that segment (each node is unlinked exactly once
+    because segments cannot overlap). *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  include Set_intf.SET
+
+  val create : R.t -> arena:Memsim.Arena.t -> t
+end

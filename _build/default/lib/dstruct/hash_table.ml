@@ -1,0 +1,25 @@
+module Make (R : Reclaim.Smr_intf.S) = struct
+  module L = Linked_list.Make (R)
+
+  type t = { buckets : L.t array }
+
+  let name = "hash/" ^ R.name
+  let hazard_slots = L.hazard_slots
+
+  let create r ~arena ~buckets =
+    if buckets < 1 then invalid_arg "Hash_table.create: buckets < 1";
+    let tail = L.make_tail r ~tid:0 in
+    { buckets = Array.init buckets (fun _ -> L.create ~tail r ~arena) }
+
+  let bucket t key =
+    t.buckets.((key land max_int) mod Array.length t.buckets)
+
+  let insert t ~tid key = L.insert (bucket t key) ~tid key
+  let delete t ~tid key = L.delete (bucket t key) ~tid key
+  let contains t ~tid key = L.contains (bucket t key) ~tid key
+
+  let to_list t =
+    Array.to_list t.buckets |> List.concat_map L.to_list |> List.sort compare
+
+  let size t = Array.fold_left (fun acc b -> acc + L.size b) 0 t.buckets
+end

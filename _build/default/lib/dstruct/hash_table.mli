@@ -1,0 +1,14 @@
+(** The paper's lock-free hash table (§5): a fixed array of buckets, each
+    a Michael linked list, at load factor 1. All buckets share one tail
+    sentinel and the same reclamation-scheme instance. *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  include Set_intf.SET
+
+  val create : R.t -> arena:Memsim.Arena.t -> buckets:int -> t
+  (** [create r ~arena ~buckets] — a table with [buckets] bucket lists.
+      @raise Invalid_argument if [buckets < 1]. *)
+
+  val hazard_slots : int
+  (** Protection slots required per thread (3, same as the list). *)
+end

@@ -1,0 +1,25 @@
+(** Michael's lock-free ordered linked list [34], as a functor over a
+    conservative reclamation scheme.
+
+    This is the hazard-pointer-compatible list the paper evaluates (it
+    restarts traversals at marked nodes instead of traversing marked
+    chains like Harris's original list, which pointer-based schemes cannot
+    support — see §5). Three protection slots are used: 0 for the
+    successor, 1 for the current node, 2 for the predecessor.
+
+    The list owns head/tail sentinel nodes; an external tail sentinel may
+    be supplied so a hash table's buckets can share one. *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  include Set_intf.SET
+
+  val create : ?tail:int -> R.t -> arena:Memsim.Arena.t -> t
+  (** A new empty list using scheme instance [R.t]. [tail] reuses an
+      existing tail-sentinel slot (for hash-table buckets). *)
+
+  val hazard_slots : int
+  (** Protection slots required per thread (3). *)
+
+  val make_tail : R.t -> tid:int -> int
+  (** Allocate a tail sentinel suitable for [create ?tail]. *)
+end

@@ -1,0 +1,27 @@
+(** The Michael–Scott lock-free FIFO queue [38] as a functor over a
+    conservative reclamation scheme — the baseline counterpart of
+    {!Vbr_queue} for the queue extension benchmark.
+
+    Hazard usage (slot 0: head/tail target, slot 1: the successor): a
+    dequeuer protects the dummy and its successor and validates through
+    the re-read in {!Reclaim.Smr_intf.S.protect}; a node is retired only
+    after the head swings past it, so a validated successor cannot have
+    been recycled. Enqueuers protect the tail target; nodes at or after
+    the tail are never retired (the head never overtakes the tail). *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  type t
+
+  val name : string
+  val create : R.t -> arena:Memsim.Arena.t -> t
+  val enqueue : t -> tid:int -> int -> unit
+  val dequeue : t -> tid:int -> int option
+  val is_empty : t -> tid:int -> bool
+  val hazard_slots : int
+
+  val length : t -> int
+  (** Quiescent use only (tests). *)
+
+  val to_list : t -> int list
+  (** Front-to-back values. Quiescent use only (tests). *)
+end

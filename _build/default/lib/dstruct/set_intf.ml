@@ -1,0 +1,32 @@
+(** The concurrent integer-set interface shared by every data structure ×
+    reclamation-scheme combination in this repository, mirroring the
+    paper's benchmark API (§5.1: Insert / Delete / Search).
+
+    Keys must lie strictly between [min_key_bound] and [max_key_bound]
+    (the head/tail sentinel keys). [tid] identifies the calling thread; a
+    thread id must be used by at most one domain at a time. *)
+
+let min_key_bound = min_int
+let max_key_bound = max_int
+
+module type SET = sig
+  type t
+
+  val name : string
+  (** "<structure>/<scheme>", e.g. "list/VBR". *)
+
+  val insert : t -> tid:int -> int -> bool
+  (** Add the key; [false] if already present. Lock-free, linearizable. *)
+
+  val delete : t -> tid:int -> int -> bool
+  (** Remove the key; [false] if absent. Lock-free, linearizable. *)
+
+  val contains : t -> tid:int -> int -> bool
+  (** Membership test. Lock-free, linearizable. *)
+
+  val size : t -> int
+  (** Number of unmarked reachable keys. Quiescent use only (tests). *)
+
+  val to_list : t -> int list
+  (** Unmarked reachable keys in traversal order. Quiescent use only. *)
+end

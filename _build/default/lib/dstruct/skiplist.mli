@@ -1,0 +1,26 @@
+(** Lock-free skiplist (Herlihy–Shavit [27]) with Fraser's amendment [20]
+    for safe reclamation, as a functor over a conservative reclamation
+    scheme — the skiplist of the paper's Figure 2d–2f.
+
+    Reclamation protocol (the Fraser amendment): the thread whose CAS
+    marks the *bottom-level* next pointer is the logical remover; it then
+    runs a full [find], which physically unlinks the victim from every
+    level it is still linked at, and only then retires it — so a node is
+    retired only after its final unlink. An inserter that observes its
+    node becoming marked while it is still linking upper levels runs a
+    closing [find] for the same guarantee, and keeps its own node
+    protected ({!Reclaim.Smr_intf.S.protect_own}) throughout.
+
+    Tower heights are geometric (p = 1/2), capped at {!max_level};
+    per-thread deterministic PRNGs make runs reproducible. *)
+
+val max_level : int
+(** Tower-height cap (16). *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  include Set_intf.SET
+
+  val create : R.t -> arena:Memsim.Arena.t -> t
+  val hazard_slots : int
+  (** Protection slots required per thread: [2*max_level + 2]. *)
+end

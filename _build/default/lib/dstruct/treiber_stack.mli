@@ -1,0 +1,24 @@
+(** Treiber's lock-free stack [53] as a functor over a conservative
+    reclamation scheme — the baseline counterpart of {!Vbr_stack}.
+
+    A popper protects the top node (slot 0) through the validated read,
+    so the swing CAS cannot suffer ABA from recycling; pushers need no
+    protection (a recycled expected top makes the CAS succeed on a node
+    that genuinely is the current top, which is harmless). *)
+
+module Make (R : Reclaim.Smr_intf.S) : sig
+  type t
+
+  val name : string
+  val create : R.t -> arena:Memsim.Arena.t -> t
+  val push : t -> tid:int -> int -> unit
+  val pop : t -> tid:int -> int option
+  val is_empty : t -> tid:int -> bool
+  val hazard_slots : int
+
+  val length : t -> int
+  (** Quiescent use only (tests). *)
+
+  val to_list : t -> int list
+  (** Top-to-bottom values. Quiescent use only (tests). *)
+end

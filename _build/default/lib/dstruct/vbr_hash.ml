@@ -1,0 +1,24 @@
+type t = { buckets : Vbr_list.t array }
+
+let name = "hash/VBR"
+
+let create vbr ~buckets =
+  if buckets < 1 then invalid_arg "Vbr_hash.create: buckets < 1";
+  let tail, tail_birth = Vbr_list.make_tail vbr in
+  {
+    buckets =
+      Array.init buckets (fun _ ->
+          Vbr_list.create_with_tail vbr ~tail ~tail_birth);
+  }
+
+let bucket t key = t.buckets.((key land max_int) mod Array.length t.buckets)
+let insert t ~tid key = Vbr_list.insert (bucket t key) ~tid key
+let delete t ~tid key = Vbr_list.delete (bucket t key) ~tid key
+let contains t ~tid key = Vbr_list.contains (bucket t key) ~tid key
+
+let to_list t =
+  Array.to_list t.buckets
+  |> List.concat_map Vbr_list.to_list
+  |> List.sort compare
+
+let size t = Array.fold_left (fun acc b -> acc + Vbr_list.size b) 0 t.buckets

@@ -1,0 +1,10 @@
+(** The VBR-integrated hash table: fixed bucket array of {!Vbr_list}
+    buckets sharing one tail sentinel and one VBR instance (§5, load
+    factor 1). *)
+
+type t
+
+val create : Vbr_core.Vbr.t -> buckets:int -> t
+(** @raise Invalid_argument if [buckets < 1]. *)
+
+include Set_intf.SET with type t := t

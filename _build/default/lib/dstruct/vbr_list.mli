@@ -1,0 +1,29 @@
+(** The VBR-integrated lock-free linked list (the paper's Appendix C).
+
+    Structure of the integration, per Figures 3–6:
+    - [find] is the auxiliary traversal: it trims whole marked segments
+      with a single versioned [update] and never installs checkpoints
+      (all its updates are rollback-safe), so any {!Vbr_core.Vbr.Rollback}
+      it raises propagates to the enclosing operation's checkpoint.
+    - [insert] installs a checkpoint on entry (Figure 4). A failed
+      publishing CAS retires the fresh node (line 15) and retries.
+    - [delete] installs a checkpoint on entry and a second one right after
+      the successful [mark] — the mark is the linearization point and is
+      rollback-unsafe, so the physical unlink, the clean-up [find] and the
+      [retire] all run under the inner checkpoint (Figure 5).
+    - [contains] is the Figure 6 single-pass traversal: no updates, one
+      checkpoint on entry; not wait-free (rollbacks restart it). *)
+
+type t
+
+val create : Vbr_core.Vbr.t -> t
+(** A new empty list on the given VBR instance (allocates the head/tail
+    sentinels from thread 0's context). *)
+
+val create_with_tail : Vbr_core.Vbr.t -> tail:int -> tail_birth:int -> t
+(** Like {!create} but sharing an existing tail sentinel (hash buckets). *)
+
+val make_tail : Vbr_core.Vbr.t -> int * int
+(** Allocate a tail sentinel; returns (index, birth). *)
+
+include Set_intf.SET with type t := t

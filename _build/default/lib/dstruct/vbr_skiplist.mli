@@ -1,0 +1,28 @@
+(** The VBR-integrated lock-free skiplist (Herlihy–Shavit [27] with
+    Fraser's reclamation amendment [20], §5 of the paper).
+
+    Checkpoint placement follows the same logic as the list (Appendix C):
+    the rollback-unsafe steps are the bottom-level link CAS (insert's
+    linearization point) and the bottom-level mark (delete's); everything
+    after them — upper-level linking/marking, clean-up finds, retirement —
+    runs under an inner checkpoint so a rollback can never cross back over
+    a linearization point.
+
+    Upper levels are navigation hints: every traversal advances only onto
+    nodes whose *current* key (an epoch-validated read) is below the
+    search key, so the bottom level alone carries the set's
+    linearizability. The residual race of installing an upper-level link
+    to a node recycled in the same instant (discussed in the
+    implementation) can therefore cost performance, never correctness;
+    [insert] additionally revalidates the node's birth and the epoch
+    immediately before each upper-level CAS to make the window vanishingly
+    small. *)
+
+type t
+
+val max_level : int
+(** Tower-height cap (16, matching {!Skiplist.max_level}). *)
+
+val create : Vbr_core.Vbr.t -> t
+
+include Set_intf.SET with type t := t

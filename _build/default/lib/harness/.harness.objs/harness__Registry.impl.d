@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Arena Dstruct Global_pool List Memsim Option Printf Reclaim Vbr_core

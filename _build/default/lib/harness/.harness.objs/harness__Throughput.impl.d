@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: Array Atomic Domain List Memsim Registry Rng Unix Workload

@@ -1,0 +1,189 @@
+open Memsim
+
+type instance = {
+  iname : string;
+  insert : tid:int -> int -> bool;
+  delete : tid:int -> int -> bool;
+  contains : tid:int -> int -> bool;
+  size : unit -> int;
+  unreclaimed : unit -> int;
+  allocated : unit -> int;
+  pin : tid:int -> unit;
+  epoch_advances : unit -> int;
+}
+
+let schemes = [ "NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR" ]
+let structures = [ "list"; "hash"; "skiplist"; "harris" ]
+
+let supports ~structure ~scheme =
+  List.mem structure structures
+  && List.mem scheme schemes
+  && (structure <> "harris" || List.mem scheme [ "NoRecl"; "EBR"; "VBR" ])
+
+let scheme_module : string -> (module Reclaim.Smr_intf.S) = function
+  | "NoRecl" -> (module Reclaim.No_recl)
+  | "EBR" -> (module Reclaim.Ebr)
+  | "HP" -> (module Reclaim.Hp)
+  | "HE" -> (module Reclaim.He)
+  | "IBR" -> (module Reclaim.Ibr)
+  | s -> invalid_arg ("Registry: unknown scheme " ^ s)
+
+(* Epoch/era advance counters are internal to each scheme; expose them by
+   peeking at scheme-specific state through a closure built at
+   construction time. For EBR/HE/IBR we approximate with the global value
+   itself (it starts at 1). *)
+
+let make_conservative (module R : Reclaim.Smr_intf.S) ~structure ~n_threads
+    ~range ~capacity ~retire_threshold ~epoch_freq () =
+  let max_level =
+    if structure = "skiplist" then Dstruct.Skiplist.max_level else 1
+  in
+  let hazards =
+    if structure = "skiplist" then (2 * Dstruct.Skiplist.max_level) + 2 else 3
+  in
+  let arena = Arena.create ~capacity in
+  let global = Global_pool.create ~max_level in
+  let r =
+    R.create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq
+  in
+  let pin ~tid =
+    R.begin_op r ~tid;
+    (* Publish era/hazard protection over slot 1 (the first allocated
+       node, typically a sentinel — the *era* published is what pins
+       state for HE/IBR; HP's robustness shows precisely because a single
+       hazard pins almost nothing). *)
+    R.protect_own r ~tid ~slot:0 1
+  in
+  let base =
+    {
+      iname = "?";
+      insert = (fun ~tid:_ _ -> false);
+      delete = (fun ~tid:_ _ -> false);
+      contains = (fun ~tid:_ _ -> false);
+      size = (fun () -> 0);
+      unreclaimed = (fun () -> R.unreclaimed r);
+      allocated = (fun () -> Arena.allocated arena);
+      pin;
+      epoch_advances = (fun () -> 0);
+    }
+  in
+  match structure with
+  | "list" ->
+      let module L = Dstruct.Linked_list.Make (R) in
+      let l = L.create r ~arena in
+      {
+        base with
+        iname = L.name;
+        insert = (fun ~tid k -> L.insert l ~tid k);
+        delete = (fun ~tid k -> L.delete l ~tid k);
+        contains = (fun ~tid k -> L.contains l ~tid k);
+        size = (fun () -> L.size l);
+      }
+  | "hash" ->
+      let module H = Dstruct.Hash_table.Make (R) in
+      let h = H.create r ~arena ~buckets:range in
+      {
+        base with
+        iname = H.name;
+        insert = (fun ~tid k -> H.insert h ~tid k);
+        delete = (fun ~tid k -> H.delete h ~tid k);
+        contains = (fun ~tid k -> H.contains h ~tid k);
+        size = (fun () -> H.size h);
+      }
+  | "skiplist" ->
+      let module S = Dstruct.Skiplist.Make (R) in
+      let s = S.create r ~arena in
+      {
+        base with
+        iname = S.name;
+        insert = (fun ~tid k -> S.insert s ~tid k);
+        delete = (fun ~tid k -> S.delete s ~tid k);
+        contains = (fun ~tid k -> S.contains s ~tid k);
+        size = (fun () -> S.size s);
+      }
+  | "harris" ->
+      let module L = Dstruct.Harris_list.Make (R) in
+      let l = L.create r ~arena in
+      {
+        base with
+        iname = L.name;
+        insert = (fun ~tid k -> L.insert l ~tid k);
+        delete = (fun ~tid k -> L.delete l ~tid k);
+        contains = (fun ~tid k -> L.contains l ~tid k);
+        size = (fun () -> L.size l);
+      }
+  | s -> invalid_arg ("Registry: unknown structure " ^ s)
+
+let make_vbr ~structure ~n_threads ~range ~capacity ~retire_threshold () =
+  let max_level =
+    if structure = "skiplist" then Dstruct.Skiplist.max_level else 1
+  in
+  let arena = Arena.create ~capacity in
+  let global = Global_pool.create ~max_level in
+  let vbr =
+    Vbr_core.Vbr.create ~retire_threshold ~arena ~global ~n_threads ()
+  in
+  let base =
+    {
+      iname = "?";
+      insert = (fun ~tid:_ _ -> false);
+      delete = (fun ~tid:_ _ -> false);
+      contains = (fun ~tid:_ _ -> false);
+      size = (fun () -> 0);
+      unreclaimed =
+        (fun () -> (Vbr_core.Vbr.total_stats vbr).Vbr_core.Vbr.retired_pending);
+      allocated = (fun () -> Arena.allocated arena);
+      (* No thread can stall VBR's reclamation: pinning is a no-op. *)
+      pin = (fun ~tid:_ -> ());
+      epoch_advances =
+        (fun () -> Vbr_core.Epoch.advance_counted (Vbr_core.Vbr.epoch vbr));
+    }
+  in
+  match structure with
+  | "list" | "harris" ->
+      (* Vbr_list's Figure-3 find *is* the Harris-style segment-trimming
+         traversal, so it serves as both. *)
+      let l = Dstruct.Vbr_list.create vbr in
+      {
+        base with
+        iname =
+          (if structure = "harris" then "harris/VBR" else Dstruct.Vbr_list.name);
+        insert = (fun ~tid k -> Dstruct.Vbr_list.insert l ~tid k);
+        delete = (fun ~tid k -> Dstruct.Vbr_list.delete l ~tid k);
+        contains = (fun ~tid k -> Dstruct.Vbr_list.contains l ~tid k);
+        size = (fun () -> Dstruct.Vbr_list.size l);
+      }
+  | "hash" ->
+      let h = Dstruct.Vbr_hash.create vbr ~buckets:range in
+      {
+        base with
+        iname = Dstruct.Vbr_hash.name;
+        insert = (fun ~tid k -> Dstruct.Vbr_hash.insert h ~tid k);
+        delete = (fun ~tid k -> Dstruct.Vbr_hash.delete h ~tid k);
+        contains = (fun ~tid k -> Dstruct.Vbr_hash.contains h ~tid k);
+        size = (fun () -> Dstruct.Vbr_hash.size h);
+      }
+  | "skiplist" ->
+      let s = Dstruct.Vbr_skiplist.create vbr in
+      {
+        base with
+        iname = Dstruct.Vbr_skiplist.name;
+        insert = (fun ~tid k -> Dstruct.Vbr_skiplist.insert s ~tid k);
+        delete = (fun ~tid k -> Dstruct.Vbr_skiplist.delete s ~tid k);
+        contains = (fun ~tid k -> Dstruct.Vbr_skiplist.contains s ~tid k);
+        size = (fun () -> Dstruct.Vbr_skiplist.size s);
+      }
+  | s -> invalid_arg ("Registry: unknown structure " ^ s)
+
+let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
+    ?(epoch_freq = 32) () =
+  if not (supports ~structure ~scheme) then
+    invalid_arg
+      (Printf.sprintf "Registry: %s does not support %s" structure scheme);
+  if scheme = "VBR" then
+    let retire_threshold = Option.value retire_threshold ~default:64 in
+    make_vbr ~structure ~n_threads ~range ~capacity ~retire_threshold ()
+  else
+    let retire_threshold = Option.value retire_threshold ~default:128 in
+    make_conservative (scheme_module scheme) ~structure ~n_threads ~range
+      ~capacity ~retire_threshold ~epoch_freq ()

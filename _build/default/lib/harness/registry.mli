@@ -1,0 +1,49 @@
+(** Uniform construction of every (structure × reclamation scheme)
+    combination the evaluation uses, behind one monomorphic handle. *)
+
+type instance = {
+  iname : string;  (** "structure/scheme" *)
+  insert : tid:int -> int -> bool;
+  delete : tid:int -> int -> bool;
+  contains : tid:int -> int -> bool;
+  size : unit -> int;  (** quiescent only *)
+  unreclaimed : unit -> int;
+      (** retired-but-not-yet-reusable nodes (the robustness metric); for
+          VBR this is the batched retired-list occupancy, for NoRecl the
+          total retire count. *)
+  allocated : unit -> int;  (** arena slots ever claimed (memory footprint) *)
+  pin : tid:int -> unit;
+      (** Simulate the §1 stalled thread: enter an operation and publish
+          whatever protection the scheme uses, then never leave. A no-op
+          under VBR — no thread can block VBR's reclamation, which is the
+          point of the robustness experiment. *)
+  epoch_advances : unit -> int;
+      (** Global epoch/era increments so far (0 for schemes without one).
+          The §5.2 discussion attributes VBR's win over EBR/HE/IBR to this
+          being small. *)
+}
+
+val schemes : string list
+(** ["NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR"] *)
+
+val structures : string list
+(** ["list"; "hash"; "skiplist"; "harris"] — "harris" supports only
+    NoRecl, EBR and VBR (see {!Dstruct.Harris_list}). *)
+
+val supports : structure:string -> scheme:string -> bool
+
+val make :
+  structure:string ->
+  scheme:string ->
+  n_threads:int ->
+  range:int ->
+  capacity:int ->
+  ?retire_threshold:int ->
+  ?epoch_freq:int ->
+  unit ->
+  instance
+(** Build an empty instance. [range] sizes the hash table's bucket array
+    (load factor 1). [retire_threshold] defaults to 64 for VBR and 128 for
+    the conservative schemes; [epoch_freq] (allocations per epoch/era
+    advance, EBR/HE/IBR) defaults to 32.
+    @raise Invalid_argument on an unknown or unsupported combination. *)

@@ -1,0 +1,50 @@
+let rule width = print_endline (String.make width '-')
+
+let print_series ~title ~ylabel ~columns ~rows =
+  let width = 10 + (11 * List.length columns) in
+  print_newline ();
+  rule width;
+  Printf.printf "%s  (%s)\n" title ylabel;
+  rule width;
+  Printf.printf "%-10s" "threads";
+  List.iter (fun c -> Printf.printf "%10s " c) columns;
+  print_newline ();
+  List.iter
+    (fun (threads, values) ->
+      Printf.printf "%-10d" threads;
+      List.iter (fun v -> Printf.printf "%10.3f " v) values;
+      print_newline ())
+    rows;
+  (* Relative view: each column over the first (baseline) column. *)
+  (match rows with
+  | (_, base0 :: _) :: _ when base0 > 0.0 ->
+      Printf.printf "%-10s" "(rel)";
+      print_newline ();
+      List.iter
+        (fun (threads, values) ->
+          match values with
+          | base :: _ when base > 0.0 ->
+              Printf.printf "%-10d" threads;
+              List.iter (fun v -> Printf.printf "%9.2fx " (v /. base)) values;
+              print_newline ()
+          | _ -> ())
+        rows
+  | _ -> ());
+  rule width
+
+let print_counts ~title ~columns ~rows =
+  let width = 12 + (13 * List.length columns) in
+  print_newline ();
+  rule width;
+  print_endline title;
+  rule width;
+  Printf.printf "%-12s" "ops";
+  List.iter (fun c -> Printf.printf "%12s " c) columns;
+  print_newline ();
+  List.iter
+    (fun (ops, values) ->
+      Printf.printf "%-12d" ops;
+      List.iter (fun v -> Printf.printf "%12d " v) values;
+      print_newline ())
+    rows;
+  rule width

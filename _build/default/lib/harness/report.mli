@@ -1,0 +1,15 @@
+(** Fixed-width text tables for the regenerated figures. *)
+
+val print_series :
+  title:string ->
+  ylabel:string ->
+  columns:string list ->
+  rows:(int * float list) list ->
+  unit
+(** One figure panel: [rows] are (thread count, one value per column);
+    columns are scheme names. Also prints each column normalised to the
+    first column (the NoRecl baseline) when that value is positive. *)
+
+val print_counts :
+  title:string -> columns:string list -> rows:(int * int list) list -> unit
+(** Integer-valued series (robustness: unreclaimed nodes vs. ops). *)

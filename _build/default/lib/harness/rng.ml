@@ -1,0 +1,14 @@
+type t = { mutable s : int }
+
+let create ~seed = { s = (seed * 0x1E3779B97F4A7C15) lor 1 }
+
+let next t =
+  t.s <- t.s + 0x1E3779B97F4A7C15;
+  let z = t.s in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let below t n =
+  if n <= 0 then invalid_arg "Rng.below: n <= 0";
+  next t mod n

@@ -1,0 +1,14 @@
+(** Deterministic per-thread pseudo-random numbers (splitmix64-style on
+    OCaml's 63-bit ints). Each worker thread owns one state, so the
+    benchmark loop shares nothing and runs are reproducible from the
+    seed. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+(** Next raw value in [0, 2^62). *)
+
+val below : t -> int -> int
+(** [below t n] is uniform-ish in [0, n). @raise Invalid_argument if
+    [n <= 0]. *)

@@ -1,0 +1,89 @@
+type point = { threads : int; mops : float; stddev : float; repeats : int }
+
+let prefill (inst : Registry.instance) ~range =
+  for k = 0 to range - 1 do
+    if Workload.prefill_member k then ignore (inst.Registry.insert ~tid:0 k)
+  done
+
+let worker (inst : Registry.instance) ~tid ~range profile start stop count =
+  let rng = Rng.create ~seed:((tid * 7919) + 13) in
+  (* Spin until the coordinator releases everyone at once. *)
+  while not (Atomic.get start) do
+    Domain.cpu_relax ()
+  done;
+  let ops = ref 0 in
+  (try
+     while not (Atomic.get stop) do
+       let k = Rng.below rng range in
+       (match Workload.pick profile rng with
+       | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
+       | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
+       | Workload.Search -> ignore (inst.Registry.contains ~tid k));
+       incr ops
+     done
+   with Memsim.Arena.Exhausted ->
+     (* Only NoRecl can get here (it never reuses); its sized headroom ran
+        out, so this worker stops early and the reported throughput is a
+        slight underestimate for NoRecl. *)
+     ());
+  count := !ops
+
+let one_run ~make ~profile ~threads ~range ~duration =
+  let inst = make () in
+  prefill inst ~range;
+  let start = Atomic.make false and stop = Atomic.make false in
+  let counts = Array.init threads (fun _ -> ref 0) in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            worker inst ~tid ~range profile start stop counts.(tid)))
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set start true;
+  Unix.sleepf duration;
+  Atomic.set stop true;
+  let t1 = Unix.gettimeofday () in
+  List.iter Domain.join domains;
+  let total = Array.fold_left (fun acc c -> acc + !c) 0 counts in
+  float_of_int total /. (t1 -. t0) /. 1e6
+
+let measure ~make ~profile ~threads ~range ~duration ~repeats =
+  let samples =
+    List.init repeats (fun _ -> one_run ~make ~profile ~threads ~range ~duration)
+  in
+  let n = float_of_int repeats in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var =
+    List.fold_left (fun acc s -> acc +. ((s -. mean) ** 2.0)) 0.0 samples /. n
+  in
+  { threads; mops = mean; stddev = sqrt var; repeats }
+
+let run_stalled ~make ~profile ~threads ~range ~checkpoints
+    ~ops_per_checkpoint =
+  let inst = make () in
+  prefill inst ~range;
+  (* The last thread id pins itself and never proceeds. *)
+  inst.Registry.pin ~tid:(threads - 1);
+  let workers = max 1 (threads - 1) in
+  let samples = ref [] in
+  let total = ref 0 in
+  for _cp = 1 to checkpoints do
+    let domains =
+      List.init workers (fun tid ->
+          Domain.spawn (fun () ->
+              let rng = Rng.create ~seed:((tid * 31) + !total + 1) in
+              for _ = 1 to ops_per_checkpoint / workers do
+                let k = Rng.below rng range in
+                match Workload.pick profile rng with
+                | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
+                | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
+                | Workload.Search -> ignore (inst.Registry.contains ~tid k)
+              done))
+    in
+    List.iter Domain.join domains;
+    total := !total + ops_per_checkpoint;
+    samples :=
+      (!total, inst.Registry.unreclaimed (), inst.Registry.allocated ())
+      :: !samples
+  done;
+  List.rev !samples

@@ -1,0 +1,41 @@
+(** The §5.1 fixed-time micro-benchmark runner.
+
+    One measurement point: build an instance, prefill it to half the key
+    range, release [threads] worker domains that sample operations from a
+    workload profile for [duration] seconds, and report million operations
+    per second. Each point is repeated and averaged. *)
+
+type point = {
+  threads : int;
+  mops : float;  (** mean throughput, million ops/second *)
+  stddev : float;
+  repeats : int;
+}
+
+val prefill : Registry.instance -> range:int -> unit
+(** Insert the deterministic half-range initial set from thread 0. *)
+
+val measure :
+  make:(unit -> Registry.instance) ->
+  profile:Workload.profile ->
+  threads:int ->
+  range:int ->
+  duration:float ->
+  repeats:int ->
+  point
+(** One averaged measurement point. A fresh instance (and prefill) per
+    repeat. *)
+
+val run_stalled :
+  make:(unit -> Registry.instance) ->
+  profile:Workload.profile ->
+  threads:int ->
+  range:int ->
+  checkpoints:int ->
+  ops_per_checkpoint:int ->
+  (int * int * int) list
+(** The robustness experiment: thread [threads-1] pins itself mid-operation
+    and stalls forever while the others execute [ops_per_checkpoint]
+    operations between successive samples. Returns
+    [(total_ops, unreclaimed, allocated)] per checkpoint — under EBR the
+    unreclaimed count grows with traffic; under VBR/HP it stays bounded. *)

@@ -1,0 +1,34 @@
+type op = Insert | Delete | Search
+
+type profile = {
+  pname : string;
+  inserts : int;
+  deletes : int;
+  searches : int;
+}
+
+let search_intensive =
+  { pname = "read-heavy"; inserts = 10; deletes = 10; searches = 80 }
+
+let balanced = { pname = "balanced"; inserts = 25; deletes = 25; searches = 50 }
+
+let update_intensive =
+  { pname = "update-heavy"; inserts = 50; deletes = 50; searches = 0 }
+
+let all = [ search_intensive; balanced; update_intensive ]
+
+let of_name s =
+  List.find_opt (fun p -> p.pname = s) all
+
+let pick p rng =
+  let r = Rng.below rng 100 in
+  if r < p.inserts then Insert
+  else if r < p.inserts + p.deletes then Delete
+  else Search
+
+(* A cheap avalanche so roughly every second key, spread uniformly, is in
+   the initial set regardless of the range. *)
+let prefill_member k =
+  let z = (k + 0x12345) * 0x1E3779B97F4A7C15 in
+  let z = (z lxor (z lsr 29)) * 0x3F58476D1CE4E5B9 in
+  (z lsr 13) land 1 = 0

@@ -1,0 +1,29 @@
+(** The three §5.1 workload profiles and operation sampling. *)
+
+type op = Insert | Delete | Search
+
+type profile = {
+  pname : string;
+  inserts : int;  (** percent *)
+  deletes : int;  (** percent *)
+  searches : int;  (** percent *)
+}
+
+val search_intensive : profile
+(** 10 % inserts, 10 % deletes, 80 % searches. *)
+
+val balanced : profile
+(** 25 % inserts, 25 % deletes, 50 % searches. *)
+
+val update_intensive : profile
+(** 50 % inserts, 50 % deletes. *)
+
+val all : profile list
+val of_name : string -> profile option
+val pick : profile -> Rng.t -> op
+(** Sample one operation according to the profile's percentages. *)
+
+val prefill_member : int -> bool
+(** Deterministic half-the-range prefill predicate: whether key [k]
+    belongs to the initial set (§5.1: "filling the data-structure to half
+    of its range size"). *)

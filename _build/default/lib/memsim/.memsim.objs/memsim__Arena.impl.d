@@ -1,0 +1,1 @@
+lib/memsim/arena.ml: Array Atomic Lazy Node Packed Printf

@@ -1,0 +1,1 @@
+lib/memsim/global_pool.mli:

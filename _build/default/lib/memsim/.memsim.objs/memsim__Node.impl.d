@@ -1,0 +1,1 @@
+lib/memsim/node.ml: Array Atomic Format Packed

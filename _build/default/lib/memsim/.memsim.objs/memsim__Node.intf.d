@@ -1,0 +1,1 @@
+lib/memsim/node.mli: Atomic Format

@@ -1,0 +1,1 @@
+lib/memsim/packed.mli: Format

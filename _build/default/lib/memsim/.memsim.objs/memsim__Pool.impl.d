@@ -1,0 +1,1 @@
+lib/memsim/pool.ml: Arena Array Global_pool List Node

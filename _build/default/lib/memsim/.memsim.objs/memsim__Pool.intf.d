@@ -1,0 +1,1 @@
+lib/memsim/pool.mli: Arena Global_pool

@@ -1,0 +1,56 @@
+type t = {
+  capacity : int;
+  chunk_bits : int;
+  chunks : Node.t array Atomic.t array;
+  next_fresh : int Atomic.t;
+}
+
+exception Exhausted
+
+let chunk_bits = 14 (* 16K nodes per chunk *)
+let no_chunk : Node.t array = [||]
+
+let create ~capacity =
+  if capacity < 1 || capacity > Packed.max_index then
+    invalid_arg (Printf.sprintf "Arena.create: capacity %d out of range" capacity);
+  let slots = capacity + 1 (* slot 0 is NULL *) in
+  let n_chunks = (slots + (1 lsl chunk_bits) - 1) lsr chunk_bits in
+  {
+    capacity;
+    chunk_bits;
+    chunks = Array.init n_chunks (fun _ -> Atomic.make no_chunk);
+    next_fresh = Atomic.make 1;
+  }
+
+let capacity t = t.capacity
+
+(* The dummy padding node shared by all chunk cells until their slot is
+   claimed. It is never reachable through any data-structure pointer. *)
+let dummy = lazy (Node.make ~level:1)
+
+let ensure_chunk t ci =
+  let cell = t.chunks.(ci) in
+  let cur = Atomic.get cell in
+  if cur != no_chunk then cur
+  else begin
+    let fresh_chunk = Array.make (1 lsl t.chunk_bits) (Lazy.force dummy) in
+    if Atomic.compare_and_set cell no_chunk fresh_chunk then fresh_chunk
+    else Atomic.get cell
+  end
+
+let fresh t ~level =
+  let i = Atomic.fetch_and_add t.next_fresh 1 in
+  if i > t.capacity then raise Exhausted;
+  let chunk = ensure_chunk t (i lsr t.chunk_bits) in
+  let node = Node.make ~level in
+  chunk.(i land ((1 lsl t.chunk_bits) - 1)) <- node;
+  i
+
+(* The bump counter advances even on attempts that raise [Exhausted], so
+   clamp to the capacity. *)
+let allocated t = min (Atomic.get t.next_fresh - 1) t.capacity
+
+let get t i =
+  if i < 1 || i > t.capacity then
+    invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
+  (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))

@@ -1,0 +1,45 @@
+(** The simulated heap: a bounded, slot-indexed, type-preserving arena.
+
+    This stands in for the paper's pre-allocated object pools (§5.1): a
+    "pointer" is a slot index in [1 .. capacity]; slot 0 is reserved as
+    NULL. Fresh slots are handed out by a lock-free bump counter; recycled
+    slots circulate through {!Pool} without the arena's involvement — the
+    arena itself never frees anything, matching the paper ("retired nodes
+    are not returned to the operating system").
+
+    Chunked storage keeps creation O(1): the node records of a chunk are
+    materialised the first time any slot in the chunk is claimed. Node
+    records are published before their index can leak to another domain
+    (the claiming domain stores the record, then shares the index only via
+    an [Atomic] operation, which orders the two). *)
+
+type t
+
+exception Exhausted
+(** Raised by {!fresh} when the arena capacity (or the 24-bit index space)
+    is used up. Benchmarks size arenas so that only a buggy configuration
+    can hit this. *)
+
+val create : capacity:int -> t
+(** [create ~capacity] makes an arena with [capacity] usable slots.
+    @raise Invalid_argument if [capacity < 1] or
+    [capacity > Packed.max_index]. *)
+
+val capacity : t -> int
+(** Number of usable slots. *)
+
+val fresh : t -> level:int -> int
+(** Claim a never-used slot and create its node with the given tower
+    height. Lock-free (one [Atomic.fetch_and_add]).
+    @raise Exhausted when no fresh slot remains.
+    @raise Invalid_argument if [level < 1]. *)
+
+val allocated : t -> int
+(** Number of fresh slots claimed so far (never decreases; recycling does
+    not return slots to the arena). *)
+
+val get : t -> int -> Node.t
+(** [get t i] is the node in slot [i]. The caller must only pass indices
+    previously returned by {!fresh} (possibly obtained staleley through a
+    data-structure pointer — that is the point of the simulation).
+    @raise Invalid_argument on slot 0 or an out-of-range index. *)

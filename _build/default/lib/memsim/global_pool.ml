@@ -1,0 +1,44 @@
+type stack = Nil | Cons of int list * stack
+
+type t = { stacks : stack Atomic.t array; count : int Atomic.t }
+
+let create ~max_level =
+  if max_level < 1 then invalid_arg "Global_pool.create: max_level < 1";
+  {
+    stacks = Array.init max_level (fun _ -> Atomic.make Nil);
+    count = Atomic.make 0;
+  }
+
+let stack_for t level =
+  if level < 1 || level > Array.length t.stacks then
+    invalid_arg (Printf.sprintf "Global_pool: level %d out of range" level);
+  t.stacks.(level - 1)
+
+let push_batch t ~level batch =
+  match batch with
+  | [] -> ()
+  | _ ->
+      let cell = stack_for t level in
+      let rec loop () =
+        let cur = Atomic.get cell in
+        if not (Atomic.compare_and_set cell cur (Cons (batch, cur))) then
+          loop ()
+      in
+      loop ();
+      Atomic.incr t.count
+
+let pop_batch t ~level =
+  let cell = stack_for t level in
+  let rec loop () =
+    match Atomic.get cell with
+    | Nil -> None
+    | Cons (batch, rest) as cur ->
+        if Atomic.compare_and_set cell cur rest then begin
+          Atomic.decr t.count;
+          Some batch
+        end
+        else loop ()
+  in
+  loop ()
+
+let approx_batches t = Atomic.get t.count

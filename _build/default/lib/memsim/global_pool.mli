@@ -1,0 +1,28 @@
+(** The shared pool of recycled slots (§4.1: "a shared pool of nodes, from
+    which they can be re-allocated by any thread").
+
+    A lock-free Treiber stack of slot-index batches, one stack per node
+    size class (tower level), so re-allocation is always type-preserving.
+
+    IMPORTANT: the pool's bookkeeping lives entirely in ordinary (GC'd)
+    OCaml cells, never inside the simulated node fields. VBR readers may
+    legitimately traverse a retired node's [next] words until the epoch
+    moves on, so pooled nodes must keep their contents intact. Using GC'd
+    cons cells also makes the stack's CAS immune to internal ABA (a cell
+    cannot be recycled while a racing thread still references it). *)
+
+type t
+
+val create : max_level:int -> t
+(** A pool accepting slots of tower levels [1 .. max_level]. *)
+
+val push_batch : t -> level:int -> int list -> unit
+(** Donate a non-empty batch of recycled slots, all of tower [level].
+    No-op on the empty list. Lock-free. *)
+
+val pop_batch : t -> level:int -> int list option
+(** Take one whole batch of slots of tower [level], if any. Lock-free. *)
+
+val approx_batches : t -> int
+(** Approximate number of batches currently held (all levels); racy, for
+    stats only. *)

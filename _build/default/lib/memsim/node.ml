@@ -1,0 +1,26 @@
+type t = {
+  mutable key : int;
+  level : int;
+  birth : int Atomic.t;
+  retire : int Atomic.t;
+  next : int Atomic.t array;
+}
+
+let no_epoch = -1
+
+let make ~level =
+  if level < 1 then invalid_arg "Node.make: level must be >= 1";
+  {
+    key = 0;
+    level;
+    birth = Atomic.make 0;
+    retire = Atomic.make no_epoch;
+    next = Array.init level (fun _ -> Atomic.make Packed.null);
+  }
+
+let next0 n = Array.unsafe_get n.next 0
+
+let pp ppf n =
+  Format.fprintf ppf "{key=%d; level=%d; birth=%d; retire=%d; next0=%a}" n.key
+    n.level (Atomic.get n.birth) (Atomic.get n.retire) Packed.pp
+    (Atomic.get (next0 n))

@@ -1,0 +1,39 @@
+(** The simulated data-structure node.
+
+    One node per arena slot. Slots are type-preserving (§2 of the paper): a
+    slot is created once with a fixed tower height ([level]) and is reused
+    for its whole life with that same shape, so a stale reader always finds
+    a structurally valid node — possibly with recycled contents, which is
+    exactly the hazard the reclamation schemes must handle.
+
+    Field roles:
+    - [key]: the immutable-per-lifecycle key. Written only between
+      allocation and publication; stale readers may observe a recycled
+      value, which VBR detects via the epoch check.
+    - [birth], [retire]: the birth/retire epochs (or eras, for HE/IBR).
+      [retire = no_epoch] means "not retired" (the paper's ⊥).
+    - [next]: one packed word ({!Packed}) per tower level. Lists use level
+      1; skiplist towers have geometric height. *)
+
+type t = {
+  mutable key : int;
+  level : int;  (** tower height, fixed at slot creation *)
+  birth : int Atomic.t;
+  retire : int Atomic.t;
+  next : int Atomic.t array;  (** length [level]; packed words *)
+}
+
+val no_epoch : int
+(** The ⊥ retire epoch (-1). Global epochs start at 1, so every real epoch
+    compares greater than [no_epoch]. *)
+
+val make : level:int -> t
+(** A fresh node: [key = 0], [birth = 0], [retire = no_epoch], every next
+    word [Packed.null].
+    @raise Invalid_argument if [level < 1]. *)
+
+val next0 : t -> int Atomic.t
+(** The level-0 next word — the only one for list nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer. *)

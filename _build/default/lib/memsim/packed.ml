@@ -1,0 +1,36 @@
+type t = int
+
+let index_bits = 24
+let version_bits = 38
+let index_shift = 1
+let version_shift = index_bits + 1
+let max_index = (1 lsl index_bits) - 1
+let max_version = (1 lsl version_bits) - 1
+let index_mask = max_index
+let version_mask = max_version
+
+let pack ~marked ~index ~version =
+  if index < 0 || index > max_index then
+    invalid_arg (Printf.sprintf "Packed.pack: index %d out of range" index);
+  if version < 0 || version > max_version then
+    invalid_arg (Printf.sprintf "Packed.pack: version %d out of range" version);
+  (version lsl version_shift)
+  lor (index lsl index_shift)
+  lor (if marked then 1 else 0)
+
+let index w = (w lsr index_shift) land index_mask
+let version w = (w lsr version_shift) land version_mask
+let is_marked w = w land 1 = 1
+let set_mark w = w lor 1
+let clear_mark w = w land lnot 1
+let null = 0
+let is_null w = index w = 0
+
+let with_version w v =
+  if v < 0 || v > max_version then
+    invalid_arg (Printf.sprintf "Packed.with_version: version %d out of range" v);
+  w land lnot (version_mask lsl version_shift) lor (v lsl version_shift)
+
+let pp ppf w =
+  Format.fprintf ppf "<idx=%d, ver=%d%s>" (index w) (version w)
+    (if is_marked w then ", marked" else "")

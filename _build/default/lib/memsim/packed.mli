@@ -1,0 +1,68 @@
+(** Packed shared-memory words: the WCAS substitute.
+
+    The paper stores a mutable pointer field and its version in two adjacent
+    machine words and updates them together with a double-word CAS (WCAS).
+    OCaml has no WCAS, but its native [int] is 63 bits wide, so we pack both
+    halves into a single word and use the ordinary single-word
+    [Atomic.compare_and_set], which is semantically identical (both halves
+    change together or not at all) and equally lock-free.
+
+    Layout (least significant bit first):
+
+    {v
+      bit  0        : deletion mark (Harris-style marked pointer)
+      bits 1  .. 24 : slot index into the arena (the "pointer"); 0 = NULL
+      bits 25 .. 62 : version (an epoch value; 38 bits)
+    v}
+
+    All functions are pure and total. Values with out-of-range components
+    are rejected by [pack] with [Invalid_argument]. *)
+
+type t = int
+(** A packed word. May be negative when the top version bit is set; only
+    bit-level operations and equality are ever applied to it. *)
+
+val index_bits : int
+(** Number of bits reserved for the slot index (24). *)
+
+val version_bits : int
+(** Number of bits reserved for the version (38). *)
+
+val max_index : int
+(** Largest representable slot index, [2^24 - 1]. *)
+
+val max_version : int
+(** Largest representable version, [2^38 - 1]. *)
+
+val pack : marked:bool -> index:int -> version:int -> t
+(** [pack ~marked ~index ~version] assembles a word.
+    @raise Invalid_argument if [index] or [version] is out of range. *)
+
+val index : t -> int
+(** Slot-index component. *)
+
+val version : t -> int
+(** Version component. *)
+
+val is_marked : t -> bool
+(** Whether the deletion mark bit is set. *)
+
+val set_mark : t -> t
+(** Same word with the mark bit set. *)
+
+val clear_mark : t -> t
+(** Same word with the mark bit cleared. *)
+
+val null : t
+(** The NULL pointer: index 0, version 0, unmarked. Equal to [0]. *)
+
+val is_null : t -> bool
+(** Whether the index component is the reserved NULL slot (0). The mark and
+    version components are ignored. *)
+
+val with_version : t -> int -> t
+(** [with_version w v] replaces the version component of [w] by [v].
+    @raise Invalid_argument if [v] is out of range. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: [<idx=…, ver=…, marked>]. *)

@@ -1,0 +1,63 @@
+type t = {
+  arena : Arena.t;
+  global : Global_pool.t;
+  spill : int;
+  free : int list array;  (* per level-1 *)
+  free_len : int array;
+  mutable recycled : int;
+}
+
+let max_supported_level = 32
+
+let create arena global ~spill =
+  if spill < 2 then invalid_arg "Pool.create: spill must be >= 2";
+  {
+    arena;
+    global;
+    spill;
+    free = Array.make max_supported_level [];
+    free_len = Array.make max_supported_level 0;
+    recycled = 0;
+  }
+
+let rec split_at n acc = function
+  | rest when n = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | x :: rest -> split_at (n - 1) (x :: acc) rest
+
+let maybe_spill t lvl =
+  if t.free_len.(lvl) > t.spill then begin
+    let keep = t.free_len.(lvl) / 2 in
+    let kept, donated = split_at keep [] t.free.(lvl) in
+    t.free.(lvl) <- kept;
+    t.free_len.(lvl) <- keep;
+    Global_pool.push_batch t.global ~level:(lvl + 1) donated
+  end
+
+let put t i =
+  let lvl = (Arena.get t.arena i).Node.level - 1 in
+  t.free.(lvl) <- i :: t.free.(lvl);
+  t.free_len.(lvl) <- t.free_len.(lvl) + 1;
+  maybe_spill t lvl
+
+let put_batch t batch = List.iter (put t) batch
+
+let take t ~level =
+  let lvl = level - 1 in
+  match t.free.(lvl) with
+  | i :: rest ->
+      t.free.(lvl) <- rest;
+      t.free_len.(lvl) <- t.free_len.(lvl) - 1;
+      t.recycled <- t.recycled + 1;
+      i
+  | [] -> (
+      match Global_pool.pop_batch t.global ~level with
+      | Some (i :: rest) ->
+          t.free.(lvl) <- rest;
+          t.free_len.(lvl) <- List.length rest;
+          t.recycled <- t.recycled + 1;
+          i
+      | Some [] | None -> Arena.fresh t.arena ~level)
+
+let local_free t = Array.fold_left ( + ) 0 t.free_len
+let recycled t = t.recycled

@@ -1,0 +1,36 @@
+(** Per-thread allocation pool (§4.1).
+
+    Each thread owns one [Pool.t]: a set of per-level free lists of slots
+    ready for re-allocation. A thread allocates from its own pool first,
+    falls back to the {!Global_pool}, and only then claims a fresh arena
+    slot. When a level's local free list grows past [spill], half of it is
+    donated to the global pool so recycled slots redistribute across
+    threads.
+
+    Not thread-safe: every function must be called by the owning thread
+    only (that is the point — the fast path is synchronisation-free). *)
+
+type t
+
+val create : Arena.t -> Global_pool.t -> spill:int -> t
+(** [create arena global ~spill] makes an empty pool. [spill] is the local
+    free-list length that triggers donating half a list to [global].
+    @raise Invalid_argument if [spill < 2]. *)
+
+val put : t -> int -> unit
+(** Return one reusable slot (classified by its node's tower level). *)
+
+val put_batch : t -> int list -> unit
+(** Return a batch of reusable slots (of possibly mixed levels). *)
+
+val take : t -> level:int -> int
+(** Obtain a slot whose node has tower height exactly [level]: local pool,
+    then global pool, then a fresh arena slot.
+    @raise Arena.Exhausted if all three sources are empty. *)
+
+val local_free : t -> int
+(** Total slots currently in this pool's local free lists (stats). *)
+
+val recycled : t -> int
+(** How many [take]s were served from a pool (local or global) rather than
+    by a fresh arena slot (stats). *)

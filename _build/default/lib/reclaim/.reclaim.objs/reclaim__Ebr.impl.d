@@ -1,0 +1,1 @@
+lib/reclaim/ebr.ml: Arena Array Atomic List Memsim Node Packed Pool

@@ -1,0 +1,1 @@
+lib/reclaim/he.ml: Arena Array Atomic List Memsim Node Packed Pool

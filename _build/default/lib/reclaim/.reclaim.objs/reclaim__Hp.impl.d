@@ -1,0 +1,1 @@
+lib/reclaim/hp.ml: Arena Array Atomic Int List Memsim Node Packed Pool Set

@@ -1,0 +1,1 @@
+lib/reclaim/hp.mli: Smr_intf

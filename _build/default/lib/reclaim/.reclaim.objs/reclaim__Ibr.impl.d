@@ -1,0 +1,1 @@
+lib/reclaim/ibr.ml: Arena Array Atomic List Memsim Node Packed Pool

@@ -1,0 +1,1 @@
+lib/reclaim/no_recl.ml: Arena Atomic Memsim Node

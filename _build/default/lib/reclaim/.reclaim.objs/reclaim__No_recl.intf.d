@@ -1,0 +1,1 @@
+lib/reclaim/no_recl.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/reclaim/smr_intf.ml: Memsim

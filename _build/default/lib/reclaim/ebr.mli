@@ -1,0 +1,14 @@
+(** Epoch-based reclamation (§5: "EBR"; Fraser-style).
+
+    Threads announce the global epoch on operation entry and go quiescent
+    on exit. A node retired at epoch [r] is recycled once every active
+    thread has announced an epoch strictly greater than [r] (it was
+    unlinked before retirement, so no later-starting operation can reach
+    it). The global epoch advances — at most every [epoch_freq]
+    allocations — when every active thread has caught up with it.
+
+    Fast (no per-read work beyond the announcement) but not robust: one
+    stalled thread freezes its announced epoch and blocks all recycling,
+    which the robustness bench demonstrates. *)
+
+include Smr_intf.S

@@ -1,0 +1,140 @@
+open Memsim
+
+(* An unpublished era slot. *)
+let none = 0
+
+type thread_state = {
+  eras : int Atomic.t array;
+  pool : Pool.t;
+  mutable retired : int list;
+  mutable retired_len : int;
+  (* Adaptive scan trigger: scan when the retired list doubles past what
+     survived the previous scan, so scan work stays amortized O(1) per
+     retirement even while a descheduled thread pins the horizon (an
+     oversubscription regime the paper's testbed never enters). *)
+  mutable scan_trigger : int;
+  mutable alloc_ticks : int;
+  mutable freed : int;
+}
+
+type t = {
+  arena : Arena.t;
+  era : int Atomic.t;
+  threads : thread_state array;
+  retire_threshold : int;
+  epoch_freq : int;
+}
+
+let name = "HE"
+
+let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq =
+  if hazards < 1 then invalid_arg "He.create: hazards < 1";
+  {
+    arena;
+    era = Atomic.make 1;
+    threads =
+      Array.init n_threads (fun _ ->
+          {
+            eras = Array.init hazards (fun _ -> Atomic.make none);
+            pool = Pool.create arena global ~spill:4096;
+            retired = [];
+            retired_len = 0;
+            scan_trigger = max 1 retire_threshold;
+            alloc_ticks = 0;
+            freed = 0;
+          });
+    retire_threshold = max 1 retire_threshold;
+    epoch_freq = max 1 epoch_freq;
+  }
+
+let begin_op _ ~tid:_ = ()
+
+let end_op t ~tid =
+  Array.iter (fun h -> Atomic.set h none) t.threads.(tid).eras
+
+(* Publish the era that was current when the pointer was read; stable once
+   two consecutive reads happen under the same global era. *)
+let protect t ~tid ~slot read =
+  let h = t.threads.(tid).eras.(slot) in
+  let rec loop prev_era =
+    let w = read () in
+    let e = Atomic.get t.era in
+    if e = prev_era then w
+    else begin
+      Atomic.set h e;
+      loop e
+    end
+  in
+  let e0 = Atomic.get t.era in
+  Atomic.set h e0;
+  loop e0
+
+let reset_node t i ~key =
+  let n = Arena.get t.arena i in
+  n.Node.key <- key;
+  Atomic.set n.Node.birth (Atomic.get t.era);
+  Atomic.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+
+let alloc t ~tid ~level ~key =
+  let ts = t.threads.(tid) in
+  ts.alloc_ticks <- ts.alloc_ticks + 1;
+  if ts.alloc_ticks mod t.epoch_freq = 0 then Atomic.incr t.era;
+  let i = Pool.take ts.pool ~level in
+  reset_node t i ~key;
+  i
+
+(* Publishing the current era pins any node alive right now: its birth
+   era is at most the published era and its retire era will be at least
+   it. *)
+let protect_own t ~tid ~slot _i =
+  Atomic.set t.threads.(tid).eras.(slot) (Atomic.get t.era)
+
+let transfer t ~tid ~src ~dst =
+  let ts = t.threads.(tid) in
+  Atomic.set ts.eras.(dst) (Atomic.get ts.eras.(src))
+
+let dealloc t ~tid i = Pool.put t.threads.(tid).pool i
+
+(* A node is pinned iff some published era lies in its lifetime. *)
+let pinned t ~birth ~retire =
+  Array.exists
+    (fun ts ->
+      Array.exists
+        (fun h ->
+          let g = Atomic.get h in
+          g <> none && birth <= g && g <= retire)
+        ts.eras)
+    t.threads
+
+let scan t ts =
+  let keep, free =
+    List.partition
+      (fun i ->
+        let n = Arena.get t.arena i in
+        pinned t ~birth:(Atomic.get n.Node.birth)
+          ~retire:(Atomic.get n.Node.retire))
+      ts.retired
+  in
+  ts.retired <- keep;
+  ts.retired_len <- List.length keep;
+  List.iter
+    (fun i ->
+      ts.freed <- ts.freed + 1;
+      Pool.put ts.pool i)
+    free
+
+let retire t ~tid i =
+  let ts = t.threads.(tid) in
+  Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.era);
+  ts.retired <- i :: ts.retired;
+  ts.retired_len <- ts.retired_len + 1;
+  if ts.retired_len >= ts.scan_trigger then begin
+    scan t ts;
+    ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
+  end
+
+let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+
+let unreclaimed t =
+  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads

@@ -1,0 +1,10 @@
+(** Hazard eras (§5: "HE"; Ramalhete & Correia).
+
+    Combines hazard pointers' robustness with epoch timestamps: each node
+    carries its birth and retire *eras*; instead of publishing a node
+    index, a reader publishes the current era. A retired node is recycled
+    when no published era falls inside its [birth, retire] lifetime.
+    Publication is still required per read, so HE pays HP-like per-read
+    cost with EBR-like batching of reclamation decisions. *)
+
+include Smr_intf.S

@@ -1,0 +1,114 @@
+open Memsim
+
+type thread_state = {
+  hazards : int Atomic.t array;  (* 0 = empty slot *)
+  pool : Pool.t;
+  mutable retired : int list;
+  mutable retired_len : int;
+  mutable freed : int;
+}
+
+type t = {
+  arena : Arena.t;
+  threads : thread_state array;
+  retire_threshold : int;
+}
+
+let name = "HP"
+
+let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq:_
+    =
+  if hazards < 1 then invalid_arg "Hp.create: hazards < 1";
+  {
+    arena;
+    threads =
+      Array.init n_threads (fun _ ->
+          {
+            hazards = Array.init hazards (fun _ -> Atomic.make 0);
+            pool = Pool.create arena global ~spill:4096;
+            retired = [];
+            retired_len = 0;
+            freed = 0;
+          });
+    retire_threshold = max 1 retire_threshold;
+  }
+
+let begin_op _ ~tid:_ = ()
+
+let end_op t ~tid =
+  Array.iter (fun h -> Atomic.set h 0) t.threads.(tid).hazards
+
+(* Publish-and-validate loop: once the source field is re-read with the
+   same index after the hazard became visible, the node cannot have been
+   recycled in between (retire happens only after the final unlink, which
+   would have changed the field). *)
+let protect t ~tid ~slot read =
+  let h = t.threads.(tid).hazards.(slot) in
+  let rec loop w =
+    let i = Packed.index w in
+    if i = 0 then begin
+      Atomic.set h 0;
+      w
+    end
+    else begin
+      Atomic.set h i;
+      let w' = read () in
+      if Packed.index w' = i then w' else loop w'
+    end
+  in
+  loop (read ())
+
+let reset_node arena i ~key =
+  let n = Arena.get arena i in
+  n.Node.key <- key;
+  Atomic.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+
+let alloc t ~tid ~level ~key =
+  let i = Pool.take t.threads.(tid).pool ~level in
+  reset_node t.arena i ~key;
+  i
+
+let protect_own t ~tid ~slot i =
+  Atomic.set t.threads.(tid).hazards.(slot) i
+
+let transfer t ~tid ~src ~dst =
+  let ts = t.threads.(tid) in
+  Atomic.set ts.hazards.(dst) (Atomic.get ts.hazards.(src))
+
+let dealloc t ~tid i = Pool.put t.threads.(tid).pool i
+
+(* Recycle retired nodes held by no hazard slot of any thread. *)
+let scan t ts =
+  let module Iset = Set.Make (Int) in
+  let hazard_set =
+    Array.fold_left
+      (fun acc other ->
+        Array.fold_left
+          (fun acc h ->
+            let v = Atomic.get h in
+            if v = 0 then acc else Iset.add v acc)
+          acc other.hazards)
+      Iset.empty t.threads
+  in
+  let keep, free =
+    List.partition (fun i -> Iset.mem i hazard_set) ts.retired
+  in
+  ts.retired <- keep;
+  ts.retired_len <- List.length keep;
+  List.iter
+    (fun i ->
+      ts.freed <- ts.freed + 1;
+      Pool.put ts.pool i)
+    free
+
+let retire t ~tid i =
+  let ts = t.threads.(tid) in
+  ts.retired <- i :: ts.retired;
+  ts.retired_len <- ts.retired_len + 1;
+  if ts.retired_len >= t.retire_threshold then scan t ts
+
+let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+
+let unreclaimed t =
+  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads

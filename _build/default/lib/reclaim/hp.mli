@@ -1,0 +1,12 @@
+(** Hazard pointers (§5: "HP"; Michael's scheme).
+
+    Before dereferencing a node, a thread publishes its index in one of its
+    hazard slots and validates the publication by re-reading the source
+    field; a retired node is recycled only when no hazard slot holds it.
+
+    Robust (a stalled thread pins at most [hazards] nodes) but pays a
+    publication plus a validation re-read on every pointer load — the
+    slowest scheme in the paper's evaluation, and the shape our benches
+    reproduce. *)
+
+include Smr_intf.S

@@ -1,0 +1,11 @@
+(** Interval-based reclamation, 2GE variant (§5: "IBR"; Wen et al.).
+
+    Each thread keeps one reservation interval [lower, upper]: [lower] is
+    the epoch at operation start, [upper] is bumped to the current epoch
+    whenever a read observes an epoch change. A node whose lifetime
+    interval [birth, retire] is disjoint from every reservation is safe to
+    recycle. One interval per thread (instead of one era per hazard slot)
+    makes reads cheaper than HE/HP, at the cost of coarser pinning: a
+    stalled thread pins everything born before its [upper]. *)
+
+include Smr_intf.S

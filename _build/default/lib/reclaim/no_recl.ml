@@ -1,0 +1,29 @@
+open Memsim
+
+type t = { arena : Arena.t; retired : int Atomic.t }
+
+let name = "NoRecl"
+
+let create ~arena ~global:_ ~n_threads:_ ~hazards:_ ~retire_threshold:_
+    ~epoch_freq:_ =
+  { arena; retired = Atomic.make 0 }
+
+let begin_op _ ~tid:_ = ()
+let end_op _ ~tid:_ = ()
+let protect _ ~tid:_ ~slot:_ read = read ()
+
+let alloc t ~tid:_ ~level ~key =
+  let i = Arena.fresh t.arena ~level in
+  let n = Arena.get t.arena i in
+  n.Node.key <- key;
+  i
+
+let protect_own _ ~tid:_ ~slot:_ _i = ()
+
+let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
+
+let dealloc _ ~tid:_ _i = ()
+
+let retire t ~tid:_ _i = Atomic.incr t.retired
+let freed _ = 0
+let unreclaimed t = Atomic.get t.retired

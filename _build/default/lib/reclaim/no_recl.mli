@@ -1,0 +1,7 @@
+(** The no-reclamation baseline (§5: "NoRecl").
+
+    Retired nodes are counted but never recycled; every allocation claims a
+    fresh arena slot. This is the paper's upper-bound baseline: no
+    protection cost on reads, no reclamation cost, unbounded memory. *)
+
+include Smr_intf.S

@@ -1,0 +1,81 @@
+(** The common interface of the conservative safe-memory-reclamation
+    schemes the paper evaluates VBR against (§5): NoRecl, EBR, HP, HE and
+    IBR. Data structures are written once as functors over {!S} and get
+    all five backends for free.
+
+    The protocol expected from data-structure code, per operation:
+    + [begin_op] before touching shared memory;
+    + every load of a shared pointer field goes through {!S.protect},
+      giving the scheme a chance to publish a hazard/era and validate it;
+    + [retire] on nodes after their final unlink;
+    + [end_op] when the operation returns (clears hazards / reservations).
+
+    Slot indices, packed words and node fields are those of {!Memsim}. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short scheme name as used in the paper's plots (e.g. "EBR"). *)
+
+  val create :
+    arena:Memsim.Arena.t ->
+    global:Memsim.Global_pool.t ->
+    n_threads:int ->
+    hazards:int ->
+    retire_threshold:int ->
+    epoch_freq:int ->
+    t
+  (** [create ~arena ~global ~n_threads ~hazards ~retire_threshold
+      ~epoch_freq] builds an instance.
+      [hazards] is the number of protection slots each thread may use
+      (pointer-based schemes only; 3 for lists, [2*max_level + 2] for
+      skiplists). [retire_threshold] is the retired-list length that
+      triggers a reclamation scan. [epoch_freq] is the number of
+      allocations between global epoch/era advances (EBR/HE/IBR). *)
+
+  val begin_op : t -> tid:int -> unit
+  val end_op : t -> tid:int -> unit
+
+  val protect : t -> tid:int -> slot:int -> (unit -> Memsim.Packed.t) -> Memsim.Packed.t
+  (** [protect t ~tid ~slot read] returns a packed word obtained from
+      [read ()] whose index component is protected from reclamation until
+      the slot is reused or [end_op]. [read] must be an idempotent load of
+      the same shared field; it is re-invoked until validation succeeds.
+      Epoch-based schemes return [read ()] unchanged. *)
+
+  val protect_own : t -> tid:int -> slot:int -> int -> unit
+  (** Unconditionally publish protection for a node the caller knows is
+      not yet retired (typically its own node around the publishing CAS,
+      e.g. a skiplist inserter that keeps linking upper levels after the
+      bottom-level link made the node deletable by others). No validation
+      loop is needed because a not-yet-retired node cannot have been
+      missed by a reclamation scan. *)
+
+  val transfer : t -> tid:int -> src:int -> dst:int -> unit
+  (** Copy the protection held in slot [src] to slot [dst] (hand-over-hand
+      traversal advancing [curr] into [pred]). No-op for schemes without
+      per-slot protection. *)
+
+  val alloc : t -> tid:int -> level:int -> key:int -> int
+  (** A node ready for insertion: key set, next words NULL and unmarked,
+      birth era stamped where the scheme needs one.
+      @raise Memsim.Arena.Exhausted when the simulated heap is full. *)
+
+  val dealloc : t -> tid:int -> int -> unit
+  (** Return a node that was allocated but never published (its insertion
+      CAS failed), so it can be reused immediately — it was never shared,
+      so no grace period is needed. *)
+
+  val retire : t -> tid:int -> int -> unit
+  (** Announce that the node was unlinked for the last time. The scheme
+      decides when the slot really returns to the pools. *)
+
+  val freed : t -> int
+  (** Total slots returned to the pools so far (stats; racy). *)
+
+  val unreclaimed : t -> int
+  (** Retired slots not yet returned to the pools (stats; racy). This is
+      the robustness metric: a stalled thread makes it grow without bound
+      under EBR but not under HP. *)
+end

@@ -1,0 +1,1 @@
+test/lin.ml: Array Buffer Format Hashtbl

@@ -1,0 +1,1 @@
+test/test_arena.ml: Alcotest Arena Array Atomic Domain List Memsim Node Packed QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest Atomic Domain List Memsim Vbr_core

@@ -1,0 +1,1 @@
+test/test_harris.ml: Alcotest Atomic Domain Dstruct Fun Int List Memsim QCheck2 QCheck_alcotest Reclaim Set

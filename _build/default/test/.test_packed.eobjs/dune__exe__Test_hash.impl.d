@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Dstruct Fun Int List Memsim QCheck2 QCheck_alcotest Reclaim Set Vbr_core

@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Atomic Domain Harness Lin List Unix

@@ -1,0 +1,1 @@
+test/test_list.ml: Alcotest Atomic Domain Dstruct Int List Memsim Printf QCheck2 QCheck_alcotest Random Reclaim Set Vbr_core

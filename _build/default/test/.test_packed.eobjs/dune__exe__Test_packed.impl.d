@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest List Memsim Printf QCheck2 QCheck_alcotest

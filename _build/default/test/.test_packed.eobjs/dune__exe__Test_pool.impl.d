@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Arena Array Atomic Domain Global_pool List Memsim Pool Random

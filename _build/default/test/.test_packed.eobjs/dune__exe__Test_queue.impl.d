@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Array Atomic Domain Dstruct List Memsim Printf QCheck2 QCheck_alcotest Queue Vbr_core

@@ -1,0 +1,1 @@
+test/test_queue_smr.ml: Alcotest Atomic Domain Dstruct List Memsim Queue Random Reclaim Stack

@@ -1,0 +1,1 @@
+test/test_queue_smr.mli:

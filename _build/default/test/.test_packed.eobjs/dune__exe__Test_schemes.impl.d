@@ -1,0 +1,1 @@
+test/test_schemes.ml: Alcotest Arena Atomic Global_pool List Memsim Node Packed Reclaim

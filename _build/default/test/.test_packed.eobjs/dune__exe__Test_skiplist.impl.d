@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Arena Array Atomic Dstruct Int List Memsim Node Packed QCheck2 QCheck_alcotest Reclaim Set String Vbr_core

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Atomic Domain Dstruct List Memsim QCheck2 QCheck_alcotest Stack Vbr_core

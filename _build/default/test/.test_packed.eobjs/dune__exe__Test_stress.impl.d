@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Atomic Domain Dstruct List Memsim Printf Random Reclaim Vbr_core

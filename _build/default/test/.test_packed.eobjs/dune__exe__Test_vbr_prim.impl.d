@@ -1,0 +1,1 @@
+test/test_vbr_prim.ml: Alcotest Arena Array Atomic Epoch Global_pool List Memsim Node Packed Random Vbr Vbr_core

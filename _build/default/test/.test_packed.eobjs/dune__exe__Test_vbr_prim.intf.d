@@ -1,0 +1,1 @@
+test/test_vbr_prim.mli:

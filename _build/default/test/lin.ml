@@ -1,0 +1,126 @@
+(* A Wing–Gong linearizability checker for integer-set histories.
+
+   A history is one sequential stream of completed operations per thread,
+   each with wall-clock invocation/response timestamps. Operation [a]
+   precedes [b] iff a.response < b.invocation; the checker searches for a
+   total order extending that partial order under which the sequential
+   set semantics reproduce every recorded result.
+
+   The search linearizes one "minimal" operation at a time (an operation
+   no other pending operation fully precedes), with memoisation on the
+   (per-thread progress, abstract set state) pair, which keeps the search
+   polynomial-ish on the small-key histories the tests generate. *)
+
+type op = Insert of int | Delete of int | Contains of int
+
+type event = {
+  op : op;
+  result : bool;
+  inv : float;  (** invocation timestamp *)
+  res : float;  (** response timestamp *)
+}
+
+type history = event array array
+(** One array of events per thread, in that thread's program order. *)
+
+let pp_op ppf = function
+  | Insert k -> Format.fprintf ppf "insert %d" k
+  | Delete k -> Format.fprintf ppf "delete %d" k
+  | Contains k -> Format.fprintf ppf "contains %d" k
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%a -> %b @ %.6f..%.6f]" pp_op e.op e.result e.inv e.res
+
+(* Sequential semantics over a bitmask state (keys must be < 62). *)
+let apply state = function
+  | Insert k ->
+      let bit = 1 lsl k in
+      if state land bit <> 0 then (state, false) else (state lor bit, true)
+  | Delete k ->
+      let bit = 1 lsl k in
+      if state land bit = 0 then (state, false) else (state land lnot bit, true)
+  | Contains k -> (state, state land (1 lsl k) <> 0)
+
+exception Non_linearizable of string
+
+(* Encode per-thread progress as a single int (each index gets 10 bits —
+   histories are capped at 1023 events per thread). *)
+let encode_progress idx =
+  Array.fold_left (fun acc i -> (acc lsl 10) lor i) 0 idx
+
+let check (h : history) =
+  let n = Array.length h in
+  Array.iter
+    (fun stream ->
+      if Array.length stream > 1023 then
+        invalid_arg "Lin.check: more than 1023 events in one thread")
+    h;
+  Array.iter
+    (fun stream ->
+      Array.iter
+        (fun e ->
+          match e.op with
+          | Insert k | Delete k | Contains k ->
+              if k < 0 || k > 61 then invalid_arg "Lin.check: key out of [0,61]")
+        stream)
+    h;
+  let idx = Array.make n 0 in
+  let visited = Hashtbl.create 4096 in
+  let rec dfs state =
+    let all_done = ref true in
+    for t = 0 to n - 1 do
+      if idx.(t) < Array.length h.(t) then all_done := false
+    done;
+    if !all_done then true
+    else begin
+      let key = (encode_progress idx, state) in
+      if Hashtbl.mem visited key then false
+      else begin
+        Hashtbl.add visited key ();
+        (* Minimal ops: pending heads not strictly preceded by any other
+           pending head. *)
+        let ok = ref false in
+        let t = ref 0 in
+        while (not !ok) && !t < n do
+          (if idx.(!t) < Array.length h.(!t) then begin
+             let cand = h.(!t).(idx.(!t)) in
+             let minimal = ref true in
+             for u = 0 to n - 1 do
+               if u <> !t && idx.(u) < Array.length h.(u) then begin
+                 let other = h.(u).(idx.(u)) in
+                 if other.res < cand.inv then minimal := false
+               end
+             done;
+             if !minimal then begin
+               let state', expected = apply state cand.op in
+               if expected = cand.result then begin
+                 idx.(!t) <- idx.(!t) + 1;
+                 if dfs state' then ok := true
+                 else idx.(!t) <- idx.(!t) - 1
+               end
+             end
+           end);
+          incr t
+        done;
+        !ok
+      end
+    end
+  in
+  dfs 0
+
+let check_exn h =
+  if not (check h) then begin
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "history is not linearizable; first events:@.";
+    Array.iteri
+      (fun t stream ->
+        Format.fprintf ppf "  thread %d:" t;
+        Array.iteri
+          (fun i e -> if i < 8 then Format.fprintf ppf " %a" pp_event e)
+          stream;
+        Format.fprintf ppf "@.")
+      h;
+    Format.pp_print_flush ppf ();
+    raise (Non_linearizable (Buffer.contents buf))
+  end

@@ -1,0 +1,98 @@
+(* Unit tests for the simulated heap: slot allocation, node shapes, bounds
+   checking, and multi-domain fresh-slot races. *)
+
+open Memsim
+
+let test_fresh_sequence () =
+  let a = Arena.create ~capacity:100 in
+  Alcotest.(check int) "capacity" 100 (Arena.capacity a);
+  Alcotest.(check int) "no allocations yet" 0 (Arena.allocated a);
+  let i1 = Arena.fresh a ~level:1 in
+  let i2 = Arena.fresh a ~level:3 in
+  Alcotest.(check int) "first slot is 1 (0 is NULL)" 1 i1;
+  Alcotest.(check int) "second slot is 2" 2 i2;
+  Alcotest.(check int) "allocated count" 2 (Arena.allocated a);
+  let n1 = Arena.get a i1 and n2 = Arena.get a i2 in
+  Alcotest.(check int) "level 1 tower" 1 n1.Node.level;
+  Alcotest.(check int) "level 3 tower" 3 n2.Node.level;
+  Alcotest.(check int) "3 next words" 3 (Array.length n2.Node.next);
+  Alcotest.(check int) "fresh birth" 0 (Atomic.get n1.Node.birth);
+  Alcotest.(check int) "fresh retire is bottom" Node.no_epoch
+    (Atomic.get n1.Node.retire);
+  Array.iter
+    (fun w -> Alcotest.(check int) "next starts NULL" Packed.null (Atomic.get w))
+    n2.Node.next
+
+let test_exhaustion () =
+  let a = Arena.create ~capacity:3 in
+  ignore (Arena.fresh a ~level:1);
+  ignore (Arena.fresh a ~level:1);
+  ignore (Arena.fresh a ~level:1);
+  Alcotest.check_raises "exhausted" Arena.Exhausted (fun () ->
+      ignore (Arena.fresh a ~level:1))
+
+let test_bounds () =
+  let a = Arena.create ~capacity:10 in
+  ignore (Arena.fresh a ~level:1);
+  Alcotest.check_raises "slot 0 rejected"
+    (Invalid_argument "Arena.get: slot 0 out of range") (fun () ->
+      ignore (Arena.get a 0));
+  Alcotest.check_raises "beyond capacity"
+    (Invalid_argument "Arena.get: slot 11 out of range") (fun () ->
+      ignore (Arena.get a 11));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Arena.create: capacity 0 out of range") (fun () ->
+      ignore (Arena.create ~capacity:0));
+  Alcotest.check_raises "bad level" (Invalid_argument "Node.make: level must be >= 1")
+    (fun () -> ignore (Arena.fresh a ~level:0))
+
+let test_chunk_boundaries () =
+  (* Slots spanning multiple 16K chunks stay addressable and distinct. *)
+  let cap = 40_000 in
+  let a = Arena.create ~capacity:cap in
+  for i = 1 to cap do
+    let j = Arena.fresh a ~level:1 in
+    Alcotest.(check int) "sequential slots" i j;
+    (Arena.get a j).Node.key <- j * 7
+  done;
+  for i = 1 to cap do
+    Alcotest.(check int) "keys survive" (i * 7) (Arena.get a i).Node.key
+  done;
+  Alcotest.check_raises "exhausted at capacity" Arena.Exhausted (fun () ->
+      ignore (Arena.fresh a ~level:1))
+
+let test_parallel_fresh () =
+  (* Concurrent fresh claims never hand out the same slot twice. *)
+  let a = Arena.create ~capacity:40_000 in
+  let per_domain = 8_000 in
+  let claim () = Array.init per_domain (fun _ -> Arena.fresh a ~level:1) in
+  let domains = List.init 4 (fun _ -> Domain.spawn claim) in
+  let all = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  let unique = List.sort_uniq compare all in
+  Alcotest.(check int) "no duplicate slot" (List.length all)
+    (List.length unique);
+  Alcotest.(check int) "allocated total" (4 * per_domain) (Arena.allocated a)
+
+let prop_levels =
+  QCheck2.Test.make ~name:"fresh node shape matches requested level"
+    ~count:200
+    QCheck2.Gen.(int_range 1 24)
+    (fun level ->
+      let a = Arena.create ~capacity:4 in
+      let i = Arena.fresh a ~level in
+      let n = Arena.get a i in
+      n.Node.level = level && Array.length n.Node.next = level)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fresh sequence" `Quick test_fresh_sequence;
+          Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "chunk boundaries" `Quick test_chunk_boundaries;
+          Alcotest.test_case "parallel fresh" `Quick test_parallel_fresh;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_levels ]);
+    ]

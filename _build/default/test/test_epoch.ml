@@ -1,0 +1,77 @@
+(* Unit tests for the global epoch counter: monotonicity (the paper's
+   Observation 4), CAS-advance semantics, and multi-domain races. *)
+
+let test_initial () =
+  let e = Vbr_core.Epoch.create () in
+  Alcotest.(check int) "starts at 1" 1 (Vbr_core.Epoch.get e);
+  Alcotest.(check bool) "above no_epoch" true
+    (Vbr_core.Epoch.get e > Memsim.Node.no_epoch);
+  Alcotest.(check int) "no advances yet" 0 (Vbr_core.Epoch.advance_counted e)
+
+let test_advance () =
+  let e = Vbr_core.Epoch.create () in
+  Alcotest.(check bool) "advance from current" true
+    (Vbr_core.Epoch.try_advance e ~expected:1);
+  Alcotest.(check int) "now 2" 2 (Vbr_core.Epoch.get e);
+  Alcotest.(check bool) "stale expected fails" false
+    (Vbr_core.Epoch.try_advance e ~expected:1);
+  Alcotest.(check int) "still 2" 2 (Vbr_core.Epoch.get e);
+  Alcotest.(check int) "one success counted" 1
+    (Vbr_core.Epoch.advance_counted e)
+
+let test_parallel_advances () =
+  (* Racing advances: the counter rises by exactly the number of
+     successful CASes and never decreases. *)
+  let e = Vbr_core.Epoch.create () in
+  let per_domain = 10_000 in
+  let successes = Atomic.make 0 in
+  let worker () =
+    for _ = 1 to per_domain do
+      let cur = Vbr_core.Epoch.get e in
+      if Vbr_core.Epoch.try_advance e ~expected:cur then
+        Atomic.incr successes
+    done
+  in
+  let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "value = 1 + successes"
+    (1 + Atomic.get successes)
+    (Vbr_core.Epoch.get e);
+  Alcotest.(check int) "counter agrees" (Atomic.get successes)
+    (Vbr_core.Epoch.advance_counted e)
+
+let test_monotonic_under_race () =
+  let e = Vbr_core.Epoch.create () in
+  let stop = Atomic.make false in
+  let violation = Atomic.make false in
+  let observer () =
+    let last = ref 0 in
+    while not (Atomic.get stop) do
+      let v = Vbr_core.Epoch.get e in
+      if v < !last then Atomic.set violation true;
+      last := v
+    done
+  in
+  let advancer () =
+    for _ = 1 to 50_000 do
+      ignore (Vbr_core.Epoch.try_advance e ~expected:(Vbr_core.Epoch.get e))
+    done
+  in
+  let o = Domain.spawn observer in
+  let a = Domain.spawn advancer in
+  Domain.join a;
+  Atomic.set stop true;
+  Domain.join o;
+  Alcotest.(check bool) "never decreases" false (Atomic.get violation)
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initial" `Quick test_initial;
+          Alcotest.test_case "advance" `Quick test_advance;
+          Alcotest.test_case "parallel advances" `Quick test_parallel_advances;
+          Alcotest.test_case "monotonic" `Quick test_monotonic_under_race;
+        ] );
+    ]

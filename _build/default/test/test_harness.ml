@@ -1,0 +1,181 @@
+(* The measurement infrastructure itself: PRNG determinism and spread,
+   workload sampling, the registry's support matrix, the prefill
+   predicate, and a tiny end-to-end throughput measurement. *)
+
+let test_rng_determinism () =
+  let a = Harness.Rng.create ~seed:7 and b = Harness.Rng.create ~seed:7 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "same stream" (Harness.Rng.next a)
+      (Harness.Rng.next b)
+  done;
+  let c = Harness.Rng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 1_000 do
+    if Harness.Rng.next a = Harness.Rng.next c then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 5)
+
+let test_rng_below_range () =
+  let r = Harness.Rng.create ~seed:3 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 100_000 do
+    let v = Harness.Rng.below r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 8_000 || n > 12_000 then
+        Alcotest.failf "bucket %d badly skewed: %d/100000" i n)
+    buckets;
+  Alcotest.check_raises "n<=0 rejected" (Invalid_argument "Rng.below: n <= 0")
+    (fun () -> ignore (Harness.Rng.below r 0))
+
+let test_workload_mix () =
+  let count p =
+    let r = Harness.Rng.create ~seed:11 in
+    let i = ref 0 and d = ref 0 and s = ref 0 in
+    for _ = 1 to 100_000 do
+      match Harness.Workload.pick p r with
+      | Harness.Workload.Insert -> incr i
+      | Harness.Workload.Delete -> incr d
+      | Harness.Workload.Search -> incr s
+    done;
+    (!i, !d, !s)
+  in
+  let check_close name got expected =
+    let diff = abs (got - expected) in
+    if diff > 1_500 then
+      Alcotest.failf "%s: got %d, expected ~%d" name got expected
+  in
+  let i, d, s = count Harness.Workload.search_intensive in
+  check_close "ri" i 10_000;
+  check_close "rd" d 10_000;
+  check_close "rs" s 80_000;
+  let i, d, s = count Harness.Workload.update_intensive in
+  check_close "ui" i 50_000;
+  check_close "ud" d 50_000;
+  Alcotest.(check int) "no searches in update-heavy" 0 s;
+  Alcotest.(check bool) "of_name roundtrip" true
+    (Harness.Workload.of_name "balanced" = Some Harness.Workload.balanced);
+  Alcotest.(check bool) "of_name unknown" true
+    (Harness.Workload.of_name "nope" = None)
+
+let test_prefill_half () =
+  let members = ref 0 in
+  let n = 100_000 in
+  for k = 0 to n - 1 do
+    if Harness.Workload.prefill_member k then incr members
+  done;
+  let frac = float_of_int !members /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half are members (%.3f)" frac)
+    true
+    (frac > 0.47 && frac < 0.53)
+
+let test_registry_matrix () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun scheme ->
+          let expected =
+            structure <> "harris" || List.mem scheme [ "NoRecl"; "EBR"; "VBR" ]
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s" structure scheme)
+            expected
+            (Harness.Registry.supports ~structure ~scheme))
+        Harness.Registry.schemes)
+    Harness.Registry.structures;
+  Alcotest.(check bool) "unknown structure" false
+    (Harness.Registry.supports ~structure:"btree" ~scheme:"VBR");
+  Alcotest.check_raises "make rejects unsupported"
+    (Invalid_argument "Registry: harris does not support HP") (fun () ->
+      ignore
+        (Harness.Registry.make ~structure:"harris" ~scheme:"HP" ~n_threads:1
+           ~range:8 ~capacity:64 ()))
+
+let test_instances_work () =
+  (* Every supported combination performs a few sane operations. *)
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun scheme ->
+          if Harness.Registry.supports ~structure ~scheme then begin
+            let inst =
+              Harness.Registry.make ~structure ~scheme ~n_threads:2 ~range:64
+                ~capacity:10_000 ()
+            in
+            Alcotest.(check bool)
+              (inst.Harness.Registry.iname ^ " insert")
+              true
+              (inst.Harness.Registry.insert ~tid:0 7);
+            Alcotest.(check bool)
+              (inst.Harness.Registry.iname ^ " member")
+              true
+              (inst.Harness.Registry.contains ~tid:0 7);
+            Alcotest.(check bool)
+              (inst.Harness.Registry.iname ^ " delete")
+              true
+              (inst.Harness.Registry.delete ~tid:0 7);
+            Alcotest.(check int)
+              (inst.Harness.Registry.iname ^ " size")
+              0
+              (inst.Harness.Registry.size ())
+          end)
+        Harness.Registry.schemes)
+    Harness.Registry.structures
+
+let test_throughput_smoke () =
+  let make () =
+    Harness.Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:2
+      ~range:256 ~capacity:50_000 ()
+  in
+  let p =
+    Harness.Throughput.measure ~make ~profile:Harness.Workload.balanced
+      ~threads:2 ~range:256 ~duration:0.05 ~repeats:2
+  in
+  Alcotest.(check bool) "positive throughput" true (p.Harness.Throughput.mops > 0.0);
+  Alcotest.(check int) "repeats recorded" 2 p.Harness.Throughput.repeats
+
+let test_stalled_smoke () =
+  let make () =
+    Harness.Registry.make ~structure:"hash" ~scheme:"EBR" ~n_threads:3
+      ~range:256 ~capacity:100_000 ()
+  in
+  let series =
+    Harness.Throughput.run_stalled ~make ~profile:Harness.Workload.balanced
+      ~threads:3 ~range:256 ~checkpoints:2 ~ops_per_checkpoint:5_000
+  in
+  Alcotest.(check int) "two checkpoints" 2 (List.length series);
+  match series with
+  | [ (o1, u1, _); (o2, u2, _) ] ->
+      Alcotest.(check int) "ops accumulate" (2 * o1) o2;
+      Alcotest.(check bool) "EBR garbage grows under a stalled thread" true
+        (u2 >= u1 && u2 > 0)
+  | _ -> Alcotest.fail "unexpected series shape"
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "below range/spread" `Quick test_rng_below_range;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "profile mix" `Quick test_workload_mix;
+          Alcotest.test_case "prefill half" `Quick test_prefill_half;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "support matrix" `Quick test_registry_matrix;
+          Alcotest.test_case "all instances work" `Quick test_instances_work;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "measure smoke" `Quick test_throughput_smoke;
+          Alcotest.test_case "stalled smoke" `Quick test_stalled_smoke;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Harris's original list (the applicability ablation): sequential model
+   equivalence for its supported schemes (NoRecl, EBR) plus multi-domain
+   stress, and segment-trim specific cases. *)
+
+module Iset = Set.Make (Int)
+
+type handle = {
+  hname : string;
+  insert : tid:int -> int -> bool;
+  delete : tid:int -> int -> bool;
+  contains : tid:int -> int -> bool;
+  to_list : unit -> int list;
+  unreclaimed : unit -> int;
+}
+
+let make (module R : Reclaim.Smr_intf.S) ?(n_threads = 5) () =
+  let arena = Memsim.Arena.create ~capacity:500_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads ~hazards:3 ~retire_threshold:8
+      ~epoch_freq:4
+  in
+  let module L = Dstruct.Harris_list.Make (R) in
+  let l = L.create r ~arena in
+  {
+    hname = L.name;
+    insert = (fun ~tid k -> L.insert l ~tid k);
+    delete = (fun ~tid k -> L.delete l ~tid k);
+    contains = (fun ~tid k -> L.contains l ~tid k);
+    to_list = (fun () -> L.to_list l);
+    unreclaimed = (fun () -> R.unreclaimed r);
+  }
+
+let variants : (string * (unit -> handle)) list =
+  [
+    ("NoRecl", fun () -> make (module Reclaim.No_recl) ());
+    ("EBR", fun () -> make (module Reclaim.Ebr) ());
+  ]
+
+let test_basic mk () =
+  let h = mk () in
+  Alcotest.(check bool) "ins 5" true (h.insert ~tid:0 5);
+  Alcotest.(check bool) "ins 1" true (h.insert ~tid:0 1);
+  Alcotest.(check bool) "ins 9" true (h.insert ~tid:0 9);
+  Alcotest.(check bool) "dup" false (h.insert ~tid:0 5);
+  Alcotest.(check bool) "mem 1" true (h.contains ~tid:0 1);
+  Alcotest.(check bool) "mem 9" true (h.contains ~tid:0 9);
+  Alcotest.(check bool) "not 4" false (h.contains ~tid:0 4);
+  Alcotest.(check bool) "del 5" true (h.delete ~tid:0 5);
+  Alcotest.(check bool) "del 5 again" false (h.delete ~tid:0 5);
+  Alcotest.(check (list int)) "rest" [ 1; 9 ] (h.to_list ())
+
+let test_segment_trim mk () =
+  (* Delete a run of adjacent keys, then traverse: the search must trim
+     the whole marked segment and still answer correctly. *)
+  let h = mk () in
+  for k = 0 to 19 do
+    ignore (h.insert ~tid:0 k)
+  done;
+  for k = 5 to 14 do
+    Alcotest.(check bool) "del run" true (h.delete ~tid:0 k)
+  done;
+  Alcotest.(check bool) "before run" true (h.contains ~tid:0 4);
+  Alcotest.(check bool) "inside run" false (h.contains ~tid:0 10);
+  Alcotest.(check bool) "after run" true (h.contains ~tid:0 15);
+  Alcotest.(check (list int)) "remaining"
+    (List.init 5 Fun.id @ List.init 5 (fun i -> 15 + i))
+    (h.to_list ())
+
+type op = Ins of int | Del of int | Mem of int
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 50 300)
+      (let* k = int_range 0 30 in
+       let* c = int_range 0 2 in
+       return (match c with 0 -> Ins k | 1 -> Del k | _ -> Mem k)))
+
+let prop_model mk =
+  QCheck2.Test.make ~name:"random trace matches Set model" ~count:50 gen_ops
+    (fun ops ->
+      let h = mk () in
+      let m = ref Iset.empty in
+      List.for_all
+        (fun op ->
+          let expected, m' =
+            match op with
+            | Ins k -> (not (Iset.mem k !m), Iset.add k !m)
+            | Del k -> (Iset.mem k !m, Iset.remove k !m)
+            | Mem k -> (Iset.mem k !m, !m)
+          in
+          m := m';
+          (match op with
+          | Ins k -> h.insert ~tid:0 k
+          | Del k -> h.delete ~tid:0 k
+          | Mem k -> h.contains ~tid:0 k)
+          = expected)
+        ops
+      && h.to_list () = Iset.elements !m)
+
+let test_stress mk () =
+  (* Disjoint-ownership writers plus readers, as in test_stress. *)
+  let n_writers = 3 and n_readers = 2 in
+  let stripe = 16 and rounds = 300 in
+  let h = mk () in
+  let stop = Atomic.make false in
+  let violation = Atomic.make None in
+  let writer tid =
+    let base = tid * stripe in
+    for _round = 1 to rounds do
+      for j = 0 to stripe - 1 do
+        if not (h.insert ~tid (base + j)) then
+          Atomic.set violation (Some "insert of owned key failed")
+      done;
+      for j = 0 to stripe - 1 do
+        if not (h.delete ~tid (base + j)) then
+          Atomic.set violation (Some "delete of owned key failed")
+      done
+    done
+  in
+  let reader tid =
+    while not (Atomic.get stop) do
+      for k = 0 to (n_writers * stripe) - 1 do
+        ignore (h.contains ~tid k)
+      done
+    done
+  in
+  let readers =
+    List.init n_readers (fun i ->
+        Domain.spawn (fun () -> reader (n_writers + i)))
+  in
+  let writers =
+    List.init n_writers (fun tid -> Domain.spawn (fun () -> writer tid))
+  in
+  List.iter Domain.join writers;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  (match Atomic.get violation with
+  | Some msg -> Alcotest.fail msg
+  | None -> ());
+  Alcotest.(check (list int)) "empty at end" [] (h.to_list ())
+
+let () =
+  let suites =
+    List.map
+      (fun (sname, mk) ->
+        ( sname,
+          [
+            Alcotest.test_case "basic" `Quick (test_basic (fun () -> mk ()));
+            Alcotest.test_case "segment trim" `Quick
+              (test_segment_trim (fun () -> mk ()));
+            QCheck_alcotest.to_alcotest (prop_model (fun () -> mk ()));
+            Alcotest.test_case "stress" `Slow (test_stress (fun () -> mk ()));
+          ] ))
+      variants
+  in
+  Alcotest.run "harris" suites

@@ -1,0 +1,139 @@
+(* Sequential correctness of the hash-table variants: bucket routing,
+   cross-bucket behaviour, shared-tail safety, and Set-model equivalence. *)
+
+module Iset = Set.Make (Int)
+
+type handle = {
+  hname : string;
+  insert : int -> bool;
+  delete : int -> bool;
+  contains : int -> bool;
+  to_list : unit -> int list;
+}
+
+let buckets = 8
+
+let make_conservative (module R : Reclaim.Smr_intf.S) () =
+  let arena = Memsim.Arena.create ~capacity:100_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads:2 ~hazards:3 ~retire_threshold:8
+      ~epoch_freq:4
+  in
+  let module H = Dstruct.Hash_table.Make (R) in
+  let h = H.create r ~arena ~buckets in
+  {
+    hname = H.name;
+    insert = (fun k -> H.insert h ~tid:0 k);
+    delete = (fun k -> H.delete h ~tid:0 k);
+    contains = (fun k -> H.contains h ~tid:0 k);
+    to_list = (fun () -> H.to_list h);
+  }
+
+let make_vbr () =
+  let arena = Memsim.Arena.create ~capacity:100_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let vbr =
+    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
+  in
+  let h = Dstruct.Vbr_hash.create vbr ~buckets in
+  {
+    hname = Dstruct.Vbr_hash.name;
+    insert = (fun k -> Dstruct.Vbr_hash.insert h ~tid:0 k);
+    delete = (fun k -> Dstruct.Vbr_hash.delete h ~tid:0 k);
+    contains = (fun k -> Dstruct.Vbr_hash.contains h ~tid:0 k);
+    to_list = (fun () -> Dstruct.Vbr_hash.to_list h);
+  }
+
+let variants =
+  [
+    ("NoRecl", make_conservative (module Reclaim.No_recl));
+    ("EBR", make_conservative (module Reclaim.Ebr));
+    ("HP", make_conservative (module Reclaim.Hp));
+    ("HE", make_conservative (module Reclaim.He));
+    ("IBR", make_conservative (module Reclaim.Ibr));
+    ("VBR", make_vbr);
+  ]
+
+let test_bucket_collisions mk () =
+  (* Keys congruent mod buckets land in one bucket list and must coexist. *)
+  let h = mk () in
+  let keys = List.init 10 (fun i -> i * buckets) in
+  List.iter (fun k -> Alcotest.(check bool) "ins" true (h.insert k)) keys;
+  Alcotest.(check bool) "dup" false (h.insert (3 * buckets));
+  List.iter (fun k -> Alcotest.(check bool) "mem" true (h.contains k)) keys;
+  Alcotest.(check bool) "other residue absent" false (h.contains 1);
+  Alcotest.(check bool) "delete middle" true (h.delete (5 * buckets));
+  Alcotest.(check bool) "gone" false (h.contains (5 * buckets));
+  Alcotest.(check int) "count" 9 (List.length (h.to_list ()))
+
+let test_all_buckets mk () =
+  let h = mk () in
+  for k = 0 to 63 do
+    Alcotest.(check bool) "ins" true (h.insert k)
+  done;
+  Alcotest.(check (list int)) "all present" (List.init 64 Fun.id)
+    (h.to_list ());
+  for k = 0 to 63 do
+    Alcotest.(check bool) "del" true (h.delete k)
+  done;
+  Alcotest.(check (list int)) "empty" [] (h.to_list ())
+
+let test_churn mk () =
+  let h = mk () in
+  for _round = 1 to 40 do
+    for k = 0 to 31 do
+      ignore (h.insert k)
+    done;
+    for k = 0 to 31 do
+      ignore (h.delete k)
+    done
+  done;
+  Alcotest.(check (list int)) "empty after churn" [] (h.to_list ())
+
+type op = Ins of int | Del of int | Mem of int
+
+let gen_ops =
+  QCheck2.Gen.(
+    list_size (int_range 50 300)
+      (let* k = int_range 0 60 in
+       let* c = int_range 0 2 in
+       return (match c with 0 -> Ins k | 1 -> Del k | _ -> Mem k)))
+
+let prop_model mk =
+  QCheck2.Test.make ~name:"random trace matches Set model" ~count:40 gen_ops
+    (fun ops ->
+      let h = mk () in
+      let m = ref Iset.empty in
+      List.for_all
+        (fun op ->
+          let expected, m' =
+            match op with
+            | Ins k -> (not (Iset.mem k !m), Iset.add k !m)
+            | Del k -> (Iset.mem k !m, Iset.remove k !m)
+            | Mem k -> (Iset.mem k !m, !m)
+          in
+          m := m';
+          (match op with
+          | Ins k -> h.insert k
+          | Del k -> h.delete k
+          | Mem k -> h.contains k)
+          = expected)
+        ops
+      && h.to_list () = Iset.elements !m)
+
+let () =
+  let suites =
+    List.map
+      (fun (sname, mk) ->
+        ( sname,
+          [
+            Alcotest.test_case "bucket collisions" `Quick
+              (test_bucket_collisions mk);
+            Alcotest.test_case "all buckets" `Quick (test_all_buckets mk);
+            Alcotest.test_case "churn" `Quick (test_churn mk);
+            QCheck_alcotest.to_alcotest (prop_model mk);
+          ] ))
+      variants
+  in
+  Alcotest.run "hash" suites

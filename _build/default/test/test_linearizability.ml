@@ -1,0 +1,145 @@
+(* Linearizability checking (the paper's Theorem 1, empirically): record
+   real concurrent histories of every structure × scheme combination on a
+   tiny key space and verify with the Wing–Gong checker in Lin that each
+   history has a valid linearisation.
+
+   Also sanity-checks the checker itself on hand-written histories, both
+   linearizable and not. *)
+
+(* --- checker self-tests ------------------------------------------- *)
+
+let ev op result inv res = { Lin.op; result; inv; res }
+
+let test_checker_accepts () =
+  (* T0: insert 1 (true). T1: contains 1 overlapping it — both answers
+     are justifiable depending on the linearisation chosen. *)
+  let h_true =
+    [|
+      [| ev (Lin.Insert 1) true 0.0 2.0 |];
+      [| ev (Lin.Contains 1) true 1.0 3.0 |];
+    |]
+  in
+  Alcotest.(check bool) "overlapping contains=true" true (Lin.check h_true);
+  let h_false =
+    [|
+      [| ev (Lin.Insert 1) true 0.0 2.0 |];
+      [| ev (Lin.Contains 1) false 1.0 3.0 |];
+    |]
+  in
+  Alcotest.(check bool) "overlapping contains=false" true (Lin.check h_false);
+  (* Sequentially: insert; delete; contains=false. *)
+  let h_seq =
+    [|
+      [|
+        ev (Lin.Insert 3) true 0.0 1.0;
+        ev (Lin.Delete 3) true 2.0 3.0;
+        ev (Lin.Contains 3) false 4.0 5.0;
+      |];
+    |]
+  in
+  Alcotest.(check bool) "sequential trace" true (Lin.check h_seq)
+
+let test_checker_rejects () =
+  (* contains strictly after a completed insert must be true. *)
+  let h =
+    [|
+      [| ev (Lin.Insert 1) true 0.0 1.0 |];
+      [| ev (Lin.Contains 1) false 2.0 3.0 |];
+    |]
+  in
+  Alcotest.(check bool) "stale read detected" false (Lin.check h);
+  (* Two non-overlapping inserts of the same key both returning true. *)
+  let h2 =
+    [|
+      [| ev (Lin.Insert 5) true 0.0 1.0 |];
+      [| ev (Lin.Insert 5) true 2.0 3.0 |];
+    |]
+  in
+  Alcotest.(check bool) "double insert detected" false (Lin.check h2);
+  (* Delete of a never-inserted key returning true. *)
+  let h3 = [| [| ev (Lin.Delete 7) true 0.0 1.0 |] |] in
+  Alcotest.(check bool) "phantom delete detected" false (Lin.check h3);
+  Alcotest.(check bool) "check_exn raises" true
+    (try
+       Lin.check_exn h3;
+       false
+     with Lin.Non_linearizable _ -> true)
+
+(* --- recorded histories from the real structures ------------------- *)
+
+let record_history (inst : Harness.Registry.instance) ~threads ~ops_per_thread
+    ~keys ~round =
+  let histories = Array.make threads [||] in
+  let barrier = Atomic.make 0 in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Harness.Rng.create ~seed:((tid * 31) + round + 100) in
+            let events = ref [] in
+            Atomic.incr barrier;
+            while Atomic.get barrier < threads do
+              Domain.cpu_relax ()
+            done;
+            for _ = 1 to ops_per_thread do
+              let k = Harness.Rng.below rng keys in
+              let c = Harness.Rng.below rng 3 in
+              let inv = Unix.gettimeofday () in
+              let op, result =
+                match c with
+                | 0 -> (Lin.Insert k, inst.Harness.Registry.insert ~tid k)
+                | 1 -> (Lin.Delete k, inst.Harness.Registry.delete ~tid k)
+                | _ -> (Lin.Contains k, inst.Harness.Registry.contains ~tid k)
+              in
+              let res = Unix.gettimeofday () in
+              events := { Lin.op; result; inv; res } :: !events
+            done;
+            (tid, Array.of_list (List.rev !events))))
+  in
+  List.iter
+    (fun d ->
+      let tid, stream = Domain.join d in
+      histories.(tid) <- stream)
+    domains;
+  histories
+
+let test_structure ~structure ~scheme () =
+  let threads = 3 in
+  (* Several rounds of short histories keep the checker fast while still
+     covering many interleavings. A fresh (empty) instance per round: the
+     checker assumes the initial state is the empty set. *)
+  for round = 1 to 5 do
+    let inst =
+      Harness.Registry.make ~structure ~scheme ~n_threads:threads ~range:8
+        ~capacity:200_000 ()
+    in
+    let h = record_history inst ~threads ~ops_per_thread:60 ~keys:8 ~round in
+    Lin.check_exn h
+  done
+
+let () =
+  let combos =
+    List.concat_map
+      (fun structure ->
+        List.filter_map
+          (fun scheme ->
+            if Harness.Registry.supports ~structure ~scheme then
+              Some
+                (Alcotest.test_case
+                   (structure ^ "/" ^ scheme)
+                   `Slow
+                   (test_structure ~structure ~scheme))
+            else None)
+          Harness.Registry.schemes)
+      Harness.Registry.structures
+  in
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "accepts valid histories" `Quick
+            test_checker_accepts;
+          Alcotest.test_case "rejects invalid histories" `Quick
+            test_checker_rejects;
+        ] );
+      ("recorded", combos);
+    ]

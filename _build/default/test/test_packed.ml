@@ -1,0 +1,140 @@
+(* Unit and property tests for the packed-word codec — the WCAS
+   substitute. Everything else depends on this being exactly right. *)
+
+let check_roundtrip ~marked ~index ~version () =
+  let w = Memsim.Packed.pack ~marked ~index ~version in
+  Alcotest.(check int) "index" index (Memsim.Packed.index w);
+  Alcotest.(check int) "version" version (Memsim.Packed.version w);
+  Alcotest.(check bool) "mark" marked (Memsim.Packed.is_marked w)
+
+let test_null () =
+  let open Memsim.Packed in
+  Alcotest.(check int) "null is zero" 0 null;
+  Alcotest.(check bool) "null is null" true (is_null null);
+  Alcotest.(check bool) "marked null still null" true (is_null (set_mark null));
+  Alcotest.(check bool) "index 1 not null" false
+    (is_null (pack ~marked:false ~index:1 ~version:0))
+
+let test_extremes () =
+  let open Memsim.Packed in
+  check_roundtrip ~marked:false ~index:0 ~version:0 ();
+  check_roundtrip ~marked:true ~index:max_index ~version:max_version ();
+  check_roundtrip ~marked:false ~index:max_index ~version:0 ();
+  check_roundtrip ~marked:true ~index:0 ~version:max_version ();
+  check_roundtrip ~marked:false ~index:1 ~version:1 ()
+
+let test_mark_ops () =
+  let open Memsim.Packed in
+  let w = pack ~marked:false ~index:42 ~version:7 in
+  Alcotest.(check bool) "unmarked" false (is_marked w);
+  let m = set_mark w in
+  Alcotest.(check bool) "marked" true (is_marked m);
+  Alcotest.(check int) "mark preserves index" 42 (index m);
+  Alcotest.(check int) "mark preserves version" 7 (version m);
+  Alcotest.(check int) "clear_mark restores" w (clear_mark m);
+  Alcotest.(check int) "clear idempotent" w (clear_mark w);
+  Alcotest.(check int) "set idempotent" m (set_mark m)
+
+let test_with_version () =
+  let open Memsim.Packed in
+  let w = pack ~marked:true ~index:99 ~version:5 in
+  let w' = with_version w 123456 in
+  Alcotest.(check int) "index kept" 99 (index w');
+  Alcotest.(check bool) "mark kept" true (is_marked w');
+  Alcotest.(check int) "version replaced" 123456 (version w')
+
+let test_invalid () =
+  let open Memsim.Packed in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Packed.pack: index -1 out of range") (fun () ->
+      ignore (pack ~marked:false ~index:(-1) ~version:0));
+  Alcotest.check_raises "index too big"
+    (Invalid_argument
+       (Printf.sprintf "Packed.pack: index %d out of range" (max_index + 1)))
+    (fun () -> ignore (pack ~marked:false ~index:(max_index + 1) ~version:0));
+  Alcotest.check_raises "version too big"
+    (Invalid_argument
+       (Printf.sprintf "Packed.pack: version %d out of range" (max_version + 1)))
+    (fun () ->
+      ignore (pack ~marked:false ~index:0 ~version:(max_version + 1)))
+
+let test_distinct_words () =
+  (* Words differing in any component must differ as ints: CAS correctness
+     depends on it. *)
+  let open Memsim.Packed in
+  let base = pack ~marked:false ~index:5 ~version:9 in
+  Alcotest.(check bool) "index distinct" true
+    (base <> pack ~marked:false ~index:6 ~version:9);
+  Alcotest.(check bool) "version distinct" true
+    (base <> pack ~marked:false ~index:5 ~version:10);
+  Alcotest.(check bool) "mark distinct" true
+    (base <> pack ~marked:true ~index:5 ~version:9)
+
+(* Property tests. *)
+let gen_components =
+  QCheck2.Gen.(
+    triple bool (int_bound Memsim.Packed.max_index)
+      (int_bound (1 lsl 30)))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"packed roundtrip (small versions)" ~count:1000
+    gen_components (fun (marked, i, v) ->
+      let w = Memsim.Packed.pack ~marked ~index:i ~version:v in
+      Memsim.Packed.index w = i
+      && Memsim.Packed.version w = v
+      && Memsim.Packed.is_marked w = marked)
+
+let prop_roundtrip_big =
+  QCheck2.Test.make ~name:"packed roundtrip (big versions)" ~count:1000
+    QCheck2.Gen.(
+      triple bool (int_bound Memsim.Packed.max_index)
+        (map
+           (fun v -> Memsim.Packed.max_version - v)
+           (int_bound (1 lsl 30))))
+    (fun (marked, i, v) ->
+      let w = Memsim.Packed.pack ~marked ~index:i ~version:v in
+      Memsim.Packed.index w = i
+      && Memsim.Packed.version w = v
+      && Memsim.Packed.is_marked w = marked)
+
+let prop_mark_involution =
+  QCheck2.Test.make ~name:"clear_mark ∘ set_mark = clear_mark" ~count:500
+    gen_components (fun (marked, i, v) ->
+      let open Memsim.Packed in
+      let w = pack ~marked ~index:i ~version:v in
+      clear_mark (set_mark w) = clear_mark w)
+
+let prop_with_version =
+  QCheck2.Test.make ~name:"with_version replaces only version" ~count:500
+    QCheck2.Gen.(pair gen_components (int_bound (1 lsl 30)))
+    (fun ((marked, i, v), v') ->
+      let w =
+        Memsim.Packed.with_version
+          (Memsim.Packed.pack ~marked ~index:i ~version:v)
+          v'
+      in
+      Memsim.Packed.index w = i
+      && Memsim.Packed.is_marked w = marked
+      && Memsim.Packed.version w = v')
+
+let () =
+  Alcotest.run "packed"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "null" `Quick test_null;
+          Alcotest.test_case "extremes" `Quick test_extremes;
+          Alcotest.test_case "mark ops" `Quick test_mark_ops;
+          Alcotest.test_case "with_version" `Quick test_with_version;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid;
+          Alcotest.test_case "distinct words" `Quick test_distinct_words;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_roundtrip_big;
+            prop_mark_involution;
+            prop_with_version;
+          ] );
+    ]

@@ -1,0 +1,154 @@
+(* Unit tests for the recycling pools: local take/put, level size classes,
+   global spill/redistribution, and slot conservation (nothing lost,
+   nothing duplicated). *)
+
+open Memsim
+
+let setup ?(capacity = 10_000) ?(max_level = 4) ?(spill = 8) () =
+  let arena = Arena.create ~capacity in
+  let global = Global_pool.create ~max_level in
+  let pool = Pool.create arena global ~spill in
+  (arena, global, pool)
+
+let test_take_fresh_then_recycle () =
+  let _, _, pool = setup () in
+  let i = Pool.take pool ~level:1 in
+  Alcotest.(check int) "fresh slot" 1 i;
+  Alcotest.(check int) "not recycled" 0 (Pool.recycled pool);
+  Pool.put pool i;
+  Alcotest.(check int) "one free" 1 (Pool.local_free pool);
+  let j = Pool.take pool ~level:1 in
+  Alcotest.(check int) "same slot back" i j;
+  Alcotest.(check int) "recycled count" 1 (Pool.recycled pool);
+  Alcotest.(check int) "free drained" 0 (Pool.local_free pool)
+
+let test_level_classes () =
+  (* A level-2 slot must never satisfy a level-1 request and vice versa. *)
+  let _, _, pool = setup () in
+  let a1 = Pool.take pool ~level:1 in
+  let a2 = Pool.take pool ~level:2 in
+  Pool.put pool a1;
+  Pool.put pool a2;
+  let b2 = Pool.take pool ~level:2 in
+  let b1 = Pool.take pool ~level:1 in
+  Alcotest.(check int) "level-2 slot reused for level 2" a2 b2;
+  Alcotest.(check int) "level-1 slot reused for level 1" a1 b1
+
+let test_spill_to_global () =
+  let _, global, pool = setup ~spill:4 () in
+  let slots = List.init 8 (fun _ -> Pool.take pool ~level:1) in
+  Alcotest.(check int) "global empty before" 0
+    (Global_pool.approx_batches global);
+  List.iter (Pool.put pool) slots;
+  Alcotest.(check bool) "spilled to global" true
+    (Global_pool.approx_batches global > 0);
+  Alcotest.(check bool) "local kept some" true (Pool.local_free pool > 0)
+
+let test_global_redistribution () =
+  (* Slots freed by one pool become allocatable from another. *)
+  let arena, global, pool_a = setup ~spill:2 () in
+  let pool_b = Pool.create arena global ~spill:2 in
+  let slots = List.init 6 (fun _ -> Pool.take pool_a ~level:1) in
+  List.iter (Pool.put pool_a) slots;
+  let from_b = Pool.take pool_b ~level:1 in
+  Alcotest.(check bool) "b reuses a's slot" true (List.mem from_b slots);
+  Alcotest.(check bool) "counted as recycled" true (Pool.recycled pool_b > 0)
+
+let test_global_pool_batches () =
+  let g = Global_pool.create ~max_level:2 in
+  Global_pool.push_batch g ~level:1 [ 1; 2; 3 ];
+  Global_pool.push_batch g ~level:2 [ 4 ];
+  Global_pool.push_batch g ~level:1 [];
+  Alcotest.(check int) "two batches" 2 (Global_pool.approx_batches g);
+  (match Global_pool.pop_batch g ~level:1 with
+  | Some b -> Alcotest.(check (list int)) "lifo batch" [ 1; 2; 3 ] b
+  | None -> Alcotest.fail "expected a batch");
+  Alcotest.(check bool) "level 2 separate" true
+    (Global_pool.pop_batch g ~level:2 = Some [ 4 ]);
+  Alcotest.(check bool) "drained" true (Global_pool.pop_batch g ~level:1 = None);
+  Alcotest.check_raises "bad level"
+    (Invalid_argument "Global_pool: level 3 out of range") (fun () ->
+      ignore (Global_pool.pop_batch g ~level:3))
+
+let test_conservation () =
+  (* Random put/take traffic: every slot is either held by the client,
+     in the local pool, or in the global pool — never lost or duplicated. *)
+  let arena, _, pool = setup ~capacity:1_000 ~spill:5 () in
+  let held = ref [] in
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 2_000 do
+    if Random.State.bool rng && !held <> [] then begin
+      match !held with
+      | s :: rest ->
+          held := rest;
+          Pool.put pool s
+      | [] -> ()
+    end
+    else begin
+      let lvl = 1 + Random.State.int rng 3 in
+      held := Pool.take pool ~level:lvl :: !held
+    end
+  done;
+  (* Drain everything back and count distinct slots. *)
+  List.iter (Pool.put pool) !held;
+  let drained = ref [] in
+  for lvl = 1 to 4 do
+    try
+      while true do
+        drained := (Pool.take pool ~level:lvl, lvl) :: !drained
+      done
+    with Arena.Exhausted -> ()
+  done;
+  let slots = List.map fst !drained in
+  Alcotest.(check int) "no duplicates after drain" (List.length slots)
+    (List.length (List.sort_uniq compare slots));
+  Alcotest.(check bool) "drained at least as many as arena handed out" true
+    (List.length slots >= Arena.allocated arena)
+
+let test_concurrent_global () =
+  (* Hammer the global pool from several domains; batches never vanish or
+     duplicate. *)
+  let g = Global_pool.create ~max_level:1 in
+  let n_batches = 2_000 in
+  let producer lo =
+    for b = lo to lo + n_batches - 1 do
+      Global_pool.push_batch g ~level:1 [ b ]
+    done
+  in
+  let consumed = Atomic.make 0 in
+  let seen = Array.make (4 * n_batches) false in
+  let consumer () =
+    let got = ref 0 in
+    while !got < n_batches do
+      match Global_pool.pop_batch g ~level:1 with
+      | Some [ b ] ->
+          if seen.(b) then failwith "duplicate batch";
+          seen.(b) <- true;
+          incr got;
+          Atomic.incr consumed
+      | Some _ -> failwith "mangled batch"
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let ps =
+    List.init 2 (fun i -> Domain.spawn (fun () -> producer (i * n_batches)))
+  in
+  let cs = List.init 2 (fun _ -> Domain.spawn consumer) in
+  List.iter Domain.join ps;
+  List.iter Domain.join cs;
+  Alcotest.(check int) "all consumed" (2 * n_batches) (Atomic.get consumed)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "take/recycle" `Quick test_take_fresh_then_recycle;
+          Alcotest.test_case "level classes" `Quick test_level_classes;
+          Alcotest.test_case "spill" `Quick test_spill_to_global;
+          Alcotest.test_case "redistribution" `Quick test_global_redistribution;
+          Alcotest.test_case "global batches" `Quick test_global_pool_batches;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "concurrent global" `Quick test_concurrent_global;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* The conservative MS queue and Treiber stack functors, across all five
+   schemes: model equivalence, recycling, and concurrent no-loss/no-dup. *)
+
+type qh = {
+  qname : string;
+  enq : tid:int -> int -> unit;
+  deq : tid:int -> int option;
+  qlist : unit -> int list;
+  qallocated : unit -> int;
+}
+
+type sh = {
+  sname : string;
+  push : tid:int -> int -> unit;
+  pop : tid:int -> int option;
+  slist : unit -> int list;
+  sallocated : unit -> int;
+}
+
+let mk_queue (module R : Reclaim.Smr_intf.S) ?(n_threads = 4) () =
+  let arena = Memsim.Arena.create ~capacity:300_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads ~hazards:2 ~retire_threshold:8
+      ~epoch_freq:4
+  in
+  let module Q = Dstruct.Ms_queue.Make (R) in
+  let q = Q.create r ~arena in
+  {
+    qname = Q.name;
+    enq = (fun ~tid v -> Q.enqueue q ~tid v);
+    deq = (fun ~tid -> Q.dequeue q ~tid);
+    qlist = (fun () -> Q.to_list q);
+    qallocated = (fun () -> Memsim.Arena.allocated arena);
+  }
+
+let mk_stack (module R : Reclaim.Smr_intf.S) ?(n_threads = 4) () =
+  let arena = Memsim.Arena.create ~capacity:300_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads ~hazards:1 ~retire_threshold:8
+      ~epoch_freq:4
+  in
+  let module S = Dstruct.Treiber_stack.Make (R) in
+  let s = S.create r ~arena in
+  {
+    sname = S.name;
+    push = (fun ~tid v -> S.push s ~tid v);
+    pop = (fun ~tid -> S.pop s ~tid);
+    slist = (fun () -> S.to_list s);
+    sallocated = (fun () -> Memsim.Arena.allocated arena);
+  }
+
+let schemes : (string * (module Reclaim.Smr_intf.S)) list =
+  [
+    ("NoRecl", (module Reclaim.No_recl));
+    ("EBR", (module Reclaim.Ebr));
+    ("HP", (module Reclaim.Hp));
+    ("HE", (module Reclaim.He));
+    ("IBR", (module Reclaim.Ibr));
+  ]
+
+let queue_model m () =
+  let q = mk_queue m () in
+  let model = Queue.create () in
+  let rng = Random.State.make [| 17 |] in
+  for tick = 1 to 2_000 do
+    if Random.State.bool rng then begin
+      q.enq ~tid:0 tick;
+      Queue.push tick model
+    end
+    else begin
+      let expected =
+        if Queue.is_empty model then None else Some (Queue.pop model)
+      in
+      Alcotest.(check (option int)) "deq matches" expected (q.deq ~tid:0)
+    end
+  done;
+  Alcotest.(check (list int)) "final content"
+    (List.of_seq (Queue.to_seq model))
+    (q.qlist ())
+
+let queue_recycles m ~expect_reuse () =
+  let q = mk_queue m () in
+  for i = 1 to 2_000 do
+    q.enq ~tid:0 i;
+    ignore (q.deq ~tid:0)
+  done;
+  if expect_reuse then
+    Alcotest.(check bool) "bounded arena" true (q.qallocated () < 500)
+  else Alcotest.(check bool) "NoRecl grows" true (q.qallocated () > 1_500)
+
+let queue_concurrent m () =
+  let producers = 2 and consumers = 2 in
+  let per = 20_000 in
+  let q = mk_queue m ~n_threads:(producers + consumers) () in
+  let ps =
+    List.init producers (fun tid ->
+        Domain.spawn (fun () ->
+            for seq = 1 to per do
+              q.enq ~tid ((tid * 1_000_000) + seq)
+            done))
+  in
+  let drained = Atomic.make 0 in
+  let cs =
+    List.init consumers (fun i ->
+        Domain.spawn (fun () ->
+            let tid = producers + i in
+            let got = ref [] in
+            while Atomic.get drained < producers * per do
+              match q.deq ~tid with
+              | Some v ->
+                  got := v :: !got;
+                  Atomic.incr drained
+              | None -> Domain.cpu_relax ()
+            done;
+            !got))
+  in
+  List.iter Domain.join ps;
+  let all = List.concat_map Domain.join cs in
+  Alcotest.(check int) "nothing lost" (producers * per) (List.length all);
+  Alcotest.(check int) "nothing duplicated" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let stack_model m () =
+  let s = mk_stack m () in
+  let model = Stack.create () in
+  let rng = Random.State.make [| 23 |] in
+  for tick = 1 to 2_000 do
+    if Random.State.bool rng then begin
+      s.push ~tid:0 tick;
+      Stack.push tick model
+    end
+    else begin
+      let expected =
+        if Stack.is_empty model then None else Some (Stack.pop model)
+      in
+      Alcotest.(check (option int)) "pop matches" expected (s.pop ~tid:0)
+    end
+  done;
+  Alcotest.(check (list int)) "final content"
+    (List.of_seq (Stack.to_seq model))
+    (s.slist ())
+
+let stack_recycles m ~expect_reuse () =
+  let s = mk_stack m () in
+  for i = 1 to 2_000 do
+    s.push ~tid:0 i;
+    ignore (s.pop ~tid:0)
+  done;
+  if expect_reuse then
+    Alcotest.(check bool) "bounded arena" true (s.sallocated () < 500)
+  else Alcotest.(check bool) "NoRecl grows" true (s.sallocated () > 1_500)
+
+let stack_concurrent m () =
+  let pushers = 2 and poppers = 2 in
+  let per = 20_000 in
+  let s = mk_stack m ~n_threads:(pushers + poppers) () in
+  let ps =
+    List.init pushers (fun tid ->
+        Domain.spawn (fun () ->
+            for seq = 1 to per do
+              s.push ~tid ((tid * 1_000_000) + seq)
+            done))
+  in
+  let popped = Atomic.make 0 in
+  let cs =
+    List.init poppers (fun i ->
+        Domain.spawn (fun () ->
+            let tid = pushers + i in
+            let got = ref [] in
+            while Atomic.get popped < pushers * per do
+              match s.pop ~tid with
+              | Some v ->
+                  got := v :: !got;
+                  Atomic.incr popped
+              | None -> Domain.cpu_relax ()
+            done;
+            !got))
+  in
+  List.iter Domain.join ps;
+  let all = List.concat_map Domain.join cs in
+  Alcotest.(check int) "nothing lost" (pushers * per) (List.length all);
+  Alcotest.(check int) "nothing duplicated" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let () =
+  let suites =
+    List.concat_map
+      (fun (sname, m) ->
+        [
+          ( "queue/" ^ sname,
+            [
+              Alcotest.test_case "model" `Quick (queue_model m);
+              Alcotest.test_case "recycling" `Quick
+                (queue_recycles m ~expect_reuse:(sname <> "NoRecl"));
+              Alcotest.test_case "concurrent" `Slow (queue_concurrent m);
+            ] );
+          ( "stack/" ^ sname,
+            [
+              Alcotest.test_case "model" `Quick (stack_model m);
+              Alcotest.test_case "recycling" `Quick
+                (stack_recycles m ~expect_reuse:(sname <> "NoRecl"));
+              Alcotest.test_case "concurrent" `Slow (stack_concurrent m);
+            ] );
+        ])
+      schemes
+  in
+  Alcotest.run "queue_smr" suites

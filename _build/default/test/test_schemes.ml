@@ -1,0 +1,253 @@
+(* Unit tests for the conservative reclamation schemes: protection
+   semantics (a protected node is never recycled), grace periods,
+   robustness differences, and the protect/transfer machinery. *)
+
+open Memsim
+
+(* A monomorphic handle over a scheme instance, so tests can be written
+   once for all five schemes without the module type escaping. *)
+type sh = {
+  sname : string;
+  arena : Arena.t;
+  salloc : tid:int -> level:int -> key:int -> int;
+  sretire : tid:int -> int -> unit;
+  sbegin : tid:int -> unit;
+  send : tid:int -> unit;
+  sprotect : tid:int -> slot:int -> (unit -> Packed.t) -> Packed.t;
+  stransfer : tid:int -> src:int -> dst:int -> unit;
+  sunreclaimed : unit -> int;
+}
+
+let setup (module R : Reclaim.Smr_intf.S) ?(n_threads = 2) ?(hazards = 4)
+    ?(retire_threshold = 2) ?(epoch_freq = 1) () =
+  let arena = Arena.create ~capacity:1_000 in
+  let global = Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq
+  in
+  {
+    sname = R.name;
+    arena;
+    salloc = (fun ~tid ~level ~key -> R.alloc r ~tid ~level ~key);
+    sretire = (fun ~tid i -> R.retire r ~tid i);
+    sbegin = (fun ~tid -> R.begin_op r ~tid);
+    send = (fun ~tid -> R.end_op r ~tid);
+    sprotect = (fun ~tid ~slot read -> R.protect r ~tid ~slot read);
+    stransfer = (fun ~tid ~src ~dst -> R.transfer r ~tid ~src ~dst);
+    sunreclaimed = (fun () -> R.unreclaimed r);
+  }
+
+(* Shared behaviour: alloc gives a clean node; retire/alloc cycles reuse
+   slots (except NoRecl); freed/unreclaimed counters move sensibly. *)
+let test_alloc_reset m () =
+  let h = setup m () in
+  let i = h.salloc ~tid:0 ~level:1 ~key:11 in
+  let n = Arena.get h.arena i in
+  (* Dirty the node, retire it, and check a re-allocation resets it. *)
+  Atomic.set (Node.next0 n) (Packed.pack ~marked:true ~index:i ~version:0);
+  h.sbegin ~tid:0;
+  h.send ~tid:0;
+  h.sretire ~tid:0 i;
+  (* Drive reclamation with more traffic. *)
+  for j = 0 to 19 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:j in
+    h.sretire ~tid:0 x
+  done;
+  let fresh = h.salloc ~tid:0 ~level:1 ~key:99 in
+  let fn = Arena.get h.arena fresh in
+  Alcotest.(check int) "key set" 99 fn.Node.key;
+  Alcotest.(check bool) "next cleaned" false
+    (Packed.is_marked (Atomic.get (Node.next0 fn)))
+
+let test_reuse_or_not m ~expect_reuse () =
+  let h = setup m () in
+  for k = 0 to 49 do
+    let i = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 i
+  done;
+  let used = Arena.allocated h.arena in
+  if expect_reuse then
+    Alcotest.(check bool) "slots were reused" true (used < 50)
+  else Alcotest.(check int) "NoRecl always fresh" 50 used
+
+(* EBR: a node retired while another thread is inside an operation that
+   began before the retirement must not be recycled until that operation
+   ends. *)
+let test_ebr_grace () =
+  let h = setup (module Reclaim.Ebr) () in
+  let i = h.salloc ~tid:0 ~level:1 ~key:1 in
+  h.sbegin ~tid:1;
+  (* Thread 1 is now pinned at the current epoch. *)
+  h.sretire ~tid:0 i;
+  for k = 0 to 63 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  (* Nothing from this era can be freed while tid 1 is in its op... *)
+  Alcotest.(check bool) "pinned by reader" true (h.sunreclaimed () > 0);
+  let before = Arena.allocated h.arena in
+  h.send ~tid:1;
+  (* ...but once it leaves, traffic reclaims everything. *)
+  for k = 0 to 63 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check bool) "reuse resumed" true
+    (Arena.allocated h.arena < before + 64)
+
+(* HP: a slot named by a hazard pointer survives any amount of retire
+   traffic; clearing the hazard releases it. *)
+let test_hp_pinning () =
+  let h = setup (module Reclaim.Hp) () in
+  let i = h.salloc ~tid:0 ~level:1 ~key:1 in
+  (Arena.get h.arena i).Node.key <- 123;
+  (* Reader protects i through a stable read. *)
+  let w = Packed.pack ~marked:false ~index:i ~version:0 in
+  let got = h.sprotect ~tid:1 ~slot:0 (fun () -> w) in
+  Alcotest.(check int) "protect returns the word" w got;
+  h.sretire ~tid:0 i;
+  for k = 0 to 99 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check int) "hazarded key intact" 123 (Arena.get h.arena i).Node.key;
+  Alcotest.(check bool) "i still unreclaimed" true (h.sunreclaimed () > 0);
+  h.send ~tid:1;
+  (* After release, i must eventually be recycled. *)
+  let reused = ref false in
+  for k = 0 to 99 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    if x = i then reused := true;
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check bool) "slot reused after release" true !reused
+
+let test_hp_protect_validates () =
+  (* protect must chase a moving field until two reads agree. *)
+  let h = setup (module Reclaim.Hp) () in
+  let a = h.salloc ~tid:0 ~level:1 ~key:1 in
+  let b = h.salloc ~tid:0 ~level:1 ~key:2 in
+  let flips = ref 0 in
+  let read () =
+    incr flips;
+    let v = if !flips <= 3 then if !flips mod 2 = 1 then a else b else b in
+    Packed.pack ~marked:false ~index:v ~version:0
+  in
+  let w = h.sprotect ~tid:0 ~slot:0 read in
+  Alcotest.(check int) "settles on the stable value" b (Packed.index w)
+
+let test_hp_transfer () =
+  let h = setup (module Reclaim.Hp) () in
+  let i = h.salloc ~tid:0 ~level:1 ~key:5 in
+  (Arena.get h.arena i).Node.key <- 5;
+  let w = Packed.pack ~marked:false ~index:i ~version:0 in
+  ignore (h.sprotect ~tid:1 ~slot:0 (fun () -> w));
+  (* Move the protection to slot 1 and overwrite slot 0. *)
+  h.stransfer ~tid:1 ~src:0 ~dst:1;
+  ignore (h.sprotect ~tid:1 ~slot:0 (fun () -> Packed.null));
+  h.sretire ~tid:0 i;
+  for k = 0 to 99 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check int) "still pinned via transferred slot" 5
+    (Arena.get h.arena i).Node.key
+
+(* HE/IBR: retired nodes whose lifetime intersects a published era /
+   reservation survive; once released, they are recycled. *)
+let test_era_pinning m () =
+  let h = setup m () in
+  (* Reader begins an op and protects a read — publishing its era. *)
+  let i = h.salloc ~tid:0 ~level:1 ~key:1 in
+  h.sbegin ~tid:1;
+  let w = Packed.pack ~marked:false ~index:i ~version:0 in
+  ignore (h.sprotect ~tid:1 ~slot:0 (fun () -> w));
+  h.sretire ~tid:0 i;
+  for k = 0 to 199 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check bool)
+    (h.sname ^ ": something stays pinned while reader active")
+    true
+    (h.sunreclaimed () > 0);
+  h.send ~tid:1;
+  for k = 0 to 199 do
+    let x = h.salloc ~tid:0 ~level:1 ~key:k in
+    h.sretire ~tid:0 x
+  done;
+  Alcotest.(check bool)
+    (h.sname ^ ": drains after release")
+    true
+    (h.sunreclaimed () <= 4)
+
+(* Robustness contrast (the paper's §1 motivation): with a stalled reader
+   pinned in an operation, EBR's unreclaimed count grows without bound,
+   while HP's stays bounded by the hazard count. *)
+let test_robustness_contrast () =
+  let traffic m =
+    let h = setup m ~retire_threshold:8 () in
+    h.sbegin ~tid:1;
+    let i0 = h.salloc ~tid:0 ~level:1 ~key:0 in
+    ignore
+      (h.sprotect ~tid:1 ~slot:0 (fun () ->
+           Packed.pack ~marked:false ~index:i0 ~version:0));
+    (* tid 1 now stalls forever. tid 0 churns. *)
+    for k = 0 to 499 do
+      let x = h.salloc ~tid:0 ~level:1 ~key:k in
+      h.sbegin ~tid:0;
+      h.send ~tid:0;
+      h.sretire ~tid:0 x
+    done;
+    h.sunreclaimed ()
+  in
+  let ebr = traffic (module Reclaim.Ebr) in
+  let hp = traffic (module Reclaim.Hp) in
+  Alcotest.(check bool) "EBR garbage grows with traffic" true (ebr >= 400);
+  Alcotest.(check bool) "HP garbage stays bounded" true (hp <= 16)
+
+let conservative_schemes : (string * (module Reclaim.Smr_intf.S)) list =
+  [
+    ("NoRecl", (module Reclaim.No_recl));
+    ("EBR", (module Reclaim.Ebr));
+    ("HP", (module Reclaim.Hp));
+    ("HE", (module Reclaim.He));
+    ("IBR", (module Reclaim.Ibr));
+  ]
+
+let () =
+  let shared =
+    List.concat_map
+      (fun (sname, m) ->
+        [
+          Alcotest.test_case (sname ^ " alloc reset") `Quick
+            (test_alloc_reset m);
+          Alcotest.test_case
+            (sname ^ if sname = "NoRecl" then " never reuses" else " reuses")
+            `Quick
+            (test_reuse_or_not m ~expect_reuse:(sname <> "NoRecl"));
+        ])
+      conservative_schemes
+  in
+  Alcotest.run "schemes"
+    [
+      ("shared", shared);
+      ( "ebr",
+        [ Alcotest.test_case "grace period" `Quick test_ebr_grace ] );
+      ( "hp",
+        [
+          Alcotest.test_case "pinning" `Quick test_hp_pinning;
+          Alcotest.test_case "protect validates" `Quick
+            test_hp_protect_validates;
+          Alcotest.test_case "transfer" `Quick test_hp_transfer;
+        ] );
+      ( "eras",
+        [
+          Alcotest.test_case "HE pinning" `Quick
+            (test_era_pinning (module Reclaim.He));
+          Alcotest.test_case "IBR pinning" `Quick
+            (test_era_pinning (module Reclaim.Ibr));
+        ] );
+      ( "robustness",
+        [ Alcotest.test_case "EBR vs HP contrast" `Quick test_robustness_contrast ] );
+    ]

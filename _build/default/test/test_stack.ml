@@ -1,0 +1,116 @@
+(* The VBR Treiber stack: sequential LIFO semantics against a Stack
+   model, recycling, and multi-domain push/pop integrity. *)
+
+let setup ?(n_threads = 4) () =
+  let arena = Memsim.Arena.create ~capacity:200_000 in
+  let global = Memsim.Global_pool.create ~max_level:1 in
+  let vbr =
+    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads ()
+  in
+  (arena, vbr, Dstruct.Vbr_stack.create vbr)
+
+let test_lifo () =
+  let _, _, s = setup () in
+  Alcotest.(check bool) "empty" true (Dstruct.Vbr_stack.is_empty s ~tid:0);
+  Alcotest.(check (option int)) "pop empty" None
+    (Dstruct.Vbr_stack.pop s ~tid:0);
+  List.iter (fun v -> Dstruct.Vbr_stack.push s ~tid:0 v) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "top to bottom" [ 3; 2; 1 ]
+    (Dstruct.Vbr_stack.to_list s);
+  Alcotest.(check (option int)) "pop 3" (Some 3)
+    (Dstruct.Vbr_stack.pop s ~tid:0);
+  Dstruct.Vbr_stack.push s ~tid:0 4;
+  Alcotest.(check (option int)) "pop 4" (Some 4)
+    (Dstruct.Vbr_stack.pop s ~tid:0);
+  Alcotest.(check (option int)) "pop 2" (Some 2)
+    (Dstruct.Vbr_stack.pop s ~tid:0);
+  Alcotest.(check (option int)) "pop 1" (Some 1)
+    (Dstruct.Vbr_stack.pop s ~tid:0);
+  Alcotest.(check (option int)) "empty again" None
+    (Dstruct.Vbr_stack.pop s ~tid:0)
+
+let test_recycling () =
+  let arena, vbr, s = setup () in
+  for round = 1 to 2_000 do
+    Dstruct.Vbr_stack.push s ~tid:0 round;
+    Dstruct.Vbr_stack.push s ~tid:0 (-round);
+    Alcotest.(check (option int)) "pop newest" (Some (-round))
+      (Dstruct.Vbr_stack.pop s ~tid:0);
+    Alcotest.(check (option int)) "pop next" (Some round)
+      (Dstruct.Vbr_stack.pop s ~tid:0)
+  done;
+  Alcotest.(check bool) "bounded arena" true
+    (Memsim.Arena.allocated arena < 1_000);
+  Alcotest.(check bool) "recycled" true
+    ((Vbr_core.Vbr.total_stats vbr).Vbr_core.Vbr.recycled > 1_000)
+
+let prop_model =
+  QCheck2.Test.make ~name:"random trace matches Stack model" ~count:60
+    QCheck2.Gen.(list_size (int_range 20 200) (int_range 0 2))
+    (fun ops ->
+      let _, _, s = setup () in
+      let model = Stack.create () in
+      let tick = ref 0 in
+      List.for_all
+        (fun c ->
+          incr tick;
+          match c with
+          | 0 ->
+              Dstruct.Vbr_stack.push s ~tid:0 !tick;
+              Stack.push !tick model;
+              true
+          | 1 ->
+              let expected =
+                if Stack.is_empty model then None else Some (Stack.pop model)
+              in
+              Dstruct.Vbr_stack.pop s ~tid:0 = expected
+          | _ -> Dstruct.Vbr_stack.is_empty s ~tid:0 = Stack.is_empty model)
+        ops
+      && Dstruct.Vbr_stack.to_list s = List.of_seq (Stack.to_seq model))
+
+let test_concurrent_no_loss () =
+  (* Every pushed value is popped exactly once across all domains. *)
+  let n_pushers = 2 and n_poppers = 2 in
+  let per_pusher = 30_000 in
+  let _, _, s = setup ~n_threads:(n_pushers + n_poppers) () in
+  let pushers =
+    List.init n_pushers (fun tid ->
+        Domain.spawn (fun () ->
+            for seq = 1 to per_pusher do
+              Dstruct.Vbr_stack.push s ~tid ((tid * 1_000_000) + seq)
+            done))
+  in
+  let popped = Atomic.make 0 in
+  let poppers =
+    List.init n_poppers (fun i ->
+        Domain.spawn (fun () ->
+            let tid = n_pushers + i in
+            let got = ref [] in
+            while Atomic.get popped < n_pushers * per_pusher do
+              match Dstruct.Vbr_stack.pop s ~tid with
+              | Some v ->
+                  got := v :: !got;
+                  Atomic.incr popped
+              | None -> Domain.cpu_relax ()
+            done;
+            !got))
+  in
+  List.iter Domain.join pushers;
+  let all = List.concat_map Domain.join poppers in
+  Alcotest.(check int) "nothing lost" (n_pushers * per_pusher)
+    (List.length all);
+  Alcotest.(check int) "nothing duplicated" (List.length all)
+    (List.length (List.sort_uniq compare all))
+
+let () =
+  Alcotest.run "stack"
+    [
+      ( "vbr-stack",
+        [
+          Alcotest.test_case "lifo" `Quick test_lifo;
+          Alcotest.test_case "recycling" `Quick test_recycling;
+          QCheck_alcotest.to_alcotest prop_model;
+          Alcotest.test_case "concurrent no-loss no-dup" `Slow
+            test_concurrent_no_loss;
+        ] );
+    ]

@@ -1,0 +1,366 @@
+(* Unit tests for the VBR primitives themselves: the allocation/retire
+   lifecycle (Figure 1), the §2 ABA scenario, the double-retire guard, the
+   rollback machinery, and the version invariants of Appendix A. *)
+
+open Vbr_core
+open Memsim
+
+let setup ?(retire_threshold = 0) ?(n_threads = 2) () =
+  let arena = Arena.create ~capacity:1_000 in
+  let global = Global_pool.create ~max_level:4 in
+  let vbr = Vbr.create ~retire_threshold ~arena ~global ~n_threads () in
+  (arena, vbr)
+
+let run_ckpt c f = Vbr.checkpoint c f
+
+let test_alloc_shape () =
+  let arena, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let i, b =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c ~level:3 42 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  let n = Arena.get arena i in
+  Alcotest.(check int) "key" 42 n.Node.key;
+  Alcotest.(check int) "birth = epoch at alloc" b (Atomic.get n.Node.birth);
+  Alcotest.(check int) "retire is bottom" Node.no_epoch
+    (Atomic.get n.Node.retire);
+  Array.iter
+    (fun w ->
+      let v = Atomic.get w in
+      Alcotest.(check int) "next NULL" 0 (Packed.index v);
+      Alcotest.(check int) "version = birth" b (Packed.version v);
+      Alcotest.(check bool) "unmarked" false (Packed.is_marked v))
+    n.Node.next
+
+let test_reallocation_epoch_advances () =
+  (* Re-allocating a slot retired in the current epoch must bump the
+     global epoch so the new birth strictly exceeds the old retire
+     (Claim 6, part 4). retire_threshold = 0 recycles immediately. *)
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let i1, b1 =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c 1 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  run_ckpt c (fun () -> Vbr.retire c i1 ~birth:b1);
+  let old_retire = Vbr.read_retire vbr i1 in
+  let i2, b2 =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c 2 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  Alcotest.(check int) "same slot recycled" i1 i2;
+  Alcotest.(check bool) "new birth > old retire" true (b2 > old_retire);
+  Alcotest.(check bool) "epoch advanced" true
+    (Epoch.get (Vbr.epoch vbr) > b1)
+
+let test_double_retire_guard () =
+  let _, vbr = setup ~retire_threshold:100 () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let i, b =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c 7 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  run_ckpt c (fun () -> Vbr.retire c i ~birth:b);
+  let retires_before = (Vbr.stats c).Vbr.retires in
+  run_ckpt c (fun () -> Vbr.retire c i ~birth:b);
+  (* Stale-birth retire must also be rejected. *)
+  run_ckpt c (fun () -> Vbr.retire c i ~birth:(b - 1));
+  Alcotest.(check int) "retire is once" retires_before (Vbr.stats c).Vbr.retires
+
+let test_aba_scenario () =
+  (* The §2 scenario. List n -> m -> k. T1 prepares to unlink m by CASing
+     n.next from m to k, but stalls. Meanwhile T2 removes m, m's slot is
+     recycled as d, and d is inserted between n and k. T1's stale CAS must
+     now FAIL thanks to the versions. *)
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let mk key =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c key in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  let n, n_b = mk 10 in
+  let m, m_b = mk 20 in
+  let k, k_b = mk 30 in
+  let link a a_b x x_b =
+    run_ckpt c (fun () ->
+        Alcotest.(check bool) "link" true
+          (Vbr.update c a ~birth:a_b ~expected:0 ~expected_birth:a_b ~new_:x
+             ~new_birth:x_b))
+  in
+  link m m_b k k_b;
+  link n n_b m m_b;
+  (* T1 "reads" its CAS operands here: (n, n_b), expected (m, m_b),
+     new (k, k_b) — then stalls. *)
+  (* T2: logically delete m, unlink it, retire it. *)
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "mark m" true (Vbr.mark c m ~birth:m_b);
+      Alcotest.(check bool) "unlink m" true
+        (Vbr.update c n ~birth:n_b ~expected:m ~expected_birth:m_b ~new_:k
+           ~new_birth:k_b));
+  run_ckpt c (fun () -> Vbr.retire c m ~birth:m_b);
+  (* Recycle m's slot as d and insert d between n and k. *)
+  let d, d_b = mk 25 in
+  Alcotest.(check int) "d reuses m's slot" m d;
+  Alcotest.(check bool) "d's birth exceeds m's" true (d_b > m_b);
+  run_ckpt c (fun () ->
+      ignore
+        (Vbr.update c d ~birth:d_b ~expected:0 ~expected_birth:d_b ~new_:k
+           ~new_birth:k_b);
+      Alcotest.(check bool) "insert d after n" true
+        (Vbr.update c n ~birth:n_b ~expected:k ~expected_birth:k_b ~new_:d
+           ~new_birth:d_b));
+  (* T1 wakes up and executes its stale CAS: n.next from (m, m_b-version)
+     to (k, ...). Without versions this would succeed (n.next's index IS
+     m's slot index). With versions it must fail. *)
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "stale CAS fails" false
+        (Vbr.update c n ~birth:n_b ~expected:m ~expected_birth:m_b ~new_:k
+           ~new_birth:k_b));
+  (* And d is still linked. *)
+  run_ckpt c (fun () ->
+      let succ, succ_b = Vbr.get_next c n in
+      Alcotest.(check int) "n still points at d" d succ;
+      Alcotest.(check int) "with d's birth" d_b succ_b)
+
+let test_mark_semantics () =
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let i, b =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c 5 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  Alcotest.(check bool) "fresh unmarked" false (Vbr.is_marked c i ~birth:b);
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "mark succeeds" true (Vbr.mark c i ~birth:b));
+  Alcotest.(check bool) "now marked" true (Vbr.is_marked c i ~birth:b);
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "second mark fails" false (Vbr.mark c i ~birth:b));
+  (* A marked word is invalidated: updates must fail. *)
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "update on marked fails" false
+        (Vbr.update c i ~birth:b ~expected:0 ~expected_birth:b ~new_:0
+           ~new_birth:b));
+  (* Stale-birth mark reports the node as already removed. *)
+  Alcotest.(check bool) "stale birth reads as marked" true
+    (Vbr.is_marked c i ~birth:(b - 1));
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "stale mark fails" false
+        (Vbr.mark c i ~birth:(b - 1)))
+
+let test_rollback_on_epoch_change () =
+  (* A get_next between epoch changes must roll back; the checkpoint
+     re-runs the body with a refreshed epoch and it then succeeds. *)
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let i, b =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c 1 in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  ignore b;
+  let attempts = ref 0 in
+  let bumped = ref false in
+  let v =
+    run_ckpt c (fun () ->
+        incr attempts;
+        if not !bumped then begin
+          (* Simulate another thread moving the epoch mid-operation. *)
+          bumped := true;
+          ignore
+            (Epoch.try_advance (Vbr.epoch vbr)
+               ~expected:(Epoch.get (Vbr.epoch vbr)))
+        end;
+        let succ, _ = Vbr.get_next c i in
+        succ)
+  in
+  Alcotest.(check int) "eventually reads" 0 v;
+  Alcotest.(check int) "exactly one rollback" 2 !attempts;
+  Alcotest.(check int) "rollback counted" 1 (Vbr.stats c).Vbr.rollbacks
+
+let test_pending_recycled_on_rollback () =
+  (* Appendix B, type 1: a node allocated after the checkpoint that never
+     became reachable is returned to the allocation pool on rollback, so
+     the next alloc reuses it immediately (Claim 22's flavour). *)
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let first = ref true in
+  let seen = ref [] in
+  let _ =
+    run_ckpt c (fun () ->
+        let i, _ = Vbr.alloc c 9 in
+        seen := i :: !seen;
+        if !first then begin
+          first := false;
+          ignore
+            (Epoch.try_advance (Vbr.epoch vbr)
+               ~expected:(Epoch.get (Vbr.epoch vbr)));
+          (* Trigger a rollback after the alloc. *)
+          ignore (Vbr.get_key c i)
+        end;
+        Vbr.commit_alloc c i;
+        i)
+  in
+  match !seen with
+  | [ second; first_alloc ] ->
+      Alcotest.(check int) "slot recycled across rollback" first_alloc second
+  | l -> Alcotest.failf "expected 2 allocs, saw %d" (List.length l)
+
+let test_refresh_next_semantics () =
+  let _, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let mk key =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c key in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  let a, a_b = mk 1 in
+  let x, x_b = mk 2 in
+  let y, y_b = mk 3 in
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "redirect from NULL" true
+        (Vbr.refresh_next c a ~birth:a_b ~new_:x ~new_birth:x_b);
+      Alcotest.(check bool) "redirect again (raw expected)" true
+        (Vbr.refresh_next c a ~birth:a_b ~new_:y ~new_birth:y_b);
+      let succ, _ = Vbr.get_next c a in
+      Alcotest.(check int) "points at y" y succ;
+      Alcotest.(check bool) "stale birth fails" false
+        (Vbr.refresh_next c a ~birth:(a_b - 1) ~new_:x ~new_birth:x_b);
+      Alcotest.(check bool) "mark a" true (Vbr.mark c a ~birth:a_b);
+      Alcotest.(check bool) "marked word immutable" false
+        (Vbr.refresh_next c a ~birth:a_b ~new_:x ~new_birth:x_b))
+
+let test_heal_stale_edge () =
+  (* Manufacture a garbage edge (version below the target's current
+     birth) and check that healing redirects it — and that healthy,
+     marked or re-allocated words are left alone. *)
+  let arena, vbr = setup () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let mk key =
+    run_ckpt c (fun () ->
+        let i, b = Vbr.alloc c key in
+        Vbr.commit_alloc c i;
+        (i, b))
+  in
+  let p, p_b = mk 1 in
+  let x, x_b = mk 2 in
+  let sentinel, sentinel_b = mk 99 in
+  run_ckpt c (fun () ->
+      ignore (Vbr.refresh_next c p ~birth:p_b ~new_:x ~new_birth:x_b));
+  (* Healthy edge: no heal. *)
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "healthy edge untouched" false
+        (Vbr.heal_stale_edge c p ~birth:p_b ~to_:sentinel
+           ~to_birth:sentinel_b));
+  (* Recycle x: mark, retire, re-allocate the slot. *)
+  run_ckpt c (fun () ->
+      ignore (Vbr.mark c x ~birth:x_b);
+      Vbr.retire c x ~birth:x_b);
+  let x', x'_b = mk 3 in
+  Alcotest.(check int) "slot reused" x x';
+  Alcotest.(check bool) "birth advanced" true (x'_b > x_b);
+  (* p's edge to the slot is now garbage: version < current birth. *)
+  let w = Atomic.get (Memsim.Node.next0 (Arena.get arena p)) in
+  Alcotest.(check bool) "edge is stale" true
+    (Memsim.Packed.version w < x'_b);
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "garbage edge healed" true
+        (Vbr.heal_stale_edge c p ~birth:p_b ~to_:sentinel
+           ~to_birth:sentinel_b));
+  run_ckpt c (fun () ->
+      let succ, succ_b = Vbr.get_next c p in
+      Alcotest.(check int) "redirected to sentinel" sentinel succ;
+      Alcotest.(check int) "with sentinel's birth" sentinel_b succ_b);
+  (* Stale caller birth: refused. *)
+  run_ckpt c (fun () ->
+      Alcotest.(check bool) "stale birth refused" false
+        (Vbr.heal_stale_edge c p ~birth:(p_b - 1) ~to_:sentinel
+           ~to_birth:sentinel_b))
+
+let test_version_invariant_random () =
+  (* Claim 10 flavour: after arbitrary single-threaded update/mark/retire
+     traffic, every reachable-word version is >= the pointing node's birth
+     and >= the target node's birth. *)
+  let arena, vbr = setup ~retire_threshold:0 () in
+  let c = Vbr.ctx vbr ~tid:0 in
+  let rng = Random.State.make [| 7 |] in
+  let live = ref [] in
+  for _ = 1 to 500 do
+    match Random.State.int rng 3 with
+    | 0 ->
+        let i, b =
+          run_ckpt c (fun () ->
+              let i, b = Vbr.alloc c (Random.State.int rng 100) in
+              Vbr.commit_alloc c i;
+              (i, b))
+        in
+        live := (i, b) :: !live
+    | 1 -> (
+        match !live with
+        | (x, x_b) :: rest when List.length !live >= 2 ->
+            let y, y_b = List.nth rest (Random.State.int rng (List.length rest)) in
+            run_ckpt c (fun () ->
+                ignore
+                  (Vbr.refresh_next c x ~birth:x_b ~new_:y ~new_birth:y_b))
+        | _ -> ())
+    | _ -> (
+        match !live with
+        | (x, x_b) :: rest ->
+            run_ckpt c (fun () ->
+                ignore (Vbr.mark c x ~birth:x_b);
+                Vbr.retire c x ~birth:x_b);
+            live := rest
+        | [] -> ())
+  done;
+  List.iter
+    (fun (i, b) ->
+      let n = Arena.get arena i in
+      if Atomic.get n.Node.birth = b then begin
+        let w = Atomic.get (Node.next0 n) in
+        Alcotest.(check bool) "version >= own birth" true
+          (Packed.version w >= b);
+        let tgt = Packed.index w in
+        if tgt <> 0 then
+          Alcotest.(check bool) "version >= target birth" true
+            (Packed.version w >= Vbr.read_birth vbr tgt)
+      end)
+    !live
+
+let () =
+  Alcotest.run "vbr_prim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "alloc shape" `Quick test_alloc_shape;
+          Alcotest.test_case "reallocation advances epoch" `Quick
+            test_reallocation_epoch_advances;
+          Alcotest.test_case "double-retire guard" `Quick
+            test_double_retire_guard;
+          Alcotest.test_case "ABA scenario (section 2)" `Quick
+            test_aba_scenario;
+          Alcotest.test_case "mark semantics" `Quick test_mark_semantics;
+          Alcotest.test_case "rollback on epoch change" `Quick
+            test_rollback_on_epoch_change;
+          Alcotest.test_case "pending recycled on rollback" `Quick
+            test_pending_recycled_on_rollback;
+          Alcotest.test_case "refresh_next semantics" `Quick
+            test_refresh_next_semantics;
+          Alcotest.test_case "heal_stale_edge" `Quick test_heal_stale_edge;
+          Alcotest.test_case "version invariant (random)" `Quick
+            test_version_invariant_random;
+        ] );
+    ]
