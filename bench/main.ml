@@ -3,11 +3,23 @@
    robustness (stalled-thread) experiment, and the design ablations listed
    in DESIGN.md.
 
+   Every panel prints its text table (lib/harness/report.ml) AND writes a
+   machine-readable BENCH_<panel>.json next to the working directory:
+   throughput points with per-scheme Obs counter snapshots, and — for the
+   robustness panel — the sampler's unreclaimed-vs-ops time series.
+
    Absolute numbers are not comparable to the paper's 64-core testbed (see
    EXPERIMENTS.md); the comparisons of interest are the per-panel ordering
    of schemes and the rough ratios between them. *)
 
 open Harness
+
+let json_path panel = "BENCH_" ^ panel ^ ".json"
+
+let write_json panel fields =
+  let path = json_path panel in
+  Obs.Sink.write_file path (Obs.Sink.Obj (("panel", Obs.Sink.String panel) :: fields));
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: the 3x3 grid of throughput panels.                        *)
@@ -67,36 +79,110 @@ let schemes_for structure =
     (fun s -> Registry.supports ~structure ~scheme:s)
     Registry.schemes
 
-let run_figure fig ~threads_list ~duration ~repeats =
+(* One measured cell: throughput point + the last repeat's counter
+   snapshot (+ merged latency histograms in timing mode). *)
+type cell = {
+  c_threads : int;
+  c_scheme : string;
+  c_point : Throughput.point;
+  c_counters : Obs.Counters.snapshot;
+  c_latencies : (string * Obs.Histogram.t) list;
+}
+
+let measure_cell ~structure ~scheme ~threads ~range ~profile ~duration
+    ~repeats ~timed =
+  let capacity = capacity_for ~structure ~scheme ~range ~duration ~profile in
+  let last = ref None in
+  let make () =
+    let inst =
+      Registry.make ~structure ~scheme ~n_threads:threads ~range ~capacity ()
+    in
+    last := Some inst;
+    inst
+  in
+  let point, latencies =
+    if timed then
+      Throughput.measure_timed ~make ~profile ~threads ~range ~duration
+        ~repeats
+    else
+      (Throughput.measure ~make ~profile ~threads ~range ~duration ~repeats, [])
+  in
+  let counters =
+    match !last with
+    | Some inst -> inst.Registry.stats ()
+    | None -> Obs.Counters.empty_snapshot ()
+  in
+  { c_threads = threads; c_scheme = scheme; c_point = point;
+    c_counters = counters; c_latencies = latencies }
+
+let cell_json c =
+  let open Obs.Sink in
+  let base =
+    [
+      ("threads", Int c.c_threads);
+      ("scheme", String c.c_scheme);
+      ("mops", Float c.c_point.Throughput.mops);
+      ("stddev", Float c.c_point.Throughput.stddev);
+      ("repeats", Int c.c_point.Throughput.repeats);
+      ("counters", of_counters c.c_counters);
+    ]
+  in
+  match c.c_latencies with
+  | [] -> Obj base
+  | lat ->
+      Obj
+        (base
+        @ [
+            ( "latency_ns",
+              Obj
+                (List.map
+                   (fun (op, h) -> (op, of_summary (Obs.Histogram.summarize h)))
+                   lat) );
+          ])
+
+let run_figure fig ~threads_list ~duration ~repeats ~timed =
   let columns = schemes_for fig.structure in
+  let cells =
+    List.concat_map
+      (fun threads ->
+        List.map
+          (fun scheme ->
+            measure_cell ~structure:fig.structure ~scheme ~threads
+              ~range:fig.range ~profile:fig.profile ~duration ~repeats ~timed)
+          columns)
+      threads_list
+  in
   let rows =
     List.map
       (fun threads ->
-        let values =
+        ( threads,
           List.map
             (fun scheme ->
-              let capacity =
-                capacity_for ~structure:fig.structure ~scheme ~range:fig.range
-                  ~duration ~profile:fig.profile
+              let c =
+                List.find
+                  (fun c -> c.c_threads = threads && c.c_scheme = scheme)
+                  cells
               in
-              let make () =
-                Registry.make ~structure:fig.structure ~scheme
-                  ~n_threads:threads ~range:fig.range ~capacity ()
-              in
-              let p =
-                Throughput.measure ~make ~profile:fig.profile ~threads
-                  ~range:fig.range ~duration ~repeats
-              in
-              p.Throughput.mops)
-            columns
-        in
-        (threads, values))
+              c.c_point.Throughput.mops)
+            columns ))
       threads_list
   in
   Report.print_series
     ~title:
       (Printf.sprintf "[%s] %s (range %d)" fig.fid fig.paper_ref fig.range)
-    ~ylabel:"Mops/s" ~columns ~rows
+    ~ylabel:"Mops/s" ~columns ~rows;
+  let open Obs.Sink in
+  write_json fig.fid
+    [
+      ("paper_ref", String fig.paper_ref);
+      ("structure", String fig.structure);
+      ("profile", String fig.profile.Workload.pname);
+      ("range", Int fig.range);
+      ("duration_s", Float duration);
+      ("repeats", Int repeats);
+      ("timed", Bool timed);
+      ("points", List (List.map cell_json cells));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmark: per-primitive costs (the §5.2 cost story).          *)
@@ -184,7 +270,13 @@ let micro () =
     |> List.sort compare
   in
   List.iter (fun (name, est) -> Printf.printf "%-55s %12.1f\n" name est) rows;
-  print_endline "----------------------------------------------------------"
+  print_endline "----------------------------------------------------------";
+  let open Obs.Sink in
+  write_json "micro"
+    [
+      ( "estimates_ns",
+        Obj (List.map (fun (name, est) -> (name, Float est)) rows) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Robustness: a stalled thread vs. unreclaimed garbage (§1, §A.2).    *)
@@ -193,6 +285,7 @@ let micro () =
 let robust ~threads =
   let range = 16384 in
   let checkpoints = 4 and ops_per_checkpoint = 50_000 in
+  let total_ops = checkpoints * ops_per_checkpoint in
   let columns = Registry.schemes in
   let per_scheme =
     List.map
@@ -201,16 +294,41 @@ let robust ~threads =
           capacity_for ~structure:"hash" ~scheme ~range ~duration:2.0
             ~profile:Workload.balanced
         in
+        let last = ref None in
         let make () =
-          Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
-            ~capacity ()
+          let inst =
+            Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
+              ~capacity ()
+          in
+          last := Some inst;
+          inst
         in
-        Throughput.run_stalled ~make ~profile:Workload.balanced ~threads ~range
-          ~checkpoints ~ops_per_checkpoint)
+        let series =
+          Throughput.run_stalled_series ~make ~profile:Workload.balanced
+            ~threads ~range ~total_ops ()
+        in
+        let counters =
+          match !last with
+          | Some inst -> inst.Registry.stats ()
+          | None -> Obs.Counters.empty_snapshot ()
+        in
+        (scheme, series, counters))
       columns
   in
-  let ops_axis = List.map (fun (ops, _, _) -> ops) (List.hd per_scheme) in
-  let row_at i f = List.map (fun series -> f (List.nth series i)) per_scheme in
+  (* Project each scheme's async time series onto the shared ops axis. *)
+  let milestone series target =
+    match
+      List.find_opt (fun s -> s.Throughput.ops >= target) series
+    with
+    | Some s -> s
+    | None -> List.nth series (List.length series - 1)
+  in
+  let ops_axis =
+    List.init checkpoints (fun cp -> (cp + 1) * ops_per_checkpoint)
+  in
+  let row_at target f =
+    List.map (fun (_, series, _) -> f (milestone series target)) per_scheme
+  in
   Report.print_counts
     ~title:
       (Printf.sprintf
@@ -219,13 +337,49 @@ let robust ~threads =
          (threads - 1) range)
     ~columns
     ~rows:
-      (List.mapi (fun i ops -> (ops, row_at i (fun (_, u, _) -> u))) ops_axis);
+      (List.map
+         (fun t -> (t, row_at t (fun s -> s.Throughput.unreclaimed)))
+         ops_axis);
   Report.print_counts
     ~title:
       "[robust] arena slots claimed (memory footprint) at same checkpoints"
     ~columns
     ~rows:
-      (List.mapi (fun i ops -> (ops, row_at i (fun (_, _, a) -> a))) ops_axis)
+      (List.map
+         (fun t -> (t, row_at t (fun s -> s.Throughput.allocated)))
+         ops_axis);
+  let open Obs.Sink in
+  write_json "robust"
+    [
+      ("structure", String "hash");
+      ("profile", String "balanced");
+      ("range", Int range);
+      ("threads", Int threads);
+      ("workers", Int (threads - 1));
+      ("total_ops", Int total_ops);
+      ( "schemes",
+        List
+          (List.map
+             (fun (scheme, series, counters) ->
+               Obj
+                 [
+                   ("scheme", String scheme);
+                   ("counters", of_counters counters);
+                   ( "series",
+                     List
+                       (List.map
+                          (fun s ->
+                            Obj
+                              [
+                                ("t_ms", Float s.Throughput.t_ms);
+                                ("ops", Int s.Throughput.ops);
+                                ("unreclaimed", Int s.Throughput.unreclaimed);
+                                ("allocated", Int s.Throughput.allocated);
+                              ])
+                          series) );
+                 ])
+             per_scheme) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: VBR retired-list threshold vs throughput and epoch rate.  *)
@@ -245,38 +399,63 @@ let ablate ~threads ~duration ~repeats =
     "------------------------------------------------------------";
   Printf.printf "%-12s %12s %22s\n" "threshold" "Mops/s"
     "epoch advances / 200k ops";
-  List.iter
-    (fun threshold ->
-      let capacity =
-        capacity_for ~structure:"hash" ~scheme:"VBR" ~range ~duration
-          ~profile:Workload.update_intensive
-      in
-      let make () =
-        Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
-          ~range ~capacity ~retire_threshold:threshold ()
-      in
-      let p =
-        Throughput.measure ~make ~profile:Workload.update_intensive ~threads
-          ~range ~duration ~repeats
-      in
-      (* A deterministic single-threaded drive to report the epoch-advance
-         rate this threshold induces. *)
-      let inst =
-        Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
-          ~range ~capacity ~retire_threshold:threshold ()
-      in
-      Throughput.prefill inst ~range;
-      let rng = Rng.create ~seed:99 in
-      for _ = 1 to 200_000 do
-        let k = Rng.below rng range in
-        if Rng.below rng 2 = 0 then ignore (inst.Registry.insert ~tid:0 k)
-        else ignore (inst.Registry.delete ~tid:0 k)
-      done;
-      Printf.printf "%-12d %12.3f %22d\n" threshold p.Throughput.mops
-        (inst.Registry.epoch_advances ()))
-    thresholds;
+  let measured =
+    List.map
+      (fun threshold ->
+        let capacity =
+          capacity_for ~structure:"hash" ~scheme:"VBR" ~range ~duration
+            ~profile:Workload.update_intensive
+        in
+        let make () =
+          Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
+            ~range ~capacity ~retire_threshold:threshold ()
+        in
+        let p =
+          Throughput.measure ~make ~profile:Workload.update_intensive ~threads
+            ~range ~duration ~repeats
+        in
+        (* A deterministic single-threaded drive to report the epoch-advance
+           rate this threshold induces. *)
+        let inst =
+          Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:threads
+            ~range ~capacity ~retire_threshold:threshold ()
+        in
+        Throughput.prefill inst ~range;
+        let rng = Rng.create ~seed:99 in
+        for _ = 1 to 200_000 do
+          let k = Rng.below rng range in
+          if Rng.below rng 2 = 0 then ignore (inst.Registry.insert ~tid:0 k)
+          else ignore (inst.Registry.delete ~tid:0 k)
+        done;
+        let advances = inst.Registry.epoch_advances () in
+        Printf.printf "%-12d %12.3f %22d\n" threshold p.Throughput.mops
+          advances;
+        (threshold, p, advances, inst.Registry.stats ()))
+      thresholds
+  in
   print_endline
-    "------------------------------------------------------------"
+    "------------------------------------------------------------";
+  let open Obs.Sink in
+  write_json "ablate"
+    [
+      ("structure", String "hash");
+      ("profile", String "update-heavy");
+      ("range", Int range);
+      ("threads", Int threads);
+      ( "points",
+        List
+          (List.map
+             (fun (threshold, p, advances, counters) ->
+               Obj
+                 [
+                   ("retire_threshold", Int threshold);
+                   ("mops", Float p.Throughput.mops);
+                   ("stddev", Float p.Throughput.stddev);
+                   ("epoch_advances_per_200k_ops", Int advances);
+                   ("counters", of_counters counters);
+                 ])
+             measured) );
+    ]
 
 (* Ablation: conservative epoch frequency (EBR/HE/IBR need frequent epoch
    advances to reclaim promptly; VBR does not — §5.2's explanation). *)
@@ -296,29 +475,58 @@ let ablate_epoch_freq ~threads ~duration ~repeats =
   Printf.printf "%-12s" "freq";
   List.iter (fun c -> Printf.printf "%10s " c) columns;
   print_newline ();
-  List.iter
-    (fun freq ->
-      Printf.printf "%-12d" freq;
-      List.iter
-        (fun scheme ->
-          let capacity =
-            capacity_for ~structure:"hash" ~scheme ~range ~duration
-              ~profile:Workload.balanced
-          in
-          let make () =
-            Registry.make ~structure:"hash" ~scheme ~n_threads:threads ~range
-              ~capacity ~epoch_freq:freq ()
-          in
-          let p =
-            Throughput.measure ~make ~profile:Workload.balanced ~threads
-              ~range ~duration ~repeats
-          in
-          Printf.printf "%10.3f " p.Throughput.mops)
-        columns;
-      print_newline ())
-    freqs;
+  let measured =
+    List.map
+      (fun freq ->
+        Printf.printf "%-12d" freq;
+        let per_scheme =
+          List.map
+            (fun scheme ->
+              let capacity =
+                capacity_for ~structure:"hash" ~scheme ~range ~duration
+                  ~profile:Workload.balanced
+              in
+              let make () =
+                Registry.make ~structure:"hash" ~scheme ~n_threads:threads
+                  ~range ~capacity ~epoch_freq:freq ()
+              in
+              let p =
+                Throughput.measure ~make ~profile:Workload.balanced ~threads
+                  ~range ~duration ~repeats
+              in
+              Printf.printf "%10.3f " p.Throughput.mops;
+              (scheme, p))
+            columns
+        in
+        print_newline ();
+        (freq, per_scheme))
+      freqs
+  in
   print_endline
-    "------------------------------------------------------------"
+    "------------------------------------------------------------";
+  let open Obs.Sink in
+  write_json "ablate_freq"
+    [
+      ("structure", String "hash");
+      ("profile", String "balanced");
+      ("range", Int range);
+      ("threads", Int threads);
+      ( "points",
+        List
+          (List.concat_map
+             (fun (freq, per_scheme) ->
+               List.map
+                 (fun (scheme, (p : Throughput.point)) ->
+                   Obj
+                     [
+                       ("epoch_freq", Int freq);
+                       ("scheme", String scheme);
+                       ("mops", Float p.Throughput.mops);
+                       ("stddev", Float p.Throughput.stddev);
+                     ])
+                 per_scheme)
+             measured) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Applicability: Harris's original list (§5's HP-inapplicability).    *)
@@ -336,33 +544,63 @@ let harris ~threads_list ~duration ~repeats =
     | "harris/VBR" -> ("harris", "VBR")
     | _ -> ("list", "EBR")
   in
+  let cells =
+    List.concat_map
+      (fun threads ->
+        List.map
+          (fun col ->
+            let structure, scheme = make_of col in
+            let capacity =
+              capacity_for ~structure ~scheme ~range ~duration ~profile
+            in
+            let make () =
+              Registry.make ~structure ~scheme ~n_threads:threads ~range
+                ~capacity ()
+            in
+            let p =
+              Throughput.measure ~make ~profile ~threads ~range ~duration
+                ~repeats
+            in
+            (threads, col, p))
+          columns)
+      threads_list
+  in
   let rows =
     List.map
       (fun threads ->
-        let values =
+        ( threads,
           List.map
             (fun col ->
-              let structure, scheme = make_of col in
-              let capacity =
-                capacity_for ~structure ~scheme ~range ~duration ~profile
+              let _, _, p =
+                List.find (fun (t, c, _) -> t = threads && c = col) cells
               in
-              let make () =
-                Registry.make ~structure ~scheme ~n_threads:threads ~range
-                  ~capacity ()
-              in
-              (Throughput.measure ~make ~profile ~threads ~range ~duration
-                 ~repeats)
-                .Throughput.mops)
-            columns
-        in
-        (threads, values))
+              p.Throughput.mops)
+            columns ))
       threads_list
   in
   Report.print_series
     ~title:
       "[harris] Harris's original list: applicable schemes only (HP/HE/IBR \
        cannot support it, section 5)"
-    ~ylabel:"Mops/s" ~columns ~rows
+    ~ylabel:"Mops/s" ~columns ~rows;
+  let open Obs.Sink in
+  write_json "harris"
+    [
+      ("range", Int range);
+      ("profile", String profile.Workload.pname);
+      ( "points",
+        List
+          (List.map
+             (fun (threads, col, (p : Throughput.point)) ->
+               Obj
+                 [
+                   ("threads", Int threads);
+                   ("variant", String col);
+                   ("mops", Float p.Throughput.mops);
+                   ("stddev", Float p.Throughput.stddev);
+                 ])
+             cells) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Extension: queue and stack throughput across schemes (structures    *)
@@ -466,26 +704,51 @@ let pool_throughput kind scheme ~threads ~duration ~repeats =
   List.fold_left ( +. ) 0.0 samples /. float_of_int repeats
 
 let pools ~threads_list ~duration ~repeats =
-  List.iter
-    (fun (kind, kname) ->
-      let columns = Registry.schemes in
-      let rows =
-        List.map
-          (fun threads ->
-            ( threads,
-              List.map
-                (fun scheme ->
-                  pool_throughput kind scheme ~threads ~duration ~repeats)
-                columns ))
-          threads_list
-      in
-      Report.print_series
-        ~title:
-          (Printf.sprintf
-             "[pools] %s: produce+consume pairs (extension; not in the paper)"
-             kname)
-        ~ylabel:"Mops/s" ~columns ~rows)
-    [ (`Queue, "MS queue"); (`Stack, "Treiber stack") ]
+  let all =
+    List.map
+      (fun (kind, kname) ->
+        let columns = Registry.schemes in
+        let rows =
+          List.map
+            (fun threads ->
+              ( threads,
+                List.map
+                  (fun scheme ->
+                    pool_throughput kind scheme ~threads ~duration ~repeats)
+                  columns ))
+            threads_list
+        in
+        Report.print_series
+          ~title:
+            (Printf.sprintf
+               "[pools] %s: produce+consume pairs (extension; not in the paper)"
+               kname)
+          ~ylabel:"Mops/s" ~columns ~rows;
+        (kname, columns, rows))
+      [ (`Queue, "MS queue"); (`Stack, "Treiber stack") ]
+  in
+  let open Obs.Sink in
+  write_json "pools"
+    [
+      ( "points",
+        List
+          (List.concat_map
+             (fun (kname, columns, rows) ->
+               List.concat_map
+                 (fun (threads, values) ->
+                   List.map2
+                     (fun scheme mops ->
+                       Obj
+                         [
+                           ("structure", String kname);
+                           ("threads", Int threads);
+                           ("scheme", String scheme);
+                           ("mops", Float mops);
+                         ])
+                     columns values)
+                 rows)
+             all) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* CLI.                                                                *)
@@ -495,12 +758,12 @@ let all_experiments =
   List.map (fun f -> f.fid) figures
   @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "pools" ]
 
-let run_experiments names ~threads_list ~duration ~repeats =
+let run_experiments names ~threads_list ~duration ~repeats ~timed =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.find_opt (fun f -> f.fid = name) figures with
-      | Some fig -> run_figure fig ~threads_list ~duration ~repeats
+      | Some fig -> run_figure fig ~threads_list ~duration ~repeats ~timed
       | None -> (
           match name with
           | "micro" -> micro ()
@@ -545,7 +808,16 @@ let () =
     let doc = "Shrink to a smoke-test run (threads 1,4; 0.1s; 1 repeat)." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let main exps threads duration repeats quick =
+  let timed =
+    let doc =
+      "Per-operation latency mode for the figure panels: time every \
+       operation into log-bucketed histograms and include p50/p90/p99 \
+       summaries in the BENCH_*.json output. Slightly depresses the \
+       throughput numbers; off by default."
+    in
+    Arg.(value & flag & info [ "timed" ] ~doc)
+  in
+  let main exps threads duration repeats quick timed =
     let names =
       List.concat_map
         (function
@@ -557,12 +829,14 @@ let () =
     let threads_list, duration, repeats =
       if quick then ([ 1; 4 ], 0.1, 1) else (threads, duration, repeats)
     in
-    run_experiments names ~threads_list ~duration ~repeats
+    run_experiments names ~threads_list ~duration ~repeats ~timed
   in
   let cmd =
     Cmd.v
       (Cmd.info "vbr-bench"
          ~doc:"Regenerate the VBR paper's evaluation (SPAA 2021, Figure 2)")
-      Term.(const main $ experiments $ threads $ duration $ repeats $ quick)
+      Term.(
+        const main $ experiments $ threads $ duration $ repeats $ quick
+        $ timed)
   in
   exit (Cmd.eval cmd)

@@ -4,12 +4,12 @@
    Examples:
      dune exec bin/vbr_bench.exe -- --structure hash --scheme VBR --threads 4
      dune exec bin/vbr_bench.exe -- --structure skiplist --scheme HP \
-       --profile update-heavy --range 4096 --duration 1.0 *)
+       --profile update-heavy --range 4096 --duration 1.0 --json point.json *)
 
 open Harness
 
 let run structure scheme threads range profile_name duration repeats
-    retire_threshold epoch_freq capacity =
+    retire_threshold epoch_freq capacity timed json_path =
   match Workload.of_name profile_name with
   | None ->
       Printf.eprintf "unknown profile %s (expected %s)\n" profile_name
@@ -45,21 +45,74 @@ let run structure scheme threads range profile_name duration repeats
         last := Some inst;
         inst
       in
-      let p =
-        Throughput.measure ~make ~profile ~threads ~range ~duration ~repeats
+      let p, latencies =
+        if timed then
+          Throughput.measure_timed ~make ~profile ~threads ~range ~duration
+            ~repeats
+        else
+          ( Throughput.measure ~make ~profile ~threads ~range ~duration
+              ~repeats,
+            [] )
       in
       Printf.printf "%s/%s  threads=%d  range=%d  profile=%s\n" structure
         scheme threads range profile.Workload.pname;
       Printf.printf "throughput: %.3f Mops/s  (stddev %.3f over %d repeats)\n"
         p.Throughput.mops p.Throughput.stddev p.Throughput.repeats;
-      (match !last with
-      | Some inst ->
+      let counters =
+        match !last with
+        | Some inst ->
+            Printf.printf
+              "last run: arena slots %d, unreclaimed %d, epoch advances %d\n"
+              (inst.Registry.allocated ())
+              (inst.Registry.unreclaimed ())
+              (inst.Registry.epoch_advances ());
+            inst.Registry.stats ()
+        | None -> Obs.Counters.empty_snapshot ()
+      in
+      print_endline "counters (last run):";
+      List.iter
+        (fun (name, v) -> if v > 0 then Printf.printf "  %-18s %12d\n" name v)
+        (Obs.Counters.to_assoc counters);
+      List.iter
+        (fun (op, h) ->
+          let s = Obs.Histogram.summarize h in
           Printf.printf
-            "last run: arena slots %d, unreclaimed %d, epoch advances %d\n"
-            (inst.Registry.allocated ())
-            (inst.Registry.unreclaimed ())
-            (inst.Registry.epoch_advances ())
-      | None -> ())
+            "latency %-8s p50 %6d ns  p90 %6d ns  p99 %6d ns  max %d ns\n" op
+            s.Obs.Histogram.p50 s.Obs.Histogram.p90 s.Obs.Histogram.p99
+            s.Obs.Histogram.max)
+        latencies;
+      match json_path with
+      | None -> ()
+      | Some path ->
+          let open Obs.Sink in
+          let fields =
+            [
+              ("structure", String structure);
+              ("scheme", String scheme);
+              ("threads", Int threads);
+              ("range", Int range);
+              ("profile", String profile.Workload.pname);
+              ("duration_s", Float duration);
+              ("mops", Float p.Throughput.mops);
+              ("stddev", Float p.Throughput.stddev);
+              ("repeats", Int p.Throughput.repeats);
+              ("counters", of_counters counters);
+            ]
+            @
+            match latencies with
+            | [] -> []
+            | lat ->
+                [
+                  ( "latency_ns",
+                    Obj
+                      (List.map
+                         (fun (op, h) ->
+                           (op, of_summary (Obs.Histogram.summarize h)))
+                         lat) );
+                ]
+          in
+          write_file path (Obj fields);
+          Printf.printf "wrote %s\n" path
 
 let () =
   let open Cmdliner in
@@ -107,11 +160,26 @@ let () =
       & opt (some int) None
       & info [ "capacity" ] ~doc:"Arena capacity (default: auto-sized).")
   in
+  let timed =
+    Arg.(
+      value & flag
+      & info [ "timed" ]
+          ~doc:
+            "Time every operation into latency histograms and print \
+             p50/p90/p99 per op kind (costs a little throughput).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the measurement as a JSON object to $(docv).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "vbr-bench" ~doc:"One-shot throughput measurement")
       Term.(
         const run $ structure $ scheme $ threads $ range $ profile $ duration
-        $ repeats $ retire_threshold $ epoch_freq $ capacity)
+        $ repeats $ retire_threshold $ epoch_freq $ capacity $ timed $ json)
   in
   exit (Cmd.eval cmd)

@@ -9,44 +9,48 @@ type ctx = {
   retire_threshold : int;
   mutable my_e : int;
   pool : Pool.t;
+  obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
   (* Appendix B, type 1: nodes allocated since the last checkpoint that are
      not yet reachable. Recycled (not retired) on rollback. *)
   mutable pending : int list;
-  (* stats *)
-  mutable allocs : int;
-  mutable retires : int;
-  mutable rollbacks : int;
+  (* Advance *attempts* from the alloc slow path; the Epoch_advance event
+     counts only the successful ones. *)
   mutable epoch_bumps : int;
 }
 
-type t = { arena : Arena.t; epoch : Epoch.t; ctxs : ctx array }
+type t = {
+  arena : Arena.t;
+  epoch : Epoch.t;
+  ctxs : ctx array;
+  counters : Obs.Counters.t;
+}
 
 let create ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global ~n_threads
     () =
   if n_threads < 1 then invalid_arg "Vbr.create: n_threads < 1";
   if retire_threshold < 0 then invalid_arg "Vbr.create: retire_threshold < 0";
   let epoch = Epoch.create () in
+  let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   let ctxs =
     Array.init n_threads (fun tid ->
+        let obs = Obs.Counters.shard counters tid in
         {
           tid;
           arena;
           epoch;
           retire_threshold;
           my_e = 1;
-          pool = Pool.create arena global ~spill;
+          pool = Pool.create ~stats:obs arena global ~spill;
+          obs;
           retired = [];
           retired_len = 0;
           pending = [];
-          allocs = 0;
-          retires = 0;
-          rollbacks = 0;
           epoch_bumps = 0;
         })
   in
-  { arena; epoch; ctxs }
+  { arena; epoch; ctxs; counters }
 
 let ctx (t : t) ~tid = t.ctxs.(tid)
 let arena (t : t) = t.arena
@@ -67,6 +71,7 @@ let flush_pending (c : ctx) =
   | [] -> ()
   | pending ->
       c.pending <- [];
+      Obs.Counters.shard_add c.obs Obs.Event.Dealloc (List.length pending);
       List.iter (Pool.put c.pool) pending
 
 let checkpoint (c : ctx) f =
@@ -77,7 +82,7 @@ let checkpoint (c : ctx) f =
         c.pending <- [];
         v
     | exception Rollback ->
-        c.rollbacks <- c.rollbacks + 1;
+        Obs.Counters.shard_incr c.obs Obs.Event.Rollback;
         flush_pending c;
         loop ()
   in
@@ -87,6 +92,7 @@ let checkpoint (c : ctx) f =
 let maybe_flush_retired (c : ctx) =
   if c.retired_len >= c.retire_threshold then begin
     let batch = c.retired in
+    Obs.Counters.shard_add c.obs Obs.Event.Reclaim c.retired_len;
     c.retired <- [];
     c.retired_len <- 0;
     Pool.put_batch c.pool batch
@@ -100,7 +106,8 @@ let alloc (c : ctx) ?(level = 1) key =
        the epoch (any thread's success is enough) and roll back so my_e is
        refreshed above the slot's retire epoch. *)
     c.epoch_bumps <- c.epoch_bumps + 1;
-    ignore (Epoch.try_advance c.epoch ~expected:c.my_e);
+    if Epoch.try_advance c.epoch ~expected:c.my_e then
+      Obs.Counters.shard_incr c.obs Obs.Event.Epoch_advance;
     Pool.put c.pool i;
     raise Rollback
   end;
@@ -123,7 +130,7 @@ let alloc (c : ctx) ?(level = 1) key =
   done;
   n.Node.key <- key;
   c.pending <- i :: c.pending;
-  c.allocs <- c.allocs + 1;
+  Obs.Counters.shard_incr c.obs Obs.Event.Alloc;
   (i, b)
 
 let commit_alloc (c : ctx) i =
@@ -140,7 +147,7 @@ let retire (c : ctx) i ~birth =
     Atomic.set n.Node.retire re;
     c.retired <- i :: c.retired;
     c.retired_len <- c.retired_len + 1;
-    c.retires <- c.retires + 1;
+    Obs.Counters.shard_incr c.obs Obs.Event.Retire;
     (* A freshly allocated node that failed its insertion CAS is retired
        (Figure 4, line 15); it must not also be recycled as pending. *)
     (match c.pending with
@@ -184,13 +191,18 @@ let read_retire (t : t) i = Atomic.get (Arena.get t.arena i).Node.retire
 let read_level (t : t) i = (Arena.get t.arena i).Node.level
 let validate_epoch = validate
 
+let count_cas (c : ctx) ok =
+  if not ok then Obs.Counters.shard_incr c.obs Obs.Event.Cas_fail;
+  ok
+
 let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_birth =
   let n = node c i in
   let exp_v = max birth expected_birth in
   let new_v = max birth new_birth in
-  Atomic.compare_and_set n.Node.next.(lvl)
-    (Packed.pack ~marked:false ~index:expected ~version:exp_v)
-    (Packed.pack ~marked:false ~index:new_ ~version:new_v)
+  count_cas c
+    (Atomic.compare_and_set n.Node.next.(lvl)
+       (Packed.pack ~marked:false ~index:expected ~version:exp_v)
+       (Packed.pack ~marked:false ~index:new_ ~version:new_v))
 
 (* Figure 1 computes the expected version as max(n_b, exp's birth) (line
    36). That recomputation livelocks on partially-linked skiplist towers:
@@ -207,7 +219,7 @@ let mark (c : ctx) ?(lvl = 0) i ~birth =
   let w = Atomic.get n.Node.next.(lvl) in
   if Atomic.get n.Node.birth <> birth then false (* line 37: already gone *)
   else if Packed.is_marked w then false
-  else Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w)
+  else count_cas c (Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w))
 
 (* Raw-expected variant of [update] for a node's *own* not-yet-linked
    field (a skiplist inserter refreshing its forward pointer): the caller
@@ -220,8 +232,9 @@ let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
   if Atomic.get n.Node.birth <> birth then false
   else if Packed.is_marked w then false
   else
-    Atomic.compare_and_set n.Node.next.(lvl) w
-      (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth))
+    count_cas c
+      (Atomic.compare_and_set n.Node.next.(lvl) w
+         (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth)))
 
 (* A garbage edge — one whose stored version is below its target's
    current birth epoch — can never be touched by a versioned CAS (every
@@ -239,8 +252,9 @@ let heal_stale_edge (c : ctx) ?(lvl = 0) i ~birth ~to_ ~to_birth =
     let tgt = Packed.index w in
     tgt <> 0
     && Packed.version w < birth_of c tgt
-    && Atomic.compare_and_set n.Node.next.(lvl) w
-         (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth))
+    && count_cas c
+         (Atomic.compare_and_set n.Node.next.(lvl) w
+            (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth)))
   end
 
 let make_root ~init ~init_birth =
@@ -251,10 +265,11 @@ let read_root (c : ctx) root =
   validate c;
   (Packed.index w, Packed.version w)
 
-let cas_root (_c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
-  Atomic.compare_and_set root
-    (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
-    (Packed.pack ~marked:false ~index:new_ ~version:new_birth)
+let cas_root (c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
+  count_cas c
+    (Atomic.compare_and_set root
+       (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
+       (Packed.pack ~marked:false ~index:new_ ~version:new_birth))
 
 type stats = {
   allocs : int;
@@ -267,13 +282,16 @@ type stats = {
 
 let stats (c : ctx) =
   {
-    allocs = c.allocs;
-    retires = c.retires;
-    rollbacks = c.rollbacks;
+    allocs = Obs.Counters.shard_get c.obs Obs.Event.Alloc;
+    retires = Obs.Counters.shard_get c.obs Obs.Event.Retire;
+    rollbacks = Obs.Counters.shard_get c.obs Obs.Event.Rollback;
     epoch_bumps = c.epoch_bumps;
     recycled = Pool.recycled c.pool;
     retired_pending = c.retired_len;
   }
+
+let counters (t : t) = t.counters
+let counters_snapshot (t : t) = Obs.Counters.snapshot t.counters
 
 let total_stats t =
   Array.fold_left

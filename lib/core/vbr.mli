@@ -201,3 +201,12 @@ type stats = {
 val stats : ctx -> stats
 val total_stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val counters : t -> Obs.Counters.t
+(** The instance's sharded event counters (one shard per thread): the
+    protocol events ([Alloc]/[Dealloc]/[Retire]/[Reclaim]/[Rollback]/
+    [Cas_fail]/[Epoch_advance]) plus the allocator events its pools emit.
+    [stats] above is a per-thread projection of the same data. *)
+
+val counters_snapshot : t -> Obs.Counters.snapshot
+(** Racy merged snapshot of {!counters}. *)

@@ -10,6 +10,7 @@ type instance = {
   allocated : unit -> int;
   pin : tid:int -> unit;
   epoch_advances : unit -> int;
+  stats : unit -> Obs.Counters.snapshot;
 }
 
 let schemes = [ "NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR" ]
@@ -65,6 +66,7 @@ let make_conservative (module R : Reclaim.Smr_intf.S) ~structure ~n_threads
       allocated = (fun () -> Arena.allocated arena);
       pin;
       epoch_advances = (fun () -> 0);
+      stats = (fun () -> R.stats r);
     }
   in
   match structure with
@@ -137,6 +139,7 @@ let make_vbr ~structure ~n_threads ~range ~capacity ~retire_threshold () =
       pin = (fun ~tid:_ -> ());
       epoch_advances =
         (fun () -> Vbr_core.Epoch.advance_counted (Vbr_core.Vbr.epoch vbr));
+      stats = (fun () -> Vbr_core.Vbr.counters_snapshot vbr);
     }
   in
   match structure with

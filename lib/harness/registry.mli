@@ -21,6 +21,12 @@ type instance = {
       (** Global epoch/era increments so far (0 for schemes without one).
           The §5.2 discussion attributes VBR's win over EBR/HE/IBR to this
           being small. *)
+  stats : unit -> Obs.Counters.snapshot;
+      (** Racy merged snapshot of the backend's event counters (see
+          {!Obs.Event}): protocol events, protection retries, rollbacks,
+          epoch advances, and the allocator events underneath. The
+          [unreclaimed] field above is the [Retire] − [Reclaim] view of
+          the same data. *)
 }
 
 val schemes : string list

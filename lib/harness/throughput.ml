@@ -5,7 +5,20 @@ let prefill (inst : Registry.instance) ~range =
     if Workload.prefill_member k then ignore (inst.Registry.insert ~tid:0 k)
   done
 
-let worker (inst : Registry.instance) ~tid ~range profile start stop count =
+let run_op (inst : Registry.instance) ~tid k = function
+  | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
+  | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
+  | Workload.Search -> ignore (inst.Registry.contains ~tid k)
+
+let op_index = function
+  | Workload.Insert -> 0
+  | Workload.Delete -> 1
+  | Workload.Search -> 2
+
+let op_names = [| "insert"; "delete"; "search" |]
+
+let worker ?lat (inst : Registry.instance) ~tid ~range profile start stop count
+    =
   let rng = Rng.create ~seed:((tid * 7919) + 13) in
   (* Spin until the coordinator releases everyone at once. *)
   while not (Atomic.get start) do
@@ -13,22 +26,38 @@ let worker (inst : Registry.instance) ~tid ~range profile start stop count =
   done;
   let ops = ref 0 in
   (try
-     while not (Atomic.get stop) do
-       let k = Rng.below rng range in
-       (match Workload.pick profile rng with
-       | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
-       | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
-       | Workload.Search -> ignore (inst.Registry.contains ~tid k));
-       incr ops
-     done
+     match lat with
+     | None ->
+         while not (Atomic.get stop) do
+           let k = Rng.below rng range in
+           run_op inst ~tid k (Workload.pick profile rng);
+           incr ops
+         done
+     | Some (hists : Obs.Histogram.t array) ->
+         (* Timing mode: wrap every operation in a wall-clock read. The
+            clock is Unix.gettimeofday, so individual samples quantize to
+            its (typically microsecond) resolution — fine for the paper's
+            list/skiplist operations, which sit well above it. *)
+         while not (Atomic.get stop) do
+           let k = Rng.below rng range in
+           let op = Workload.pick profile rng in
+           let t0 = Unix.gettimeofday () in
+           run_op inst ~tid k op;
+           let t1 = Unix.gettimeofday () in
+           Obs.Histogram.record
+             hists.(op_index op)
+             (int_of_float ((t1 -. t0) *. 1e9));
+           incr ops
+         done
    with Memsim.Arena.Exhausted ->
      (* Only NoRecl can get here (it never reuses); its sized headroom ran
         out, so this worker stops early and the reported throughput is a
-        slight underestimate for NoRecl. *)
+        slight underestimate for NoRecl. The exhaustion itself is recorded
+        as an [Arena_exhausted] event in the instance's counters. *)
      ());
   count := !ops
 
-let one_run ~make ~profile ~threads ~range ~duration =
+let one_run ?lat ~make ~profile ~threads ~range ~duration () =
   let inst = make () in
   prefill inst ~range;
   let start = Atomic.make false and stop = Atomic.make false in
@@ -36,7 +65,8 @@ let one_run ~make ~profile ~threads ~range ~duration =
   let domains =
     List.init threads (fun tid ->
         Domain.spawn (fun () ->
-            worker inst ~tid ~range profile start stop counts.(tid)))
+            let lat = Option.map (fun l -> l.(tid)) lat in
+            worker ?lat inst ~tid ~range profile start stop counts.(tid)))
   in
   let t0 = Unix.gettimeofday () in
   Atomic.set start true;
@@ -47,10 +77,7 @@ let one_run ~make ~profile ~threads ~range ~duration =
   let total = Array.fold_left (fun acc c -> acc + !c) 0 counts in
   float_of_int total /. (t1 -. t0) /. 1e6
 
-let measure ~make ~profile ~threads ~range ~duration ~repeats =
-  let samples =
-    List.init repeats (fun _ -> one_run ~make ~profile ~threads ~range ~duration)
-  in
+let summarize_samples ~threads ~repeats samples =
   let n = float_of_int repeats in
   let mean = List.fold_left ( +. ) 0.0 samples /. n in
   let var =
@@ -58,32 +85,109 @@ let measure ~make ~profile ~threads ~range ~duration ~repeats =
   in
   { threads; mops = mean; stddev = sqrt var; repeats }
 
-let run_stalled ~make ~profile ~threads ~range ~checkpoints
-    ~ops_per_checkpoint =
+let measure ~make ~profile ~threads ~range ~duration ~repeats =
+  let samples =
+    List.init repeats (fun _ ->
+        one_run ~make ~profile ~threads ~range ~duration ())
+  in
+  summarize_samples ~threads ~repeats samples
+
+let measure_timed ~make ~profile ~threads ~range ~duration ~repeats =
+  let merged = Array.init 3 (fun _ -> Obs.Histogram.create ()) in
+  let samples =
+    List.init repeats (fun _ ->
+        let lat =
+          Array.init threads (fun _ ->
+              Array.init 3 (fun _ -> Obs.Histogram.create ()))
+        in
+        let mops = one_run ~lat ~make ~profile ~threads ~range ~duration () in
+        Array.iter
+          (Array.iteri (fun op h -> Obs.Histogram.merge_into ~into:merged.(op) h))
+          lat;
+        mops)
+  in
+  let point = summarize_samples ~threads ~repeats samples in
+  let latencies =
+    Array.to_list
+      (Array.mapi (fun op h -> (op_names.(op), h)) merged)
+    |> List.filter (fun (_, h) -> Obs.Histogram.count h > 0)
+  in
+  (point, latencies)
+
+(* ------------------------------------------------------------------ *)
+(* The robustness experiment (§1, §A.2): one pinned thread, a fixed op *)
+(* budget, and a background sampler watching the memory gauges.        *)
+(* ------------------------------------------------------------------ *)
+
+type stalled_sample = {
+  t_ms : float;  (** milliseconds since the workers were released *)
+  ops : int;  (** operations completed so far (all workers) *)
+  unreclaimed : int;
+  allocated : int;
+}
+
+let run_stalled_series ?(interval_ms = 2.0) ~make ~profile ~threads ~range
+    ~total_ops () =
   let inst = make () in
   prefill inst ~range;
   (* The last thread id pins itself and never proceeds. *)
   inst.Registry.pin ~tid:(threads - 1);
   let workers = max 1 (threads - 1) in
-  let samples = ref [] in
-  let total = ref 0 in
-  for _cp = 1 to checkpoints do
-    let domains =
-      List.init workers (fun tid ->
-          Domain.spawn (fun () ->
-              let rng = Rng.create ~seed:((tid * 31) + !total + 1) in
-              for _ = 1 to ops_per_checkpoint / workers do
+  let per_worker = total_ops / workers in
+  (* One Atomic per worker (each its own heap block, so no false sharing
+     worth caring about at this sampling rate); the sampler sums them. *)
+  let done_ops = Array.init workers (fun _ -> Atomic.make 0) in
+  let sum_ops () =
+    Array.fold_left (fun acc a -> acc + Atomic.get a) 0 done_ops
+  in
+  let sampler =
+    Obs.Sampler.start ~interval_ms
+      ~read:(fun () ->
+        (sum_ops (), inst.Registry.unreclaimed (), inst.Registry.allocated ()))
+      ()
+  in
+  let domains =
+    List.init workers (fun tid ->
+        Domain.spawn (fun () ->
+            (* One RNG per worker for the whole run (seeded like the
+               fixed-time workers): re-seeding at every checkpoint — as the
+               old per-checkpoint spawn loop did — replayed the same short
+               key prefix each time and skewed the key distribution. *)
+            let rng = Rng.create ~seed:((tid * 7919) + 13) in
+            try
+              for _ = 1 to per_worker do
                 let k = Rng.below rng range in
-                match Workload.pick profile rng with
-                | Workload.Insert -> ignore (inst.Registry.insert ~tid k)
-                | Workload.Delete -> ignore (inst.Registry.delete ~tid k)
-                | Workload.Search -> ignore (inst.Registry.contains ~tid k)
-              done))
-    in
-    List.iter Domain.join domains;
-    total := !total + ops_per_checkpoint;
-    samples :=
-      (!total, inst.Registry.unreclaimed (), inst.Registry.allocated ())
-      :: !samples
-  done;
-  List.rev !samples
+                run_op inst ~tid k (Workload.pick profile rng);
+                Atomic.incr done_ops.(tid)
+              done
+            with Memsim.Arena.Exhausted ->
+              (* NoRecl's headroom ran out; the early stop is visible both
+                 here (ops plateau) and as an [Arena_exhausted] counter
+                 event. *)
+              ()))
+  in
+  List.iter Domain.join domains;
+  List.map
+    (fun { Obs.Sampler.elapsed_ms; value = ops, unreclaimed, allocated } ->
+      { t_ms = elapsed_ms; ops; unreclaimed; allocated })
+    (Obs.Sampler.stop sampler)
+
+let run_stalled ~make ~profile ~threads ~range ~checkpoints
+    ~ops_per_checkpoint =
+  let total_ops = checkpoints * ops_per_checkpoint in
+  let series =
+    run_stalled_series ~make ~profile ~threads ~range ~total_ops ()
+  in
+  let last = List.nth series (List.length series - 1) in
+  (* Project the async time series onto the legacy checkpoint axis: for
+     each ops milestone, the first sample at or past it (the final sample
+     as fallback — worker-count division can leave total ops one or two
+     short of the target). *)
+  List.init checkpoints (fun cp ->
+      let target = (cp + 1) * ops_per_checkpoint in
+      let s =
+        match List.find_opt (fun s -> s.ops >= target) series with
+        | Some s -> s
+        | None -> last
+      in
+      (target, s.unreclaimed, s.allocated))

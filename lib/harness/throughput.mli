@@ -26,6 +26,45 @@ val measure :
 (** One averaged measurement point. A fresh instance (and prefill) per
     repeat. *)
 
+val measure_timed :
+  make:(unit -> Registry.instance) ->
+  profile:Workload.profile ->
+  threads:int ->
+  range:int ->
+  duration:float ->
+  repeats:int ->
+  point * (string * Obs.Histogram.t) list
+(** Like {!measure}, but each worker also times every operation into a
+    per-thread log-bucketed histogram; the returned association list maps
+    op kinds ([insert]/[delete]/[search], omitting kinds the profile never
+    samples) to the histogram merged over threads and repeats. The clock
+    is [Unix.gettimeofday], so samples quantize to its (typically
+    microsecond) resolution; the per-op clock reads also cost a little
+    throughput — use plain {!measure} for headline numbers. *)
+
+type stalled_sample = {
+  t_ms : float;  (** milliseconds since the workers were released *)
+  ops : int;  (** operations completed so far (all workers) *)
+  unreclaimed : int;
+  allocated : int;
+}
+
+val run_stalled_series :
+  ?interval_ms:float ->
+  make:(unit -> Registry.instance) ->
+  profile:Workload.profile ->
+  threads:int ->
+  range:int ->
+  total_ops:int ->
+  unit ->
+  stalled_sample list
+(** The robustness experiment: thread [threads-1] pins itself
+    mid-operation and stalls forever while the other [threads-1] workers
+    execute a [total_ops] budget; an {!Obs.Sampler} domain samples
+    (ops done, unreclaimed, arena slots) every [interval_ms] (default
+    2 ms) into the returned chronological time series. Under EBR the
+    unreclaimed gauge grows with traffic; under VBR/HP it stays bounded. *)
+
 val run_stalled :
   make:(unit -> Registry.instance) ->
   profile:Workload.profile ->
@@ -34,8 +73,7 @@ val run_stalled :
   checkpoints:int ->
   ops_per_checkpoint:int ->
   (int * int * int) list
-(** The robustness experiment: thread [threads-1] pins itself mid-operation
-    and stalls forever while the others execute [ops_per_checkpoint]
-    operations between successive samples. Returns
-    [(total_ops, unreclaimed, allocated)] per checkpoint — under EBR the
-    unreclaimed count grows with traffic; under VBR/HP it stays bounded. *)
+(** {!run_stalled_series} projected onto a fixed checkpoint axis:
+    [(total_ops, unreclaimed, allocated)] at each of [checkpoints]
+    successive [ops_per_checkpoint] milestones (each row taken from the
+    first sample at or past its milestone). *)

@@ -14,7 +14,10 @@ let stack_for t level =
     invalid_arg (Printf.sprintf "Global_pool: level %d out of range" level);
   t.stacks.(level - 1)
 
-let push_batch t ~level batch =
+let count stats ev =
+  match stats with None -> () | Some s -> Obs.Counters.shard_incr s ev
+
+let push_batch ?stats t ~level batch =
   match batch with
   | [] -> ()
   | _ ->
@@ -25,9 +28,10 @@ let push_batch t ~level batch =
           loop ()
       in
       loop ();
-      Atomic.incr t.count
+      Atomic.incr t.count;
+      count stats Obs.Event.Global_push
 
-let pop_batch t ~level =
+let pop_batch ?stats t ~level =
   let cell = stack_for t level in
   let rec loop () =
     match Atomic.get cell with
@@ -35,6 +39,7 @@ let pop_batch t ~level =
     | Cons (batch, rest) as cur ->
         if Atomic.compare_and_set cell cur rest then begin
           Atomic.decr t.count;
+          count stats Obs.Event.Global_pop;
           Some batch
         end
         else loop ()

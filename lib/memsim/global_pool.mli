@@ -16,12 +16,14 @@ type t
 val create : max_level:int -> t
 (** A pool accepting slots of tower levels [1 .. max_level]. *)
 
-val push_batch : t -> level:int -> int list -> unit
+val push_batch : ?stats:Obs.Counters.shard -> t -> level:int -> int list -> unit
 (** Donate a non-empty batch of recycled slots, all of tower [level].
-    No-op on the empty list. Lock-free. *)
+    No-op on the empty list. Lock-free. [stats] (the calling thread's
+    shard) counts one [Global_push]. *)
 
-val pop_batch : t -> level:int -> int list option
-(** Take one whole batch of slots of tower [level], if any. Lock-free. *)
+val pop_batch : ?stats:Obs.Counters.shard -> t -> level:int -> int list option
+(** Take one whole batch of slots of tower [level], if any. Lock-free.
+    [stats] counts one [Global_pop] on success. *)
 
 val approx_batches : t -> int
 (** Approximate number of batches currently held (all levels); racy, for

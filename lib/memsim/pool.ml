@@ -5,11 +5,12 @@ type t = {
   free : int list array;  (* per level-1 *)
   free_len : int array;
   mutable recycled : int;
+  stats : Obs.Counters.shard option;
 }
 
 let max_supported_level = 32
 
-let create arena global ~spill =
+let create ?stats arena global ~spill =
   if spill < 2 then invalid_arg "Pool.create: spill must be >= 2";
   {
     arena;
@@ -18,7 +19,14 @@ let create arena global ~spill =
     free = Array.make max_supported_level [];
     free_len = Array.make max_supported_level 0;
     recycled = 0;
+    stats;
   }
+
+let count t ev =
+  match t.stats with None -> () | Some s -> Obs.Counters.shard_incr s ev
+
+let count_n t ev n =
+  match t.stats with None -> () | Some s -> Obs.Counters.shard_add s ev n
 
 let rec split_at n acc = function
   | rest when n = 0 -> (List.rev acc, rest)
@@ -31,7 +39,8 @@ let maybe_spill t lvl =
     let kept, donated = split_at keep [] t.free.(lvl) in
     t.free.(lvl) <- kept;
     t.free_len.(lvl) <- keep;
-    Global_pool.push_batch t.global ~level:(lvl + 1) donated
+    count_n t Obs.Event.Pool_spill (List.length donated);
+    Global_pool.push_batch ?stats:t.stats t.global ~level:(lvl + 1) donated
   end
 
 let put t i =
@@ -49,15 +58,24 @@ let take t ~level =
       t.free.(lvl) <- rest;
       t.free_len.(lvl) <- t.free_len.(lvl) - 1;
       t.recycled <- t.recycled + 1;
+      count t Obs.Event.Pool_recycle;
       i
   | [] -> (
-      match Global_pool.pop_batch t.global ~level with
+      match Global_pool.pop_batch ?stats:t.stats t.global ~level with
       | Some (i :: rest) ->
           t.free.(lvl) <- rest;
           t.free_len.(lvl) <- List.length rest;
           t.recycled <- t.recycled + 1;
+          count t Obs.Event.Pool_recycle;
           i
-      | Some [] | None -> Arena.fresh t.arena ~level)
+      | Some [] | None -> (
+          match Arena.fresh t.arena ~level with
+          | i ->
+              count t Obs.Event.Arena_fresh;
+              i
+          | exception Arena.Exhausted ->
+              count t Obs.Event.Arena_exhausted;
+              raise Arena.Exhausted))
 
 let local_free t = Array.fold_left ( + ) 0 t.free_len
 let recycled t = t.recycled

@@ -12,9 +12,13 @@
 
 type t
 
-val create : Arena.t -> Global_pool.t -> spill:int -> t
+val create : ?stats:Obs.Counters.shard -> Arena.t -> Global_pool.t -> spill:int -> t
 (** [create arena global ~spill] makes an empty pool. [spill] is the local
     free-list length that triggers donating half a list to [global].
+    [stats], when given, receives allocator events ([Pool_recycle],
+    [Pool_spill], [Arena_fresh], [Arena_exhausted], and — via the calls
+    this pool makes into [global] — [Global_push]/[Global_pop]); it should
+    be the owning thread's shard.
     @raise Invalid_argument if [spill < 2]. *)
 
 val put : t -> int -> unit

@@ -1,0 +1,70 @@
+(* Each shard is its own [int array], padded up to a multiple of a cache
+   line so two shards never share one. Increments are plain (non-atomic)
+   writes: a shard is only ever written by its owning thread, so the only
+   racy accesses are the cross-shard reads in [snapshot]/[read], which may
+   observe a slightly stale count — the same contract as the freed /
+   unreclaimed stats the schemes always exposed. The one exception is the
+   shared overflow shard used by code with no thread identity (the global
+   pool); its lost-update races only affect stats, never safety. *)
+
+type shard = int array
+
+let stride =
+  (* Round the event count up to 16 ints (128 bytes): one shard spans
+     whole cache lines, so neighbouring shards never false-share. *)
+  (Event.count + 15) / 16 * 16
+
+type t = { shards : shard array (* n_shards rows + 1 shared overflow row *) }
+
+type snapshot = int array
+
+let create ~shards:n =
+  if n < 1 then invalid_arg "Counters.create: shards < 1";
+  { shards = Array.init (n + 1) (fun _ -> Array.make stride 0) }
+
+let n_shards t = Array.length t.shards - 1
+
+let shard t i =
+  if i < 0 || i >= n_shards t then
+    invalid_arg (Printf.sprintf "Counters.shard: %d out of range" i);
+  t.shards.(i)
+
+let shared_shard t = t.shards.(n_shards t)
+
+let shard_incr (s : shard) ev =
+  let i = Event.to_index ev in
+  s.(i) <- s.(i) + 1
+
+let shard_add (s : shard) ev n =
+  let i = Event.to_index ev in
+  s.(i) <- s.(i) + n
+
+let shard_get (s : shard) ev = s.(Event.to_index ev)
+let incr t ~shard ev = shard_incr t.shards.(shard) ev
+let add t ~shard ev n = shard_add t.shards.(shard) ev n
+
+let read t ev =
+  let i = Event.to_index ev in
+  Array.fold_left (fun acc s -> acc + s.(i)) 0 t.shards
+
+let snapshot t =
+  let out = Array.make Event.count 0 in
+  Array.iter
+    (fun s ->
+      for i = 0 to Event.count - 1 do
+        out.(i) <- out.(i) + s.(i)
+      done)
+    t.shards;
+  out
+
+let empty_snapshot () = Array.make Event.count 0
+
+let merge a b =
+  if Array.length a <> Event.count || Array.length b <> Event.count then
+    invalid_arg "Counters.merge: not a snapshot";
+  Array.init Event.count (fun i -> a.(i) + b.(i))
+
+let get (s : snapshot) ev = s.(Event.to_index ev)
+
+let to_assoc (s : snapshot) =
+  List.map (fun ev -> (Event.to_string ev, get s ev)) Event.all

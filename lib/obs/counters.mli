@@ -1,0 +1,58 @@
+(** Sharded event counters.
+
+    A [t] holds one padded counter shard per thread (plus one shared
+    overflow shard for code with no thread identity). The owning thread
+    increments its shard with plain writes — no atomics, no cache-line
+    ping-pong — and readers sum across shards with racy reads, exactly the
+    contract of the [freed]/[unreclaimed] stats the reclamation schemes
+    always exposed. Snapshots may therefore be slightly stale but each
+    per-shard count is exact. *)
+
+type t
+
+type shard
+(** A borrowed reference to one shard: the cheap handle layers like
+    {!Memsim.Pool} hold so their hot paths touch one array and no
+    indirection. Owned by one thread (except {!shared_shard}). *)
+
+type snapshot
+(** A merged point-in-time view: one total per {!Event.t}. *)
+
+val create : shards:int -> t
+(** [create ~shards:n] makes [n] per-thread shards plus the shared one.
+    @raise Invalid_argument if [n < 1]. *)
+
+val n_shards : t -> int
+(** The number of per-thread shards (excluding the shared one). *)
+
+val shard : t -> int -> shard
+(** [shard t i] is thread [i]'s shard, [0 <= i < n_shards t]. *)
+
+val shared_shard : t -> shard
+(** The overflow shard for increments with no thread identity. Racy
+    (concurrent increments may be lost); stats only. *)
+
+val incr : t -> shard:int -> Event.t -> unit
+val add : t -> shard:int -> Event.t -> int -> unit
+
+val shard_incr : shard -> Event.t -> unit
+val shard_add : shard -> Event.t -> int -> unit
+
+val shard_get : shard -> Event.t -> int
+(** This shard's exact count (exact when read by the owner). *)
+
+val read : t -> Event.t -> int
+(** Racy cross-shard total of one event, without allocating. *)
+
+val snapshot : t -> snapshot
+(** Racy merged totals of every event. *)
+
+val empty_snapshot : unit -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Event-wise sum (combining instances, e.g. across repeats). *)
+
+val get : snapshot -> Event.t -> int
+
+val to_assoc : snapshot -> (string * int) list
+(** [(Event.to_string ev, total)] for every event, in {!Event.all} order. *)

@@ -1,0 +1,69 @@
+type t =
+  | Alloc
+  | Dealloc
+  | Retire
+  | Reclaim
+  | Epoch_advance
+  | Protect_retry
+  | Rollback
+  | Cas_fail
+  | Arena_fresh
+  | Arena_exhausted
+  | Pool_recycle
+  | Pool_spill
+  | Global_push
+  | Global_pop
+
+let count = 14
+
+let all =
+  [
+    Alloc;
+    Dealloc;
+    Retire;
+    Reclaim;
+    Epoch_advance;
+    Protect_retry;
+    Rollback;
+    Cas_fail;
+    Arena_fresh;
+    Arena_exhausted;
+    Pool_recycle;
+    Pool_spill;
+    Global_push;
+    Global_pop;
+  ]
+
+let to_index = function
+  | Alloc -> 0
+  | Dealloc -> 1
+  | Retire -> 2
+  | Reclaim -> 3
+  | Epoch_advance -> 4
+  | Protect_retry -> 5
+  | Rollback -> 6
+  | Cas_fail -> 7
+  | Arena_fresh -> 8
+  | Arena_exhausted -> 9
+  | Pool_recycle -> 10
+  | Pool_spill -> 11
+  | Global_push -> 12
+  | Global_pop -> 13
+
+let to_string = function
+  | Alloc -> "alloc"
+  | Dealloc -> "dealloc"
+  | Retire -> "retire"
+  | Reclaim -> "reclaim"
+  | Epoch_advance -> "epoch-advance"
+  | Protect_retry -> "protect-retry"
+  | Rollback -> "vbr-rollback"
+  | Cas_fail -> "cas-fail"
+  | Arena_fresh -> "arena-fresh"
+  | Arena_exhausted -> "arena-exhausted"
+  | Pool_recycle -> "pool-recycle"
+  | Pool_spill -> "pool-spill"
+  | Global_push -> "global-pool-push"
+  | Global_pop -> "global-pool-pop"
+
+let of_string s = List.find_opt (fun e -> to_string e = s) all

@@ -1,0 +1,39 @@
+(** The event taxonomy shared by every layer's counters.
+
+    One variant per countable occurrence, from the data-structure-facing
+    SMR protocol (alloc/dealloc/retire/reclaim, protection retries, epoch
+    advances, VBR rollbacks, versioned-CAS failures) down to the simulated
+    allocator (arena claims and exhaustion, pool recycling, spills to and
+    refills from the shared pool). Not every scheme emits every event —
+    e.g. only VBR emits [Rollback]; EBR never emits [Protect_retry] — a
+    zero count is itself a signal (it is the paper's §5.2 cost story). *)
+
+type t =
+  | Alloc  (** a node handed to the data structure *)
+  | Dealloc  (** an unpublished node returned for immediate reuse *)
+  | Retire  (** a node announced as unlinked for the last time *)
+  | Reclaim  (** a retired node actually returned to the pools *)
+  | Epoch_advance  (** a successful global epoch/era increment *)
+  | Protect_retry  (** one extra iteration of a protect/validate loop *)
+  | Rollback  (** a VBR checkpoint replay *)
+  | Cas_fail  (** a failed versioned CAS (VBR update/mark/root) *)
+  | Arena_fresh  (** an allocation served by a fresh arena slot *)
+  | Arena_exhausted  (** an allocation that raised {!Memsim.Arena.Exhausted} *)
+  | Pool_recycle  (** an allocation served by a recycled slot *)
+  | Pool_spill  (** a slot donated from a local pool to the global pool *)
+  | Global_push  (** a batch pushed onto the global pool *)
+  | Global_pop  (** a batch popped from the global pool *)
+
+val count : int
+(** Number of distinct events (the counter-array stride). *)
+
+val all : t list
+(** Every event, in [to_index] order. *)
+
+val to_index : t -> int
+(** Dense index in [0, count). *)
+
+val to_string : t -> string
+(** Stable machine-readable name (as emitted in BENCH_*.json). *)
+
+val of_string : string -> t option

@@ -1,0 +1,56 @@
+(** Log-bucketed (HDR-style) latency histogram.
+
+    Non-negative integer samples (nanoseconds, by convention) land in
+    log-linear buckets: each power-of-two range is split into 32 linear
+    sub-buckets, bounding the relative quantile error at ~3% over the full
+    int range in under 2k words. Values below 32 are bucketed exactly.
+
+    Not thread-safe: record into one [t] per thread and {!merge}. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one sample (negative values clamp to 0). *)
+
+val count : t -> int
+val mean : t -> float
+
+val max_value : t -> int
+(** Exact tracked maximum (0 when empty). *)
+
+val min_value : t -> int
+(** Exact tracked minimum (0 when empty). *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0, 1]: the upper edge of the bucket holding
+    the rank-[ceil (q * count)] sample, clamped to the exact maximum; 0
+    when empty. Overshoots by at most one sub-bucket width (~3%). *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' samples. *)
+
+val merge_into : into:t -> t -> unit
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+val summarize : t -> summary
+
+(** {2 Bucketing internals} — exposed for tests and external decoders. *)
+
+val n_buckets : int
+
+val bucket_of_value : int -> int
+(** Monotone map from a non-negative value to its bucket index. *)
+
+val bucket_lower_bound : int -> int
+(** Smallest value mapping to the given bucket;
+    [bucket_of_value (bucket_lower_bound b) = b]. *)

@@ -1,0 +1,33 @@
+type 'a sample = { elapsed_ms : float; value : 'a }
+
+type 'a t = {
+  stop_flag : bool Atomic.t;
+  domain : 'a sample list Domain.t;  (* newest first *)
+}
+
+let start ?(interval_ms = 5.0) ~read () =
+  if interval_ms <= 0.0 then invalid_arg "Sampler.start: interval_ms <= 0";
+  let stop_flag = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let snap acc =
+    (* Timestamp after the read so a slow gauge does not antedate its own
+       sample. *)
+    let v = read () in
+    { elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0; value = v } :: acc
+  in
+  let domain =
+    Domain.spawn (fun () ->
+        let acc = ref (snap []) in
+        while not (Atomic.get stop_flag) do
+          Unix.sleepf (interval_ms /. 1000.0);
+          acc := snap !acc
+        done;
+        (* One final sample after the stop request, so callers that quiesce
+           the system before stopping always see its end state. *)
+        snap !acc)
+  in
+  { stop_flag; domain }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  List.rev (Domain.join t.domain)

@@ -1,0 +1,23 @@
+(** Background time-series sampling.
+
+    [start] spawns one domain that evaluates a gauge-reading closure every
+    [interval_ms] (plus one sample immediately and one after the stop
+    request), timestamping each sample relative to the start. This is the
+    footprint probe behind the robustness experiment: the closure reads
+    racy gauges (arena occupancy, unreclaimed counts, op counters) while
+    worker domains run undisturbed.
+
+    The [read] closure runs on the sampler domain: it must only perform
+    thread-safe reads. *)
+
+type 'a sample = { elapsed_ms : float; value : 'a }
+
+type 'a t
+
+val start : ?interval_ms:float -> read:(unit -> 'a) -> unit -> 'a t
+(** Begin sampling ([interval_ms] defaults to 5 ms).
+    @raise Invalid_argument if [interval_ms <= 0]. *)
+
+val stop : 'a t -> 'a sample list
+(** Request the final sample, join the domain, and return the series in
+    chronological order (always at least two samples). *)

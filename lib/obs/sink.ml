@@ -1,0 +1,123 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to buf f =
+  (* JSON has no nan/inf; emit null so consumers keep parsing. *)
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> float_to buf f
+  | String s -> escape_to buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  emit buf j;
+  Buffer.contents buf
+
+let write_file path j =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Converters from the other obs modules.                              *)
+(* ------------------------------------------------------------------ *)
+
+let of_counters snap =
+  Obj (List.map (fun (k, v) -> (k, Int v)) (Counters.to_assoc snap))
+
+let of_summary (s : Histogram.summary) =
+  Obj
+    [
+      ("count", Int s.Histogram.count);
+      ("mean_ns", Float s.Histogram.mean);
+      ("p50_ns", Int s.Histogram.p50);
+      ("p90_ns", Int s.Histogram.p90);
+      ("p99_ns", Int s.Histogram.p99);
+      ("max_ns", Int s.Histogram.max);
+    ]
+
+let of_samples conv samples =
+  List
+    (List.map
+       (fun { Sampler.elapsed_ms; value } ->
+         Obj (("t_ms", Float elapsed_ms) :: conv value))
+       samples)
+
+(* ------------------------------------------------------------------ *)
+(* CSV.                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv ~header ~rows =
+  let line cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let write_csv path ~header ~rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (csv ~header ~rows))

@@ -1,0 +1,33 @@
+(** Machine-readable emitters: a dependency-free JSON value type plus CSV,
+    and converters from the other obs modules. This is what turns a bench
+    run's text tables into [BENCH_<panel>.json] artefacts. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact (single-line) JSON. Strings are escaped per RFC 8259; nan and
+    infinities emit [null]; integral floats print with a trailing [.0]. *)
+
+val write_file : string -> json -> unit
+(** Write [to_string] plus a trailing newline, truncating the target. *)
+
+val of_counters : Counters.snapshot -> json
+(** [{"alloc": n, "dealloc": n, ...}] in {!Event.all} order. *)
+
+val of_summary : Histogram.summary -> json
+(** [{"count": .., "mean_ns": .., "p50_ns": .., ...}]. *)
+
+val of_samples : ('a -> (string * json) list) -> 'a Sampler.sample list -> json
+(** A JSON array of sample objects, each [{"t_ms": .., <conv fields>}]. *)
+
+val csv : header:string list -> rows:string list list -> string
+(** RFC-4180-style CSV (cells quoted only when needed), newline-terminated. *)
+
+val write_csv : string -> header:string list -> rows:string list list -> unit

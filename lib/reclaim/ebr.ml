@@ -6,6 +6,7 @@ let quiescent = max_int
 type thread_state = {
   announce : int Atomic.t;
   pool : Pool.t;
+  obs : Obs.Counters.shard;
   mutable retired : int list;  (* node indices; retire epoch is on the node *)
   mutable retired_len : int;
   (* Adaptive scan trigger: scan when the retired list doubles past what
@@ -14,13 +15,13 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
-  mutable freed : int;
 }
 
 type t = {
   arena : Arena.t;
   epoch : int Atomic.t;
   threads : thread_state array;
+  counters : Obs.Counters.t;
   retire_threshold : int;
   epoch_freq : int;
 }
@@ -28,20 +29,23 @@ type t = {
 let name = "EBR"
 
 let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq =
+  let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
     epoch = Atomic.make 1;
     threads =
-      Array.init n_threads (fun _ ->
+      Array.init n_threads (fun tid ->
+          let obs = Obs.Counters.shard counters tid in
           {
             announce = Atomic.make quiescent;
-            pool = Pool.create arena global ~spill:4096;
+            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            obs;
             retired = [];
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
-            freed = 0;
           });
+    counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
@@ -58,9 +62,10 @@ let protect _ ~tid:_ ~slot:_ read = read ()
    before advancing would only delay reclamation. Under oversubscription
    (more domains than cores) a wait-for-all policy starves: someone is
    always behind, the epoch freezes, and retire-list scans go quadratic. *)
-let try_advance t =
+let try_advance t ts =
   let cur = Atomic.get t.epoch in
-  ignore (Atomic.compare_and_set t.epoch cur (cur + 1))
+  if Atomic.compare_and_set t.epoch cur (cur + 1) then
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
 
 let min_announced t =
   Array.fold_left
@@ -81,7 +86,7 @@ let scan t ts =
   ts.retired_len <- List.length keep;
   List.iter
     (fun i ->
-      ts.freed <- ts.freed + 1;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
       Pool.put ts.pool i)
     free
 
@@ -94,8 +99,9 @@ let reset_node arena i ~key =
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
   ts.alloc_ticks <- ts.alloc_ticks + 1;
-  if ts.alloc_ticks mod t.epoch_freq = 0 then try_advance t;
+  if ts.alloc_ticks mod t.epoch_freq = 0 then try_advance t ts;
   let i = Pool.take ts.pool ~level in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t.arena i ~key;
   i
 
@@ -103,20 +109,26 @@ let protect_own _ ~tid:_ ~slot:_ _i = ()
 
 let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 
-let dealloc t ~tid i = Memsim.Pool.put t.threads.(tid).pool i
+let dealloc t ~tid i =
+  let ts = t.threads.(tid) in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  Pool.put ts.pool i
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
   Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.epoch);
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
+  Obs.Counters.shard_incr ts.obs Obs.Event.Retire;
   if ts.retired_len >= ts.scan_trigger then begin
-    try_advance t;
+    try_advance t ts;
     scan t ts;
     ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
   end
 
-let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+let stats t = Obs.Counters.snapshot t.counters
+let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
 
 let unreclaimed t =
-  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads
+  Obs.Counters.read t.counters Obs.Event.Retire
+  - Obs.Counters.read t.counters Obs.Event.Reclaim

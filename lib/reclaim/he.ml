@@ -6,6 +6,7 @@ let none = 0
 type thread_state = {
   eras : int Atomic.t array;
   pool : Pool.t;
+  obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
   (* Adaptive scan trigger: scan when the retired list doubles past what
@@ -14,13 +15,13 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
-  mutable freed : int;
 }
 
 type t = {
   arena : Arena.t;
   era : int Atomic.t;
   threads : thread_state array;
+  counters : Obs.Counters.t;
   retire_threshold : int;
   epoch_freq : int;
 }
@@ -29,20 +30,23 @@ let name = "HE"
 
 let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq =
   if hazards < 1 then invalid_arg "He.create: hazards < 1";
+  let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
     era = Atomic.make 1;
     threads =
-      Array.init n_threads (fun _ ->
+      Array.init n_threads (fun tid ->
+          let obs = Obs.Counters.shard counters tid in
           {
             eras = Array.init hazards (fun _ -> Atomic.make none);
-            pool = Pool.create arena global ~spill:4096;
+            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            obs;
             retired = [];
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
-            freed = 0;
           });
+    counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
@@ -55,13 +59,15 @@ let end_op t ~tid =
 (* Publish the era that was current when the pointer was read; stable once
    two consecutive reads happen under the same global era. *)
 let protect t ~tid ~slot read =
-  let h = t.threads.(tid).eras.(slot) in
+  let ts = t.threads.(tid) in
+  let h = ts.eras.(slot) in
   let rec loop prev_era =
     let w = read () in
     let e = Atomic.get t.era in
     if e = prev_era then w
     else begin
       Atomic.set h e;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
       loop e
     end
   in
@@ -79,8 +85,12 @@ let reset_node t i ~key =
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
   ts.alloc_ticks <- ts.alloc_ticks + 1;
-  if ts.alloc_ticks mod t.epoch_freq = 0 then Atomic.incr t.era;
+  if ts.alloc_ticks mod t.epoch_freq = 0 then begin
+    Atomic.incr t.era;
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
+  end;
   let i = Pool.take ts.pool ~level in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t i ~key;
   i
 
@@ -94,7 +104,10 @@ let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
   Atomic.set ts.eras.(dst) (Atomic.get ts.eras.(src))
 
-let dealloc t ~tid i = Pool.put t.threads.(tid).pool i
+let dealloc t ~tid i =
+  let ts = t.threads.(tid) in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  Pool.put ts.pool i
 
 (* A node is pinned iff some published era lies in its lifetime. *)
 let pinned t ~birth ~retire =
@@ -120,7 +133,7 @@ let scan t ts =
   ts.retired_len <- List.length keep;
   List.iter
     (fun i ->
-      ts.freed <- ts.freed + 1;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
       Pool.put ts.pool i)
     free
 
@@ -129,12 +142,15 @@ let retire t ~tid i =
   Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.era);
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
+  Obs.Counters.shard_incr ts.obs Obs.Event.Retire;
   if ts.retired_len >= ts.scan_trigger then begin
     scan t ts;
     ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
   end
 
-let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+let stats t = Obs.Counters.snapshot t.counters
+let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
 
 let unreclaimed t =
-  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads
+  Obs.Counters.read t.counters Obs.Event.Retire
+  - Obs.Counters.read t.counters Obs.Event.Reclaim

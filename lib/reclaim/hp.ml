@@ -3,14 +3,15 @@ open Memsim
 type thread_state = {
   hazards : int Atomic.t array;  (* 0 = empty slot *)
   pool : Pool.t;
+  obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
-  mutable freed : int;
 }
 
 type t = {
   arena : Arena.t;
   threads : thread_state array;
+  counters : Obs.Counters.t;
   retire_threshold : int;
 }
 
@@ -19,17 +20,20 @@ let name = "HP"
 let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq:_
     =
   if hazards < 1 then invalid_arg "Hp.create: hazards < 1";
+  let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
     threads =
-      Array.init n_threads (fun _ ->
+      Array.init n_threads (fun tid ->
+          let obs = Obs.Counters.shard counters tid in
           {
             hazards = Array.init hazards (fun _ -> Atomic.make 0);
-            pool = Pool.create arena global ~spill:4096;
+            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            obs;
             retired = [];
             retired_len = 0;
-            freed = 0;
           });
+    counters;
     retire_threshold = max 1 retire_threshold;
   }
 
@@ -43,7 +47,8 @@ let end_op t ~tid =
    recycled in between (retire happens only after the final unlink, which
    would have changed the field). *)
 let protect t ~tid ~slot read =
-  let h = t.threads.(tid).hazards.(slot) in
+  let ts = t.threads.(tid) in
+  let h = ts.hazards.(slot) in
   let rec loop w =
     let i = Packed.index w in
     if i = 0 then begin
@@ -53,7 +58,11 @@ let protect t ~tid ~slot read =
     else begin
       Atomic.set h i;
       let w' = read () in
-      if Packed.index w' = i then w' else loop w'
+      if Packed.index w' = i then w'
+      else begin
+        Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
+        loop w'
+      end
     end
   in
   loop (read ())
@@ -65,7 +74,9 @@ let reset_node arena i ~key =
   Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
 
 let alloc t ~tid ~level ~key =
-  let i = Pool.take t.threads.(tid).pool ~level in
+  let ts = t.threads.(tid) in
+  let i = Pool.take ts.pool ~level in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t.arena i ~key;
   i
 
@@ -76,7 +87,10 @@ let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
   Atomic.set ts.hazards.(dst) (Atomic.get ts.hazards.(src))
 
-let dealloc t ~tid i = Pool.put t.threads.(tid).pool i
+let dealloc t ~tid i =
+  let ts = t.threads.(tid) in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  Pool.put ts.pool i
 
 (* Recycle retired nodes held by no hazard slot of any thread. *)
 let scan t ts =
@@ -98,7 +112,7 @@ let scan t ts =
   ts.retired_len <- List.length keep;
   List.iter
     (fun i ->
-      ts.freed <- ts.freed + 1;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
       Pool.put ts.pool i)
     free
 
@@ -106,9 +120,12 @@ let retire t ~tid i =
   let ts = t.threads.(tid) in
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
+  Obs.Counters.shard_incr ts.obs Obs.Event.Retire;
   if ts.retired_len >= t.retire_threshold then scan t ts
 
-let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+let stats t = Obs.Counters.snapshot t.counters
+let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
 
 let unreclaimed t =
-  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads
+  Obs.Counters.read t.counters Obs.Event.Retire
+  - Obs.Counters.read t.counters Obs.Event.Reclaim

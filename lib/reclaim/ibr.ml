@@ -6,6 +6,7 @@ type thread_state = {
   lower : int Atomic.t;
   upper : int Atomic.t;
   pool : Pool.t;
+  obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
   (* Adaptive scan trigger: scan when the retired list doubles past what
@@ -14,13 +15,13 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
-  mutable freed : int;
 }
 
 type t = {
   arena : Arena.t;
   epoch : int Atomic.t;
   threads : thread_state array;
+  counters : Obs.Counters.t;
   retire_threshold : int;
   epoch_freq : int;
 }
@@ -29,21 +30,24 @@ let name = "IBR"
 
 let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq
     =
+  let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
     epoch = Atomic.make 1;
     threads =
-      Array.init n_threads (fun _ ->
+      Array.init n_threads (fun tid ->
+          let obs = Obs.Counters.shard counters tid in
           {
             lower = Atomic.make inactive;
             upper = Atomic.make 0;
-            pool = Pool.create arena global ~spill:4096;
+            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            obs;
             retired = [];
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
-            freed = 0;
           });
+    counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
@@ -69,6 +73,7 @@ let protect t ~tid ~slot:_ read =
     if e = last then w
     else begin
       Atomic.set ts.upper e;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
       loop e
     end
   in
@@ -84,8 +89,12 @@ let reset_node t i ~key =
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
   ts.alloc_ticks <- ts.alloc_ticks + 1;
-  if ts.alloc_ticks mod t.epoch_freq = 0 then Atomic.incr t.epoch;
+  if ts.alloc_ticks mod t.epoch_freq = 0 then begin
+    Atomic.incr t.epoch;
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
+  end;
   let i = Pool.take ts.pool ~level in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t i ~key;
   (* Cover our own allocation with the reservation so the node stays
      pinned if another thread retires it right after we publish it. *)
@@ -97,7 +106,10 @@ let protect_own _ ~tid:_ ~slot:_ _i = ()
 
 let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 
-let dealloc t ~tid i = Pool.put t.threads.(tid).pool i
+let dealloc t ~tid i =
+  let ts = t.threads.(tid) in
+  Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  Pool.put ts.pool i
 
 (* Lifetime [b, r] conflicts with reservation [l, u] iff b <= u && l <= r. *)
 let pinned t ~birth ~retire =
@@ -121,7 +133,7 @@ let scan t ts =
   ts.retired_len <- List.length keep;
   List.iter
     (fun i ->
-      ts.freed <- ts.freed + 1;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
       Pool.put ts.pool i)
     free
 
@@ -130,12 +142,15 @@ let retire t ~tid i =
   Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.epoch);
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
+  Obs.Counters.shard_incr ts.obs Obs.Event.Retire;
   if ts.retired_len >= ts.scan_trigger then begin
     scan t ts;
     ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
   end
 
-let freed t = Array.fold_left (fun acc ts -> acc + ts.freed) 0 t.threads
+let stats t = Obs.Counters.snapshot t.counters
+let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
 
 let unreclaimed t =
-  Array.fold_left (fun acc ts -> acc + ts.retired_len) 0 t.threads
+  Obs.Counters.read t.counters Obs.Event.Retire
+  - Obs.Counters.read t.counters Obs.Event.Reclaim

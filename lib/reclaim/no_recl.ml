@@ -1,19 +1,29 @@
 open Memsim
 
-type t = { arena : Arena.t; retired : int Atomic.t }
+type t = { arena : Arena.t; counters : Obs.Counters.t }
 
 let name = "NoRecl"
 
-let create ~arena ~global:_ ~n_threads:_ ~hazards:_ ~retire_threshold:_
+let create ~arena ~global:_ ~n_threads ~hazards:_ ~retire_threshold:_
     ~epoch_freq:_ =
-  { arena; retired = Atomic.make 0 }
+  { arena; counters = Obs.Counters.create ~shards:(max 1 n_threads) }
 
 let begin_op _ ~tid:_ = ()
 let end_op _ ~tid:_ = ()
 let protect _ ~tid:_ ~slot:_ read = read ()
 
-let alloc t ~tid:_ ~level ~key =
-  let i = Arena.fresh t.arena ~level in
+let alloc t ~tid ~level ~key =
+  let c = t.counters in
+  let i =
+    match Arena.fresh t.arena ~level with
+    | i ->
+        Obs.Counters.incr c ~shard:tid Obs.Event.Arena_fresh;
+        i
+    | exception Arena.Exhausted ->
+        Obs.Counters.incr c ~shard:tid Obs.Event.Arena_exhausted;
+        raise Arena.Exhausted
+  in
+  Obs.Counters.incr c ~shard:tid Obs.Event.Alloc;
   let n = Arena.get t.arena i in
   n.Node.key <- key;
   i
@@ -22,8 +32,12 @@ let protect_own _ ~tid:_ ~slot:_ _i = ()
 
 let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 
-let dealloc _ ~tid:_ _i = ()
+let dealloc t ~tid _i = Obs.Counters.incr t.counters ~shard:tid Obs.Event.Dealloc
 
-let retire t ~tid:_ _i = Atomic.incr t.retired
-let freed _ = 0
-let unreclaimed t = Atomic.get t.retired
+let retire t ~tid _i = Obs.Counters.incr t.counters ~shard:tid Obs.Event.Retire
+let stats t = Obs.Counters.snapshot t.counters
+let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
+
+let unreclaimed t =
+  Obs.Counters.read t.counters Obs.Event.Retire
+  - Obs.Counters.read t.counters Obs.Event.Reclaim

@@ -71,11 +71,19 @@ module type S = sig
   (** Announce that the node was unlinked for the last time. The scheme
       decides when the slot really returns to the pools. *)
 
+  val stats : t -> Obs.Counters.snapshot
+  (** Racy merged snapshot of the scheme's event counters (one padded
+      shard per thread; see {!Obs.Counters}). Every backend counts the
+      protocol events ([Alloc]/[Dealloc]/[Retire]/[Reclaim]), its
+      protection retries and epoch/era advances, and — through the shards
+      it hands to {!Memsim.Pool} — the allocator events underneath. *)
+
   val freed : t -> int
-  (** Total slots returned to the pools so far (stats; racy). *)
+  (** Total slots returned to the pools so far: the [Reclaim] counter
+      (stats; racy). *)
 
   val unreclaimed : t -> int
-  (** Retired slots not yet returned to the pools (stats; racy). This is
-      the robustness metric: a stalled thread makes it grow without bound
-      under EBR but not under HP. *)
+  (** Retired slots not yet returned to the pools: [Retire] minus
+      [Reclaim] (stats; racy). This is the robustness metric: a stalled
+      thread makes it grow without bound under EBR but not under HP. *)
 end

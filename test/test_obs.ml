@@ -1,0 +1,249 @@
+(* The observability layer: event taxonomy, sharded counters (including a
+   multi-domain increment smoke test), histogram bucketing and quantiles,
+   the background sampler, and the JSON/CSV sinks. *)
+
+let check = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Events.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_roundtrip () =
+  check "count" Obs.Event.count (List.length Obs.Event.all);
+  List.iteri
+    (fun i ev ->
+      check "dense index" i (Obs.Event.to_index ev);
+      match Obs.Event.of_string (Obs.Event.to_string ev) with
+      | Some ev' ->
+          Alcotest.(check bool) "of_string/to_string" true (ev = ev')
+      | None -> Alcotest.fail "of_string failed on to_string output")
+    Obs.Event.all;
+  Alcotest.(check (option reject))
+    "unknown name" None
+    (Obs.Event.of_string "no-such-event")
+
+(* ------------------------------------------------------------------ *)
+(* Counters.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_basic () =
+  let c = Obs.Counters.create ~shards:3 in
+  check "n_shards" 3 (Obs.Counters.n_shards c);
+  Obs.Counters.incr c ~shard:0 Obs.Event.Alloc;
+  Obs.Counters.add c ~shard:1 Obs.Event.Alloc 41;
+  Obs.Counters.incr c ~shard:2 Obs.Event.Retire;
+  Obs.Counters.shard_incr (Obs.Counters.shared_shard c) Obs.Event.Retire;
+  check "racy total" 42 (Obs.Counters.read c Obs.Event.Alloc);
+  let s = Obs.Counters.snapshot c in
+  check "snapshot alloc" 42 (Obs.Counters.get s Obs.Event.Alloc);
+  check "snapshot retire incl. shared shard" 2
+    (Obs.Counters.get s Obs.Event.Retire);
+  check "snapshot untouched" 0 (Obs.Counters.get s Obs.Event.Reclaim);
+  (* Per-shard reads are exact. *)
+  check "shard 1 view" 41
+    (Obs.Counters.shard_get (Obs.Counters.shard c 1) Obs.Event.Alloc);
+  check "shard 0 view" 1
+    (Obs.Counters.shard_get (Obs.Counters.shard c 0) Obs.Event.Alloc)
+
+let test_counters_merge () =
+  let mk n =
+    let c = Obs.Counters.create ~shards:1 in
+    Obs.Counters.add c ~shard:0 Obs.Event.Reclaim n;
+    Obs.Counters.incr c ~shard:0 Obs.Event.Rollback;
+    Obs.Counters.snapshot c
+  in
+  let merged = Obs.Counters.merge (mk 10) (mk 32) in
+  check "merged reclaim" 42 (Obs.Counters.get merged Obs.Event.Reclaim);
+  check "merged rollback" 2 (Obs.Counters.get merged Obs.Event.Rollback);
+  let assoc = Obs.Counters.to_assoc merged in
+  check "assoc covers all events" Obs.Event.count (List.length assoc);
+  check "assoc lookup" 42 (List.assoc "reclaim" assoc)
+
+(* Each domain hammers its own shard; totals must be exact because no two
+   domains share a cache line, let alone a counter word. *)
+let test_counters_domains () =
+  let n_domains = 4 and per_domain = 100_000 in
+  let c = Obs.Counters.create ~shards:n_domains in
+  let domains =
+    List.init n_domains (fun i ->
+        Domain.spawn (fun () ->
+            let sh = Obs.Counters.shard c i in
+            for _ = 1 to per_domain do
+              Obs.Counters.shard_incr sh Obs.Event.Cas_fail
+            done))
+  in
+  List.iter Domain.join domains;
+  check "exact multi-domain total" (n_domains * per_domain)
+    (Obs.Counters.read c Obs.Event.Cas_fail)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  (* Values below one sub-bucket span are bucketed exactly. *)
+  for v = 0 to 31 do
+    check "small exact" v (Obs.Histogram.bucket_of_value v)
+  done;
+  (* The bucket map is monotone and consistent with its lower bounds. *)
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let b = Obs.Histogram.bucket_of_value v in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at %d" v)
+        true (b >= !prev);
+      prev := b;
+      check
+        (Printf.sprintf "lower_bound roundtrip at %d" v)
+        b
+        (Obs.Histogram.bucket_of_value (Obs.Histogram.bucket_lower_bound b)))
+    [ 32; 33; 63; 64; 100; 1_000; 65_535; 1_000_000; max_int / 2; max_int ];
+  Alcotest.(check bool)
+    "max_int inside table" true
+    (Obs.Histogram.bucket_of_value max_int < Obs.Histogram.n_buckets)
+
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.create () in
+  check "empty p50" 0 (Obs.Histogram.quantile h 0.5);
+  for v = 1 to 1000 do
+    Obs.Histogram.record h v
+  done;
+  check "count" 1000 (Obs.Histogram.count h);
+  check "max exact" 1000 (Obs.Histogram.max_value h);
+  check "min exact" 1 (Obs.Histogram.min_value h);
+  (* ~3% relative error bound from 32 sub-buckets per octave. *)
+  let near name got want =
+    let err = abs (got - want) in
+    if err * 100 > want * 5 then
+      Alcotest.failf "%s: got %d, want %d ±5%%" name got want
+  in
+  near "p50" (Obs.Histogram.quantile h 0.5) 500;
+  near "p90" (Obs.Histogram.quantile h 0.9) 900;
+  near "p99" (Obs.Histogram.quantile h 0.99) 990;
+  check "p100 clamps to max" 1000 (Obs.Histogram.quantile h 1.0);
+  Obs.Histogram.record h (-5);
+  check "negative clamps to 0" 0 (Obs.Histogram.min_value h)
+
+let test_histogram_merge () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  for v = 1 to 500 do
+    Obs.Histogram.record a v
+  done;
+  for v = 501 to 1000 do
+    Obs.Histogram.record b v
+  done;
+  let m = Obs.Histogram.merge a b in
+  check "merged count" 1000 (Obs.Histogram.count m);
+  check "merged max" 1000 (Obs.Histogram.max_value m);
+  check "merged min" 1 (Obs.Histogram.min_value m);
+  let s = Obs.Histogram.summarize m in
+  check "summary count" 1000 s.Obs.Histogram.count;
+  Alcotest.(check bool)
+    "summary mean" true
+    (abs_float (s.Obs.Histogram.mean -. 500.5) < 0.01);
+  (* merge_into leaves the source untouched. *)
+  Obs.Histogram.merge_into ~into:a b;
+  check "merge_into count" 1000 (Obs.Histogram.count a);
+  check "source intact" 500 (Obs.Histogram.count b)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampler () =
+  let gauge = Atomic.make 0 in
+  let s =
+    Obs.Sampler.start ~interval_ms:1.0 ~read:(fun () -> Atomic.get gauge) ()
+  in
+  for i = 1 to 50 do
+    Atomic.set gauge i;
+    Unix.sleepf 0.001
+  done;
+  let samples = Obs.Sampler.stop s in
+  Alcotest.(check bool)
+    "several samples" true
+    (List.length samples >= 2);
+  let values = List.map (fun s -> s.Obs.Sampler.value) samples in
+  (* The immediate first sample races with the test's own first writes, so
+     only bound it; the final sample is taken after [stop] and is exact. *)
+  Alcotest.(check bool) "first sample in range" true (List.hd values <= 50);
+  check "final sample sees last write" 50 (List.nth values (List.length values - 1));
+  (* Timestamps are non-decreasing and start near zero. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "timestamps sorted" true
+          (a.Obs.Sampler.elapsed_ms <= b.Obs.Sampler.elapsed_ms);
+        mono rest
+    | _ -> ()
+  in
+  mono samples
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_golden () =
+  let open Obs.Sink in
+  let j =
+    Obj
+      [
+        ("name", String "he\"llo\n");
+        ("n", Int 42);
+        ("x", Float 1.5);
+        ("whole", Float 3.0);
+        ("bad", Float nan);
+        ("ok", Bool true);
+        ("none", Null);
+        ("xs", List [ Int 1; Int 2 ]);
+      ]
+  in
+  Alcotest.(check string)
+    "golden object"
+    "{\"name\":\"he\\\"llo\\n\",\"n\":42,\"x\":1.5,\"whole\":3.0,\"bad\":null,\"ok\":true,\"none\":null,\"xs\":[1,2]}"
+    (to_string j)
+
+let test_json_counters () =
+  let c = Obs.Counters.create ~shards:1 in
+  Obs.Counters.add c ~shard:0 Obs.Event.Retire 7;
+  let s = Obs.Sink.to_string (Obs.Sink.of_counters (Obs.Counters.snapshot c)) in
+  Alcotest.(check bool) "has retire" true
+    (String.length s > 0
+    &&
+    let re = "\"retire\":7" in
+    let rec find i =
+      i + String.length re <= String.length s
+      && (String.sub s i (String.length re) = re || find (i + 1))
+    in
+    find 0)
+
+let test_csv () =
+  Alcotest.(check string)
+    "quoting" "a,b\n1,\"x,y\"\n2,\"he said \"\"hi\"\"\"\n"
+    (Obs.Sink.csv ~header:[ "a"; "b" ]
+       ~rows:[ [ "1"; "x,y" ]; [ "2"; "he said \"hi\"" ] ])
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("event", [ Alcotest.test_case "roundtrip" `Quick test_event_roundtrip ]);
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counters_basic;
+          Alcotest.test_case "merge" `Quick test_counters_merge;
+          Alcotest.test_case "multi-domain" `Quick test_counters_domains;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ("sampler", [ Alcotest.test_case "smoke" `Quick test_sampler ]);
+      ( "sink",
+        [
+          Alcotest.test_case "json golden" `Quick test_json_golden;
+          Alcotest.test_case "json counters" `Quick test_json_counters;
+          Alcotest.test_case "csv" `Quick test_csv;
+        ] );
+    ]
