@@ -217,11 +217,11 @@ let micro () =
   let vbr_specials () =
     let arena = Memsim.Arena.create ~capacity:10_000 in
     let global = Memsim.Global_pool.create ~max_level:1 in
-    let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads:2 () in
+    let vbr = Vbr_core.Vbr.create_tuned ~arena ~global ~n_threads:2 () in
     let c = Vbr_core.Vbr.ctx vbr ~tid:0 in
     let i, _b =
       Vbr_core.Vbr.checkpoint c (fun () ->
-          let i, b = Vbr_core.Vbr.alloc c 1 in
+          let i, b = Vbr_core.Vbr.alloc vbr ~tid:0 ~level:1 ~key:1 in
           Vbr_core.Vbr.commit_alloc c i;
           (i, b))
     in
@@ -604,149 +604,84 @@ let harris ~threads_list ~duration ~repeats =
 
 (* ------------------------------------------------------------------ *)
 (* Extension: queue and stack throughput across schemes (structures    *)
-(* the paper cites as VBR-compatible but does not evaluate).           *)
+(* the paper cites as VBR-compatible but does not evaluate). Driven    *)
+(* entirely off the registry tables: every structure whose kind is     *)
+(* Queue or Stack, under every scheme its row supports — no per-scheme *)
+(* or per-structure dispatch here.                                     *)
 (* ------------------------------------------------------------------ *)
 
-type pool_handle = {
-  produce : tid:int -> int -> unit;
-  consume : tid:int -> int option;
-}
+let queue_stack_structures () =
+  List.filter
+    (fun st ->
+      match Registry.structure_kind ~structure:st with
+      | Some Registry.Queue | Some Registry.Stack -> true
+      | Some Registry.Set | None -> false)
+    Registry.structures
 
-let make_pool kind scheme ~n_threads =
-  let capacity = 600_000 in
-  let arena = Memsim.Arena.create ~capacity in
-  let global = Memsim.Global_pool.create ~max_level:1 in
-  if scheme = "VBR" then begin
-    let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads () in
-    if kind = `Queue then begin
-      let q = Dstruct.Vbr_queue.create vbr in
-      {
-        produce = (fun ~tid v -> Dstruct.Vbr_queue.enqueue q ~tid v);
-        consume = (fun ~tid -> Dstruct.Vbr_queue.dequeue q ~tid);
-      }
-    end
-    else begin
-      let s = Dstruct.Vbr_stack.create vbr in
-      {
-        produce = (fun ~tid v -> Dstruct.Vbr_stack.push s ~tid v);
-        consume = (fun ~tid -> Dstruct.Vbr_stack.pop s ~tid);
-      }
-    end
-  end
-  else begin
-    let (module R : Reclaim.Smr_intf.S) =
-      match scheme with
-      | "NoRecl" -> (module Reclaim.No_recl)
-      | "EBR" -> (module Reclaim.Ebr)
-      | "HP" -> (module Reclaim.Hp)
-      | "HE" -> (module Reclaim.He)
-      | "IBR" -> (module Reclaim.Ibr)
-      | s -> invalid_arg s
-    in
-    let r =
-      R.create ~arena ~global ~n_threads ~hazards:2 ~retire_threshold:128
-        ~epoch_freq:32
-    in
-    if kind = `Queue then begin
-      let module Q = Dstruct.Ms_queue.Make (R) in
-      let q = Q.create r ~arena in
-      {
-        produce = (fun ~tid v -> Q.enqueue q ~tid v);
-        consume = (fun ~tid -> Q.dequeue q ~tid);
-      }
-    end
-    else begin
-      let module S = Dstruct.Treiber_stack.Make (R) in
-      let s = S.create r ~arena in
-      {
-        produce = (fun ~tid v -> S.push s ~tid v);
-        consume = (fun ~tid -> S.pop s ~tid);
-      }
-    end
-  end
-
-(* 50/50 produce/consume pairs, fixed-time. *)
-let pool_throughput kind scheme ~threads ~duration ~repeats =
-  let one () =
-    let h = make_pool kind scheme ~n_threads:threads in
-    (* Warm pool so consumers rarely see empty. *)
-    for i = 1 to 1_000 do
-      h.produce ~tid:0 i
-    done;
-    let start = Atomic.make false and stop = Atomic.make false in
-    let counts = Array.init threads (fun _ -> ref 0) in
-    let domains =
-      List.init threads (fun tid ->
-          Domain.spawn (fun () ->
-              while not (Atomic.get start) do
-                Domain.cpu_relax ()
-              done;
-              let ops = ref 0 in
-              (try
-                 while not (Atomic.get stop) do
-                   h.produce ~tid !ops;
-                   ignore (h.consume ~tid);
-                   ops := !ops + 2
-                 done
-               with Memsim.Arena.Exhausted -> ());
-              counts.(tid) := !ops))
-    in
-    let t0 = Unix.gettimeofday () in
-    Atomic.set start true;
-    Unix.sleepf duration;
-    Atomic.set stop true;
-    let t1 = Unix.gettimeofday () in
-    List.iter Domain.join domains;
-    let total = Array.fold_left (fun acc c -> acc + !c) 0 counts in
-    float_of_int total /. (t1 -. t0) /. 1e6
-  in
-  let samples = List.init repeats (fun _ -> one ()) in
-  List.fold_left ( +. ) 0.0 samples /. float_of_int repeats
-
-let pools ~threads_list ~duration ~repeats =
+let queue ~threads_list ~duration ~repeats =
+  (* The 50/50 insert/delete profile is exactly a produce/consume pair
+     stream through the set-shaped instance ops: insert enqueues/pushes
+     the key, delete dequeues/pops one element. Prefill warms the pool so
+     consumers rarely see empty. *)
+  let profile = Workload.update_intensive in
+  let range = 16384 in
   let all =
     List.map
-      (fun (kind, kname) ->
-        let columns = Registry.schemes in
+      (fun structure ->
+        let columns = schemes_for structure in
+        let cells =
+          List.concat_map
+            (fun threads ->
+              List.map
+                (fun scheme ->
+                  measure_cell ~structure ~scheme ~threads ~range ~profile
+                    ~duration ~repeats ~timed:false)
+                columns)
+            threads_list
+        in
         let rows =
           List.map
             (fun threads ->
               ( threads,
                 List.map
                   (fun scheme ->
-                    pool_throughput kind scheme ~threads ~duration ~repeats)
+                    let c =
+                      List.find
+                        (fun c -> c.c_threads = threads && c.c_scheme = scheme)
+                        cells
+                    in
+                    c.c_point.Throughput.mops)
                   columns ))
             threads_list
         in
         Report.print_series
           ~title:
             (Printf.sprintf
-               "[pools] %s: produce+consume pairs (extension; not in the paper)"
-               kname)
+               "[queue] %s: produce+consume pairs (extension; not in the \
+                paper)"
+               structure)
           ~ylabel:"Mops/s" ~columns ~rows;
-        (kname, columns, rows))
-      [ (`Queue, "MS queue"); (`Stack, "Treiber stack") ]
+        (structure, cells))
+      (queue_stack_structures ())
   in
   let open Obs.Sink in
-  write_json "pools"
+  write_json "queue"
     [
+      ("profile", String profile.Workload.pname);
+      ("range", Int range);
+      ("duration_s", Float duration);
+      ("repeats", Int repeats);
       ( "points",
         List
           (List.concat_map
-             (fun (kname, columns, rows) ->
-               List.concat_map
-                 (fun (threads, values) ->
-                   List.map2
-                     (fun scheme mops ->
-                       Obj
-                         [
-                           ("structure", String kname);
-                           ("threads", Int threads);
-                           ("scheme", String scheme);
-                           ("mops", Float mops);
-                         ])
-                     columns values)
-                 rows)
+             (fun (structure, cells) ->
+               List.map
+                 (fun c ->
+                   match cell_json c with
+                   | Obj fields ->
+                       Obj (("structure", String structure) :: fields)
+                   | other -> other)
+                 cells)
              all) );
     ]
 
@@ -756,7 +691,7 @@ let pools ~threads_list ~duration ~repeats =
 
 let all_experiments =
   List.map (fun f -> f.fid) figures
-  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "pools" ]
+  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "queue" ]
 
 let run_experiments names ~threads_list ~duration ~repeats ~timed =
   let t0 = Unix.gettimeofday () in
@@ -778,7 +713,7 @@ let run_experiments names ~threads_list ~duration ~repeats ~timed =
                 ~threads:(max 2 (List.fold_left max 1 threads_list))
                 ~duration ~repeats
           | "harris" -> harris ~threads_list ~duration ~repeats
-          | "pools" -> pools ~threads_list ~duration ~repeats
+          | "queue" -> queue ~threads_list ~duration ~repeats
           | other -> Printf.eprintf "unknown experiment: %s (skipped)\n" other))
     names;
   Printf.printf "\ntotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
@@ -788,7 +723,7 @@ let () =
   let experiments =
     let doc =
       "Experiments to run: fig2a..fig2i, micro, robust, ablate, ablate-freq, \
-       harris, or 'all' / 'figures'."
+       harris, queue, or 'all' / 'figures'."
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in

@@ -120,13 +120,13 @@ let () =
     Arg.(
       value
       & opt (enum (List.map (fun s -> (s, s)) Registry.structures)) "hash"
-      & info [ "structure" ] ~doc:"list | hash | skiplist | harris")
+      & info [ "structure" ] ~doc:(String.concat " | " Registry.structures))
   in
   let scheme =
     Arg.(
       value
       & opt (enum (List.map (fun s -> (s, s)) Registry.schemes)) "VBR"
-      & info [ "scheme" ] ~doc:"NoRecl | EBR | HP | HE | IBR | VBR")
+      & info [ "scheme" ] ~doc:(String.concat " | " Registry.schemes))
   in
   let threads =
     Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Worker domains.")

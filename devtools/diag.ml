@@ -1,7 +1,7 @@
 let () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
   let global = Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
-  let vbr = Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads:4 () in
+  let vbr = Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads:4 () in
   let s = Dstruct.Vbr_skiplist.create vbr in
   let ops = Array.init 4 (fun _ -> Atomic.make 0) in
   let stop = Atomic.make false in

@@ -11,7 +11,7 @@ let stripe = 16
 let () =
   let arena = Arena.create ~capacity:500_000 in
   let global = Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
-  let vbr = Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads () in
+  let vbr = Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads () in
   let s = Dstruct.Vbr_skiplist.create vbr in
   let ops = Array.init n_threads (fun _ -> Atomic.make 0) in
   let stop = Atomic.make false in

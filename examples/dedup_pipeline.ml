@@ -15,7 +15,7 @@ let () =
   let arena = Memsim.Arena.create ~capacity:200_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~arena ~global ~n_threads:(producers + 1) ()
+    Vbr_core.Vbr.create_tuned ~arena ~global ~n_threads:(producers + 1) ()
   in
   let seen = Dstruct.Vbr_hash.create vbr ~buckets:window in
 

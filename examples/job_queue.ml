@@ -14,7 +14,7 @@ let () =
   let arena = Memsim.Arena.create ~capacity:200_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~arena ~global ~n_threads:(producers + workers) ()
+    Vbr_core.Vbr.create_tuned ~arena ~global ~n_threads:(producers + workers) ()
   in
   let queue = Dstruct.Vbr_queue.create vbr in
 

@@ -15,7 +15,7 @@ let () =
   let global =
     Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level
   in
-  let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads:(writers + 1) () in
+  let vbr = Vbr_core.Vbr.create_tuned ~arena ~global ~n_threads:(writers + 1) () in
   let index = Dstruct.Vbr_skiplist.create vbr in
 
   let clock = Atomic.make 0 in

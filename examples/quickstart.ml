@@ -10,7 +10,7 @@ let () =
   let global = Memsim.Global_pool.create ~max_level:1 in
 
   (* 2. A VBR instance: one shared epoch, one context per thread. *)
-  let vbr = Vbr_core.Vbr.create ~arena ~global ~n_threads:n_domains () in
+  let vbr = Vbr_core.Vbr.create_tuned ~arena ~global ~n_threads:n_domains () in
 
   (* 3. A hash set on top of it (buckets at load factor 1). *)
   let set = Dstruct.Vbr_hash.create vbr ~buckets:1024 in

@@ -27,8 +27,12 @@ type t = {
   counters : Obs.Counters.t;
 }
 
-let create ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global ~n_threads
-    () =
+let name = "VBR"
+
+type node = int * int
+
+let create_tuned ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global
+    ~n_threads () =
   if n_threads < 1 then invalid_arg "Vbr.create: n_threads < 1";
   if retire_threshold < 0 then invalid_arg "Vbr.create: retire_threshold < 0";
   let epoch = Epoch.create () in
@@ -51,6 +55,13 @@ let create ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global ~n_threads
         })
   in
   { arena; epoch; ctxs; counters }
+
+(* The CORE-shaped constructor: [hazards] is meaningless under VBR (no
+   per-slot protection) and the epoch advances from the alloc slow path
+   rather than on an allocation budget, so [epoch_freq] is ignored too. *)
+let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq:_
+    =
+  create_tuned ~retire_threshold ~arena ~global ~n_threads ()
 
 let ctx (t : t) ~tid = t.ctxs.(tid)
 let arena (t : t) = t.arena
@@ -98,7 +109,7 @@ let maybe_flush_retired (c : ctx) =
     Pool.put_batch c.pool batch
   end
 
-let alloc (c : ctx) ?(level = 1) key =
+let alloc_ctx (c : ctx) ~level key =
   let i = Pool.take c.pool ~level in
   let n = node c i in
   if Atomic.get n.Node.retire >= c.my_e then begin
@@ -136,7 +147,7 @@ let alloc (c : ctx) ?(level = 1) key =
 let commit_alloc (c : ctx) i =
   c.pending <- List.filter (fun j -> j <> i) c.pending
 
-let retire (c : ctx) i ~birth =
+let retire_ctx (c : ctx) i ~birth =
   let n = node c i in
   if
     Atomic.get n.Node.birth > birth
@@ -156,6 +167,19 @@ let retire (c : ctx) i ~birth =
     maybe_flush_retired c;
     if re > c.my_e then raise Rollback (* line 16 *)
   end
+
+(* The CORE-shaped lifecycle: one array index resolves the thread's
+   context, then the ctx-level protocol above runs unchanged — so a
+   checkpointed caller still gets pending-allocation recycling and
+   Rollback propagation through these entry points. *)
+let alloc (t : t) ~tid ~level ~key = alloc_ctx (ctx t ~tid) ~level key
+let retire (t : t) ~tid (i, birth) = retire_ctx (ctx t ~tid) i ~birth
+
+let dealloc (t : t) ~tid (i, _birth) =
+  let c = ctx t ~tid in
+  c.pending <- List.filter (fun j -> j <> i) c.pending;
+  Obs.Counters.shard_incr c.obs Obs.Event.Dealloc;
+  Pool.put c.pool i
 
 let birth_of (c : ctx) i = if i = 0 then 0 else Atomic.get (node c i).Node.birth
 
@@ -271,7 +295,7 @@ let cas_root (c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
        (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
        (Packed.pack ~marked:false ~index:new_ ~version:new_birth))
 
-type stats = {
+type ctx_stats = {
   allocs : int;
   retires : int;
   rollbacks : int;
@@ -280,7 +304,7 @@ type stats = {
   retired_pending : int;
 }
 
-let stats (c : ctx) =
+let ctx_stats (c : ctx) =
   {
     allocs = Obs.Counters.shard_get c.obs Obs.Event.Alloc;
     retires = Obs.Counters.shard_get c.obs Obs.Event.Retire;
@@ -292,11 +316,19 @@ let stats (c : ctx) =
 
 let counters (t : t) = t.counters
 let counters_snapshot (t : t) = Obs.Counters.snapshot t.counters
+let stats = counters_snapshot
+let freed t = Obs.Counters.get (counters_snapshot t) Obs.Event.Reclaim
+
+let unreclaimed t =
+  let s = counters_snapshot t in
+  Obs.Counters.get s Obs.Event.Retire - Obs.Counters.get s Obs.Event.Reclaim
+
+let epoch_advances (t : t) = Epoch.advance_counted t.epoch
 
 let total_stats t =
   Array.fold_left
     (fun acc c ->
-      let s = stats c in
+      let s = ctx_stats c in
       {
         allocs = acc.allocs + s.allocs;
         retires = acc.retires + s.retires;

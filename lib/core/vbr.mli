@@ -7,6 +7,12 @@
     {!Rollback}, which the {!checkpoint} combinator catches to re-run the
     enclosed code from its last checkpoint (§4.2.1).
 
+    The module satisfies {!Reclaim.Smr_intf.OPTIMISTIC} (checked where the
+    [Dstruct] functors are applied to it), so everything a generic
+    optimistic structure may use is here; the extras — [create_tuned],
+    [epoch], the per-thread {!ctx_stats} projection — are for tests,
+    diagnostics and benches.
+
     Pointer arguments are slot indices ({!Memsim.Packed} index components);
     a node is always handled together with the birth epoch under which it
     was read — the pair (index, birth) is the node's identity across
@@ -20,12 +26,31 @@ exception Rollback
 type t
 (** The shared VBR instance (epoch + arena + per-thread contexts). *)
 
+type node = int * int
+(** The optimistic node identity: (slot index, birth epoch). *)
+
 type ctx
 (** A per-thread context: the thread's epoch cache [my_e], its local
     allocation pool and retired list, and its statistics. Must only be
     used by its owning thread. *)
 
+val name : string
+(** ["VBR"]. *)
+
 val create :
+  arena:Memsim.Arena.t ->
+  global:Memsim.Global_pool.t ->
+  n_threads:int ->
+  hazards:int ->
+  retire_threshold:int ->
+  epoch_freq:int ->
+  t
+(** The {!Reclaim.Smr_intf.CORE}-shaped constructor. [hazards] is
+    meaningless under VBR (no per-slot protection) and the epoch advances
+    from the alloc slow path rather than on an allocation budget, so
+    [epoch_freq] is ignored too; both are accepted for uniformity. *)
+
+val create_tuned :
   ?retire_threshold:int ->
   ?spill:int ->
   arena:Memsim.Arena.t ->
@@ -33,18 +58,41 @@ val create :
   n_threads:int ->
   unit ->
   t
-(** [create ~arena ~global ~n_threads ()] builds a VBR instance.
-    [retire_threshold] (default 64) is the retired-list length after which
-    the whole list is moved to the thread's allocation pool (§4.1 —
-    batching keeps epoch bumps infrequent); 0 means "recycle immediately".
-    [spill] (default 4096) is the local-pool spill threshold (see
-    {!Memsim.Pool}). *)
+(** [create_tuned ~arena ~global ~n_threads ()] builds a VBR instance with
+    VBR-specific knobs. [retire_threshold] (default 64) is the retired-list
+    length after which the whole list is moved to the thread's allocation
+    pool (§4.1 — batching keeps epoch bumps infrequent); 0 means "recycle
+    immediately". [spill] (default 4096) is the local-pool spill threshold
+    (see {!Memsim.Pool}). *)
 
 val ctx : t -> tid:int -> ctx
 (** The context of thread [tid] (0-based). *)
 
 val arena : t -> Memsim.Arena.t
 val epoch : t -> Epoch.t
+
+(** {1 The node lifecycle}
+
+    The [t]-plus-[tid] shape shared with every other scheme
+    ({!Reclaim.Smr_intf.CORE}); each call resolves the thread's {!ctx}
+    with one array index and runs the ctx-level protocol, so a
+    checkpointed caller still gets pending-allocation recycling and
+    {!Rollback} propagation through these entry points. *)
+
+val alloc : t -> tid:int -> level:int -> key:int -> node
+(** Figure 1, lines 1–11. Returns [(index, birth_epoch)] of a node whose
+    every next word is ⟨NULL, birth⟩ and whose key is [key]. May advance
+    the global epoch and raise {!Rollback} (lines 3–6). Until
+    {!commit_alloc}, the node is recycled by a rollback (Appendix B).
+    @raise Memsim.Arena.Exhausted if the simulated heap is full. *)
+
+val dealloc : t -> tid:int -> node -> unit
+(** Return a node that was never published to its thread's pool
+    immediately (no grace period — it was never shared). *)
+
+val retire : t -> tid:int -> node -> unit
+(** Figure 1, lines 12–16. Idempotent under the double-retire guard; may
+    raise {!Rollback} after the node is safely on the retired list. *)
 
 (** {1 Checkpoints (§4.2.1)} *)
 
@@ -61,26 +109,15 @@ val refresh_epoch : ctx -> unit
     automatically; exposed for operations that install a checkpoint
     mid-flight without a combinator. *)
 
-(** {1 The Figure-1 methods}
-
-    [lvl] selects the mutable next field (tower level); list code uses the
-    default 0. *)
-
-val alloc : ctx -> ?level:int -> int -> int * int
-(** [alloc c ?level key] — Figure 1, lines 1–11. Returns
-    [(index, birth_epoch)] of a node whose
-    every next word is ⟨NULL, birth⟩ and whose key is [key]. May advance
-    the global epoch and raise {!Rollback} (lines 3–6).
-    @raise Memsim.Arena.Exhausted if the simulated heap is full. *)
-
 val commit_alloc : ctx -> int -> unit
 (** Tell the context that node [index] became reachable (its insertion CAS
     succeeded), so a later rollback must not recycle it. Call immediately
     after the successful publishing CAS, before any further VBR method. *)
 
-val retire : ctx -> int -> birth:int -> unit
-(** Figure 1, lines 12–16. Idempotent under the double-retire guard; may
-    raise {!Rollback} after the node is safely on the retired list. *)
+(** {1 The Figure-1 methods}
+
+    [lvl] selects the mutable next field (tower level); list code uses the
+    default 0. *)
 
 val get_next : ctx -> ?lvl:int -> int -> int * int
 (** Figure 1, lines 17–21: [(successor index, successor birth)] of the
@@ -139,7 +176,8 @@ val mark : ctx -> ?lvl:int -> int -> birth:int -> bool
     recomputed version — equivalent for safety and immune to the
     partially-linked-tower livelock (see DESIGN.md). *)
 
-val refresh_next : ctx -> ?lvl:int -> int -> birth:int -> new_:int -> new_birth:int -> bool
+val refresh_next :
+  ctx -> ?lvl:int -> int -> birth:int -> new_:int -> new_birth:int -> bool
 (** Redirect a node's next word to [new_] from *whatever it currently
     holds* (raw expected). Only for fields that are not yet reachable at
     this level (a skiplist inserter's own tower), where the current target
@@ -189,7 +227,24 @@ val cas_root :
 
 (** {1 Statistics} *)
 
-type stats = {
+val stats : t -> Obs.Counters.snapshot
+(** Racy merged snapshot of the instance's event counters — the uniform
+    {!Reclaim.Smr_intf.CORE} view (same as {!counters_snapshot}). *)
+
+val freed : t -> int
+(** Total slots recycled through the batched retired-list flush: the
+    [Reclaim] counter (stats; racy). *)
+
+val unreclaimed : t -> int
+(** Retired slots currently waiting on a thread's retired list:
+    [Retire] minus [Reclaim] (stats; racy). Bounded by
+    [n_threads * retire_threshold] — no thread can stall VBR's
+    reclamation, which is the robustness claim. *)
+
+val epoch_advances : t -> int
+(** Global epoch increments so far. *)
+
+type ctx_stats = {
   allocs : int;  (** successful [alloc] returns *)
   retires : int;  (** effective (non-duplicate) retirements *)
   rollbacks : int;  (** checkpoint rollbacks executed *)
@@ -198,15 +253,19 @@ type stats = {
   retired_pending : int;  (** nodes currently on this thread's retired list *)
 }
 
-val stats : ctx -> stats
-val total_stats : t -> stats
-val pp_stats : Format.formatter -> stats -> unit
+val ctx_stats : ctx -> ctx_stats
+(** This thread's projection of the protocol counters. *)
+
+val total_stats : t -> ctx_stats
+(** {!ctx_stats} summed over every thread. *)
+
+val pp_stats : Format.formatter -> ctx_stats -> unit
 
 val counters : t -> Obs.Counters.t
 (** The instance's sharded event counters (one shard per thread): the
     protocol events ([Alloc]/[Dealloc]/[Retire]/[Reclaim]/[Rollback]/
     [Cas_fail]/[Epoch_advance]) plus the allocator events its pools emit.
-    [stats] above is a per-thread projection of the same data. *)
+    [ctx_stats] above is a per-thread projection of the same data. *)
 
 val counters_snapshot : t -> Obs.Counters.snapshot
-(** Racy merged snapshot of {!counters}. *)
+(** Racy merged snapshot of {!counters} (alias of {!stats}). *)

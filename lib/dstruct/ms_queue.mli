@@ -12,16 +12,10 @@
 module Make (R : Reclaim.Smr_intf.S) : sig
   type t
 
-  val name : string
   val create : R.t -> arena:Memsim.Arena.t -> t
-  val enqueue : t -> tid:int -> int -> unit
-  val dequeue : t -> tid:int -> int option
-  val is_empty : t -> tid:int -> bool
+
   val hazard_slots : int
+  (** Protection slots required per thread (2). *)
 
-  val length : t -> int
-  (** Quiescent use only (tests). *)
-
-  val to_list : t -> int list
-  (** Front-to-back values. Quiescent use only (tests). *)
+  include Set_intf.QUEUE with type t := t
 end

@@ -30,3 +30,51 @@ module type SET = sig
   val to_list : t -> int list
   (** Unmarked reachable keys in traversal order. Quiescent use only. *)
 end
+
+(** The FIFO-queue interface of the extension structures ({!Ms_queue},
+    {!Vbr_queue}). Values are plain ints (the benchmark's key domain). *)
+module type QUEUE = sig
+  type t
+
+  val name : string
+  (** "queue/<scheme>". *)
+
+  val enqueue : t -> tid:int -> int -> unit
+  (** Add a value at the tail. Lock-free, linearizable. *)
+
+  val dequeue : t -> tid:int -> int option
+  (** Remove the value at the head, or [None] when empty. Lock-free,
+      linearizable. *)
+
+  val is_empty : t -> tid:int -> bool
+
+  val length : t -> int
+  (** Quiescent use only (tests). *)
+
+  val to_list : t -> int list
+  (** Front-to-back values. Quiescent use only (tests). *)
+end
+
+(** The LIFO-stack interface of the extension structures
+    ({!Treiber_stack}, {!Vbr_stack}). *)
+module type STACK = sig
+  type t
+
+  val name : string
+  (** "stack/<scheme>". *)
+
+  val push : t -> tid:int -> int -> unit
+  (** Add a value at the top. Lock-free, linearizable. *)
+
+  val pop : t -> tid:int -> int option
+  (** Remove the value at the top, or [None] when empty. Lock-free,
+      linearizable. *)
+
+  val is_empty : t -> tid:int -> bool
+
+  val length : t -> int
+  (** Quiescent use only (tests). *)
+
+  val to_list : t -> int list
+  (** Top-to-bottom values. Quiescent use only (tests). *)
+end

@@ -9,16 +9,10 @@
 module Make (R : Reclaim.Smr_intf.S) : sig
   type t
 
-  val name : string
   val create : R.t -> arena:Memsim.Arena.t -> t
-  val push : t -> tid:int -> int -> unit
-  val pop : t -> tid:int -> int option
-  val is_empty : t -> tid:int -> bool
+
   val hazard_slots : int
+  (** Protection slots required per thread (1). *)
 
-  val length : t -> int
-  (** Quiescent use only (tests). *)
-
-  val to_list : t -> int list
-  (** Top-to-bottom values. Quiescent use only (tests). *)
+  include Set_intf.STACK with type t := t
 end

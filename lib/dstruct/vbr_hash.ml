@@ -1,24 +1,27 @@
-type t = { buckets : Vbr_list.t array }
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  module L = Vbr_list.Make (V)
 
-let name = "hash/VBR"
+  type t = { buckets : L.t array }
 
-let create vbr ~buckets =
-  if buckets < 1 then invalid_arg "Vbr_hash.create: buckets < 1";
-  let tail, tail_birth = Vbr_list.make_tail vbr in
-  {
-    buckets =
-      Array.init buckets (fun _ ->
-          Vbr_list.create_with_tail vbr ~tail ~tail_birth);
-  }
+  let name = "hash/" ^ V.name
 
-let bucket t key = t.buckets.((key land max_int) mod Array.length t.buckets)
-let insert t ~tid key = Vbr_list.insert (bucket t key) ~tid key
-let delete t ~tid key = Vbr_list.delete (bucket t key) ~tid key
-let contains t ~tid key = Vbr_list.contains (bucket t key) ~tid key
+  let create vbr ~buckets =
+    if buckets < 1 then invalid_arg "Vbr_hash.create: buckets < 1";
+    let tail, tail_birth = L.make_tail vbr in
+    {
+      buckets =
+        Array.init buckets (fun _ -> L.create_with_tail vbr ~tail ~tail_birth);
+    }
 
-let to_list t =
-  Array.to_list t.buckets
-  |> List.concat_map Vbr_list.to_list
-  |> List.sort compare
+  let bucket t key = t.buckets.((key land max_int) mod Array.length t.buckets)
+  let insert t ~tid key = L.insert (bucket t key) ~tid key
+  let delete t ~tid key = L.delete (bucket t key) ~tid key
+  let contains t ~tid key = L.contains (bucket t key) ~tid key
 
-let size t = Array.fold_left (fun acc b -> acc + Vbr_list.size b) 0 t.buckets
+  let to_list t =
+    Array.to_list t.buckets |> List.concat_map L.to_list |> List.sort compare
+
+  let size t = Array.fold_left (fun acc b -> acc + L.size b) 0 t.buckets
+end
+
+include Make (Vbr_core.Vbr)

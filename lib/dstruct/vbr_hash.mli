@@ -1,10 +1,15 @@
-(** The VBR-integrated hash table: fixed bucket array of {!Vbr_list}
-    buckets sharing one tail sentinel and one VBR instance (§5, load
-    factor 1). *)
+(** The optimistic-reclamation hash table: fixed bucket array of
+    {!Vbr_list} buckets sharing one tail sentinel and one backend
+    instance (§5, load factor 1). *)
 
-type t
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) : sig
+  type t
 
-val create : Vbr_core.Vbr.t -> buckets:int -> t
-(** @raise Invalid_argument if [buckets < 1]. *)
+  val create : V.t -> buckets:int -> t
+  (** @raise Invalid_argument if [buckets < 1]. *)
 
-include Set_intf.SET with type t := t
+  include Set_intf.SET with type t := t
+end
+
+include module type of Make (Vbr_core.Vbr)
+(** The canonical instantiation over {!Vbr_core.Vbr} ("hash/VBR"). *)

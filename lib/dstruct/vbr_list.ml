@@ -1,168 +1,173 @@
-open Vbr_core
+(* Functorized over the optimistic capability so any backend satisfying
+   Smr_intf.OPTIMISTIC (today Vbr_core.Vbr; tomorrow an ablation variant)
+   reuses the Figure 3-6 integration unchanged. *)
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  type t = {
+    vbr : V.t;
+    head : int;
+    head_b : int;  (* sentinels are never retired, so their births are fixed *)
+  }
 
-type t = {
-  vbr : Vbr.t;
-  head : int;
-  head_b : int;  (* sentinels are never retired, so their births are fixed *)
-}
+  let name = "list/" ^ V.name
 
-let name = "list/VBR"
-
-let make_tail vbr =
-  let c = Vbr.ctx vbr ~tid:0 in
-  Vbr.checkpoint c (fun () ->
-      let i, b = Vbr.alloc c Set_intf.max_key_bound in
-      Vbr.commit_alloc c i;
-      (i, b))
-
-let create_with_tail vbr ~tail ~tail_birth =
-  let c = Vbr.ctx vbr ~tid:0 in
-  let head, head_b =
-    Vbr.checkpoint c (fun () ->
-        let i, b = Vbr.alloc c Set_intf.min_key_bound in
-        (* Point head at tail; private until [create] returns. *)
-        let ok =
-          Vbr.update c i ~birth:b ~expected:0 ~expected_birth:b ~new_:tail
-            ~new_birth:tail_birth
-        in
-        assert ok;
-        Vbr.commit_alloc c i;
+  let make_tail vbr =
+    let c = V.ctx vbr ~tid:0 in
+    V.checkpoint c (fun () ->
+        let i, b = V.alloc vbr ~tid:0 ~level:1 ~key:Set_intf.max_key_bound in
+        V.commit_alloc c i;
         (i, b))
-  in
-  { vbr; head; head_b }
 
-let create vbr =
-  let tail, tail_birth = make_tail vbr in
-  create_with_tail vbr ~tail ~tail_birth
-
-(* Figure 3: the find auxiliary method. Raises Rollback on staleness;
-   installed checkpoints live in the calling operation. Returns
-   (pred, pred_b, curr, curr_b, curr_key) with pred.key < key <= curr_key. *)
-let find t c key =
-  let rec retry () =
-    let pred = t.head and pred_b = t.head_b in
-    let curr, curr_b = Vbr.get_next c pred in
-    let curr_key = Vbr.get_key c curr in
-    loop pred pred_b curr curr_b curr_key
-  and loop pred pred_b curr curr_b curr_key =
-    if Vbr.is_marked c curr ~birth:curr_b then begin
-      (* Walk to the end of the marked segment, then trim it with one
-         versioned update (Figure 3, lines 9-13) — rollback-safe. *)
-      let rec skip s s_b =
-        if Vbr.is_marked c s ~birth:s_b then begin
-          let s', s'_b = Vbr.get_next c s in
-          skip s' s'_b
-        end
-        else (s, s_b)
-      in
-      let first, first_b = Vbr.get_next c curr in
-      let succ, succ_b = skip first first_b in
-      if
-        Vbr.update c pred ~birth:pred_b ~expected:curr ~expected_birth:curr_b
-          ~new_:succ ~new_birth:succ_b
-      then loop pred pred_b succ succ_b (Vbr.get_key c succ)
-      else retry ()
-    end
-    else if curr_key >= key then (pred, pred_b, curr, curr_b, curr_key)
-    else begin
-      let succ, succ_b = Vbr.get_next c curr in
-      loop curr curr_b succ succ_b (Vbr.get_key c succ)
-    end
-  in
-  retry ()
-
-(* Figure 4. *)
-let insert t ~tid key =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let rec loop () =
-        let pred, pred_b, succ, succ_b, succ_key = find t c key in
-        if succ_key = key then false
-        else begin
-          let n, n_b = Vbr.alloc c key in
-          (* Point the private node at succ before publishing. *)
+  let create_with_tail vbr ~tail ~tail_birth =
+    let c = V.ctx vbr ~tid:0 in
+    let head, head_b =
+      V.checkpoint c (fun () ->
+          let i, b = V.alloc vbr ~tid:0 ~level:1 ~key:Set_intf.min_key_bound in
+          (* Point head at tail; private until [create] returns. *)
           let ok =
-            Vbr.update c n ~birth:n_b ~expected:0 ~expected_birth:n_b
-              ~new_:succ ~new_birth:succ_b
+            V.update c i ~birth:b ~expected:0 ~expected_birth:b ~new_:tail
+              ~new_birth:tail_birth
           in
           assert ok;
-          if
-            Vbr.update c pred ~birth:pred_b ~expected:succ
-              ~expected_birth:succ_b ~new_:n ~new_birth:n_b
-          then begin
-            Vbr.commit_alloc c n;
-            (* Figure 4, lines 12-13: checkpoint after the rollback-unsafe
-               insertion — nothing left to roll back, so just refresh. *)
-            Vbr.refresh_epoch c;
-            true
-          end
-          else begin
-            Vbr.retire c n ~birth:n_b;  (* Figure 4, line 15 *)
-            loop ()
-          end
-        end
-      in
-      loop ())
+          V.commit_alloc c i;
+          (i, b))
+    in
+    { vbr; head; head_b }
 
-(* Figure 5. *)
-let delete t ~tid key =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let pred, pred_b, curr, curr_b, curr_key = find t c key in
-      if curr_key <> key then false
+  let create vbr =
+    let tail, tail_birth = make_tail vbr in
+    create_with_tail vbr ~tail ~tail_birth
+
+  (* Figure 3: the find auxiliary method. Raises Rollback on staleness;
+     installed checkpoints live in the calling operation. Returns
+     (pred, pred_b, curr, curr_b, curr_key) with pred.key < key <= curr_key. *)
+  let find t c key =
+    let rec retry () =
+      let pred = t.head and pred_b = t.head_b in
+      let curr, curr_b = V.get_next c pred in
+      let curr_key = V.get_key c curr in
+      loop pred pred_b curr curr_b curr_key
+    and loop pred pred_b curr curr_b curr_key =
+      if V.is_marked c curr ~birth:curr_b then begin
+        (* Walk to the end of the marked segment, then trim it with one
+           versioned update (Figure 3, lines 9-13) — rollback-safe. *)
+        let rec skip s s_b =
+          if V.is_marked c s ~birth:s_b then begin
+            let s', s'_b = V.get_next c s in
+            skip s' s'_b
+          end
+          else (s, s_b)
+        in
+        let first, first_b = V.get_next c curr in
+        let succ, succ_b = skip first first_b in
+        if
+          V.update c pred ~birth:pred_b ~expected:curr ~expected_birth:curr_b
+            ~new_:succ ~new_birth:succ_b
+        then loop pred pred_b succ succ_b (V.get_key c succ)
+        else retry ()
+      end
+      else if curr_key >= key then (pred, pred_b, curr, curr_b, curr_key)
       else begin
-        let rec mark_loop () =
-          if Vbr.is_marked c curr ~birth:curr_b then false
+        let succ, succ_b = V.get_next c curr in
+        loop curr curr_b succ succ_b (V.get_key c succ)
+      end
+    in
+    retry ()
+
+  (* Figure 4. *)
+  let insert t ~tid key =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let rec loop () =
+          let pred, pred_b, succ, succ_b, succ_key = find t c key in
+          if succ_key = key then false
           else begin
-            let succ, succ_b = Vbr.get_next c curr in
-            if Vbr.mark c curr ~birth:curr_b then begin
-              (* Lines 11-16: the mark is the linearization point; the
-                 unlink, clean-up find and retire run under a fresh
-                 checkpoint so a rollback cannot cross back over it. *)
-              Vbr.checkpoint c (fun () ->
-                  if
-                    not
-                      (Vbr.update c pred ~birth:pred_b ~expected:curr
-                         ~expected_birth:curr_b ~new_:succ ~new_birth:succ_b)
-                  then ignore (find t c key);
-                  Vbr.retire c curr ~birth:curr_b);
+            let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key in
+            (* Point the private node at succ before publishing. *)
+            let ok =
+              V.update c n ~birth:n_b ~expected:0 ~expected_birth:n_b
+                ~new_:succ ~new_birth:succ_b
+            in
+            assert ok;
+            if
+              V.update c pred ~birth:pred_b ~expected:succ
+                ~expected_birth:succ_b ~new_:n ~new_birth:n_b
+            then begin
+              V.commit_alloc c n;
+              (* Figure 4, lines 12-13: checkpoint after the rollback-unsafe
+                 insertion — nothing left to roll back, so just refresh. *)
+              V.refresh_epoch c;
               true
             end
-            else mark_loop ()
+            else begin
+              V.retire t.vbr ~tid (n, n_b);  (* Figure 4, line 15 *)
+              loop ()
+            end
           end
         in
-        mark_loop ()
-      end)
+        loop ())
 
-(* Figure 6. *)
-let contains t ~tid key =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let rec loop curr curr_b curr_key =
-        if curr_key < key then begin
-          let succ, succ_b = Vbr.get_next c curr in
-          loop succ succ_b (Vbr.get_key c succ)
-        end
-        else curr_key = key && not (Vbr.is_marked c curr ~birth:curr_b)
-      in
-      let curr, curr_b = Vbr.get_next c t.head in
-      loop curr curr_b (Vbr.get_key c curr))
+  (* Figure 5. *)
+  let delete t ~tid key =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let pred, pred_b, curr, curr_b, curr_key = find t c key in
+        if curr_key <> key then false
+        else begin
+          let rec mark_loop () =
+            if V.is_marked c curr ~birth:curr_b then false
+            else begin
+              let succ, succ_b = V.get_next c curr in
+              if V.mark c curr ~birth:curr_b then begin
+                (* Lines 11-16: the mark is the linearization point; the
+                   unlink, clean-up find and retire run under a fresh
+                   checkpoint so a rollback cannot cross back over it. *)
+                V.checkpoint c (fun () ->
+                    if
+                      not
+                        (V.update c pred ~birth:pred_b ~expected:curr
+                           ~expected_birth:curr_b ~new_:succ ~new_birth:succ_b)
+                    then ignore (find t c key);
+                    V.retire t.vbr ~tid (curr, curr_b));
+                true
+              end
+              else mark_loop ()
+            end
+          in
+          mark_loop ()
+        end)
 
-(* Quiescent-only helpers. *)
-let to_list t =
-  let arena = Vbr.arena t.vbr in
-  let rec go acc i =
-    let w = Atomic.get (Memsim.Node.next0 (Memsim.Arena.get arena i)) in
-    let k = (Memsim.Arena.get arena i).Memsim.Node.key in
-    if k = Set_intf.max_key_bound then List.rev acc
-    else begin
-      let acc =
-        if i <> t.head && not (Memsim.Packed.is_marked w) then k :: acc
-        else acc
-      in
-      go acc (Memsim.Packed.index w)
-    end
-  in
-  go [] t.head
+  (* Figure 6. *)
+  let contains t ~tid key =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let rec loop curr curr_b curr_key =
+          if curr_key < key then begin
+            let succ, succ_b = V.get_next c curr in
+            loop succ succ_b (V.get_key c succ)
+          end
+          else curr_key = key && not (V.is_marked c curr ~birth:curr_b)
+        in
+        let curr, curr_b = V.get_next c t.head in
+        loop curr curr_b (V.get_key c curr))
 
-let size t = List.length (to_list t)
+  (* Quiescent-only helpers. *)
+  let to_list t =
+    let arena = V.arena t.vbr in
+    let rec go acc i =
+      let w = Atomic.get (Memsim.Node.next0 (Memsim.Arena.get arena i)) in
+      let k = (Memsim.Arena.get arena i).Memsim.Node.key in
+      if k = Set_intf.max_key_bound then List.rev acc
+      else begin
+        let acc =
+          if i <> t.head && not (Memsim.Packed.is_marked w) then k :: acc
+          else acc
+        in
+        go acc (Memsim.Packed.index w)
+      end
+    in
+    go [] t.head
+
+  let size t = List.length (to_list t)
+end
+
+include Make (Vbr_core.Vbr)

@@ -1,10 +1,11 @@
-(** The VBR-integrated lock-free linked list (the paper's Appendix C).
+(** The optimistic-reclamation lock-free linked list (the paper's
+    Appendix C), as a functor over {!Reclaim.Smr_intf.OPTIMISTIC}.
 
     Structure of the integration, per Figures 3–6:
     - [find] is the auxiliary traversal: it trims whole marked segments
       with a single versioned [update] and never installs checkpoints
-      (all its updates are rollback-safe), so any {!Vbr_core.Vbr.Rollback}
-      it raises propagates to the enclosing operation's checkpoint.
+      (all its updates are rollback-safe), so any [Rollback] it raises
+      propagates to the enclosing operation's checkpoint.
     - [insert] installs a checkpoint on entry (Figure 4). A failed
       publishing CAS retires the fresh node (line 15) and retries.
     - [delete] installs a checkpoint on entry and a second one right after
@@ -14,16 +15,22 @@
     - [contains] is the Figure 6 single-pass traversal: no updates, one
       checkpoint on entry; not wait-free (rollbacks restart it). *)
 
-type t
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) : sig
+  type t
 
-val create : Vbr_core.Vbr.t -> t
-(** A new empty list on the given VBR instance (allocates the head/tail
-    sentinels from thread 0's context). *)
+  val create : V.t -> t
+  (** A new empty list on the given backend instance (allocates the
+      head/tail sentinels from thread 0's context). *)
 
-val create_with_tail : Vbr_core.Vbr.t -> tail:int -> tail_birth:int -> t
-(** Like {!create} but sharing an existing tail sentinel (hash buckets). *)
+  val create_with_tail : V.t -> tail:int -> tail_birth:int -> t
+  (** Like {!create} but sharing an existing tail sentinel (hash
+      buckets). *)
 
-val make_tail : Vbr_core.Vbr.t -> int * int
-(** Allocate a tail sentinel; returns (index, birth). *)
+  val make_tail : V.t -> int * int
+  (** Allocate a tail sentinel; returns (index, birth). *)
 
-include Set_intf.SET with type t := t
+  include Set_intf.SET with type t := t
+end
+
+include module type of Make (Vbr_core.Vbr)
+(** The canonical instantiation over {!Vbr_core.Vbr} ("list/VBR"). *)

@@ -1,100 +1,104 @@
-open Vbr_core
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  type t = { vbr : V.t; head : int Atomic.t; tail : int Atomic.t }
 
-type t = { vbr : Vbr.t; head : int Atomic.t; tail : int Atomic.t }
+  let name = "queue/" ^ V.name
 
-let create vbr =
-  let c = Vbr.ctx vbr ~tid:0 in
-  Vbr.checkpoint c (fun () ->
-      let dummy, dummy_b = Vbr.alloc c 0 in
-      Vbr.commit_alloc c dummy;
-      {
-        vbr;
-        head = Vbr.make_root ~init:dummy ~init_birth:dummy_b;
-        tail = Vbr.make_root ~init:dummy ~init_birth:dummy_b;
-      })
+  let create vbr =
+    let c = V.ctx vbr ~tid:0 in
+    V.checkpoint c (fun () ->
+        let dummy, dummy_b = V.alloc vbr ~tid:0 ~level:1 ~key:0 in
+        V.commit_alloc c dummy;
+        {
+          vbr;
+          head = V.make_root ~init:dummy ~init_birth:dummy_b;
+          tail = V.make_root ~init:dummy ~init_birth:dummy_b;
+        })
 
-let enqueue t ~tid v =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let n, n_b = Vbr.alloc c v in
-      let rec loop () =
-        let tl, tl_b = Vbr.read_root c t.tail in
-        let nt, nt_b = Vbr.get_next c tl in
-        if nt = 0 then begin
-          (* The tail's next word is still ⟨NULL, tl_b⟩ from its own
-             allocation; the versioned CAS links n behind it. *)
-          if
-            Vbr.update c tl ~birth:tl_b ~expected:0 ~expected_birth:tl_b
-              ~new_:n ~new_birth:n_b
-          then begin
-            Vbr.commit_alloc c n;
-            (* Swing the tail; losing this race is fine. *)
+  let enqueue t ~tid v =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key:v in
+        let rec loop () =
+          let tl, tl_b = V.read_root c t.tail in
+          let nt, nt_b = V.get_next c tl in
+          if nt = 0 then begin
+            (* The tail's next word is still ⟨NULL, tl_b⟩ from its own
+               allocation; the versioned CAS links n behind it. *)
+            if
+              V.update c tl ~birth:tl_b ~expected:0 ~expected_birth:tl_b
+                ~new_:n ~new_birth:n_b
+            then begin
+              V.commit_alloc c n;
+              (* Swing the tail; losing this race is fine. *)
+              ignore
+                (V.cas_root c t.tail ~expected:tl ~expected_birth:tl_b ~new_:n
+                   ~new_birth:n_b)
+            end
+            else loop ()
+          end
+          else begin
+            (* Tail is lagging: help it forward, then retry. *)
             ignore
-              (Vbr.cas_root c t.tail ~expected:tl ~expected_birth:tl_b
-                 ~new_:n ~new_birth:n_b)
+              (V.cas_root c t.tail ~expected:tl ~expected_birth:tl_b ~new_:nt
+                 ~new_birth:nt_b);
+            loop ()
           end
-          else loop ()
-        end
-        else begin
-          (* Tail is lagging: help it forward, then retry. *)
-          ignore
-            (Vbr.cas_root c t.tail ~expected:tl ~expected_birth:tl_b ~new_:nt
-               ~new_birth:nt_b);
-          loop ()
-        end
-      in
-      loop ())
+        in
+        loop ())
 
-let dequeue t ~tid =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let rec loop () =
-        let h, h_b = Vbr.read_root c t.head in
-        let tl, tl_b = Vbr.read_root c t.tail in
-        let first, first_b = Vbr.get_next c h in
-        if first = 0 then None
-        else if h = tl && h_b = tl_b then begin
-          (* Non-empty but tail still points at the dummy: help. *)
-          ignore
-            (Vbr.cas_root c t.tail ~expected:tl ~expected_birth:tl_b
-               ~new_:first ~new_birth:first_b);
-          loop ()
-        end
-        else begin
-          (* Read the value before the linearizing swing (validated). *)
-          let v = Vbr.get_key c first in
-          if
-            Vbr.cas_root c t.head ~expected:h ~expected_birth:h_b ~new_:first
-              ~new_birth:first_b
-          then begin
-            (* The swing is unique, so exactly one thread retires h; the
-               retire runs under its own checkpoint because the dequeue is
-               already linearized. *)
-            Vbr.checkpoint c (fun () -> Vbr.retire c h ~birth:h_b);
-            Some v
+  let dequeue t ~tid =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let rec loop () =
+          let h, h_b = V.read_root c t.head in
+          let tl, tl_b = V.read_root c t.tail in
+          let first, first_b = V.get_next c h in
+          if first = 0 then None
+          else if h = tl && h_b = tl_b then begin
+            (* Non-empty but tail still points at the dummy: help. *)
+            ignore
+              (V.cas_root c t.tail ~expected:tl ~expected_birth:tl_b
+                 ~new_:first ~new_birth:first_b);
+            loop ()
           end
-          else loop ()
-        end
-      in
-      loop ())
+          else begin
+            (* Read the value before the linearizing swing (validated). *)
+            let v = V.get_key c first in
+            if
+              V.cas_root c t.head ~expected:h ~expected_birth:h_b ~new_:first
+                ~new_birth:first_b
+            then begin
+              (* The swing is unique, so exactly one thread retires h; the
+                 retire runs under its own checkpoint because the dequeue is
+                 already linearized. *)
+              V.checkpoint c (fun () -> V.retire t.vbr ~tid (h, h_b));
+              Some v
+            end
+            else loop ()
+          end
+        in
+        loop ())
 
-let is_empty t ~tid =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let h, _ = Vbr.read_root c t.head in
-      let first, _ = Vbr.get_next c h in
-      first = 0)
+  let is_empty t ~tid =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let h, _ = V.read_root c t.head in
+        let first, _ = V.get_next c h in
+        first = 0)
 
-(* Quiescent-only helpers. *)
-let to_list t =
-  let arena = Vbr.arena t.vbr in
-  let h = Memsim.Packed.index (Atomic.get t.head) in
-  let rec go acc i =
-    let n = Memsim.Arena.get arena i in
-    let nxt = Memsim.Packed.index (Atomic.get (Memsim.Node.next0 n)) in
-    if nxt = 0 then List.rev acc
-    else go ((Memsim.Arena.get arena nxt).Memsim.Node.key :: acc) nxt
-  in
-  go [] h
+  (* Quiescent-only helpers. *)
+  let to_list t =
+    let arena = V.arena t.vbr in
+    let h = Memsim.Packed.index (Atomic.get t.head) in
+    let rec go acc i =
+      let n = Memsim.Arena.get arena i in
+      let nxt = Memsim.Packed.index (Atomic.get (Memsim.Node.next0 n)) in
+      if nxt = 0 then List.rev acc
+      else go ((Memsim.Arena.get arena nxt).Memsim.Node.key :: acc) nxt
+    in
+    go [] h
 
-let length t = List.length (to_list t)
+  let length t = List.length (to_list t)
+end
+
+include Make (Vbr_core.Vbr)

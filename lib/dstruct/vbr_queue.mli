@@ -1,11 +1,11 @@
-(** A Michael–Scott lock-free FIFO queue [38] with VBR reclamation — one
-    of the compatible structures the paper lists (§1, §4) but does not
-    evaluate; included as an extension.
+(** A Michael–Scott lock-free FIFO queue [38] over the optimistic
+    capability — one of the compatible structures the paper lists (§1,
+    §4) but does not evaluate; included as an extension.
 
     Integration notes:
-    - The queue's head and tail are VBR entry-point words
-      ({!Vbr_core.Vbr.make_root}): their version is the pointee's birth
-      epoch, which rules out ABA on the head/tail swings.
+    - The queue's head and tail are entry-point words
+      ({!Reclaim.Smr_intf.OPTIMISTIC.make_root}): their version is the
+      pointee's birth epoch, which rules out ABA on the head/tail swings.
     - Invalidation without marks (Assumption 2): a queue node's [next]
       goes NULL → node exactly once and is never written again, so by the
       time the node is retired (after the head swings past it) the field
@@ -15,21 +15,14 @@
       dummy is retired under an inner checkpoint (the value was read,
       epoch-validated, before the swing, as Figure 1 treats keys). *)
 
-type t
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) : sig
+  type t
 
-val create : Vbr_core.Vbr.t -> t
-(** An empty queue (allocates the initial dummy from thread 0's ctx). *)
+  val create : V.t -> t
+  (** An empty queue (allocates the initial dummy from thread 0's ctx). *)
 
-val enqueue : t -> tid:int -> int -> unit
-(** Add a value at the tail. Lock-free. *)
+  include Set_intf.QUEUE with type t := t
+end
 
-val dequeue : t -> tid:int -> int option
-(** Remove the value at the head, or [None] when empty. Lock-free. *)
-
-val is_empty : t -> tid:int -> bool
-
-val length : t -> int
-(** Quiescent use only (tests). *)
-
-val to_list : t -> int list
-(** Front-to-back values. Quiescent use only (tests). *)
+include module type of Make (Vbr_core.Vbr)
+(** The canonical instantiation over {!Vbr_core.Vbr} ("queue/VBR"). *)

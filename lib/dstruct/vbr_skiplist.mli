@@ -1,5 +1,5 @@
-(** The VBR-integrated lock-free skiplist (Herlihy–Shavit [27] with
-    Fraser's reclamation amendment [20], §5 of the paper).
+(** The optimistic-reclamation lock-free skiplist (Herlihy–Shavit [27]
+    with Fraser's reclamation amendment [20], §5 of the paper).
 
     Checkpoint placement follows the same logic as the list (Appendix C):
     the rollback-unsafe steps are the bottom-level link CAS (insert's
@@ -18,11 +18,16 @@
     immediately before each upper-level CAS to make the window vanishingly
     small. *)
 
-type t
-
 val max_level : int
 (** Tower-height cap (16, matching {!Skiplist.max_level}). *)
 
-val create : Vbr_core.Vbr.t -> t
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) : sig
+  type t
 
-include Set_intf.SET with type t := t
+  val create : V.t -> t
+
+  include Set_intf.SET with type t := t
+end
+
+include module type of Make (Vbr_core.Vbr)
+(** The canonical instantiation over {!Vbr_core.Vbr} ("skiplist/VBR"). *)

@@ -1,64 +1,68 @@
-open Vbr_core
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  type t = { vbr : V.t; top : int Atomic.t }
 
-type t = { vbr : Vbr.t; top : int Atomic.t }
+  let name = "stack/" ^ V.name
+  let create vbr = { vbr; top = V.make_root ~init:0 ~init_birth:0 }
 
-let create vbr = { vbr; top = Vbr.make_root ~init:0 ~init_birth:0 }
-
-let push t ~tid v =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let n, n_b = Vbr.alloc c v in
-      let rec loop () =
-        let top, top_b = Vbr.read_root c t.top in
-        (* Aim the private node at the current top. Raw-expected because a
-           previous iteration may have left n.next pointing at a top that
-           has since been recycled. *)
-        let ok = Vbr.refresh_next c n ~birth:n_b ~new_:top ~new_birth:top_b in
-        assert ok;
-        if Vbr.cas_root c t.top ~expected:top ~expected_birth:top_b ~new_:n
-             ~new_birth:n_b
-        then Vbr.commit_alloc c n
-        else loop ()
-      in
-      loop ())
-
-let pop t ~tid =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () ->
-      let rec loop () =
-        let top, top_b = Vbr.read_root c t.top in
-        if top = 0 then None
-        else begin
-          let nxt, nxt_b = Vbr.get_next c top in
-          let v = Vbr.get_key c top in
+  let push t ~tid v =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key:v in
+        let rec loop () =
+          let top, top_b = V.read_root c t.top in
+          (* Aim the private node at the current top. Raw-expected because a
+             previous iteration may have left n.next pointing at a top that
+             has since been recycled. *)
+          let ok = V.refresh_next c n ~birth:n_b ~new_:top ~new_birth:top_b in
+          assert ok;
           if
-            Vbr.cas_root c t.top ~expected:top ~expected_birth:top_b ~new_:nxt
-              ~new_birth:nxt_b
-          then begin
-            (* The swing is unique: this thread owns the retirement. *)
-            Vbr.checkpoint c (fun () -> Vbr.retire c top ~birth:top_b);
-            Some v
-          end
+            V.cas_root c t.top ~expected:top ~expected_birth:top_b ~new_:n
+              ~new_birth:n_b
+          then V.commit_alloc c n
           else loop ()
-        end
-      in
-      loop ())
+        in
+        loop ())
 
-let is_empty t ~tid =
-  let c = Vbr.ctx t.vbr ~tid in
-  Vbr.checkpoint c (fun () -> fst (Vbr.read_root c t.top) = 0)
+  let pop t ~tid =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () ->
+        let rec loop () =
+          let top, top_b = V.read_root c t.top in
+          if top = 0 then None
+          else begin
+            let nxt, nxt_b = V.get_next c top in
+            let v = V.get_key c top in
+            if
+              V.cas_root c t.top ~expected:top ~expected_birth:top_b
+                ~new_:nxt ~new_birth:nxt_b
+            then begin
+              (* The swing is unique: this thread owns the retirement. *)
+              V.checkpoint c (fun () -> V.retire t.vbr ~tid (top, top_b));
+              Some v
+            end
+            else loop ()
+          end
+        in
+        loop ())
 
-(* Quiescent-only helpers. *)
-let to_list t =
-  let arena = Vbr.arena t.vbr in
-  let rec go acc i =
-    if i = 0 then List.rev acc
-    else begin
-      let n = Memsim.Arena.get arena i in
-      go (n.Memsim.Node.key :: acc)
-        (Memsim.Packed.index (Atomic.get (Memsim.Node.next0 n)))
-    end
-  in
-  go [] (Memsim.Packed.index (Atomic.get t.top))
+  let is_empty t ~tid =
+    let c = V.ctx t.vbr ~tid in
+    V.checkpoint c (fun () -> fst (V.read_root c t.top) = 0)
 
-let length t = List.length (to_list t)
+  (* Quiescent-only helpers. *)
+  let to_list t =
+    let arena = V.arena t.vbr in
+    let rec go acc i =
+      if i = 0 then List.rev acc
+      else begin
+        let n = Memsim.Arena.get arena i in
+        go (n.Memsim.Node.key :: acc)
+          (Memsim.Packed.index (Atomic.get (Memsim.Node.next0 n)))
+      end
+    in
+    go [] (Memsim.Packed.index (Atomic.get t.top))
+
+  let length t = List.length (to_list t)
+end
+
+include Make (Vbr_core.Vbr)

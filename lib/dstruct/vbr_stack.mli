@@ -1,24 +1,22 @@
-(** A Treiber lock-free stack [53] with VBR reclamation — the second
-    extension structure (the paper cites Treiber's stack as the classic
-    pool substrate).
+(** A Treiber lock-free stack [53] over the optimistic capability — the
+    second extension structure (the paper cites Treiber's stack as the
+    classic pool substrate).
 
-    The top-of-stack is a VBR entry-point word; push aims its private
-    node with {!Vbr_core.Vbr.refresh_next} (the raw-expected redirect,
-    because across retries the node's next may reference a since-recycled
-    former top) and publishes with a versioned root CAS; pop's root swing
-    is unique, so exactly one popper retires each node. A popped node's
-    [next] is never written again after publication, which provides
-    Assumption 2's invalidation without marks. *)
+    The top-of-stack is an entry-point word; push aims its private node
+    with {!Reclaim.Smr_intf.OPTIMISTIC.refresh_next} (the raw-expected
+    redirect, because across retries the node's next may reference a
+    since-recycled former top) and publishes with a versioned root CAS;
+    pop's root swing is unique, so exactly one popper retires each node. A
+    popped node's [next] is never written again after publication, which
+    provides Assumption 2's invalidation without marks. *)
 
-type t
+module Make (V : Reclaim.Smr_intf.OPTIMISTIC) : sig
+  type t
 
-val create : Vbr_core.Vbr.t -> t
-val push : t -> tid:int -> int -> unit
-val pop : t -> tid:int -> int option
-val is_empty : t -> tid:int -> bool
+  val create : V.t -> t
 
-val length : t -> int
-(** Quiescent use only (tests). *)
+  include Set_intf.STACK with type t := t
+end
 
-val to_list : t -> int list
-(** Top-to-bottom values. Quiescent use only (tests). *)
+include module type of Make (Vbr_core.Vbr)
+(** The canonical instantiation over {!Vbr_core.Vbr} ("stack/VBR"). *)

@@ -13,180 +13,319 @@ type instance = {
   stats : unit -> Obs.Counters.snapshot;
 }
 
-let schemes = [ "NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR" ]
-let structures = [ "list"; "hash"; "skiplist"; "harris" ]
+(* ------------------------------------------------------------------ *)
+(* Descriptor tables: one row per scheme, one row per structure. A new *)
+(* backend or structure is a table entry, not a new builder function.  *)
+(* ------------------------------------------------------------------ *)
+
+(* The structure-level operations a built instance contributes; the
+   scheme-level accessors (unreclaimed/stats/pin/...) are attached
+   uniformly by [make] below. Queues and stacks adapt their natural API
+   onto the set shape (see [structure_table]) so one workload driver
+   exercises everything. *)
+type ops = {
+  o_insert : tid:int -> int -> bool;
+  o_delete : tid:int -> int -> bool;
+  o_contains : tid:int -> int -> bool;
+  o_size : unit -> int;
+}
+
+(* A constructed guarded/optimistic backend packed with its module, so
+   structure wiring can apply its functor to it. *)
+module type GUARDED_INST = sig
+  module R : Reclaim.Smr_intf.GUARDED
+
+  val r : R.t
+end
+
+module type OPTIMISTIC_INST = sig
+  module V : Reclaim.Smr_intf.OPTIMISTIC
+
+  val v : V.t
+end
+
+type kind = Set | Queue | Stack
+
+type structure_row = {
+  st_name : string;
+  st_kind : kind;
+  max_level : int;  (* tower cap the global pool must support *)
+  hazard_slots : int;  (* protection slots per thread (guarded schemes) *)
+  guarded :
+    ((module GUARDED_INST) -> arena:Arena.t -> range:int -> ops) option;
+  optimistic : ((module OPTIMISTIC_INST) -> range:int -> ops) option;
+  guarded_schemes : string list option;
+      (* allow-list of guarded scheme names; None = all (see harris) *)
+}
+
+type scheme_row = {
+  sc_name : string;
+  backend : Reclaim.Smr_intf.backend;
+  default_retire : int;
+}
+
+let scheme_table =
+  Reclaim.Smr_intf.
+    [
+      { sc_name = "NoRecl"; backend = Guarded (module Reclaim.No_recl); default_retire = 128 };
+      { sc_name = "EBR"; backend = Guarded (module Reclaim.Ebr); default_retire = 128 };
+      { sc_name = "HP"; backend = Guarded (module Reclaim.Hp); default_retire = 128 };
+      { sc_name = "HE"; backend = Guarded (module Reclaim.He); default_retire = 128 };
+      { sc_name = "IBR"; backend = Guarded (module Reclaim.Ibr); default_retire = 128 };
+      { sc_name = "VBR"; backend = Optimistic (module Vbr_core.Vbr); default_retire = 64 };
+    ]
+
+(* Wiring helpers: apply a structure functor to a packed backend and
+   project the result onto [ops]. One per structure family — these are
+   the table cells, not per-scheme builders. *)
+
+let set_ops (type s) ~insert ~delete ~contains ~size (s : s) =
+  {
+    o_insert = (fun ~tid k -> insert s ~tid k);
+    o_delete = (fun ~tid k -> delete s ~tid k);
+    o_contains = (fun ~tid k -> contains s ~tid k);
+    o_size = (fun () -> size s);
+  }
+
+(* Queues/stacks under the set-shaped workload driver: insert produces,
+   delete consumes, contains probes emptiness (a read-mostly profile thus
+   maps onto a peek-heavy mix). *)
+let queue_ops (type s) ~enqueue ~dequeue ~is_empty ~length (s : s) =
+  {
+    o_insert =
+      (fun ~tid k ->
+        enqueue s ~tid k;
+        true);
+    o_delete = (fun ~tid _ -> dequeue s ~tid <> None);
+    o_contains = (fun ~tid _ -> not (is_empty s ~tid));
+    o_size = (fun () -> length s);
+  }
+
+let structure_table =
+  [
+    {
+      st_name = "list";
+      st_kind = Set;
+      max_level = 1;
+      hazard_slots = 3;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+            let module L = Dstruct.Linked_list.Make (I.R) in
+            set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
+              ~size:L.size
+              (L.create I.r ~arena));
+      optimistic =
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+            let module L = Dstruct.Vbr_list.Make (I.V) in
+            set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
+              ~size:L.size (L.create I.v));
+      guarded_schemes = None;
+    };
+    {
+      st_name = "hash";
+      st_kind = Set;
+      max_level = 1;
+      hazard_slots = 3;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range ->
+            let module H = Dstruct.Hash_table.Make (I.R) in
+            set_ops ~insert:H.insert ~delete:H.delete ~contains:H.contains
+              ~size:H.size
+              (H.create I.r ~arena ~buckets:range));
+      optimistic =
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range ->
+            let module H = Dstruct.Vbr_hash.Make (I.V) in
+            set_ops ~insert:H.insert ~delete:H.delete ~contains:H.contains
+              ~size:H.size
+              (H.create I.v ~buckets:range));
+      guarded_schemes = None;
+    };
+    {
+      st_name = "skiplist";
+      st_kind = Set;
+      max_level = Dstruct.Skiplist.max_level;
+      hazard_slots = (2 * Dstruct.Skiplist.max_level) + 2;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+            let module S = Dstruct.Skiplist.Make (I.R) in
+            set_ops ~insert:S.insert ~delete:S.delete ~contains:S.contains
+              ~size:S.size (S.create I.r ~arena));
+      optimistic =
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+            let module S = Dstruct.Vbr_skiplist.Make (I.V) in
+            set_ops ~insert:S.insert ~delete:S.delete ~contains:S.contains
+              ~size:S.size (S.create I.v));
+      guarded_schemes = None;
+    };
+    {
+      st_name = "harris";
+      st_kind = Set;
+      max_level = 1;
+      hazard_slots = 3;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+            let module L = Dstruct.Harris_list.Make (I.R) in
+            set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
+              ~size:L.size (L.create I.r ~arena));
+      optimistic =
+        (* Vbr_list's Figure-3 find *is* the Harris-style segment-trimming
+           traversal, so it serves as both. *)
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+            let module L = Dstruct.Vbr_list.Make (I.V) in
+            set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
+              ~size:L.size (L.create I.v));
+      (* Traversals walk through marked nodes, which pointer-based schemes
+         (HP/HE/IBR) cannot protect — see Dstruct.Harris_list. *)
+      guarded_schemes = Some [ "NoRecl"; "EBR" ];
+    };
+    {
+      st_name = "queue";
+      st_kind = Queue;
+      max_level = 1;
+      hazard_slots = 2;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+            let module Q = Dstruct.Ms_queue.Make (I.R) in
+            queue_ops ~enqueue:Q.enqueue ~dequeue:Q.dequeue
+              ~is_empty:Q.is_empty ~length:Q.length (Q.create I.r ~arena));
+      optimistic =
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+            let module Q = Dstruct.Vbr_queue.Make (I.V) in
+            queue_ops ~enqueue:Q.enqueue ~dequeue:Q.dequeue
+              ~is_empty:Q.is_empty ~length:Q.length (Q.create I.v));
+      guarded_schemes = None;
+    };
+    {
+      st_name = "stack";
+      st_kind = Stack;
+      max_level = 1;
+      hazard_slots = 1;
+      guarded =
+        Some
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+            let module S = Dstruct.Treiber_stack.Make (I.R) in
+            queue_ops ~enqueue:S.push ~dequeue:S.pop ~is_empty:S.is_empty
+              ~length:S.length (S.create I.r ~arena));
+      optimistic =
+        Some
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+            let module S = Dstruct.Vbr_stack.Make (I.V) in
+            queue_ops ~enqueue:S.push ~dequeue:S.pop ~is_empty:S.is_empty
+              ~length:S.length (S.create I.v));
+      guarded_schemes = None;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Table lookups and the one generic builder.                          *)
+(* ------------------------------------------------------------------ *)
+
+let schemes = List.map (fun sc -> sc.sc_name) scheme_table
+let structures = List.map (fun st -> st.st_name) structure_table
+let find_scheme s = List.find_opt (fun sc -> sc.sc_name = s) scheme_table
+let find_structure s = List.find_opt (fun st -> st.st_name = s) structure_table
+
+let structure_kind ~structure =
+  Option.map (fun st -> st.st_kind) (find_structure structure)
 
 let supports ~structure ~scheme =
-  List.mem structure structures
-  && List.mem scheme schemes
-  && (structure <> "harris" || List.mem scheme [ "NoRecl"; "EBR"; "VBR" ])
-
-let scheme_module : string -> (module Reclaim.Smr_intf.S) = function
-  | "NoRecl" -> (module Reclaim.No_recl)
-  | "EBR" -> (module Reclaim.Ebr)
-  | "HP" -> (module Reclaim.Hp)
-  | "HE" -> (module Reclaim.He)
-  | "IBR" -> (module Reclaim.Ibr)
-  | s -> invalid_arg ("Registry: unknown scheme " ^ s)
-
-(* Epoch/era advance counters are internal to each scheme; expose them by
-   peeking at scheme-specific state through a closure built at
-   construction time. For EBR/HE/IBR we approximate with the global value
-   itself (it starts at 1). *)
-
-let make_conservative (module R : Reclaim.Smr_intf.S) ~structure ~n_threads
-    ~range ~capacity ~retire_threshold ~epoch_freq () =
-  let max_level =
-    if structure = "skiplist" then Dstruct.Skiplist.max_level else 1
-  in
-  let hazards =
-    if structure = "skiplist" then (2 * Dstruct.Skiplist.max_level) + 2 else 3
-  in
-  let arena = Arena.create ~capacity in
-  let global = Global_pool.create ~max_level in
-  let r =
-    R.create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq
-  in
-  let pin ~tid =
-    R.begin_op r ~tid;
-    (* Publish era/hazard protection over slot 1 (the first allocated
-       node, typically a sentinel — the *era* published is what pins
-       state for HE/IBR; HP's robustness shows precisely because a single
-       hazard pins almost nothing). *)
-    R.protect_own r ~tid ~slot:0 1
-  in
-  let base =
-    {
-      iname = "?";
-      insert = (fun ~tid:_ _ -> false);
-      delete = (fun ~tid:_ _ -> false);
-      contains = (fun ~tid:_ _ -> false);
-      size = (fun () -> 0);
-      unreclaimed = (fun () -> R.unreclaimed r);
-      allocated = (fun () -> Arena.allocated arena);
-      pin;
-      epoch_advances = (fun () -> 0);
-      stats = (fun () -> R.stats r);
-    }
-  in
-  match structure with
-  | "list" ->
-      let module L = Dstruct.Linked_list.Make (R) in
-      let l = L.create r ~arena in
-      {
-        base with
-        iname = L.name;
-        insert = (fun ~tid k -> L.insert l ~tid k);
-        delete = (fun ~tid k -> L.delete l ~tid k);
-        contains = (fun ~tid k -> L.contains l ~tid k);
-        size = (fun () -> L.size l);
-      }
-  | "hash" ->
-      let module H = Dstruct.Hash_table.Make (R) in
-      let h = H.create r ~arena ~buckets:range in
-      {
-        base with
-        iname = H.name;
-        insert = (fun ~tid k -> H.insert h ~tid k);
-        delete = (fun ~tid k -> H.delete h ~tid k);
-        contains = (fun ~tid k -> H.contains h ~tid k);
-        size = (fun () -> H.size h);
-      }
-  | "skiplist" ->
-      let module S = Dstruct.Skiplist.Make (R) in
-      let s = S.create r ~arena in
-      {
-        base with
-        iname = S.name;
-        insert = (fun ~tid k -> S.insert s ~tid k);
-        delete = (fun ~tid k -> S.delete s ~tid k);
-        contains = (fun ~tid k -> S.contains s ~tid k);
-        size = (fun () -> S.size s);
-      }
-  | "harris" ->
-      let module L = Dstruct.Harris_list.Make (R) in
-      let l = L.create r ~arena in
-      {
-        base with
-        iname = L.name;
-        insert = (fun ~tid k -> L.insert l ~tid k);
-        delete = (fun ~tid k -> L.delete l ~tid k);
-        contains = (fun ~tid k -> L.contains l ~tid k);
-        size = (fun () -> L.size l);
-      }
-  | s -> invalid_arg ("Registry: unknown structure " ^ s)
-
-let make_vbr ~structure ~n_threads ~range ~capacity ~retire_threshold () =
-  let max_level =
-    if structure = "skiplist" then Dstruct.Skiplist.max_level else 1
-  in
-  let arena = Arena.create ~capacity in
-  let global = Global_pool.create ~max_level in
-  let vbr =
-    Vbr_core.Vbr.create ~retire_threshold ~arena ~global ~n_threads ()
-  in
-  let base =
-    {
-      iname = "?";
-      insert = (fun ~tid:_ _ -> false);
-      delete = (fun ~tid:_ _ -> false);
-      contains = (fun ~tid:_ _ -> false);
-      size = (fun () -> 0);
-      unreclaimed =
-        (fun () -> (Vbr_core.Vbr.total_stats vbr).Vbr_core.Vbr.retired_pending);
-      allocated = (fun () -> Arena.allocated arena);
-      (* No thread can stall VBR's reclamation: pinning is a no-op. *)
-      pin = (fun ~tid:_ -> ());
-      epoch_advances =
-        (fun () -> Vbr_core.Epoch.advance_counted (Vbr_core.Vbr.epoch vbr));
-      stats = (fun () -> Vbr_core.Vbr.counters_snapshot vbr);
-    }
-  in
-  match structure with
-  | "list" | "harris" ->
-      (* Vbr_list's Figure-3 find *is* the Harris-style segment-trimming
-         traversal, so it serves as both. *)
-      let l = Dstruct.Vbr_list.create vbr in
-      {
-        base with
-        iname =
-          (if structure = "harris" then "harris/VBR" else Dstruct.Vbr_list.name);
-        insert = (fun ~tid k -> Dstruct.Vbr_list.insert l ~tid k);
-        delete = (fun ~tid k -> Dstruct.Vbr_list.delete l ~tid k);
-        contains = (fun ~tid k -> Dstruct.Vbr_list.contains l ~tid k);
-        size = (fun () -> Dstruct.Vbr_list.size l);
-      }
-  | "hash" ->
-      let h = Dstruct.Vbr_hash.create vbr ~buckets:range in
-      {
-        base with
-        iname = Dstruct.Vbr_hash.name;
-        insert = (fun ~tid k -> Dstruct.Vbr_hash.insert h ~tid k);
-        delete = (fun ~tid k -> Dstruct.Vbr_hash.delete h ~tid k);
-        contains = (fun ~tid k -> Dstruct.Vbr_hash.contains h ~tid k);
-        size = (fun () -> Dstruct.Vbr_hash.size h);
-      }
-  | "skiplist" ->
-      let s = Dstruct.Vbr_skiplist.create vbr in
-      {
-        base with
-        iname = Dstruct.Vbr_skiplist.name;
-        insert = (fun ~tid k -> Dstruct.Vbr_skiplist.insert s ~tid k);
-        delete = (fun ~tid k -> Dstruct.Vbr_skiplist.delete s ~tid k);
-        contains = (fun ~tid k -> Dstruct.Vbr_skiplist.contains s ~tid k);
-        size = (fun () -> Dstruct.Vbr_skiplist.size s);
-      }
-  | s -> invalid_arg ("Registry: unknown structure " ^ s)
+  match (find_structure structure, find_scheme scheme) with
+  | Some st, Some sc -> (
+      match sc.backend with
+      | Reclaim.Smr_intf.Guarded _ ->
+          Option.is_some st.guarded
+          && Option.fold ~none:true
+               ~some:(List.mem scheme)
+               st.guarded_schemes
+      | Reclaim.Smr_intf.Optimistic _ -> Option.is_some st.optimistic)
+  | _ -> false
 
 let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
     ?(epoch_freq = 32) () =
   if not (supports ~structure ~scheme) then
     invalid_arg
       (Printf.sprintf "Registry: %s does not support %s" structure scheme);
-  if scheme = "VBR" then
-    let retire_threshold = Option.value retire_threshold ~default:64 in
-    make_vbr ~structure ~n_threads ~range ~capacity ~retire_threshold ()
-  else
-    let retire_threshold = Option.value retire_threshold ~default:128 in
-    make_conservative (scheme_module scheme) ~structure ~n_threads ~range
-      ~capacity ~retire_threshold ~epoch_freq ()
+  let st = Option.get (find_structure structure) in
+  let sc = Option.get (find_scheme scheme) in
+  let retire_threshold =
+    Option.value retire_threshold ~default:sc.default_retire
+  in
+  let arena = Arena.create ~capacity in
+  let global = Global_pool.create ~max_level:st.max_level in
+  let iname = st.st_name ^ "/" ^ sc.sc_name in
+  let allocated () = Arena.allocated arena in
+  match sc.backend with
+  | Reclaim.Smr_intf.Guarded (module R) ->
+      let r =
+        R.create ~arena ~global ~n_threads ~hazards:st.hazard_slots
+          ~retire_threshold ~epoch_freq
+      in
+      let ops =
+        (Option.get st.guarded)
+          (module struct
+            module R = R
+
+            let r = r
+          end)
+          ~arena ~range
+      in
+      {
+        iname;
+        insert = ops.o_insert;
+        delete = ops.o_delete;
+        contains = ops.o_contains;
+        size = ops.o_size;
+        unreclaimed = (fun () -> R.unreclaimed r);
+        allocated;
+        pin =
+          (fun ~tid ->
+            R.begin_op r ~tid;
+            (* Publish era/hazard protection over slot 1 (the first
+               allocated node, typically a sentinel — the *era* published
+               is what pins state for HE/IBR; HP's robustness shows
+               precisely because a single hazard pins almost nothing). *)
+            R.protect_own r ~tid ~slot:0 1);
+        epoch_advances =
+          (* The scheme's own count of successful epoch/era advances, from
+             its stats shards (0 for NoRecl/HP, which have no clock). *)
+          (fun () -> Obs.Counters.get (R.stats r) Obs.Event.Epoch_advance);
+        stats = (fun () -> R.stats r);
+      }
+  | Reclaim.Smr_intf.Optimistic (module V) ->
+      let v =
+        V.create ~arena ~global ~n_threads ~hazards:st.hazard_slots
+          ~retire_threshold ~epoch_freq
+      in
+      let ops =
+        (Option.get st.optimistic)
+          (module struct
+            module V = V
+
+            let v = v
+          end)
+          ~range
+      in
+      {
+        iname;
+        insert = ops.o_insert;
+        delete = ops.o_delete;
+        contains = ops.o_contains;
+        size = ops.o_size;
+        unreclaimed = (fun () -> V.unreclaimed v);
+        allocated;
+        (* No thread can stall optimistic reclamation: pinning is a
+           no-op. *)
+        pin = (fun ~tid:_ -> ());
+        epoch_advances = (fun () -> V.epoch_advances v);
+        stats = (fun () -> V.stats v);
+      }

@@ -1,5 +1,12 @@
 (** Uniform construction of every (structure × reclamation scheme)
-    combination the evaluation uses, behind one monomorphic handle. *)
+    combination the evaluation uses, behind one monomorphic handle.
+
+    The registry is table-driven: a scheme is a row packing a
+    {!Reclaim.Smr_intf.backend} (guarded or optimistic first-class
+    module), a structure is a row of wiring closures that apply the
+    structure's functor to either capability, and {!make} is the single
+    generic builder joining the two tables. Adding a scheme or a structure
+    is one table row — see README's "Extending the matrix". *)
 
 type instance = {
   iname : string;  (** "structure/scheme" *)
@@ -8,9 +15,9 @@ type instance = {
   contains : tid:int -> int -> bool;
   size : unit -> int;  (** quiescent only *)
   unreclaimed : unit -> int;
-      (** retired-but-not-yet-reusable nodes (the robustness metric); for
-          VBR this is the batched retired-list occupancy, for NoRecl the
-          total retire count. *)
+      (** retired-but-not-yet-reusable nodes (the robustness metric): the
+          [Retire] − [Reclaim] view of the backend's counters; for NoRecl
+          the total retire count. *)
   allocated : unit -> int;  (** arena slots ever claimed (memory footprint) *)
   pin : tid:int -> unit;
       (** Simulate the §1 stalled thread: enter an operation and publish
@@ -18,9 +25,10 @@ type instance = {
           under VBR — no thread can block VBR's reclamation, which is the
           point of the robustness experiment. *)
   epoch_advances : unit -> int;
-      (** Global epoch/era increments so far (0 for schemes without one).
-          The §5.2 discussion attributes VBR's win over EBR/HE/IBR to this
-          being small. *)
+      (** Successful global epoch/era increments so far, from the scheme's
+          own [Epoch_advance] counter (0 for NoRecl/HP, which have no
+          clock). The §5.2 discussion attributes VBR's win over EBR/HE/IBR
+          to this being small. *)
   stats : unit -> Obs.Counters.snapshot;
       (** Racy merged snapshot of the backend's event counters (see
           {!Obs.Event}): protocol events, protection retries, rollbacks,
@@ -29,12 +37,21 @@ type instance = {
           the same data. *)
 }
 
+type kind = Set | Queue | Stack
+(** The API family a structure exposes. Queues and stacks are driven
+    through the set-shaped [instance] operations: insert produces, delete
+    consumes, contains probes emptiness. *)
+
 val schemes : string list
-(** ["NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR"] *)
+(** ["NoRecl"; "EBR"; "HP"; "HE"; "IBR"; "VBR"] — derived from the scheme
+    table. *)
 
 val structures : string list
-(** ["list"; "hash"; "skiplist"; "harris"] — "harris" supports only
-    NoRecl, EBR and VBR (see {!Dstruct.Harris_list}). *)
+(** ["list"; "hash"; "skiplist"; "harris"; "queue"; "stack"] — derived
+    from the structure table. "harris" supports only NoRecl, EBR and VBR
+    (see {!Dstruct.Harris_list}). *)
+
+val structure_kind : structure:string -> kind option
 
 val supports : structure:string -> scheme:string -> bool
 
@@ -49,7 +66,7 @@ val make :
   unit ->
   instance
 (** Build an empty instance. [range] sizes the hash table's bucket array
-    (load factor 1). [retire_threshold] defaults to 64 for VBR and 128 for
-    the conservative schemes; [epoch_freq] (allocations per epoch/era
-    advance, EBR/HE/IBR) defaults to 32.
+    (load factor 1). [retire_threshold] defaults to each scheme's table
+    row (64 for VBR, 128 for the conservative schemes); [epoch_freq]
+    (allocations per epoch/era advance, EBR/HE/IBR) defaults to 32.
     @raise Invalid_argument on an unknown or unsupported combination. *)

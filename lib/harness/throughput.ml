@@ -178,7 +178,18 @@ let run_stalled ~make ~profile ~threads ~range ~checkpoints
   let series =
     run_stalled_series ~make ~profile ~threads ~range ~total_ops ()
   in
-  let last = List.nth series (List.length series - 1) in
+  let last =
+    match List.rev series with
+    | s :: _ -> s
+    | [] ->
+        (* The whole run finished inside one sampling interval, so the
+           sampler never fired; report zeros rather than crash. *)
+        Printf.eprintf
+          "Throughput.run_stalled: empty sample series (run shorter than \
+           one sampling interval); reporting zero samples\n\
+           %!";
+        { t_ms = 0.0; ops = 0; unreclaimed = 0; allocated = 0 }
+  in
   (* Project the async time series onto the legacy checkpoint axis: for
      each ops milestone, the first sample at or past it (the final sample
      as fallback — worker-count division can leave total ops one or two

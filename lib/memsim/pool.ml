@@ -43,13 +43,21 @@ let maybe_spill t lvl =
     Global_pool.push_batch ?stats:t.stats t.global ~level:(lvl + 1) donated
   end
 
-let put t i =
+let put_no_spill t i =
   let lvl = (Arena.get t.arena i).Node.level - 1 in
   t.free.(lvl) <- i :: t.free.(lvl);
   t.free_len.(lvl) <- t.free_len.(lvl) + 1;
-  maybe_spill t lvl
+  lvl
 
-let put_batch t batch = List.iter (put t) batch
+let put t i = maybe_spill t (put_no_spill t i)
+
+(* Land the whole batch first, then spill each touched level at most
+   once: re-checking per element made a large batch (a VBR retired-list
+   flush) bounce the level across the spill threshold repeatedly. *)
+let put_batch t batch =
+  let touched = Array.make max_supported_level false in
+  List.iter (fun i -> touched.(put_no_spill t i) <- true) batch;
+  Array.iteri (fun lvl hit -> if hit then maybe_spill t lvl) touched
 
 let take t ~level =
   let lvl = level - 1 in

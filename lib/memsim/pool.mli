@@ -25,7 +25,9 @@ val put : t -> int -> unit
 (** Return one reusable slot (classified by its node's tower level). *)
 
 val put_batch : t -> int list -> unit
-(** Return a batch of reusable slots (of possibly mixed levels). *)
+(** Return a batch of reusable slots (of possibly mixed levels). The
+    spill check runs at most once per touched level, after the whole
+    batch has landed — not per element as repeated {!put} would. *)
 
 val take : t -> level:int -> int
 (** Obtain a slot whose node has tower height exactly [level]: local pool,

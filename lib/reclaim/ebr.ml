@@ -26,6 +26,8 @@ type t = {
   epoch_freq : int;
 }
 
+type node = int
+
 let name = "EBR"
 
 let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq =

@@ -26,6 +26,8 @@ type t = {
   epoch_freq : int;
 }
 
+type node = int
+
 let name = "HE"
 
 let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq =

@@ -15,6 +15,8 @@ type t = {
   retire_threshold : int;
 }
 
+type node = int
+
 let name = "HP"
 
 let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq:_

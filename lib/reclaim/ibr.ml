@@ -26,6 +26,8 @@ type t = {
   epoch_freq : int;
 }
 
+type node = int
+
 let name = "IBR"
 
 let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq

@@ -2,6 +2,8 @@ open Memsim
 
 type t = { arena : Arena.t; counters : Obs.Counters.t }
 
+type node = int
+
 let name = "NoRecl"
 
 let create ~arena ~global:_ ~n_threads ~hazards:_ ~retire_threshold:_

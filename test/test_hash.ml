@@ -34,7 +34,7 @@ let make_vbr () =
   let arena = Memsim.Arena.create ~capacity:100_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
   in
   let h = Dstruct.Vbr_hash.create vbr ~buckets in
   {

@@ -117,6 +117,18 @@ let test_structure ~structure ~scheme () =
   done
 
 let () =
+  (* Only set-kind structures: [Lin] models set semantics, which the
+     queue/stack rows deliberately do not follow through their adapted
+     instance ops (insert enqueues, delete pops an arbitrary element).
+     The registry-matrix test covers those rows with kind-appropriate
+     invariants instead. *)
+  let set_structures =
+    List.filter
+      (fun structure ->
+        Harness.Registry.structure_kind ~structure
+        = Some Harness.Registry.Set)
+      Harness.Registry.structures
+  in
   let combos =
     List.concat_map
       (fun structure ->
@@ -130,7 +142,7 @@ let () =
                    (test_structure ~structure ~scheme))
             else None)
           Harness.Registry.schemes)
-      Harness.Registry.structures
+      set_structures
   in
   Alcotest.run "linearizability"
     [

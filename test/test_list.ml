@@ -34,7 +34,7 @@ let make_vbr () =
   let arena = Memsim.Arena.create ~capacity:100_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
   in
   let l = Dstruct.Vbr_list.create vbr in
   {
@@ -165,7 +165,7 @@ let test_adversarial_epoch () =
   let arena = Memsim.Arena.create ~capacity:100_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:2 ~arena ~global ~n_threads:2 ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:2 ~arena ~global ~n_threads:2 ()
   in
   let l = Dstruct.Vbr_list.create vbr in
   let stop = Atomic.make false in

@@ -70,6 +70,29 @@ let test_global_pool_batches () =
     (Invalid_argument "Global_pool: level 3 out of range") (fun () ->
       ignore (Global_pool.pop_batch g ~level:3))
 
+let test_put_batch_single_spill () =
+  (* put_batch runs the spill check at most once per touched level, after
+     the whole batch has landed: one donation batch per level, however
+     large the batch. *)
+  let _, global, pool = setup ~spill:4 () in
+  let l1 = List.init 12 (fun _ -> Pool.take pool ~level:1) in
+  let l2 = List.init 12 (fun _ -> Pool.take pool ~level:2) in
+  Alcotest.(check int) "global empty before" 0
+    (Global_pool.approx_batches global);
+  Pool.put_batch pool (l1 @ l2);
+  Alcotest.(check int) "one spill batch per touched level" 2
+    (Global_pool.approx_batches global);
+  (* One halving per level: 12 kept locally per level, 12 donated. *)
+  Alcotest.(check int) "each level kept half locally" 12
+    (Pool.local_free pool);
+  (* The same traffic as repeated put crosses the threshold repeatedly and
+     donates several batches per level — the behaviour put_batch avoids. *)
+  let _, global', pool' = setup ~spill:4 () in
+  let l1' = List.init 12 (fun _ -> Pool.take pool' ~level:1) in
+  List.iter (Pool.put pool') l1';
+  Alcotest.(check bool) "repeated put spills more than once" true
+    (Global_pool.approx_batches global' > 1)
+
 let test_conservation () =
   (* Random put/take traffic: every slot is either held by the client,
      in the local pool, or in the global pool — never lost or duplicated. *)
@@ -148,6 +171,8 @@ let () =
           Alcotest.test_case "spill" `Quick test_spill_to_global;
           Alcotest.test_case "redistribution" `Quick test_global_redistribution;
           Alcotest.test_case "global batches" `Quick test_global_pool_batches;
+          Alcotest.test_case "put_batch single spill" `Quick
+            test_put_batch_single_spill;
           Alcotest.test_case "conservation" `Quick test_conservation;
           Alcotest.test_case "concurrent global" `Quick test_concurrent_global;
         ] );

@@ -88,7 +88,7 @@ let make_vbr () =
   let arena = Memsim.Arena.create ~capacity:200_000 in
   let global = Memsim.Global_pool.create ~max_level in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:4 ~arena ~global ~n_threads:2 ()
   in
   let s = Dstruct.Vbr_skiplist.create vbr in
   let head = 2 in

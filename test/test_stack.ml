@@ -5,7 +5,7 @@ let setup ?(n_threads = 4) () =
   let arena = Memsim.Arena.create ~capacity:200_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:4 ~arena ~global ~n_threads ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:4 ~arena ~global ~n_threads ()
   in
   (arena, vbr, Dstruct.Vbr_stack.create vbr)
 

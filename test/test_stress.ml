@@ -43,7 +43,7 @@ let make_list_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
   in
   let l = Dstruct.Vbr_list.create vbr in
   {
@@ -75,7 +75,7 @@ let make_hash_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
   in
   let h = Dstruct.Vbr_hash.create vbr ~buckets:16 in
   {
@@ -108,7 +108,7 @@ let make_skip_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
   let global = Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
   let vbr =
-    Vbr_core.Vbr.create ~retire_threshold:8 ~arena ~global ~n_threads ()
+    Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
   in
   let s = Dstruct.Vbr_skiplist.create vbr in
   {

@@ -8,7 +8,7 @@ open Memsim
 let setup ?(retire_threshold = 0) ?(n_threads = 2) () =
   let arena = Arena.create ~capacity:1_000 in
   let global = Global_pool.create ~max_level:4 in
-  let vbr = Vbr.create ~retire_threshold ~arena ~global ~n_threads () in
+  let vbr = Vbr.create_tuned ~retire_threshold ~arena ~global ~n_threads () in
   (arena, vbr)
 
 let run_ckpt c f = Vbr.checkpoint c f
@@ -18,7 +18,7 @@ let test_alloc_shape () =
   let c = Vbr.ctx vbr ~tid:0 in
   let i, b =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c ~level:3 42 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:3 ~key:42 in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -43,15 +43,15 @@ let test_reallocation_epoch_advances () =
   let c = Vbr.ctx vbr ~tid:0 in
   let i1, b1 =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c 1 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:1 in
         Vbr.commit_alloc c i;
         (i, b))
   in
-  run_ckpt c (fun () -> Vbr.retire c i1 ~birth:b1);
+  run_ckpt c (fun () -> Vbr.retire vbr ~tid:0 (i1, b1));
   let old_retire = Vbr.read_retire vbr i1 in
   let i2, b2 =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c 2 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:2 in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -65,16 +65,16 @@ let test_double_retire_guard () =
   let c = Vbr.ctx vbr ~tid:0 in
   let i, b =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c 7 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:7 in
         Vbr.commit_alloc c i;
         (i, b))
   in
-  run_ckpt c (fun () -> Vbr.retire c i ~birth:b);
-  let retires_before = (Vbr.stats c).Vbr.retires in
-  run_ckpt c (fun () -> Vbr.retire c i ~birth:b);
+  run_ckpt c (fun () -> Vbr.retire vbr ~tid:0 (i, b));
+  let retires_before = (Vbr.ctx_stats c).Vbr.retires in
+  run_ckpt c (fun () -> Vbr.retire vbr ~tid:0 (i, b));
   (* Stale-birth retire must also be rejected. *)
-  run_ckpt c (fun () -> Vbr.retire c i ~birth:(b - 1));
-  Alcotest.(check int) "retire is once" retires_before (Vbr.stats c).Vbr.retires
+  run_ckpt c (fun () -> Vbr.retire vbr ~tid:0 (i, b - 1));
+  Alcotest.(check int) "retire is once" retires_before (Vbr.ctx_stats c).Vbr.retires
 
 let test_aba_scenario () =
   (* The §2 scenario. List n -> m -> k. T1 prepares to unlink m by CASing
@@ -85,7 +85,7 @@ let test_aba_scenario () =
   let c = Vbr.ctx vbr ~tid:0 in
   let mk key =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c key in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:key in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -108,7 +108,7 @@ let test_aba_scenario () =
       Alcotest.(check bool) "unlink m" true
         (Vbr.update c n ~birth:n_b ~expected:m ~expected_birth:m_b ~new_:k
            ~new_birth:k_b));
-  run_ckpt c (fun () -> Vbr.retire c m ~birth:m_b);
+  run_ckpt c (fun () -> Vbr.retire vbr ~tid:0 (m, m_b));
   (* Recycle m's slot as d and insert d between n and k. *)
   let d, d_b = mk 25 in
   Alcotest.(check int) "d reuses m's slot" m d;
@@ -138,7 +138,7 @@ let test_mark_semantics () =
   let c = Vbr.ctx vbr ~tid:0 in
   let i, b =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c 5 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:5 in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -167,7 +167,7 @@ let test_rollback_on_epoch_change () =
   let c = Vbr.ctx vbr ~tid:0 in
   let i, b =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c 1 in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:1 in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -189,7 +189,7 @@ let test_rollback_on_epoch_change () =
   in
   Alcotest.(check int) "eventually reads" 0 v;
   Alcotest.(check int) "exactly one rollback" 2 !attempts;
-  Alcotest.(check int) "rollback counted" 1 (Vbr.stats c).Vbr.rollbacks
+  Alcotest.(check int) "rollback counted" 1 (Vbr.ctx_stats c).Vbr.rollbacks
 
 let test_pending_recycled_on_rollback () =
   (* Appendix B, type 1: a node allocated after the checkpoint that never
@@ -201,7 +201,7 @@ let test_pending_recycled_on_rollback () =
   let seen = ref [] in
   let _ =
     run_ckpt c (fun () ->
-        let i, _ = Vbr.alloc c 9 in
+        let i, _ = Vbr.alloc vbr ~tid:0 ~level:1 ~key:9 in
         seen := i :: !seen;
         if !first then begin
           first := false;
@@ -224,7 +224,7 @@ let test_refresh_next_semantics () =
   let c = Vbr.ctx vbr ~tid:0 in
   let mk key =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c key in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:key in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -252,7 +252,7 @@ let test_heal_stale_edge () =
   let c = Vbr.ctx vbr ~tid:0 in
   let mk key =
     run_ckpt c (fun () ->
-        let i, b = Vbr.alloc c key in
+        let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:key in
         Vbr.commit_alloc c i;
         (i, b))
   in
@@ -269,7 +269,7 @@ let test_heal_stale_edge () =
   (* Recycle x: mark, retire, re-allocate the slot. *)
   run_ckpt c (fun () ->
       ignore (Vbr.mark c x ~birth:x_b);
-      Vbr.retire c x ~birth:x_b);
+      Vbr.retire vbr ~tid:0 (x, x_b));
   let x', x'_b = mk 3 in
   Alcotest.(check int) "slot reused" x x';
   Alcotest.(check bool) "birth advanced" true (x'_b > x_b);
@@ -304,7 +304,7 @@ let test_version_invariant_random () =
     | 0 ->
         let i, b =
           run_ckpt c (fun () ->
-              let i, b = Vbr.alloc c (Random.State.int rng 100) in
+              let i, b = Vbr.alloc vbr ~tid:0 ~level:1 ~key:(Random.State.int rng 100) in
               Vbr.commit_alloc c i;
               (i, b))
         in
@@ -322,7 +322,7 @@ let test_version_invariant_random () =
         | (x, x_b) :: rest ->
             run_ckpt c (fun () ->
                 ignore (Vbr.mark c x ~birth:x_b);
-                Vbr.retire c x ~birth:x_b);
+                Vbr.retire vbr ~tid:0 (x, x_b));
             live := rest
         | [] -> ())
   done;
