@@ -1,0 +1,5 @@
+(* vbr-lint: enforce the repo's SMR usage discipline (see DESIGN.md §2.9).
+   Everything lives in the [lint] library so the test suite can drive the
+   same checks over fixtures. *)
+
+let () = exit (Lint.Driver.main ())

@@ -1,0 +1,67 @@
+(* determinism: benchmarks and structures must be replayable — seeded RNG
+   only, and wall-clock reads confined to the measurement layer
+   (lib/harness + lib/obs). A wall-clock read or self-seeded RNG anywhere
+   else makes a failing run unreproducible, which the stress/linearization
+   suites depend on. *)
+
+open Parsetree
+
+let name = "determinism"
+
+let banned =
+  [
+    "Random.self_init";
+    "Random.State.make_self_init";
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Sys.time";
+  ]
+
+let check (ctx : Rule.ctx) str =
+  let findings = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } ->
+              let fname = Ast_util.flat_of_longident txt in
+              if Ast_util.suffix_matches fname ~suffixes:banned then
+                findings :=
+                  Finding.make ~rule:name ~file:ctx.scope.path
+                    ~line:(Ast_util.line_of e.pexp_loc)
+                    ~col:(Ast_util.col_of e.pexp_loc)
+                    ~message:
+                      (Printf.sprintf
+                         "%s outside the measurement layer breaks run \
+                          replayability"
+                         fname)
+                    ~hint:
+                      "seed RNGs explicitly (Random.State.make [| seed |]) \
+                       and take timings through lib/harness or lib/obs; a \
+                       deliberate wall-clock read carries [@vbr.allow \
+                       \"determinism\"]"
+                  :: !findings
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it str;
+  List.rev !findings
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "no self-seeded RNG or wall-clock reads outside lib/harness and \
+       lib/obs";
+    check =
+      Rule.Ast
+        (fun ctx str ->
+          match ctx.scope.kind with
+          | Scope.Timed -> []
+          | _ -> check ctx str);
+  }

@@ -1,0 +1,163 @@
+(* The lint driver: walk the policed directories, parse every .ml with the
+   compiler's own parser, run the rule table, filter [@vbr.allow] spans,
+   and report human-readable text plus (optionally) machine-readable JSON
+   through Obs.Sink. Exit status 1 iff findings remain. *)
+
+let scan_dirs = [ "lib"; "bench"; "bin"; "examples" ]
+let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]
+
+let rec walk dir rel acc =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+      Array.sort String.compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          let rel_path = if rel = "" then entry else rel ^ "/" ^ entry in
+          if Sys.is_directory path then
+            if List.mem entry skip_dirs then acc else walk path rel_path acc
+          else if Filename.check_suffix entry ".ml" then rel_path :: acc
+          else acc)
+        acc entries
+
+(* All policed .ml files under [root], as root-relative paths. *)
+let collect_files ~root =
+  List.concat_map
+    (fun d ->
+      let dir = Filename.concat root d in
+      if Sys.file_exists dir && Sys.is_directory dir then
+        List.rev (walk dir d [])
+      else [])
+    scan_dirs
+  |> List.sort String.compare
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Parse.implementation lexbuf)
+
+type parsed = {
+  scope : Scope.t;
+  ast : Parsetree.structure option;  (* None when the file failed to parse *)
+  spans : Suppress.span list;
+  parse_error : Finding.t option;
+}
+
+let load ~root rel =
+  let scope = Scope.classify rel in
+  match parse_file (Filename.concat root rel) with
+  | ast -> { scope; ast = Some ast; spans = Suppress.collect ast; parse_error = None }
+  | exception exn ->
+      let line, msg =
+        match exn with
+        | Syntaxerr.Error e ->
+            ((Syntaxerr.location_of_error e).loc_start.pos_lnum, "syntax error")
+        | _ -> (1, Printexc.to_string exn)
+      in
+      {
+        scope;
+        ast = None;
+        spans = [];
+        parse_error =
+          Some
+            (Finding.make ~rule:"parse-error" ~file:rel ~line ~col:0
+               ~message:msg ~hint:"the linter parses with the compiler's own \
+                                   grammar; fix the file");
+      }
+
+(* Run the rule table over [root]. Returns the surviving findings,
+   sorted. [rules] restricts the table (default: all). *)
+let run ?(rules = Registry.all) ~root () =
+  let files = collect_files ~root in
+  let parsed = List.map (fun rel -> (rel, load ~root rel)) files in
+  let ast_findings =
+    List.concat_map
+      (fun (_, p) ->
+        match p.ast with
+        | None -> Option.to_list p.parse_error
+        | Some ast ->
+            List.concat_map
+              (fun (r : Rule.t) ->
+                match r.check with
+                | Rule.Ast f -> f { Rule.scope = p.scope } ast
+                | Rule.Tree _ -> [])
+              rules)
+      parsed
+  in
+  let tree_findings =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        match r.check with
+        | Rule.Tree f -> f ~root ~files
+        | Rule.Ast _ -> [])
+      rules
+  in
+  let suppressed (f : Finding.t) =
+    match List.assoc_opt f.file parsed with
+    | None -> false
+    | Some p -> Suppress.suppressed p.spans ~rule:f.rule ~line:f.line
+  in
+  List.filter (fun f -> not (suppressed f)) (ast_findings @ tree_findings)
+  |> List.sort Finding.compare
+
+let report_json ~root findings : Obs.Sink.json =
+  Obj
+    [
+      ("tool", String "vbr-lint");
+      ("root", String root);
+      ("rules", List (List.map (fun n -> Obs.Sink.String n) (Registry.names ())));
+      ("finding_count", Int (List.length findings));
+      ("findings", List (List.map Finding.to_json findings));
+    ]
+
+let usage = "vbr_lint [--root DIR] [--json FILE] [--rules r1,r2] [--quiet]"
+
+let main () =
+  let root = ref "." in
+  let json = ref "" in
+  let quiet = ref false in
+  let rules = ref Registry.all in
+  let set_rules s =
+    rules :=
+      List.map
+        (fun n ->
+          match Registry.find n with
+          | Some r -> r
+          | None ->
+              raise
+                (Arg.Bad
+                   (Printf.sprintf "unknown rule %S (known: %s)" n
+                      (String.concat ", " (Registry.names ())))))
+        (String.split_on_char ',' s)
+  in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR scan root (default .)");
+      ("--json", Arg.Set_string json, "FILE write a JSON report");
+      ("--rules", Arg.String set_rules, "r1,r2 restrict to these rules");
+      ("--quiet", Arg.Set quiet, " suppress per-finding text output");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    usage;
+  let findings = run ~rules:!rules ~root:!root () in
+  if not !quiet then
+    List.iter (fun f -> print_endline (Finding.to_string f)) findings;
+  if !json <> "" then Obs.Sink.write_file !json (report_json ~root:!root findings);
+  if findings = [] then begin
+    if not !quiet then
+      Printf.printf "vbr-lint: %d files clean (%d rules)\n"
+        (List.length (collect_files ~root:!root))
+        (List.length !rules);
+    0
+  end
+  else begin
+    Printf.printf "vbr-lint: %d finding(s)\n" (List.length findings);
+    1
+  end

@@ -1,0 +1,79 @@
+(* guarded-deref: in GUARDED-backed structures, loads and CASes of node
+   words (anything reached through an accessor chain like
+   [Arena.get]/[Node.next0]/[next_word t i]) are only safe while the
+   protection plane is engaged — Brown's critique is precisely that
+   integrators skip the protect/validate step. The syntactic contract:
+   an Atomic operation whose subject is produced by a function application
+   (a node word; root words are plain record fields) must live in a
+   function body that engages the plane (protect / protect_own / transfer
+   / begin_op / end_op). Construction-time and quiescent helpers document
+   their single-threadedness with [@vbr.allow "guarded-deref"]. *)
+
+open Parsetree
+
+let name = "guarded-deref"
+
+let atomic_ops =
+  [
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.compare_and_set";
+    "Atomic.exchange";
+    "Atomic.fetch_and_add";
+  ]
+
+let plane = [ "protect"; "protect_own"; "transfer"; "begin_op"; "end_op" ]
+
+let engages_plane apps =
+  List.exists
+    (fun (fname, _, _) ->
+      Ast_util.is_qualified fname
+      && List.mem (Ast_util.last_component fname) plane)
+    apps
+
+let check (ctx : Rule.ctx) str =
+  let findings = ref [] in
+  Ast_util.iter_toplevel_bindings str ~f:(fun ~name:_ vb ->
+      let apps = Ast_util.applications_in vb.pvb_expr in
+      if not (engages_plane apps) then
+        List.iter
+          (fun (fname, loc, args) ->
+            if Ast_util.suffix_matches fname ~suffixes:atomic_ops then
+              (* Node word iff the subject is computed by an accessor
+                 chain; a plain path (t.top, a root word) is exempt. *)
+              let subject_is_node_word =
+                match args with
+                | (_, subject) :: _ -> Ast_util.contains_application subject
+                | [] -> false
+              in
+              if subject_is_node_word then
+                findings :=
+                  Finding.make ~rule:name ~file:ctx.scope.path
+                    ~line:(Ast_util.line_of loc) ~col:(Ast_util.col_of loc)
+                    ~message:
+                      (Printf.sprintf
+                         "%s on a node word in a body that never engages the \
+                          protection plane"
+                         fname)
+                    ~hint:
+                      "route the read through R.protect (or call \
+                       begin_op/protect_own in this body); single-threaded \
+                       construction or quiescent helpers carry [@vbr.allow \
+                       \"guarded-deref\"]"
+                  :: !findings)
+          apps);
+  List.rev !findings
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "in GUARDED-backed modules, node-word Atomic ops must sit in bodies \
+       that engage the protect/begin_op plane";
+    check =
+      Rule.Ast
+        (fun ctx str ->
+          match ctx.scope.kind with
+          | Scope.Guarded -> check ctx str
+          | _ -> []);
+  }

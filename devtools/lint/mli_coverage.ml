@@ -1,0 +1,31 @@
+(* mli-coverage: every lib/ module ships an interface. The capability
+   planes only mean something if a module's exported surface is explicit
+   — an .mli is where GUARDED vs OPTIMISTIC obligations become visible.
+   Signature-only carriers — the *_intf.ml files — are exempt: they exist
+   to be included and have no hidden surface. *)
+
+let name = "mli-coverage"
+
+let check ~root ~files =
+  List.filter_map
+    (fun rel ->
+      let scope = Scope.classify rel in
+      if not (Scope.in_lib scope) || Scope.is_intf_module scope then None
+      else
+        let mli = Filename.concat root (Filename.chop_suffix rel ".ml" ^ ".mli") in
+        if Sys.file_exists mli then None
+        else
+          Some
+            (Finding.make ~rule:name ~file:rel ~line:1 ~col:0
+               ~message:"library module without an .mli interface"
+               ~hint:
+                 "add a sibling .mli making the exported plane explicit, or \
+                  rename to *_intf.ml if the module only carries signatures"))
+    files
+
+let rule =
+  {
+    Rule.name;
+    doc = "every lib/ module ships an .mli (signature carriers *_intf.ml exempt)";
+    check = Rule.Tree (fun ~root ~files -> check ~root ~files);
+  }

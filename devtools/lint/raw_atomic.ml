@@ -1,0 +1,53 @@
+(* raw-atomic: optimistic vbr_* structures must not touch shared words
+   with raw Atomic operations — every read goes through the versioned
+   plane's epoch-validated methods (read_root/get_next/get_key/...) and
+   every write through a versioned CAS (update/mark/cas_root/...), or the
+   paper's ABA/staleness argument (PAPER.md §4) no longer covers it. The
+   plane implementors (lib/core, lib/memsim) are the only allowlisted
+   users of Atomic on node words. *)
+
+let name = "raw-atomic"
+
+let banned =
+  [
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.compare_and_set";
+    "Atomic.exchange";
+    "Atomic.fetch_and_add";
+    "Atomic.incr";
+    "Atomic.decr";
+  ]
+
+let check (ctx : Rule.ctx) str =
+  let findings = ref [] in
+  Ast_util.iter_applications str ~f:(fun ~name:fname ~loc _args ->
+      if Ast_util.suffix_matches fname ~suffixes:banned then
+        findings :=
+          Finding.make ~rule:name ~file:ctx.scope.path
+            ~line:(Ast_util.line_of loc) ~col:(Ast_util.col_of loc)
+            ~message:
+              (Printf.sprintf
+                 "raw %s in an OPTIMISTIC-backed structure bypasses the \
+                  versioned plane"
+                 fname)
+            ~hint:
+              "use the backend's read_root/get_next/get_key for reads and \
+               update/mark/cas_root for writes; quiescent-only helpers may \
+               carry [@vbr.allow \"raw-atomic\"]"
+          :: !findings);
+  List.rev !findings
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "no direct Atomic ops on shared words inside vbr_* structures; use \
+       the versioned OPTIMISTIC plane";
+    check =
+      Rule.Ast
+        (fun ctx str ->
+          match ctx.scope.kind with
+          | Scope.Optimistic -> check ctx str
+          | _ -> []);
+  }

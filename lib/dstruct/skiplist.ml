@@ -244,6 +244,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       end
     in
     go [] t.head
+  [@@vbr.allow "guarded-deref"]
 
   let size t = List.length (to_list t)
 end

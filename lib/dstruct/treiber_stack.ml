@@ -56,6 +56,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
           (Packed.index (Atomic.get (next_word t i)))
     in
     go [] (Packed.index (Atomic.get t.top))
+  [@@vbr.allow "guarded-deref"]
 
   let length t = List.length (to_list t)
 end

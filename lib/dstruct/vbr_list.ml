@@ -72,6 +72,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       end
     in
     retry ()
+  [@@vbr.allow "checkpoint-scope"]
 
   (* Figure 4. *)
   let insert t ~tid key =
@@ -166,6 +167,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       end
     in
     go [] t.head
+  [@@vbr.allow "raw-atomic"]
 
   let size t = List.length (to_list t)
 end

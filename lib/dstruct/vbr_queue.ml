@@ -97,6 +97,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       else go ((Memsim.Arena.get arena nxt).Memsim.Node.key :: acc) nxt
     in
     go [] h
+  [@@vbr.allow "raw-atomic"]
 
   let length t = List.length (to_list t)
 end

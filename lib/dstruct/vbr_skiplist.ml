@@ -79,9 +79,6 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
             (* A failed snip may be hitting a garbage edge that no versioned
                CAS can remove (inserter/remover race, DESIGN.md §5): heal it
                by truncating this level towards the tail, then restart. *)
-            (* A failed snip may be hitting a garbage edge that no versioned
-               CAS can remove (inserter/remover race, DESIGN.md §5): heal it
-               by truncating this level towards the tail, then restart. *)
             if l > 0 then
               ignore
                 (V.heal_stale_edge c ~lvl:l !pred ~birth:!pred_b ~to_:t.tail
@@ -110,6 +107,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       done
     done;
     !found
+  [@@vbr.allow "checkpoint-scope"]
 
   let rec insert t ~tid key =
     let c = V.ctx t.vbr ~tid in
@@ -241,6 +239,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
         end
       end
     end
+  [@@vbr.allow "checkpoint-scope"]
 
   let delete t ~tid key =
     let c = V.ctx t.vbr ~tid in
@@ -329,6 +328,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       end
     in
     go [] t.head
+  [@@vbr.allow "raw-atomic"]
 
   let size t = List.length (to_list t)
 end

@@ -61,6 +61,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
       end
     in
     go [] (Memsim.Packed.index (Atomic.get t.top))
+  [@@vbr.allow "raw-atomic"]
 
   let length t = List.length (to_list t)
 end

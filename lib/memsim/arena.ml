@@ -3,6 +3,7 @@ type t = {
   chunk_bits : int;
   chunks : Node.t array Atomic.t array;
   next_fresh : int Atomic.t;
+  mutable sanitizer : Sanitizer.t option;
 }
 
 exception Exhausted
@@ -20,9 +21,17 @@ let create ~capacity =
     chunk_bits;
     chunks = Array.init n_chunks (fun _ -> Atomic.make no_chunk);
     next_fresh = Atomic.make 1;
+    sanitizer = None;
   }
 
 let capacity t = t.capacity
+
+let attach_sanitizer t mode =
+  let s = Sanitizer.create mode ~slots:t.capacity in
+  t.sanitizer <- Some s;
+  s
+
+let sanitizer t = t.sanitizer
 
 (* The dummy padding node shared by all chunk cells until their slot is
    claimed. It is never reachable through any data-structure pointer. *)
@@ -53,4 +62,5 @@ let allocated t = min (Atomic.get t.next_fresh - 1) t.capacity
 let get t i =
   if i < 1 || i > t.capacity then
     invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
+  (match t.sanitizer with None -> () | Some s -> Sanitizer.check_read s i);
   (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))

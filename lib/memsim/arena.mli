@@ -28,6 +28,16 @@ val create : capacity:int -> t
 val capacity : t -> int
 (** Number of usable slots. *)
 
+val attach_sanitizer : t -> Sanitizer.mode -> Sanitizer.t
+(** Enable the debug {!Sanitizer} on this arena (see its docs for the
+    mode ladder and which modes are sound for which scheme). Attach
+    before any thread allocates; the returned handle is also available
+    through {!sanitizer}. *)
+
+val sanitizer : t -> Sanitizer.t option
+(** The attached sanitizer, if any. {!Pool} routes free/reuse events
+    through it; {!get} consults it in [Strict] mode. *)
+
 val fresh : t -> level:int -> int
 (** Claim a never-used slot and create its node with the given tower
     height. Lock-free (one [Atomic.fetch_and_add]).

@@ -44,7 +44,11 @@ let maybe_spill t lvl =
   end
 
 let put_no_spill t i =
-  let lvl = (Arena.get t.arena i).Node.level - 1 in
+  let node = Arena.get t.arena i in
+  (match Arena.sanitizer t.arena with
+  | None -> ()
+  | Some s -> Sanitizer.note_free s i node);
+  let lvl = node.Node.level - 1 in
   t.free.(lvl) <- i :: t.free.(lvl);
   t.free_len.(lvl) <- t.free_len.(lvl) + 1;
   lvl
@@ -59,6 +63,13 @@ let put_batch t batch =
   List.iter (fun i -> touched.(put_no_spill t i) <- true) batch;
   Array.iteri (fun lvl hit -> if hit then maybe_spill t lvl) touched
 
+(* Clear the free flag before handing a recycled slot out, so a Strict
+   sanitizer does not fault the allocator's own Arena.get of it. *)
+let note_reuse t i =
+  match Arena.sanitizer t.arena with
+  | None -> ()
+  | Some s -> Sanitizer.note_reuse s i
+
 let take t ~level =
   let lvl = level - 1 in
   match t.free.(lvl) with
@@ -67,6 +78,7 @@ let take t ~level =
       t.free_len.(lvl) <- t.free_len.(lvl) - 1;
       t.recycled <- t.recycled + 1;
       count t Obs.Event.Pool_recycle;
+      note_reuse t i;
       i
   | [] -> (
       match Global_pool.pop_batch ?stats:t.stats t.global ~level with
@@ -75,6 +87,7 @@ let take t ~level =
           t.free_len.(lvl) <- List.length rest;
           t.recycled <- t.recycled + 1;
           count t Obs.Event.Pool_recycle;
+          note_reuse t i;
           i
       | Some [] | None -> (
           match Arena.fresh t.arena ~level with

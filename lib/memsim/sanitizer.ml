@@ -1,0 +1,55 @@
+(* Allocator sanitizer: an opt-in debug layer over the arena/pool pair
+   that tracks the free/live state of every slot and turns silent
+   reclamation bugs (double-retire, read-after-dealloc) into exceptions.
+
+   One byte per slot records "currently on a free list". The byte is
+   written by the freeing thread (Pool.put) and cleared by the reusing
+   thread (Pool.take); the two are ordered by the Atomic push/pop of the
+   global pool that carries the slot between them, so the flag is
+   well-defined wherever the slot itself is. Concurrent double-retires of
+   the same slot can race the check — detection is best-effort under
+   races and exact in single-threaded tests. *)
+
+type mode =
+  | Off
+  | Track  (* detect double-retire; sound for every scheme incl. VBR *)
+  | Poison  (* Track + scribble on freed keys; guarded schemes only *)
+  | Strict  (* Poison + raise on any Arena.get of a freed slot;
+               single-threaded tests only *)
+
+exception Violation of string
+
+type t = { mode : mode; free_bits : Bytes.t }
+
+(* A key no test workload uses, far outside every Set_intf bound, so a
+   poisoned value that leaks into a comparison changes the outcome. Only
+   the key is poisoned: next words must stay well-formed packed values
+   because validation-based readers (HP/HE) parse a possibly-stale word
+   before discarding it — scribbling there would turn benign stale reads
+   into out-of-range crashes. *)
+let poison_key = min_int + 0xDEAD
+
+let create mode ~slots =
+  if slots < 1 then invalid_arg "Sanitizer.create: slots must be >= 1";
+  { mode; free_bits = Bytes.make (slots + 1) '\000' }
+
+let mode t = t.mode
+let freed t i = Bytes.get t.free_bits i <> '\000'
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt
+
+let note_free t i (n : Node.t) =
+  if t.mode <> Off then begin
+    if freed t i then
+      violation "double retire: slot %d (key %d) is already on a free list" i
+        n.Node.key;
+    Bytes.set t.free_bits i '\001';
+    if t.mode = Poison || t.mode = Strict then n.Node.key <- poison_key
+  end
+
+let note_reuse t i =
+  if t.mode <> Off then Bytes.set t.free_bits i '\000'
+
+let check_read t i =
+  if t.mode = Strict && freed t i then
+    violation "read after dealloc: slot %d is on a free list" i

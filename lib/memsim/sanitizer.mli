@@ -1,0 +1,59 @@
+(** Opt-in allocator sanitizer: catches double-retire and
+    read-after-dealloc by tracking the free/live state of every slot.
+
+    Attach one to an arena with {!Arena.attach_sanitizer}; {!Pool} then
+    reports every free and reuse through it. The modes form a ladder:
+
+    - [Track] only detects double-retire. It never changes what any read
+      returns, so it is sound for every scheme — including VBR, whose
+      readers legitimately read freed slots until the epoch check
+      invalidates them (type preservation, PAPER.md §3).
+    - [Poison] additionally scribbles {!poison_key} on the key of every
+      freed slot, so a read-after-dealloc that escapes validation changes
+      the workload's outcome instead of silently looking plausible. Only
+      for GUARDED-backed structures: their allocation path resets the key
+      before publication, and their readers never deref an unvalidated
+      slot. Unsound for VBR by design.
+    - [Strict] additionally makes {!Arena.get} of a freed slot raise.
+      Only for single-threaded allocator tests: any concurrent structure
+      traverses freed slots benignly.
+
+    Detection is exact in single-threaded tests; under races,
+    double-retire detection is best-effort (the flag itself is ordered by
+    the pool hand-off that moves the slot between threads). *)
+
+type mode =
+  | Off
+  | Track
+  | Poison
+  | Strict
+
+type t
+
+exception Violation of string
+(** Raised on a detected discipline violation; the message names the slot
+    and the violation kind. *)
+
+val create : mode -> slots:int -> t
+(** [create mode ~slots] tracks slots [0 .. slots]. Usually called through
+    {!Arena.attach_sanitizer}, which sizes it from the arena.
+    @raise Invalid_argument if [slots < 1]. *)
+
+val mode : t -> mode
+
+val poison_key : int
+(** The sentinel written to freed keys in [Poison]/[Strict] mode. *)
+
+val freed : t -> int -> bool
+(** [freed t i] is true while slot [i] sits on a free list (tests). *)
+
+val note_free : t -> int -> Node.t -> unit
+(** Called by {!Pool} when a slot lands on a free list.
+    @raise Violation if the slot is already free (double retire). *)
+
+val note_reuse : t -> int -> unit
+(** Called by {!Pool} when a free-list slot is handed back out. *)
+
+val check_read : t -> int -> unit
+(** Called by {!Arena.get}.
+    @raise Violation in [Strict] mode when the slot is free. *)

@@ -1,0 +1,4 @@
+(* Fixture: determinism. A wall-clock read outside the measurement layer.
+   Expected finding: determinism at line 4. *)
+
+let now () = Unix.gettimeofday ()

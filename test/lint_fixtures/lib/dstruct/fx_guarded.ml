@@ -1,0 +1,9 @@
+(* Fixture: guarded-deref. A node-word read in a body that never engages
+   the protection plane. Expected finding: guarded-deref at line 5; the
+   protected binding stays clean. *)
+
+let bad t i = Atomic.get (next_word t i)
+
+let good t ~tid i =
+  let j = R.protect t ~tid i in
+  Atomic.get (next_word t j)

@@ -1,0 +1,15 @@
+(* Fixture: retire-discipline. A retire with no successful unlink before
+   it, and a dealloc that is not local to its alloc. Expected findings:
+   retire-discipline at lines 6 and 8; the two disciplined bindings stay
+   clean. *)
+
+let bad_retire t ~tid n = R.retire t ~tid n
+
+let bad_dealloc t ~tid n = R.dealloc t ~tid n
+
+let good_retire t ~tid w n =
+  if Atomic.compare_and_set w 0 1 then R.retire t ~tid n
+
+let good_dealloc t ~tid =
+  let n = R.alloc t ~tid ~level:1 ~key:0 in
+  R.dealloc t ~tid n

@@ -1,0 +1,13 @@
+(* Fixture: checkpoint-scope. A rollback-raising read outside any
+   checkpoint thunk. Expected finding: checkpoint-scope at line 5; the
+   wrapped and the annotated bindings stay clean. *)
+
+let probe t c = V.get_next c t.head
+
+let lookup t c =
+  V.checkpoint c (fun () ->
+      let curr, _ = V.get_next c t.head in
+      V.get_key c curr)
+
+(* Figure-3 idiom: the caller installs the checkpoint. *)
+let helper c n = V.get_key c n [@@vbr.allow "checkpoint-scope"]

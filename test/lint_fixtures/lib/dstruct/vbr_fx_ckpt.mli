@@ -1,0 +1,1 @@
+(* Interface stub so the fixture does not trip mli-coverage. *)

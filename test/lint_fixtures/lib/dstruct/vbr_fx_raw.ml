@@ -1,0 +1,5 @@
+(* Fixture: raw-atomic. A vbr_* module reading a shared word with a raw
+   Atomic op. Expected finding: raw-atomic at line 5. *)
+type t = { head : int Atomic.t }
+
+let peek t = Atomic.get t.head

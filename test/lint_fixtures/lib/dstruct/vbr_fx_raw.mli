@@ -1,0 +1,4 @@
+(* Interface stub so the fixture does not trip mli-coverage. *)
+type t
+
+val peek : t -> int

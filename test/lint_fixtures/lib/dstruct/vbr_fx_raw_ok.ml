@@ -1,0 +1,6 @@
+(* Fixture: raw-atomic, suppressed. Same shape as vbr_fx_raw.ml but the
+   binding carries the allow attribute — must produce no finding (this is
+   the test for the suppression machinery itself). *)
+type t = { head : int Atomic.t }
+
+let peek t = Atomic.get t.head [@@vbr.allow "raw-atomic"]

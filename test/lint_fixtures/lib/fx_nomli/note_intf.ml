@@ -1,0 +1,7 @@
+(* Fixture: mli-coverage exemption. Signature carriers named *_intf.ml are
+   exempt from the .mli requirement — no finding expected despite the
+   missing interface. *)
+
+module type NOTE = sig
+  val answer : int
+end

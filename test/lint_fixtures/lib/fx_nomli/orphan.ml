@@ -1,0 +1,4 @@
+(* Fixture: mli-coverage. A lib/ module with no sibling .mli. Expected
+   finding: mli-coverage at line 1. *)
+
+let answer = 42

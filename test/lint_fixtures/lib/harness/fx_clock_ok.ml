@@ -1,0 +1,4 @@
+(* Fixture: determinism, clean. lib/harness is a blessed timing layer, so
+   the same wall-clock read produces no finding here. *)
+
+let now () = Unix.gettimeofday ()

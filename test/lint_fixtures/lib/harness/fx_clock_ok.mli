@@ -1,0 +1,2 @@
+(* Interface stub so the fixture does not trip mli-coverage. *)
+val now : unit -> float

@@ -73,6 +73,66 @@ let test_parallel_fresh () =
     (List.length unique);
   Alcotest.(check int) "allocated total" (4 * per_domain) (Arena.allocated a)
 
+(* Sanitizer: the opt-in debug layer over arena + pool. *)
+
+let sanitized mode =
+  let arena = Arena.create ~capacity:16 in
+  let san = Arena.attach_sanitizer arena mode in
+  let global = Global_pool.create ~max_level:1 in
+  let pool = Pool.create arena global ~spill:8 in
+  (arena, san, pool)
+
+let test_sanitizer_double_retire () =
+  let arena, san, pool = sanitized Sanitizer.Track in
+  let i = Arena.fresh arena ~level:1 in
+  Pool.put pool i;
+  Alcotest.(check bool) "slot marked free" true (Sanitizer.freed san i);
+  Alcotest.check_raises "second put raises"
+    (Sanitizer.Violation
+       (Printf.sprintf
+          "double retire: slot %d (key 0) is already on a free list" i))
+    (fun () -> Pool.put pool i)
+
+let test_sanitizer_reuse_clears () =
+  let arena, san, pool = sanitized Sanitizer.Track in
+  let i = Arena.fresh arena ~level:1 in
+  Pool.put pool i;
+  let j = Pool.take pool ~level:1 in
+  Alcotest.(check int) "recycled the freed slot" i j;
+  Alcotest.(check bool) "flag cleared on reuse" false (Sanitizer.freed san i);
+  (* The full cycle is legal again. *)
+  Pool.put pool i;
+  Alcotest.(check int) "recycled twice" i (Pool.take pool ~level:1)
+
+let test_sanitizer_poison () =
+  let arena, _san, pool = sanitized Sanitizer.Poison in
+  let i = Arena.fresh arena ~level:1 in
+  (Arena.get arena i).Node.key <- 42;
+  Pool.put pool i;
+  Alcotest.(check int) "freed key is poisoned" Sanitizer.poison_key
+    (Arena.get arena i).Node.key
+
+let test_sanitizer_strict_read () =
+  let arena, _san, pool = sanitized Sanitizer.Strict in
+  let i = Arena.fresh arena ~level:1 in
+  ignore (Arena.get arena i);
+  Pool.put pool i;
+  Alcotest.check_raises "read after dealloc raises"
+    (Sanitizer.Violation
+       (Printf.sprintf "read after dealloc: slot %d is on a free list" i))
+    (fun () -> ignore (Arena.get arena i));
+  (* Reallocation makes the slot readable again. *)
+  let j = Pool.take pool ~level:1 in
+  Alcotest.(check int) "reuses the slot" i j;
+  ignore (Arena.get arena i)
+
+let test_sanitizer_off_is_silent () =
+  let arena, san, pool = sanitized Sanitizer.Off in
+  let i = Arena.fresh arena ~level:1 in
+  Pool.put pool i;
+  Alcotest.(check bool) "off mode tracks nothing" false (Sanitizer.freed san i);
+  Pool.put pool i (* double put tolerated when off *)
+
 let prop_levels =
   QCheck2.Test.make ~name:"fresh node shape matches requested level"
     ~count:200
@@ -93,6 +153,15 @@ let () =
           Alcotest.test_case "bounds" `Quick test_bounds;
           Alcotest.test_case "chunk boundaries" `Quick test_chunk_boundaries;
           Alcotest.test_case "parallel fresh" `Quick test_parallel_fresh;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "double retire" `Quick test_sanitizer_double_retire;
+          Alcotest.test_case "reuse clears flag" `Quick
+            test_sanitizer_reuse_clears;
+          Alcotest.test_case "poisoned key" `Quick test_sanitizer_poison;
+          Alcotest.test_case "strict read" `Quick test_sanitizer_strict_read;
+          Alcotest.test_case "off is silent" `Quick test_sanitizer_off_is_silent;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_levels ]);
     ]

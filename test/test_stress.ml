@@ -24,6 +24,10 @@ let rounds = 400
 
 let make_list_conservative (module R : Reclaim.Smr_intf.S) () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  (* Poison freed keys: guarded schemes reset the key on alloc and never
+     deref an unvalidated slot, so a poisoned value escaping into a
+     result is a real reclamation bug. *)
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Poison);
   let global = Memsim.Global_pool.create ~max_level:1 in
   let r =
     R.create ~arena ~global ~n_threads ~hazards:3 ~retire_threshold:16
@@ -41,6 +45,10 @@ let make_list_conservative (module R : Reclaim.Smr_intf.S) () =
 
 let make_list_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  (* Track only: VBR readers legitimately read freed slots until the
+     epoch check invalidates them, so poisoning would break the
+     type-preservation invariant the algorithm relies on. *)
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Track);
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
     Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
@@ -56,6 +64,7 @@ let make_list_vbr () =
 
 let make_hash_conservative (module R : Reclaim.Smr_intf.S) () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Poison);
   let global = Memsim.Global_pool.create ~max_level:1 in
   let r =
     R.create ~arena ~global ~n_threads ~hazards:3 ~retire_threshold:16
@@ -73,6 +82,7 @@ let make_hash_conservative (module R : Reclaim.Smr_intf.S) () =
 
 let make_hash_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Track);
   let global = Memsim.Global_pool.create ~max_level:1 in
   let vbr =
     Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
@@ -88,6 +98,7 @@ let make_hash_vbr () =
 
 let make_skip_conservative (module R : Reclaim.Smr_intf.S) () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Poison);
   let global = Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
   let r =
     R.create ~arena ~global ~n_threads
@@ -106,6 +117,7 @@ let make_skip_conservative (module R : Reclaim.Smr_intf.S) () =
 
 let make_skip_vbr () =
   let arena = Memsim.Arena.create ~capacity:500_000 in
+  ignore (Memsim.Arena.attach_sanitizer arena Memsim.Sanitizer.Track);
   let global = Memsim.Global_pool.create ~max_level:Dstruct.Skiplist.max_level in
   let vbr =
     Vbr_core.Vbr.create_tuned ~retire_threshold:8 ~arena ~global ~n_threads ()
