@@ -686,12 +686,95 @@ let queue ~threads_list ~duration ~repeats =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Tracing: one lifecycle trace per scheme over a fixed op budget, plus *)
+(* the derived temporal metrics end-of-run counter totals hide          *)
+(* (DESIGN.md §2.10). The CSVs feed the offline checker (vbr-trace);    *)
+(* the .chrome.json files open in chrome://tracing / Perfetto.          *)
+(* ------------------------------------------------------------------ *)
+
+let trace_panel ~threads =
+  let structure = "hash" in
+  let range = 4096 in
+  let total_ops = 24_000 in
+  let profile = Workload.balanced in
+  (* Sized so the op budget above never overwrites a ring: the CI gate
+     replays these CSVs under vbr-trace --no-truncation. *)
+  let ring_capacity = 1 lsl 18 in
+  print_newline ();
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf
+    "[trace] lifecycle traces (hash, range %d, balanced, %d threads, %d ops)\n"
+    range threads total_ops;
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf "%-8s %9s %8s %10s %12s %12s %12s\n" "scheme" "events"
+    "dropped" "rollbacks" "age p50 ns" "age p99 ns" "unreclaimed";
+  let per_scheme =
+    List.filter
+      (fun scheme -> Registry.supports ~structure ~scheme)
+      Registry.schemes
+    |> List.map (fun scheme ->
+           let capacity =
+             capacity_for ~structure ~scheme ~range ~duration:1.0 ~profile
+           in
+           let trace =
+             Obs.Trace.create ~capacity:ring_capacity ~n_threads:threads
+               ~scheme ()
+           in
+           let make () =
+             Registry.make ~structure ~scheme ~n_threads:threads ~range
+               ~capacity ~trace ()
+           in
+           let _mops, _inst =
+             Throughput.run_ops ~make ~profile ~threads ~range ~total_ops ()
+           in
+           let d = Obs.Trace.dump trace in
+           let csv = Printf.sprintf "TRACE_%s.csv" scheme in
+           let chrome = Printf.sprintf "TRACE_%s.chrome.json" scheme in
+           Obs.Trace.write_csv csv d;
+           Obs.Trace.write_chrome chrome d;
+           let m = Obs.Trace_metrics.compute d in
+           Printf.printf "%-8s %9d %8d %10d %12d %12d %12d\n" scheme
+             m.Obs.Trace_metrics.m_events m.Obs.Trace_metrics.m_dropped
+             m.Obs.Trace_metrics.m_rollbacks
+             m.Obs.Trace_metrics.m_age.Obs.Histogram.p50
+             m.Obs.Trace_metrics.m_age.Obs.Histogram.p99
+             m.Obs.Trace_metrics.m_unreclaimed_end;
+           (scheme, csv, chrome, m))
+  in
+  print_endline
+    "------------------------------------------------------------";
+  List.iter
+    (fun (_, csv, chrome, _) -> Printf.printf "wrote %s, %s\n%!" csv chrome)
+    per_scheme;
+  let open Obs.Sink in
+  write_json "trace"
+    [
+      ("structure", String structure);
+      ("profile", String profile.Workload.pname);
+      ("range", Int range);
+      ("threads", Int threads);
+      ("total_ops", Int total_ops);
+      ( "schemes",
+        List
+          (List.map
+             (fun (_, csv, chrome, m) ->
+               match Obs.Trace_metrics.to_json m with
+               | Obj fields ->
+                   Obj
+                     (fields @ [ ("csv", String csv); ("chrome", String chrome) ])
+               | other -> other)
+             per_scheme) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* CLI.                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
   List.map (fun f -> f.fid) figures
-  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "queue" ]
+  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "queue"; "trace" ]
 
 let run_experiments names ~threads_list ~duration ~repeats ~timed =
   let t0 = Unix.gettimeofday () in
@@ -714,6 +797,8 @@ let run_experiments names ~threads_list ~duration ~repeats ~timed =
                 ~duration ~repeats
           | "harris" -> harris ~threads_list ~duration ~repeats
           | "queue" -> queue ~threads_list ~duration ~repeats
+          | "trace" ->
+              trace_panel ~threads:(max 2 (List.fold_left max 1 threads_list))
           | other -> Printf.eprintf "unknown experiment: %s (skipped)\n" other))
     names;
   Printf.printf "\ntotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
@@ -726,7 +811,7 @@ let () =
   let experiments =
     let doc =
       "Experiments to run: fig2a..fig2i, micro, robust, ablate, ablate-freq, \
-       harris, queue, or 'all' / 'figures'."
+       harris, queue, trace, or 'all' / 'figures'."
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in

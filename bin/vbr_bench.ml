@@ -8,8 +8,55 @@
 
 open Harness
 
+(* --trace mode: one fixed-op-budget run with a lifecycle trace attached
+   (Obs.Trace via Registry.make ?trace), instead of the fixed-time
+   measurement — an op budget bounds the event volume so the ring
+   (sized for the default budget with ample slack) never overwrites. *)
+let run_traced ~structure ~scheme ~threads ~range ~profile ~capacity
+    ~retire_threshold ~epoch_freq ~trace_ops ~json_path prefix =
+  let trace =
+    Obs.Trace.create ~capacity:(1 lsl 18) ~n_threads:threads ~scheme ()
+  in
+  let make () =
+    Registry.make ~structure ~scheme ~n_threads:threads ~range ~capacity
+      ?retire_threshold ~epoch_freq ~trace ()
+  in
+  let mops, _inst =
+    Throughput.run_ops ~make ~profile ~threads ~range ~total_ops:trace_ops ()
+  in
+  let d = Obs.Trace.dump trace in
+  let csv = prefix ^ ".csv" and chrome = prefix ^ ".chrome.json" in
+  Obs.Trace.write_csv csv d;
+  Obs.Trace.write_chrome chrome d;
+  let m = Obs.Trace_metrics.compute d in
+  let open Obs.Trace_metrics in
+  Printf.printf "%s/%s  threads=%d  range=%d  profile=%s  traced, %d ops\n"
+    structure scheme threads range profile.Workload.pname trace_ops;
+  Printf.printf
+    "throughput: %.3f Mops/s (with tracing on; not comparable to untraced \
+     runs)\n"
+    mops;
+  Printf.printf "trace: %d events, %d dropped -> %s, %s\n" m.m_events
+    m.m_dropped csv chrome;
+  Printf.printf "  retire->reclaim age ns: p50 %d  p99 %d  max %d  (still \
+                 unreclaimed at end: %d)\n"
+    m.m_age.Obs.Histogram.p50 m.m_age.Obs.Histogram.p99
+    m.m_age.Obs.Histogram.max m.m_unreclaimed_end;
+  Printf.printf "  epoch stalls ns: p50 %d  p99 %d  over %d advances\n"
+    m.m_epoch_stalls.Obs.Histogram.p50 m.m_epoch_stalls.Obs.Histogram.p99
+    m.m_epoch_stalls.Obs.Histogram.count;
+  Printf.printf "  rollbacks: %d (max %d in any 1 ms window)\n" m.m_rollbacks
+    m.m_rollback_burst;
+  Printf.printf "check with: dune exec bin/vbr_trace.exe -- %s\n" csv;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      Obs.Sink.write_file path (Obs.Trace_metrics.to_json m);
+      Printf.printf "wrote %s\n" path
+
 let run structure scheme threads range profile_name duration repeats
-    retire_threshold epoch_freq capacity timed json_path =
+    retire_threshold epoch_freq capacity timed trace_prefix trace_ops
+    json_path =
   match Workload.of_name profile_name with
   | None ->
       Printf.eprintf "unknown profile %s (expected %s)\n" profile_name
@@ -35,6 +82,11 @@ let run structure scheme threads range profile_name duration repeats
                   /. 100.0)
             else base
       in
+      match trace_prefix with
+      | Some prefix ->
+          run_traced ~structure ~scheme ~threads ~range ~profile ~capacity
+            ~retire_threshold ~epoch_freq ~trace_ops ~json_path prefix
+      | None ->
       let last = ref None in
       let make () =
         let inst =
@@ -168,6 +220,23 @@ let () =
             "Time every operation into latency histograms and print \
              p50/p90/p99 per op kind (costs a little throughput).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Trace mode: run a fixed-operation budget (see $(b,--trace-ops)) \
+             with a lifecycle trace attached and write $(docv).csv (for \
+             vbr-trace) and $(docv).chrome.json (for chrome://tracing), \
+             plus derived temporal metrics, instead of the fixed-time \
+             measurement.")
+  in
+  let trace_ops =
+    Arg.(
+      value & opt int 40_000
+      & info [ "trace-ops" ] ~doc:"Operation budget in --trace mode.")
+  in
   let json =
     Arg.(
       value
@@ -180,6 +249,7 @@ let () =
       (Cmd.info "vbr-bench" ~doc:"One-shot throughput measurement")
       Term.(
         const run $ structure $ scheme $ threads $ range $ profile $ duration
-        $ repeats $ retire_threshold $ epoch_freq $ capacity $ timed $ json)
+        $ repeats $ retire_threshold $ epoch_freq $ capacity $ timed $ trace
+        $ trace_ops $ json)
   in
   exit (Cmd.eval cmd)

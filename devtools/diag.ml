@@ -7,6 +7,9 @@
      diag hang    — skiplist/VBR disjoint-ownership hang reproducer: runs
                     the striped writer/reader workload until progress
                     stops, then dumps every level with anomaly markers.
+     diag trace   — pretty-print a lifecycle trace CSV (vbr-bench --trace):
+                    per-kind and per-thread event counts plus the last N
+                    events, tid-tagged, for eyeballing an execution tail.
 
    These are operator tools, not tests: they print to stdout and are run
    by hand while chasing a bug. *)
@@ -202,12 +205,52 @@ let hang_repro () =
   print_endline "no hang in 60s"
 
 (* ------------------------------------------------------------------ *)
+(* diag trace                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tail path n =
+  let d = Obs.Trace.load_csv path in
+  let events = d.Obs.Trace.d_events in
+  Printf.printf "%s: scheme=%s threads=%d capacity=%d dropped=%d events=%d\n"
+    path d.Obs.Trace.d_scheme d.Obs.Trace.d_threads d.Obs.Trace.d_capacity
+    d.Obs.Trace.d_dropped (Array.length events);
+  print_endline "per kind:";
+  List.iter
+    (fun k ->
+      let c =
+        Array.fold_left
+          (fun acc e -> if e.Obs.Trace.e_kind = k then acc + 1 else acc)
+          0 events
+      in
+      if c > 0 then Printf.printf "  %-14s %8d\n" (Obs.Trace.kind_to_string k) c)
+    Obs.Trace.all_kinds;
+  print_endline "per thread:";
+  for tid = 0 to d.Obs.Trace.d_threads - 1 do
+    let c =
+      Array.fold_left
+        (fun acc e -> if e.Obs.Trace.e_tid = tid then acc + 1 else acc)
+        0 events
+    in
+    Printf.printf "  tid %-3d %8d\n" tid c
+  done;
+  let total = Array.length events in
+  let first = max 0 (total - n) in
+  Printf.printf "last %d events:\n" (total - first);
+  for i = first to total - 1 do
+    let e = events.(i) in
+    Printf.printf "  [%d] t=%dns tid=%d %-14s slot=%d v1=%d v2=%d epoch=%d\n"
+      e.Obs.Trace.e_seq e.Obs.Trace.e_t_ns e.Obs.Trace.e_tid
+      (Obs.Trace.kind_to_string e.Obs.Trace.e_kind)
+      e.Obs.Trace.e_slot e.Obs.Trace.e_v1 e.Obs.Trace.e_v2 e.Obs.Trace.e_epoch
+  done
 
 let () =
   match Sys.argv with
   | [| _; "pool" |] -> pool_exercise ()
   | [| _; "ticker" |] -> ticker ()
   | [| _; "hang" |] -> hang_repro ()
+  | [| _; "trace"; path |] -> trace_tail path 40
+  | [| _; "trace"; path; n |] -> trace_tail path (int_of_string n)
   | _ ->
-      prerr_endline "usage: diag {pool|ticker|hang}";
+      prerr_endline "usage: diag {pool|ticker|hang|trace FILE [N]}";
       exit 64

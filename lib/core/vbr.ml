@@ -18,6 +18,7 @@ type ctx = {
   (* Advance *attempts* from the alloc slow path; the Epoch_advance event
      counts only the successful ones. *)
   mutable epoch_bumps : int;
+  mutable tr : Obs.Trace.ring option;
 }
 
 type t = {
@@ -52,6 +53,7 @@ let create_tuned ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global
           retired_len = 0;
           pending = [];
           epoch_bumps = 0;
+          tr = None;
         })
   in
   { arena; epoch; ctxs; counters }
@@ -66,6 +68,19 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq:_
 let ctx (t : t) ~tid = t.ctxs.(tid)
 let arena (t : t) = t.arena
 let epoch (t : t) = t.epoch
+
+let set_trace (t : t) trace =
+  Array.iteri
+    (fun tid c ->
+      let r = Obs.Trace.ring trace ~tid in
+      c.tr <- Some r;
+      Pool.set_trace c.pool r)
+    t.ctxs
+
+let emit (c : ctx) k ~slot ~v1 ~v2 ~epoch =
+  match c.tr with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
 let node (c : ctx) i = Arena.get c.arena i
 let refresh_epoch (c : ctx) = c.my_e <- Epoch.get c.epoch
 
@@ -83,17 +98,30 @@ let flush_pending (c : ctx) =
   | pending ->
       c.pending <- [];
       Obs.Counters.shard_add c.obs Obs.Event.Dealloc (List.length pending);
-      List.iter (Pool.put c.pool) pending
+      List.iter
+        (fun i ->
+          emit c Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
+          Pool.put c.pool i)
+        pending
 
 let checkpoint (c : ctx) f =
   let rec loop () =
     refresh_epoch c;
+    emit c Obs.Trace.Checkpoint ~slot:0 ~v1:0 ~v2:0 ~epoch:c.my_e;
     match f () with
     | v ->
         c.pending <- [];
         v
     | exception Rollback ->
         Obs.Counters.shard_incr c.obs Obs.Event.Rollback;
+        (match c.tr with
+        | None -> ()
+        | Some r ->
+            (* Stamped with the epoch that invalidated us, not the stale
+               cache, so the thread's traced clock stays monotone. *)
+            let e_now = Epoch.get c.epoch in
+            Obs.Trace.emit r Obs.Trace.Rollback ~slot:0 ~v1:c.my_e ~v2:e_now
+              ~epoch:e_now);
         flush_pending c;
         loop ()
   in
@@ -106,6 +134,17 @@ let maybe_flush_retired (c : ctx) =
     Obs.Counters.shard_add c.obs Obs.Event.Reclaim c.retired_len;
     c.retired <- [];
     c.retired_len <- 0;
+    (match c.tr with
+    | None -> ()
+    | Some r ->
+        (* Emitted before the slots reach the pool (Obs.Trace contract). *)
+        List.iter
+          (fun i ->
+            let n = Arena.get c.arena i in
+            Obs.Trace.emit r Obs.Trace.Reclaim ~slot:i
+              ~v1:(Atomic.get n.Node.birth)
+              ~v2:(Atomic.get n.Node.retire) ~epoch:0)
+          batch);
     Pool.put_batch c.pool batch
   end
 
@@ -117,8 +156,11 @@ let alloc_ctx (c : ctx) ~level key =
        the epoch (any thread's success is enough) and roll back so my_e is
        refreshed above the slot's retire epoch. *)
     c.epoch_bumps <- c.epoch_bumps + 1;
-    if Epoch.try_advance c.epoch ~expected:c.my_e then
+    if Epoch.try_advance c.epoch ~expected:c.my_e then begin
       Obs.Counters.shard_incr c.obs Obs.Event.Epoch_advance;
+      emit c Obs.Trace.Epoch_advance ~slot:0 ~v1:c.my_e ~v2:(c.my_e + 1)
+        ~epoch:(c.my_e + 1)
+    end;
     Pool.put c.pool i;
     raise Rollback
   end;
@@ -142,6 +184,7 @@ let alloc_ctx (c : ctx) ~level key =
   n.Node.key <- key;
   c.pending <- i :: c.pending;
   Obs.Counters.shard_incr c.obs Obs.Event.Alloc;
+  emit c Obs.Trace.Alloc ~slot:i ~v1:b ~v2:0 ~epoch:b;
   (i, b)
 
 let commit_alloc (c : ctx) i =
@@ -155,6 +198,9 @@ let retire_ctx (c : ctx) i ~birth =
   then () (* line 13: already re-allocated or already retired *)
   else begin
     let re = Epoch.get c.epoch in
+    (* Emitted before the retire stamp becomes visible (Obs.Trace
+       contract). *)
+    emit c Obs.Trace.Retire ~slot:i ~v1:birth ~v2:re ~epoch:re;
     Atomic.set n.Node.retire re;
     c.retired <- i :: c.retired;
     c.retired_len <- c.retired_len + 1;
@@ -179,6 +225,7 @@ let dealloc (t : t) ~tid (i, _birth) =
   let c = ctx t ~tid in
   c.pending <- List.filter (fun j -> j <> i) c.pending;
   Obs.Counters.shard_incr c.obs Obs.Event.Dealloc;
+  emit c Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put c.pool i
 
 let birth_of (c : ctx) i = if i = 0 then 0 else Atomic.get (node c i).Node.birth
@@ -215,15 +262,20 @@ let read_retire (t : t) i = Atomic.get (Arena.get t.arena i).Node.retire
 let read_level (t : t) i = (Arena.get t.arena i).Node.level
 let validate_epoch = validate
 
-let count_cas (c : ctx) ok =
-  if not ok then Obs.Counters.shard_incr c.obs Obs.Event.Cas_fail;
+(* [slot] names the CASed node (0 for a root word) so a traced run can
+   localize contention. *)
+let count_cas (c : ctx) ~slot ok =
+  if not ok then begin
+    Obs.Counters.shard_incr c.obs Obs.Event.Cas_fail;
+    emit c Obs.Trace.Cas_fail ~slot ~v1:0 ~v2:0 ~epoch:c.my_e
+  end;
   ok
 
 let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_birth =
   let n = node c i in
   let exp_v = max birth expected_birth in
   let new_v = max birth new_birth in
-  count_cas c
+  count_cas c ~slot:i
     (Atomic.compare_and_set n.Node.next.(lvl)
        (Packed.pack ~marked:false ~index:expected ~version:exp_v)
        (Packed.pack ~marked:false ~index:new_ ~version:new_v))
@@ -243,7 +295,9 @@ let mark (c : ctx) ?(lvl = 0) i ~birth =
   let w = Atomic.get n.Node.next.(lvl) in
   if Atomic.get n.Node.birth <> birth then false (* line 37: already gone *)
   else if Packed.is_marked w then false
-  else count_cas c (Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w))
+  else
+    count_cas c ~slot:i
+      (Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w))
 
 (* Raw-expected variant of [update] for a node's *own* not-yet-linked
    field (a skiplist inserter refreshing its forward pointer): the caller
@@ -256,7 +310,7 @@ let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
   if Atomic.get n.Node.birth <> birth then false
   else if Packed.is_marked w then false
   else
-    count_cas c
+    count_cas c ~slot:i
       (Atomic.compare_and_set n.Node.next.(lvl) w
          (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth)))
 
@@ -276,7 +330,7 @@ let heal_stale_edge (c : ctx) ?(lvl = 0) i ~birth ~to_ ~to_birth =
     let tgt = Packed.index w in
     tgt <> 0
     && Packed.version w < birth_of c tgt
-    && count_cas c
+    && count_cas c ~slot:i
          (Atomic.compare_and_set n.Node.next.(lvl) w
             (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth)))
   end
@@ -290,7 +344,7 @@ let read_root (c : ctx) root =
   (Packed.index w, Packed.version w)
 
 let cas_root (c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
-  count_cas c
+  count_cas c ~slot:0
     (Atomic.compare_and_set root
        (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
        (Packed.pack ~marked:false ~index:new_ ~version:new_birth))

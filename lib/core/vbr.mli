@@ -71,6 +71,13 @@ val ctx : t -> tid:int -> ctx
 val arena : t -> Memsim.Arena.t
 val epoch : t -> Epoch.t
 
+val set_trace : t -> Obs.Trace.t -> unit
+(** Attach a lifecycle trace (one ring per thread, {!Obs.Trace}): every
+    subsequent alloc/dealloc/retire/reclaim, checkpoint, rollback, epoch
+    advance and failed versioned CAS emits an event on the acting
+    thread's ring. Call once, before any operation runs. When never
+    called, every hook is one match on an immediate [None]. *)
+
 (** {1 The node lifecycle}
 
     The [t]-plus-[tid] shape shared with every other scheme

@@ -251,7 +251,7 @@ let supports ~structure ~scheme =
   | _ -> false
 
 let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
-    ?(epoch_freq = 32) () =
+    ?(epoch_freq = 32) ?trace () =
   if not (supports ~structure ~scheme) then
     invalid_arg
       (Printf.sprintf "Registry: %s does not support %s" structure scheme);
@@ -270,6 +270,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
         R.create ~arena ~global ~n_threads ~hazards:st.hazard_slots
           ~retire_threshold ~epoch_freq
       in
+      Option.iter (R.set_trace r) trace;
       let ops =
         (Option.get st.guarded)
           (module struct
@@ -306,6 +307,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
         V.create ~arena ~global ~n_threads ~hazards:st.hazard_slots
           ~retire_threshold ~epoch_freq
       in
+      Option.iter (V.set_trace v) trace;
       let ops =
         (Option.get st.optimistic)
           (module struct

@@ -63,10 +63,14 @@ val make :
   capacity:int ->
   ?retire_threshold:int ->
   ?epoch_freq:int ->
+  ?trace:Obs.Trace.t ->
   unit ->
   instance
 (** Build an empty instance. [range] sizes the hash table's bucket array
     (load factor 1). [retire_threshold] defaults to each scheme's table
     row (64 for VBR, 128 for the conservative schemes); [epoch_freq]
     (allocations per epoch/era advance, EBR/HE/IBR) defaults to 32.
+    [trace], when given, is attached to the backend before any operation
+    runs ({!Reclaim.Smr_intf.CORE}[.set_trace]); it must have been
+    created with at least [n_threads] rings.
     @raise Invalid_argument on an unknown or unsupported combination. *)

@@ -93,7 +93,10 @@ let measure ~make ~profile ~threads ~range ~duration ~repeats =
   summarize_samples ~threads ~repeats samples
 
 let measure_timed ~make ~profile ~threads ~range ~duration ~repeats =
-  let merged = Array.init 3 (fun _ -> Obs.Histogram.create ()) in
+  (* Each worker records into its own histogram for the whole run; the
+     aggregation is one merge_all per op kind at the end, after every
+     domain has joined — no synchronization on the recording path. *)
+  let per_op = Array.init 3 (fun _ -> ref []) in
   let samples =
     List.init repeats (fun _ ->
         let lat =
@@ -102,17 +105,47 @@ let measure_timed ~make ~profile ~threads ~range ~duration ~repeats =
         in
         let mops = one_run ~lat ~make ~profile ~threads ~range ~duration () in
         Array.iter
-          (Array.iteri (fun op h -> Obs.Histogram.merge_into ~into:merged.(op) h))
+          (Array.iteri (fun op h -> per_op.(op) := h :: !(per_op.(op))))
           lat;
         mops)
   in
   let point = summarize_samples ~threads ~repeats samples in
   let latencies =
     Array.to_list
-      (Array.mapi (fun op h -> (op_names.(op), h)) merged)
+      (Array.mapi
+         (fun op hs -> (op_names.(op), Obs.Histogram.merge_all !hs))
+         per_op)
     |> List.filter (fun (_, h) -> Obs.Histogram.count h > 0)
   in
   (point, latencies)
+
+(* Fixed-operation-budget run: the deterministic-volume twin of [one_run],
+   for tracing — an event budget, not a time budget, so ring capacity can
+   be sized to keep the trace untruncated. *)
+let run_ops ~make ~profile ~threads ~range ~total_ops () =
+  let inst = make () in
+  prefill inst ~range;
+  let per_worker = max 1 (total_ops / threads) in
+  let start = Atomic.make false in
+  let domains =
+    List.init threads (fun tid ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create ~seed:((tid * 7919) + 13) in
+            while not (Atomic.get start) do
+              Domain.cpu_relax ()
+            done;
+            try
+              for _ = 1 to per_worker do
+                let k = Rng.below rng range in
+                run_op inst ~tid k (Workload.pick profile rng)
+              done
+            with Memsim.Arena.Exhausted -> ()))
+  in
+  let t0 = Unix.gettimeofday () in
+  Atomic.set start true;
+  List.iter Domain.join domains;
+  let t1 = Unix.gettimeofday () in
+  (float_of_int (per_worker * threads) /. (t1 -. t0) /. 1e6, inst)
 
 (* ------------------------------------------------------------------ *)
 (* The robustness experiment (§1, §A.2): one pinned thread, a fixed op *)

@@ -42,6 +42,22 @@ val measure_timed :
     microsecond) resolution; the per-op clock reads also cost a little
     throughput — use plain {!measure} for headline numbers. *)
 
+val run_ops :
+  make:(unit -> Registry.instance) ->
+  profile:Workload.profile ->
+  threads:int ->
+  range:int ->
+  total_ops:int ->
+  unit ->
+  float * Registry.instance
+(** Fixed-operation-budget variant of {!measure}: prefill, release
+    [threads] workers that each execute [total_ops / threads] operations,
+    and return (million ops/second, the instance). Built for lifecycle
+    tracing ({!Registry.make}'s [?trace]): an op budget bounds the event
+    volume deterministically, so a ring capacity can be chosen that keeps
+    the trace untruncated, and the instance is handed back so the caller
+    can dump the trace after every worker has joined. *)
+
 type stalled_sample = {
   t_ms : float;  (** milliseconds since the workers were released *)
   ops : int;  (** operations completed so far (all workers) *)

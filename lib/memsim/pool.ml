@@ -6,6 +6,7 @@ type t = {
   free_len : int array;
   mutable recycled : int;
   stats : Obs.Counters.shard option;
+  mutable trace : Obs.Trace.ring option;
 }
 
 let max_supported_level = 32
@@ -20,7 +21,10 @@ let create ?stats arena global ~spill =
     free_len = Array.make max_supported_level 0;
     recycled = 0;
     stats;
+    trace = None;
   }
+
+let set_trace t r = t.trace <- Some r
 
 let count t ev =
   match t.stats with None -> () | Some s -> Obs.Counters.shard_incr s ev
@@ -66,9 +70,12 @@ let put_batch t batch =
 (* Clear the free flag before handing a recycled slot out, so a Strict
    sanitizer does not fault the allocator's own Arena.get of it. *)
 let note_reuse t i =
-  match Arena.sanitizer t.arena with
+  (match Arena.sanitizer t.arena with
   | None -> ()
-  | Some s -> Sanitizer.note_reuse s i
+  | Some s -> Sanitizer.note_reuse s i);
+  match t.trace with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r Obs.Trace.Reuse ~slot:i ~v1:0 ~v2:0 ~epoch:0
 
 let take t ~level =
   let lvl = level - 1 in

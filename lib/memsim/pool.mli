@@ -21,6 +21,11 @@ val create : ?stats:Obs.Counters.shard -> Arena.t -> Global_pool.t -> spill:int 
     be the owning thread's shard.
     @raise Invalid_argument if [spill < 2]. *)
 
+val set_trace : t -> Obs.Trace.ring -> unit
+(** Attach the owning thread's lifecycle-trace ring: [take] then emits a
+    [Reuse] event whenever it serves a recycled (local or global) slot.
+    Tracing stays off — every hook a no-op — until this is called. *)
+
 val put : t -> int -> unit
 (** Return one reusable slot (classified by its node's tower level). *)
 

@@ -85,6 +85,11 @@ let merge_into ~into src =
   if src.max_v > into.max_v then into.max_v <- src.max_v;
   if src.min_v < into.min_v then into.min_v <- src.min_v
 
+let merge_all hs =
+  let out = create () in
+  List.iter (fun h -> merge_into ~into:out h) hs;
+  out
+
 (* The value reported for quantile [q] is the upper edge of the bucket
    holding the sample of rank ceil(q * total), clamped to the exact
    tracked maximum — so small integer values (below [n_sub]) are reported

@@ -33,6 +33,10 @@ val merge : t -> t -> t
 
 val merge_into : into:t -> t -> unit
 
+val merge_all : t list -> t
+(** Fresh histogram holding every input's samples (empty for []) — the
+    aggregation step after each thread recorded into its own [t]. *)
+
 type summary = {
   count : int;
   mean : float;

@@ -1,33 +1,54 @@
 type 'a sample = { elapsed_ms : float; value : 'a }
 
+(* The series is published incrementally into [cell] (the sampler domain
+   is the only writer), with [drained] flipped only after the final
+   post-stop sample is visible. [stop] waits on [drained] and reads the
+   series BEFORE joining: the join is then pure cleanup, so a sampler
+   domain that dies on the way out (e.g. a gauge closure raising against
+   a torn-down system) can no longer take the already-captured samples
+   with it, and the final interval is never dropped. *)
 type 'a t = {
   stop_flag : bool Atomic.t;
-  domain : 'a sample list Domain.t;  (* newest first *)
+  cell : 'a sample list Atomic.t;  (* newest first *)
+  drained : bool Atomic.t;
+  domain : unit Domain.t;
 }
 
 let start ?(interval_ms = 5.0) ~read () =
   if interval_ms <= 0.0 then invalid_arg "Sampler.start: interval_ms <= 0";
   let stop_flag = Atomic.make false in
+  let cell = Atomic.make [] in
+  let drained = Atomic.make false in
   let t0 = Unix.gettimeofday () in
-  let snap acc =
+  let snap () =
     (* Timestamp after the read so a slow gauge does not antedate its own
        sample. *)
     let v = read () in
-    { elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0; value = v } :: acc
+    let s = { elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0; value = v } in
+    Atomic.set cell (s :: Atomic.get cell)
   in
   let domain =
     Domain.spawn (fun () ->
-        let acc = ref (snap []) in
-        while not (Atomic.get stop_flag) do
-          Unix.sleepf (interval_ms /. 1000.0);
-          acc := snap !acc
-        done;
-        (* One final sample after the stop request, so callers that quiesce
-           the system before stopping always see its end state. *)
-        snap !acc)
+        Fun.protect
+          ~finally:(fun () -> Atomic.set drained true)
+          (fun () ->
+            snap ();
+            while not (Atomic.get stop_flag) do
+              Unix.sleepf (interval_ms /. 1000.0);
+              snap ()
+            done;
+            (* One final sample after the stop request, so callers that
+               quiesce the system before stopping always see its end
+               state. *)
+            snap ()))
   in
-  { stop_flag; domain }
+  { stop_flag; cell; drained; domain }
 
 let stop t =
   Atomic.set t.stop_flag true;
-  List.rev (Domain.join t.domain)
+  while not (Atomic.get t.drained) do
+    Domain.cpu_relax ()
+  done;
+  let samples = Atomic.get t.cell in
+  (try Domain.join t.domain with _ -> ());
+  List.rev samples

@@ -19,5 +19,8 @@ val start : ?interval_ms:float -> read:(unit -> 'a) -> unit -> 'a t
     @raise Invalid_argument if [interval_ms <= 0]. *)
 
 val stop : 'a t -> 'a sample list
-(** Request the final sample, join the domain, and return the series in
-    chronological order (always at least two samples). *)
+(** Request the final sample, drain the published series, then join the
+    domain; returns the series in chronological order (always at least
+    two samples when the gauge closure does not raise). Samples are
+    drained {e before} the join, so a sampler domain that dies on its
+    way out cannot drop the final interval. *)

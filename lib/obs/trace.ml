@@ -1,0 +1,340 @@
+(* Per-thread lifecycle trace rings (DESIGN.md §2.10).
+
+   A ring is a flat preallocated int array — emitting writes one row of
+   [stride] ints and bumps a counter, overwriting the oldest row once the
+   ring is full. No per-event heap structure is allocated, so tracing can
+   wrap the reclamation hot paths; the only shared write per event is one
+   fetch-and-add on the global sequence counter, which gives the offline
+   checker a total order that cross-thread timestamps cannot. *)
+
+type kind =
+  | Alloc
+  | Dealloc
+  | Retire
+  | Reclaim
+  | Reuse
+  | Rollback
+  | Epoch_advance
+  | Checkpoint
+  | Guard_acquire
+  | Guard_release
+  | Cas_fail
+
+let all_kinds =
+  [
+    Alloc;
+    Dealloc;
+    Retire;
+    Reclaim;
+    Reuse;
+    Rollback;
+    Epoch_advance;
+    Checkpoint;
+    Guard_acquire;
+    Guard_release;
+    Cas_fail;
+  ]
+
+let kind_index = function
+  | Alloc -> 0
+  | Dealloc -> 1
+  | Retire -> 2
+  | Reclaim -> 3
+  | Reuse -> 4
+  | Rollback -> 5
+  | Epoch_advance -> 6
+  | Checkpoint -> 7
+  | Guard_acquire -> 8
+  | Guard_release -> 9
+  | Cas_fail -> 10
+
+let kind_table = Array.of_list all_kinds
+
+let kind_of_index i =
+  if i < 0 || i >= Array.length kind_table then
+    invalid_arg (Printf.sprintf "Trace.kind_of_index: %d" i)
+  else kind_table.(i)
+
+let kind_to_string = function
+  | Alloc -> "alloc"
+  | Dealloc -> "dealloc"
+  | Retire -> "retire"
+  | Reclaim -> "reclaim"
+  | Reuse -> "reuse"
+  | Rollback -> "rollback"
+  | Epoch_advance -> "epoch-advance"
+  | Checkpoint -> "checkpoint"
+  | Guard_acquire -> "guard-acquire"
+  | Guard_release -> "guard-release"
+  | Cas_fail -> "cas-fail"
+
+let kind_of_string = function
+  | "alloc" -> Some Alloc
+  | "dealloc" -> Some Dealloc
+  | "retire" -> Some Retire
+  | "reclaim" -> Some Reclaim
+  | "reuse" -> Some Reuse
+  | "rollback" -> Some Rollback
+  | "epoch-advance" -> Some Epoch_advance
+  | "checkpoint" -> Some Checkpoint
+  | "guard-acquire" -> Some Guard_acquire
+  | "guard-release" -> Some Guard_release
+  | "cas-fail" -> Some Cas_fail
+  | _ -> None
+
+(* Row layout: seq, t_ns, kind, slot, v1, v2, epoch. *)
+let stride = 7
+
+type ring = {
+  r_tid : int;
+  data : int array;
+  cap : int;  (* rows *)
+  seq_src : int Atomic.t;  (* shared with every ring of the trace *)
+  t0 : float;
+  mutable total : int;  (* rows ever emitted; head = total mod cap *)
+}
+
+type t = {
+  scheme : string;
+  capacity : int;
+  rings : ring array;
+  seq : int Atomic.t;
+  t0 : float;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) ~n_threads ~scheme () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity < 1";
+  if n_threads < 1 then invalid_arg "Trace.create: n_threads < 1";
+  let seq = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  {
+    scheme;
+    capacity;
+    seq;
+    t0;
+    rings =
+      Array.init n_threads (fun r_tid ->
+          {
+            r_tid;
+            data = Array.make (capacity * stride) 0;
+            cap = capacity;
+            seq_src = seq;
+            t0;
+            total = 0;
+          });
+  }
+
+let ring t ~tid = t.rings.(tid)
+let scheme t = t.scheme
+let capacity t = t.capacity
+
+let emit r k ~slot ~v1 ~v2 ~epoch =
+  let seq = Atomic.fetch_and_add r.seq_src 1 in
+  let t_ns = int_of_float ((Unix.gettimeofday () -. r.t0) *. 1e9) in
+  let base = r.total mod r.cap * stride in
+  let d = r.data in
+  d.(base) <- seq;
+  d.(base + 1) <- t_ns;
+  d.(base + 2) <- kind_index k;
+  d.(base + 3) <- slot;
+  d.(base + 4) <- v1;
+  d.(base + 5) <- v2;
+  d.(base + 6) <- epoch;
+  r.total <- r.total + 1
+
+type event = {
+  e_tid : int;
+  e_seq : int;
+  e_t_ns : int;
+  e_kind : kind;
+  e_slot : int;
+  e_v1 : int;
+  e_v2 : int;
+  e_epoch : int;
+}
+
+type dump = {
+  d_scheme : string;
+  d_threads : int;
+  d_capacity : int;
+  d_dropped : int;  (* rows overwritten before the dump, all rings *)
+  d_events : event array;  (* ascending [e_seq] *)
+}
+
+let ring_events r =
+  let kept = min r.total r.cap in
+  List.init kept (fun j ->
+      (* Oldest surviving row first. *)
+      let row = (r.total - kept + j) mod r.cap in
+      let base = row * stride in
+      let d = r.data in
+      {
+        e_tid = r.r_tid;
+        e_seq = d.(base);
+        e_t_ns = d.(base + 1);
+        e_kind = kind_of_index d.(base + 2);
+        e_slot = d.(base + 3);
+        e_v1 = d.(base + 4);
+        e_v2 = d.(base + 5);
+        e_epoch = d.(base + 6);
+      })
+
+let dropped t =
+  Array.fold_left (fun acc r -> acc + max 0 (r.total - r.cap)) 0 t.rings
+
+let dump t =
+  let events =
+    Array.of_list (List.concat_map ring_events (Array.to_list t.rings))
+  in
+  Array.sort (fun a b -> compare a.e_seq b.e_seq) events;
+  {
+    d_scheme = t.scheme;
+    d_threads = Array.length t.rings;
+    d_capacity = t.capacity;
+    d_dropped = dropped t;
+    d_events = events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CSV round-trip. Line 1 is a '#' preamble with the trace metadata,   *)
+(* line 2 the column header, data from line 3 — so an event's 1-based  *)
+(* file line is its index in [d_events] + 3, the anchor the offline    *)
+(* checker reports findings at.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let csv_header = "tid,seq,t_ns,kind,slot,v1,v2,epoch"
+
+let write_csv path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# scheme=%s threads=%d capacity=%d dropped=%d\n"
+        d.d_scheme d.d_threads d.d_capacity d.d_dropped;
+      output_string oc csv_header;
+      output_char oc '\n';
+      Array.iter
+        (fun e ->
+          Printf.fprintf oc "%d,%d,%d,%s,%d,%d,%d,%d\n" e.e_tid e.e_seq e.e_t_ns
+            (kind_to_string e.e_kind)
+            e.e_slot e.e_v1 e.e_v2 e.e_epoch)
+        d.d_events)
+
+let fail path lineno msg =
+  failwith (Printf.sprintf "%s:%d: %s" path lineno msg)
+
+let parse_preamble path line =
+  let kv = function
+    | [ k; v ] -> (k, v)
+    | _ -> fail path 1 "malformed preamble field (want key=value)"
+  in
+  let fields =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "" && s <> "#")
+    |> List.map (fun f -> kv (String.split_on_char '=' f))
+  in
+  let get k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> fail path 1 (Printf.sprintf "preamble is missing %s=" k)
+  in
+  let int k =
+    match int_of_string_opt (get k) with
+    | Some v -> v
+    | None -> fail path 1 (Printf.sprintf "preamble %s= is not an integer" k)
+  in
+  (get "scheme", int "threads", int "capacity", int "dropped")
+
+let parse_row path lineno line =
+  match String.split_on_char ',' line with
+  | [ tid; seq; t_ns; kind; slot; v1; v2; epoch ] ->
+      let int what s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail path lineno (Printf.sprintf "%s is not an integer" what)
+      in
+      let e_kind =
+        match kind_of_string kind with
+        | Some k -> k
+        | None -> fail path lineno (Printf.sprintf "unknown event kind %S" kind)
+      in
+      {
+        e_tid = int "tid" tid;
+        e_seq = int "seq" seq;
+        e_t_ns = int "t_ns" t_ns;
+        e_kind;
+        e_slot = int "slot" slot;
+        e_v1 = int "v1" v1;
+        e_v2 = int "v2" v2;
+        e_epoch = int "epoch" epoch;
+      }
+  | _ -> fail path lineno "expected 8 comma-separated fields"
+
+let load_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let preamble =
+        match In_channel.input_line ic with
+        | Some l when String.length l > 0 && l.[0] = '#' ->
+            parse_preamble path l
+        | Some _ | None -> fail path 1 "missing '# scheme=...' preamble"
+      in
+      (match In_channel.input_line ic with
+      | Some h when h = csv_header -> ()
+      | Some _ | None ->
+          fail path 2 (Printf.sprintf "expected header %S" csv_header));
+      let events = ref [] in
+      let lineno = ref 2 in
+      let rec loop () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some line ->
+            incr lineno;
+            events := parse_row path !lineno line :: !events;
+            loop ()
+      in
+      loop ();
+      let d_scheme, d_threads, d_capacity, d_dropped = preamble in
+      let d_events = Array.of_list (List.rev !events) in
+      Array.sort (fun a b -> compare a.e_seq b.e_seq) d_events;
+      { d_scheme; d_threads; d_capacity; d_dropped; d_events })
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export: instant events ("ph":"i"), one virtual   *)
+(* thread per ring, timestamps in microseconds. Streams row by row —   *)
+(* dumps reach hundreds of thousands of events, so no Sink.json tree.  *)
+(* ------------------------------------------------------------------ *)
+
+let write_chrome path d =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"scheme\":%s,\"dropped\":%d},\"traceEvents\":["
+        (Sink.to_string (Sink.String d.d_scheme))
+        d.d_dropped;
+      Printf.fprintf oc
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":%s}}"
+        (Sink.to_string (Sink.String ("vbr " ^ d.d_scheme)));
+      for tid = 0 to d.d_threads - 1 do
+        Printf.fprintf oc
+          ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"worker \
+           %d\"}}"
+          tid tid
+      done;
+      Array.iter
+        (fun e ->
+          Printf.fprintf oc
+            ",{\"name\":%S,\"cat\":\"smr\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"args\":{\"seq\":%d,\"slot\":%d,\"v1\":%d,\"v2\":%d,\"epoch\":%d}}"
+            (kind_to_string e.e_kind)
+            e.e_tid
+            (float_of_int e.e_t_ns /. 1e3)
+            e.e_seq e.e_slot e.e_v1 e.e_v2 e.e_epoch)
+        d.d_events;
+      output_string oc "]}\n")

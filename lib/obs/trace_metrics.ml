@@ -1,0 +1,90 @@
+(* Temporal metrics derived from a trace dump: the quantities the paper
+   argues about but end-of-run counter totals cannot show — how long
+   retired nodes sit unreclaimed, how epoch advances space out, and how
+   VBR rollbacks cluster. *)
+
+type t = {
+  m_scheme : string;
+  m_events : int;
+  m_dropped : int;
+  m_by_kind : (Trace.kind * int) list;  (* only kinds that occurred *)
+  m_age : Histogram.summary;  (* retire -> reclaim latency, ns *)
+  m_unreclaimed_end : int;  (* retired but never reclaimed in the trace *)
+  m_epoch_stalls : Histogram.summary;  (* gap between epoch advances, ns *)
+  m_rollbacks : int;
+  m_rollback_burst : int;  (* max rollbacks in any 1 ms window *)
+}
+
+let burst_window_ns = 1_000_000
+
+let compute (d : Trace.dump) =
+  let counts = Array.make (List.length Trace.all_kinds) 0 in
+  let kind_slot = Hashtbl.create 16 in
+  List.iteri (fun i k -> Hashtbl.replace kind_slot k i) Trace.all_kinds;
+  let ki k = Hashtbl.find kind_slot k in
+  (* Retire->reclaim ages: one histogram per reclaiming thread (reclaim is
+     always performed by the retiring thread, but keying by e_tid keeps
+     this true even for schemes that hand retired lists around), merged at
+     the end. *)
+  let ages = Array.init (max 1 d.Trace.d_threads) (fun _ -> Histogram.create ()) in
+  let pending = Hashtbl.create 1024 in
+  let stalls = Histogram.create () in
+  let last_advance = ref (-1) in
+  let bursts = Hashtbl.create 64 in
+  let burst_max = ref 0 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      counts.(ki e.Trace.e_kind) <- counts.(ki e.Trace.e_kind) + 1;
+      match e.Trace.e_kind with
+      | Trace.Retire -> Hashtbl.replace pending e.Trace.e_slot e.Trace.e_t_ns
+      | Trace.Reclaim -> (
+          match Hashtbl.find_opt pending e.Trace.e_slot with
+          | Some t_retire ->
+              Hashtbl.remove pending e.Trace.e_slot;
+              let tid = e.Trace.e_tid in
+              if tid >= 0 && tid < Array.length ages then
+                Histogram.record ages.(tid) (e.Trace.e_t_ns - t_retire)
+          | None -> ())
+      | Trace.Epoch_advance ->
+          if !last_advance >= 0 then
+            Histogram.record stalls (e.Trace.e_t_ns - !last_advance);
+          last_advance := e.Trace.e_t_ns
+      | Trace.Rollback ->
+          let w = e.Trace.e_t_ns / burst_window_ns in
+          let n = (try Hashtbl.find bursts w with Not_found -> 0) + 1 in
+          Hashtbl.replace bursts w n;
+          if n > !burst_max then burst_max := n
+      | _ -> ())
+    d.Trace.d_events;
+  {
+    m_scheme = d.Trace.d_scheme;
+    m_events = Array.length d.Trace.d_events;
+    m_dropped = d.Trace.d_dropped;
+    m_by_kind =
+      List.filter_map
+        (fun k -> if counts.(ki k) > 0 then Some (k, counts.(ki k)) else None)
+        Trace.all_kinds;
+    m_age = Histogram.summarize (Histogram.merge_all (Array.to_list ages));
+    m_unreclaimed_end = Hashtbl.length pending;
+    m_epoch_stalls = Histogram.summarize stalls;
+    m_rollbacks = counts.(ki Trace.Rollback);
+    m_rollback_burst = !burst_max;
+  }
+
+let to_json m =
+  Sink.Obj
+    [
+      ("scheme", Sink.String m.m_scheme);
+      ("events", Sink.Int m.m_events);
+      ("dropped", Sink.Int m.m_dropped);
+      ( "by_kind",
+        Sink.Obj
+          (List.map
+             (fun (k, n) -> (Trace.kind_to_string k, Sink.Int n))
+             m.m_by_kind) );
+      ("unreclaimed_age_ns", Sink.of_summary m.m_age);
+      ("unreclaimed_at_end", Sink.Int m.m_unreclaimed_end);
+      ("epoch_stall_ns", Sink.of_summary m.m_epoch_stalls);
+      ("rollbacks", Sink.Int m.m_rollbacks);
+      ("rollback_burst_1ms", Sink.Int m.m_rollback_burst);
+    ]

@@ -1,0 +1,24 @@
+(** Temporal metrics derived from a {!Trace.dump}: unreclaimed-node age,
+    epoch-stall durations, and rollback bursts — the behaviours the VBR
+    paper contrasts with EBR/HP that end-of-run counter totals hide. *)
+
+type t = {
+  m_scheme : string;
+  m_events : int;
+  m_dropped : int;
+  m_by_kind : (Trace.kind * int) list;
+      (** event counts, omitting kinds that never occurred *)
+  m_age : Histogram.summary;
+      (** retire-to-reclaim latency in ns, over slots reclaimed within
+          the trace *)
+  m_unreclaimed_end : int;
+      (** slots retired but never reclaimed before the trace ended *)
+  m_epoch_stalls : Histogram.summary;
+      (** ns between successive [Epoch_advance] events *)
+  m_rollbacks : int;
+  m_rollback_burst : int;
+      (** maximum number of rollbacks falling in any one 1 ms window *)
+}
+
+val compute : Trace.dump -> t
+val to_json : t -> Sink.json

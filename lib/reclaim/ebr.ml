@@ -15,6 +15,7 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
+  mutable tr : Obs.Trace.ring option;
 }
 
 type t = {
@@ -46,16 +47,42 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq =
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
+            tr = None;
           });
     counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
 
-let begin_op t ~tid =
-  Atomic.set t.threads.(tid).announce (Atomic.get t.epoch)
+let set_trace t trace =
+  Array.iteri
+    (fun tid ts ->
+      let r = Obs.Trace.ring trace ~tid in
+      ts.tr <- Some r;
+      Pool.set_trace ts.pool r)
+    t.threads
 
-let end_op t ~tid = Atomic.set t.threads.(tid).announce quiescent
+let emit ts k ~slot ~v1 ~v2 ~epoch =
+  match ts.tr with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
+
+(* Guard acquire is emitted AFTER the announce store is visible, release
+   BEFORE it is cleared: the offline checker may then treat any interval
+   between the two events as genuinely protected (Obs.Trace contract). *)
+let begin_op t ~tid =
+  let ts = t.threads.(tid) in
+  let e = Atomic.get t.epoch in
+  Atomic.set ts.announce e;
+  (* Interval guard [e, +inf): everything retired at or after the
+     announced epoch is protected. *)
+  emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:(-1) ~epoch:0
+
+let end_op t ~tid =
+  let ts = t.threads.(tid) in
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
+  Atomic.set ts.announce quiescent
+
 let protect _ ~tid:_ ~slot:_ read = read ()
 
 (* Advance the global epoch unconditionally (the paper's "tuned" EBR):
@@ -66,8 +93,10 @@ let protect _ ~tid:_ ~slot:_ read = read ()
    always behind, the epoch freezes, and retire-list scans go quadratic. *)
 let try_advance t ts =
   let cur = Atomic.get t.epoch in
-  if Atomic.compare_and_set t.epoch cur (cur + 1) then
-    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
+  if Atomic.compare_and_set t.epoch cur (cur + 1) then begin
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
+    emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:cur ~v2:(cur + 1) ~epoch:(cur + 1)
+  end
 
 let min_announced t =
   Array.fold_left
@@ -89,6 +118,12 @@ let scan t ts =
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
+      (match ts.tr with
+      | None -> ()
+      | Some r ->
+          Obs.Trace.emit r Obs.Trace.Reclaim ~slot:i ~v1:0
+            ~v2:(Atomic.get (Arena.get t.arena i).Node.retire)
+            ~epoch:0);
       Pool.put ts.pool i)
     free
 
@@ -105,6 +140,11 @@ let alloc t ~tid ~level ~key =
   let i = Pool.take ts.pool ~level in
   Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t.arena i ~key;
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      Obs.Trace.emit r Obs.Trace.Alloc ~slot:i ~v1:0 ~v2:0
+        ~epoch:(Atomic.get t.epoch));
   i
 
 let protect_own _ ~tid:_ ~slot:_ _i = ()
@@ -114,11 +154,16 @@ let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 let dealloc t ~tid i =
   let ts = t.threads.(tid) in
   Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  emit ts Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put ts.pool i
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
-  Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.epoch);
+  let re = Atomic.get t.epoch in
+  (* Emitted before the retire stamp becomes visible: a guard logged
+     after this event was provably announced after the unlink. *)
+  emit ts Obs.Trace.Retire ~slot:i ~v1:0 ~v2:re ~epoch:re;
+  Atomic.set (Arena.get t.arena i).Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

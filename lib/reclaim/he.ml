@@ -15,6 +15,7 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
+  mutable tr : Obs.Trace.ring option;
 }
 
 type t = {
@@ -47,22 +48,43 @@ let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq =
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
+            tr = None;
           });
     counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
 
+let set_trace t trace =
+  Array.iteri
+    (fun tid ts ->
+      let r = Obs.Trace.ring trace ~tid in
+      ts.tr <- Some r;
+      Pool.set_trace ts.pool r)
+    t.threads
+
+let emit ts k ~slot ~v1 ~v2 ~epoch =
+  match ts.tr with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
+
 let begin_op _ ~tid:_ = ()
 
 let end_op t ~tid =
-  Array.iter (fun h -> Atomic.set h none) t.threads.(tid).eras
+  let ts = t.threads.(tid) in
+  (* Release BEFORE the eras are cleared (Obs.Trace contract). *)
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
+  Array.iter (fun h -> Atomic.set h none) ts.eras
 
 (* Publish the era that was current when the pointer was read; stable once
    two consecutive reads happen under the same global era. *)
 let protect t ~tid ~slot read =
   let ts = t.threads.(tid) in
   let h = ts.eras.(slot) in
+  (* The loop republishes era slot [slot], possibly with a later era that
+     protects fewer nodes — release the old reservation before the first
+     store, acquire the settled one after the loop. *)
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
   let rec loop prev_era =
     let w = read () in
     let e = Atomic.get t.era in
@@ -75,7 +97,13 @@ let protect t ~tid ~slot read =
   in
   let e0 = Atomic.get t.era in
   Atomic.set h e0;
-  loop e0
+  let w = loop e0 in
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      let g = Atomic.get h in
+      Obs.Trace.emit r Obs.Trace.Guard_acquire ~slot:0 ~v1:g ~v2:g ~epoch:slot);
+  w
 
 let reset_node t i ~key =
   let n = Arena.get t.arena i in
@@ -88,27 +116,45 @@ let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
   ts.alloc_ticks <- ts.alloc_ticks + 1;
   if ts.alloc_ticks mod t.epoch_freq = 0 then begin
-    Atomic.incr t.era;
-    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
+    (* fetch_and_add rather than incr so the traced old -> new transition
+       is unique per advance. *)
+    let old = Atomic.fetch_and_add t.era 1 in
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
+    emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:old ~v2:(old + 1)
+      ~epoch:(old + 1)
   end;
   let i = Pool.take ts.pool ~level in
   Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t i ~key;
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      let b = Atomic.get (Arena.get t.arena i).Node.birth in
+      Obs.Trace.emit r Obs.Trace.Alloc ~slot:i ~v1:b ~v2:0 ~epoch:b);
   i
 
 (* Publishing the current era pins any node alive right now: its birth
    era is at most the published era and its retire era will be at least
    it. *)
 let protect_own t ~tid ~slot _i =
-  Atomic.set t.threads.(tid).eras.(slot) (Atomic.get t.era)
+  let ts = t.threads.(tid) in
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
+  let e = Atomic.get t.era in
+  Atomic.set ts.eras.(slot) e;
+  emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:e ~epoch:slot
 
 let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
-  Atomic.set ts.eras.(dst) (Atomic.get ts.eras.(src))
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:dst;
+  let v = Atomic.get ts.eras.(src) in
+  Atomic.set ts.eras.(dst) v;
+  if v <> none then
+    emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:v ~v2:v ~epoch:dst
 
 let dealloc t ~tid i =
   let ts = t.threads.(tid) in
   Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  emit ts Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put ts.pool i
 
 (* A node is pinned iff some published era lies in its lifetime. *)
@@ -136,12 +182,29 @@ let scan t ts =
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
+      (match ts.tr with
+      | None -> ()
+      | Some r ->
+          let n = Arena.get t.arena i in
+          Obs.Trace.emit r Obs.Trace.Reclaim ~slot:i
+            ~v1:(Atomic.get n.Node.birth)
+            ~v2:(Atomic.get n.Node.retire) ~epoch:0);
       Pool.put ts.pool i)
     free
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
-  Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.era);
+  let n = Arena.get t.arena i in
+  let re = Atomic.get t.era in
+  (* Emitted before the retire stamp becomes visible (Obs.Trace
+     contract): a reservation logged after this event postdates the
+     unlink. *)
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      Obs.Trace.emit r Obs.Trace.Retire ~slot:i
+        ~v1:(Atomic.get n.Node.birth) ~v2:re ~epoch:re);
+  Atomic.set n.Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

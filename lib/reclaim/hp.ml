@@ -6,6 +6,7 @@ type thread_state = {
   obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
+  mutable tr : Obs.Trace.ring option;
 }
 
 type t = {
@@ -34,15 +35,33 @@ let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq:_
             obs;
             retired = [];
             retired_len = 0;
+            tr = None;
           });
     counters;
     retire_threshold = max 1 retire_threshold;
   }
 
+let set_trace t trace =
+  Array.iteri
+    (fun tid ts ->
+      let r = Obs.Trace.ring trace ~tid in
+      ts.tr <- Some r;
+      Pool.set_trace ts.pool r)
+    t.threads
+
+let emit ts k ~slot ~v1 ~v2 ~epoch =
+  match ts.tr with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
+
 let begin_op _ ~tid:_ = ()
 
 let end_op t ~tid =
-  Array.iter (fun h -> Atomic.set h 0) t.threads.(tid).hazards
+  let ts = t.threads.(tid) in
+  (* Release BEFORE the hazards are cleared (Obs.Trace contract):
+     epoch = -1 releases every guard slot of this thread at once. *)
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
+  Array.iter (fun h -> Atomic.set h 0) ts.hazards
 
 (* Publish-and-validate loop: once the source field is re-read with the
    same index after the hazard became visible, the node cannot have been
@@ -51,6 +70,10 @@ let end_op t ~tid =
 let protect t ~tid ~slot read =
   let ts = t.threads.(tid) in
   let h = ts.hazards.(slot) in
+  (* The loop below overwrites guard slot [slot]; whatever it held stops
+     protecting, so the release is emitted before the first store. The
+     acquire is emitted only after a validated publish. *)
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
   let rec loop w =
     let i = Packed.index w in
     if i = 0 then begin
@@ -60,7 +83,10 @@ let protect t ~tid ~slot read =
     else begin
       Atomic.set h i;
       let w' = read () in
-      if Packed.index w' = i then w'
+      if Packed.index w' = i then begin
+        emit ts Obs.Trace.Guard_acquire ~slot:i ~v1:0 ~v2:0 ~epoch:slot;
+        w'
+      end
       else begin
         Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
         loop w'
@@ -80,18 +106,26 @@ let alloc t ~tid ~level ~key =
   let i = Pool.take ts.pool ~level in
   Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t.arena i ~key;
+  emit ts Obs.Trace.Alloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   i
 
 let protect_own t ~tid ~slot i =
-  Atomic.set t.threads.(tid).hazards.(slot) i
+  let ts = t.threads.(tid) in
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
+  Atomic.set ts.hazards.(slot) i;
+  if i <> 0 then emit ts Obs.Trace.Guard_acquire ~slot:i ~v1:0 ~v2:0 ~epoch:slot
 
 let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
-  Atomic.set ts.hazards.(dst) (Atomic.get ts.hazards.(src))
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:dst;
+  let v = Atomic.get ts.hazards.(src) in
+  Atomic.set ts.hazards.(dst) v;
+  if v <> 0 then emit ts Obs.Trace.Guard_acquire ~slot:v ~v1:0 ~v2:0 ~epoch:dst
 
 let dealloc t ~tid i =
   let ts = t.threads.(tid) in
   Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  emit ts Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put ts.pool i
 
 (* Recycle retired nodes held by no hazard slot of any thread. *)
@@ -115,11 +149,13 @@ let scan t ts =
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
+      emit ts Obs.Trace.Reclaim ~slot:i ~v1:0 ~v2:0 ~epoch:0;
       Pool.put ts.pool i)
     free
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
+  emit ts Obs.Trace.Retire ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

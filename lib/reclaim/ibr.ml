@@ -15,6 +15,7 @@ type thread_state = {
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
   mutable alloc_ticks : int;
+  mutable tr : Obs.Trace.ring option;
 }
 
 type t = {
@@ -48,38 +49,68 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
             alloc_ticks = 0;
+            tr = None;
           });
     counters;
     retire_threshold = max 1 retire_threshold;
     epoch_freq = max 1 epoch_freq;
   }
 
+let set_trace t trace =
+  Array.iteri
+    (fun tid ts ->
+      let r = Obs.Trace.ring trace ~tid in
+      ts.tr <- Some r;
+      Pool.set_trace ts.pool r)
+    t.threads
+
+let emit ts k ~slot ~v1 ~v2 ~epoch =
+  match ts.tr with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
+
+(* One interval reservation per thread: guard slot id 0. Acquires are
+   emitted after the reservation stores are visible, the release before
+   they are cleared (Obs.Trace contract); extending the upper bound
+   re-emits the acquire with the wider interval. *)
 let begin_op t ~tid =
   let ts = t.threads.(tid) in
   let e = Atomic.get t.epoch in
   Atomic.set ts.upper e;
-  Atomic.set ts.lower e
+  Atomic.set ts.lower e;
+  emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:e ~epoch:0
 
 let end_op t ~tid =
   let ts = t.threads.(tid) in
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
   Atomic.set ts.lower inactive;
   Atomic.set ts.upper 0
 
 (* 2GE read barrier: re-read the field until the global epoch is stable,
    extending the reservation's upper bound on every change. *)
+let note_extended ts =
+  match ts.tr with
+  | None -> ()
+  | Some r ->
+      Obs.Trace.emit r Obs.Trace.Guard_acquire ~slot:0
+        ~v1:(Atomic.get ts.lower) ~v2:(Atomic.get ts.upper) ~epoch:0
+
 let protect t ~tid ~slot:_ read =
   let ts = t.threads.(tid) in
-  let rec loop last =
+  let rec loop extended last =
     let w = read () in
     let e = Atomic.get t.epoch in
-    if e = last then w
+    if e = last then begin
+      if extended then note_extended ts;
+      w
+    end
     else begin
       Atomic.set ts.upper e;
       Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
-      loop e
+      loop true e
     end
   in
-  loop (Atomic.get ts.upper)
+  loop false (Atomic.get ts.upper)
 
 let reset_node t i ~key =
   let n = Arena.get t.arena i in
@@ -92,8 +123,12 @@ let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
   ts.alloc_ticks <- ts.alloc_ticks + 1;
   if ts.alloc_ticks mod t.epoch_freq = 0 then begin
-    Atomic.incr t.epoch;
-    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance
+    (* fetch_and_add rather than incr so the traced old -> new transition
+       is unique per advance. *)
+    let old = Atomic.fetch_and_add t.epoch 1 in
+    Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
+    emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:old ~v2:(old + 1)
+      ~epoch:(old + 1)
   end;
   let i = Pool.take ts.pool ~level in
   Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
@@ -101,7 +136,15 @@ let alloc t ~tid ~level ~key =
   (* Cover our own allocation with the reservation so the node stays
      pinned if another thread retires it right after we publish it. *)
   let e = Atomic.get t.epoch in
-  if e > Atomic.get ts.upper then Atomic.set ts.upper e;
+  if e > Atomic.get ts.upper then begin
+    Atomic.set ts.upper e;
+    note_extended ts
+  end;
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      let b = Atomic.get (Arena.get t.arena i).Node.birth in
+      Obs.Trace.emit r Obs.Trace.Alloc ~slot:i ~v1:b ~v2:0 ~epoch:b);
   i
 
 let protect_own _ ~tid:_ ~slot:_ _i = ()
@@ -111,6 +154,7 @@ let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 let dealloc t ~tid i =
   let ts = t.threads.(tid) in
   Obs.Counters.shard_incr ts.obs Obs.Event.Dealloc;
+  emit ts Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put ts.pool i
 
 (* Lifetime [b, r] conflicts with reservation [l, u] iff b <= u && l <= r. *)
@@ -136,12 +180,29 @@ let scan t ts =
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
+      (match ts.tr with
+      | None -> ()
+      | Some r ->
+          let n = Arena.get t.arena i in
+          Obs.Trace.emit r Obs.Trace.Reclaim ~slot:i
+            ~v1:(Atomic.get n.Node.birth)
+            ~v2:(Atomic.get n.Node.retire) ~epoch:0);
       Pool.put ts.pool i)
     free
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
-  Atomic.set (Arena.get t.arena i).Node.retire (Atomic.get t.epoch);
+  let n = Arena.get t.arena i in
+  let re = Atomic.get t.epoch in
+  (* Emitted before the retire stamp becomes visible (Obs.Trace
+     contract): a reservation logged after this event postdates the
+     unlink. *)
+  (match ts.tr with
+  | None -> ()
+  | Some r ->
+      Obs.Trace.emit r Obs.Trace.Retire ~slot:i
+        ~v1:(Atomic.get n.Node.birth) ~v2:re ~epoch:re);
+  Atomic.set n.Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

@@ -1,6 +1,10 @@
 open Memsim
 
-type t = { arena : Arena.t; counters : Obs.Counters.t }
+type t = {
+  arena : Arena.t;
+  counters : Obs.Counters.t;
+  trs : Obs.Trace.ring option array;  (* per-thread; all None when untraced *)
+}
 
 type node = int
 
@@ -8,7 +12,19 @@ let name = "NoRecl"
 
 let create ~arena ~global:_ ~n_threads ~hazards:_ ~retire_threshold:_
     ~epoch_freq:_ =
-  { arena; counters = Obs.Counters.create ~shards:(max 1 n_threads) }
+  {
+    arena;
+    counters = Obs.Counters.create ~shards:(max 1 n_threads);
+    trs = Array.make (max 1 n_threads) None;
+  }
+
+let set_trace t trace =
+  Array.iteri (fun tid _ -> t.trs.(tid) <- Some (Obs.Trace.ring trace ~tid)) t.trs
+
+let emit t ~tid k ~slot ~v1 ~v2 ~epoch =
+  match t.trs.(tid) with
+  | None -> ()
+  | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
 
 let begin_op _ ~tid:_ = ()
 let end_op _ ~tid:_ = ()
@@ -28,15 +44,20 @@ let alloc t ~tid ~level ~key =
   Obs.Counters.incr c ~shard:tid Obs.Event.Alloc;
   let n = Arena.get t.arena i in
   n.Node.key <- key;
+  emit t ~tid Obs.Trace.Alloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   i
 
 let protect_own _ ~tid:_ ~slot:_ _i = ()
 
 let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 
-let dealloc t ~tid _i = Obs.Counters.incr t.counters ~shard:tid Obs.Event.Dealloc
+let dealloc t ~tid i =
+  emit t ~tid Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
+  Obs.Counters.incr t.counters ~shard:tid Obs.Event.Dealloc
 
-let retire t ~tid _i = Obs.Counters.incr t.counters ~shard:tid Obs.Event.Retire
+let retire t ~tid i =
+  emit t ~tid Obs.Trace.Retire ~slot:i ~v1:0 ~v2:0 ~epoch:0;
+  Obs.Counters.incr t.counters ~shard:tid Obs.Event.Retire
 let stats t = Obs.Counters.snapshot t.counters
 let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim
 

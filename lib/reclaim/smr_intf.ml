@@ -55,6 +55,16 @@ module type CORE = sig
       advances (EBR/HE/IBR; ignored by schemes without an allocation-driven
       clock). *)
 
+  val set_trace : t -> Obs.Trace.t -> unit
+  (** Attach a lifecycle trace (one ring per thread; see {!Obs.Trace}):
+      every subsequent alloc/dealloc/retire/reclaim, guard transition,
+      epoch advance and (for VBR) checkpoint/rollback emits an event on
+      the acting thread's ring, following the emission-placement contract
+      documented in {!Obs.Trace}. Call once, before any operation runs —
+      attaching is not synchronised against concurrent workers. When
+      never called, every hook is a single match on an immediate [None],
+      so Figure-2 numbers are unaffected. *)
+
   val alloc : t -> tid:int -> level:int -> key:int -> node
   (** A node ready for insertion: key set, next words NULL and unmarked,
       birth era/epoch stamped where the scheme needs one.

@@ -147,6 +147,26 @@ let test_histogram_merge () =
   check "merge_into count" 1000 (Obs.Histogram.count a);
   check "source intact" 500 (Obs.Histogram.count b)
 
+let test_histogram_merge_all () =
+  check "empty list" 0 (Obs.Histogram.count (Obs.Histogram.merge_all []));
+  (* The per-thread aggregation pattern: each "thread" records into its
+     own histogram; one merge_all at the end. *)
+  let hs =
+    List.init 4 (fun t ->
+        let h = Obs.Histogram.create () in
+        for v = 1 to 100 do
+          Obs.Histogram.record h ((t * 1000) + v)
+        done;
+        h)
+  in
+  let m = Obs.Histogram.merge_all hs in
+  check "count sums" 400 (Obs.Histogram.count m);
+  check "max spans inputs" 3100 (Obs.Histogram.max_value m);
+  check "min spans inputs" 1 (Obs.Histogram.min_value m);
+  List.iter
+    (fun h -> check "sources intact" 100 (Obs.Histogram.count h))
+    hs
+
 (* ------------------------------------------------------------------ *)
 (* Sampler.                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -178,6 +198,25 @@ let test_sampler () =
     | _ -> ()
   in
   mono samples
+
+(* Regression for the shutdown race: [stop] must wait for the sampler
+   domain to publish its final post-stop sample (drain) before reading
+   the series. The old join-only shutdown could read the list while the
+   dying domain still owed the last interval, dropping the final sample.
+   Tight start/write/stop cycles make the window easy to hit. *)
+let test_sampler_drain () =
+  for i = 1 to 25 do
+    let gauge = Atomic.make 0 in
+    let s =
+      Obs.Sampler.start ~interval_ms:0.2 ~read:(fun () -> Atomic.get gauge) ()
+    in
+    Atomic.set gauge i;
+    let samples = Obs.Sampler.stop s in
+    Alcotest.(check bool) "non-empty series" true (samples <> []);
+    check "final sample taken after stop"
+      i
+      (List.nth samples (List.length samples - 1)).Obs.Sampler.value
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Sinks.                                                              *)
@@ -238,8 +277,13 @@ let () =
           Alcotest.test_case "buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge_all" `Quick test_histogram_merge_all;
         ] );
-      ("sampler", [ Alcotest.test_case "smoke" `Quick test_sampler ]);
+      ( "sampler",
+        [
+          Alcotest.test_case "smoke" `Quick test_sampler;
+          Alcotest.test_case "drain on stop" `Quick test_sampler_drain;
+        ] );
       ( "sink",
         [
           Alcotest.test_case "json golden" `Quick test_json_golden;
