@@ -1,0 +1,144 @@
+(* vbr-sched: deterministic schedule exploration over the Schedsim
+   scenario table (README "Schedule exploration").
+
+   - `vbr-sched list` prints the scenario names.
+   - `vbr-sched explore -s SCENARIO` runs seeded random interleavings
+     until one fails its checks, prints the full and ddmin-shrunk replay
+     tokens, and exits 1. Exit 0 = the budget passed clean.
+   - `vbr-sched replay TOKEN` re-runs a token's schedule bit for bit and
+     reports the failure (or its absence).
+
+   Exploration over the seeded-bug scenarios is expected to find
+   failures (that is what they are for); over lin-*/robust-* a failure
+   is a real bug and its shrunk token belongs in test/sched_fixtures/. *)
+
+open Cmdliner
+
+let pp_outcome (r : Schedsim.Explore.report) =
+  Printf.printf "scenario   %s\n" r.scenario;
+  Printf.printf "steps      %d\n" r.outcome.Schedsim.Sched.steps;
+  Printf.printf "decisions  %d recorded\n"
+    (Array.length r.outcome.Schedsim.Sched.recorded);
+  let done_ =
+    Array.fold_left (fun n c -> if c then n + 1 else n) 0
+      r.outcome.Schedsim.Sched.completed
+  in
+  Printf.printf "threads    %d/%d completed\n" done_
+    (Array.length r.outcome.Schedsim.Sched.completed);
+  match r.failure with
+  | None ->
+      print_endline "result     PASS";
+      0
+  | Some f ->
+      Printf.printf "result     FAIL [%s] %s\n" f.Schedsim.Explore.cls
+        f.Schedsim.Explore.detail;
+      1
+
+let list_cmd =
+  let doc = "list the scenario table" in
+  Cmd.v
+    (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter print_endline Schedsim.Explore.scenarios;
+          0)
+      $ const ())
+
+let scenario_arg =
+  let doc =
+    "Scenario name (see $(b,list)); 'all' explores the whole table."
+  in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "scenario" ] ~docv:"SCENARIO" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for decision-string generation." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let budget_arg =
+  let doc = "Schedules to try per scenario." in
+  Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc)
+
+let max_len_arg =
+  let doc = "Random decision-string length (default: per scenario)." in
+  Arg.(value & opt (some int) None & info [ "max-len" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc =
+    "Append failing tokens (one '$(i,shrunk-token) $(i,class)' line each) \
+     to this file — CI uploads it as the artifact."
+  in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+(* A scenario over a seeded bug MUST yield a failing schedule (a clean
+   sweep means the explorer regressed); any other scenario must sweep
+   clean (a failure is a real bug, and its shrunk token is the artifact
+   to file). *)
+let explore_one ~seed ~budget ~max_len ~out scenario =
+  let expect_bug = List.mem scenario Schedsim.Explore.seeded_bugs in
+  match Schedsim.Explore.explore ~seed ~budget ?max_len ~scenario () with
+  | Schedsim.Explore.Clean n ->
+      if expect_bug then begin
+        Printf.printf
+          "%-24s UNEXPECTEDLY clean (%d schedules): the explorer failed to \
+           find the seeded bug\n\
+           %!"
+          scenario n;
+        1
+      end
+      else begin
+        Printf.printf "%-24s clean (%d schedules)\n%!" scenario n;
+        0
+      end
+  | Schedsim.Explore.Found f ->
+      Printf.printf "%-24s %s [%s] on attempt %d\n" scenario
+        (if expect_bug then "found seeded bug" else "FAIL")
+        f.Schedsim.Explore.f_failure.Schedsim.Explore.cls
+        f.Schedsim.Explore.f_attempt;
+      Printf.printf "  %s\n" f.Schedsim.Explore.f_failure.Schedsim.Explore.detail;
+      Printf.printf "  token   %s\n" f.Schedsim.Explore.f_token;
+      Printf.printf "  shrunk  %s\n%!" f.Schedsim.Explore.f_shrunk;
+      Option.iter
+        (fun path ->
+          let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+          Printf.fprintf oc "%s %s\n" f.Schedsim.Explore.f_shrunk
+            f.Schedsim.Explore.f_failure.Schedsim.Explore.cls;
+          close_out oc)
+        (if expect_bug then None else out);
+      if expect_bug then 0 else 1
+
+let explore_cmd =
+  let doc = "search seeded random interleavings for a failing schedule" in
+  let run scenario seed budget max_len out =
+    if scenario = "all" then
+      List.fold_left
+        (fun rc s -> max rc (explore_one ~seed ~budget ~max_len ~out s))
+        0 Schedsim.Explore.scenarios
+    else explore_one ~seed ~budget ~max_len ~out scenario
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ scenario_arg $ seed_arg $ budget_arg $ max_len_arg $ out_arg)
+
+let token_arg =
+  let doc = "Replay token, as printed by $(b,explore)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOKEN" ~doc)
+
+let replay_cmd =
+  let doc = "re-run one token's schedule bit for bit" in
+  let run token =
+    match Schedsim.Explore.replay token with
+    | r -> pp_outcome r
+    | exception Schedsim.Token.Malformed m ->
+        Printf.eprintf "malformed token: %s\n" m;
+        2
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ token_arg)
+
+let () =
+  let doc = "deterministic schedule exploration for the SMR schemes" in
+  let info = Cmd.info "vbr-sched" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; explore_cmd; replay_cmd ]))

@@ -279,7 +279,7 @@ let check ~file (d : Trace.dump) =
                   ~hint:"the slot is already in the pool"
             | Live | Unknown -> ());
             Hashtbl.replace state slot Free
-        | Trace.Epoch_advance | Trace.Cas_fail -> ())
+        | Trace.Epoch_advance | Trace.Cas_fail | Trace.Sched_yield -> ())
       events
   end;
   { findings = List.rev !findings; truncated }

@@ -1,10 +1,10 @@
 type t = { value : int Atomic.t; advances : int Atomic.t }
 
 let create () = { value = Atomic.make 1; advances = Atomic.make 0 }
-let get t = Atomic.get t.value
+let get t = Memsim.Access.get t.value
 
 let try_advance t ~expected =
-  let ok = Atomic.compare_and_set t.value expected (expected + 1) in
+  let ok = Memsim.Access.compare_and_set t.value expected (expected + 1) in
   if ok then Atomic.incr t.advances;
   ok
 

@@ -82,6 +82,11 @@ let emit (c : ctx) k ~slot ~v1 ~v2 ~epoch =
   | None -> ()
   | Some r -> Obs.Trace.emit r k ~slot ~v1 ~v2 ~epoch
 let node (c : ctx) i = Arena.get c.arena i
+
+(* The optimistic read path: these derefs legitimately race reclamation
+   (the epoch check or birth comparison after the read rejects stale
+   values), so a Strict sanitizer must not fault them. *)
+let node_spec (c : ctx) i = Arena.get_speculative c.arena i
 let refresh_epoch (c : ctx) = c.my_e <- Epoch.get c.epoch
 
 (* Epoch check shared by the read methods (Figure 1, lines 20/24): raise if
@@ -151,7 +156,7 @@ let maybe_flush_retired (c : ctx) =
 let alloc_ctx (c : ctx) ~level key =
   let i = Pool.take c.pool ~level in
   let n = node c i in
-  if Atomic.get n.Node.retire >= c.my_e then begin
+  if Access.get n.Node.retire >= c.my_e then begin
     (* Figure 1, lines 3-6: the slot was retired in the current epoch; bump
        the epoch (any thread's success is enough) and roll back so my_e is
        refreshed above the slot's retire epoch. *)
@@ -165,12 +170,12 @@ let alloc_ctx (c : ctx) ~level key =
     raise Rollback
   end;
   let b = c.my_e in
-  Atomic.set n.Node.birth b;
-  Atomic.set n.Node.retire Node.no_epoch;
+  Access.set n.Node.birth b;
+  Access.set n.Node.retire Node.no_epoch;
   let reinit lvl =
     let word = n.Node.next.(lvl) in
     let ok =
-      Atomic.compare_and_set word (Atomic.get word)
+      Access.compare_and_set word (Access.get word)
         (Packed.pack ~marked:false ~index:0 ~version:b)
     in
     (* Line 9: always succeeds — the fields of a retired node are
@@ -191,17 +196,17 @@ let commit_alloc (c : ctx) i =
   c.pending <- List.filter (fun j -> j <> i) c.pending
 
 let retire_ctx (c : ctx) i ~birth =
-  let n = node c i in
+  let n = node_spec c i in
   if
-    Atomic.get n.Node.birth > birth
-    || Atomic.get n.Node.retire <> Node.no_epoch
+    Access.get n.Node.birth > birth
+    || Access.get n.Node.retire <> Node.no_epoch
   then () (* line 13: already re-allocated or already retired *)
   else begin
     let re = Epoch.get c.epoch in
     (* Emitted before the retire stamp becomes visible (Obs.Trace
        contract). *)
     emit c Obs.Trace.Retire ~slot:i ~v1:birth ~v2:re ~epoch:re;
-    Atomic.set n.Node.retire re;
+    Access.set n.Node.retire re;
     c.retired <- i :: c.retired;
     c.retired_len <- c.retired_len + 1;
     Obs.Counters.shard_incr c.obs Obs.Event.Retire;
@@ -228,38 +233,41 @@ let dealloc (t : t) ~tid (i, _birth) =
   emit c Obs.Trace.Dealloc ~slot:i ~v1:0 ~v2:0 ~epoch:0;
   Pool.put c.pool i
 
-let birth_of (c : ctx) i = if i = 0 then 0 else Atomic.get (node c i).Node.birth
+let birth_of (c : ctx) i =
+  if i = 0 then 0 else Access.get (node_spec c i).Node.birth
 
 let get_next (c : ctx) ?(lvl = 0) i =
-  let w = Atomic.get (node c i).Node.next.(lvl) in
+  let w = Access.get (node_spec c i).Node.next.(lvl) in
   let succ = Packed.index w in
   let succ_b = birth_of c succ in
   validate c;
   (succ, succ_b)
 
 let get_next_word (c : ctx) ?(lvl = 0) i =
-  let w = Atomic.get (node c i).Node.next.(lvl) in
+  let w = Access.get (node_spec c i).Node.next.(lvl) in
   let succ = Packed.index w in
   let succ_b = birth_of c succ in
   validate c;
   (succ, succ_b, Packed.is_marked w)
 
 let get_key (c : ctx) i =
-  let k = (node c i).Node.key in
+  let k = (node_spec c i).Node.key in
   validate c;
   k
 
 let is_marked (c : ctx) ?(lvl = 0) i ~birth =
-  let n = node c i in
-  let res = Packed.is_marked (Atomic.get n.Node.next.(lvl)) in
-  if Atomic.get n.Node.birth <> birth then true (* already removed *)
+  let n = node_spec c i in
+  let res = Packed.is_marked (Access.get n.Node.next.(lvl)) in
+  if Access.get n.Node.birth <> birth then true (* already removed *)
   else res
 
 let read_birth (t : t) i =
-  if i = 0 then 0 else Atomic.get (Arena.get t.arena i).Node.birth
+  if i = 0 then 0 else Access.get (Arena.get_speculative t.arena i).Node.birth
 
-let read_retire (t : t) i = Atomic.get (Arena.get t.arena i).Node.retire
-let read_level (t : t) i = (Arena.get t.arena i).Node.level
+let read_retire (t : t) i =
+  Access.get (Arena.get_speculative t.arena i).Node.retire
+
+let read_level (t : t) i = (Arena.get_speculative t.arena i).Node.level
 let validate_epoch = validate
 
 (* [slot] names the CASed node (0 for a root word) so a traced run can
@@ -272,11 +280,11 @@ let count_cas (c : ctx) ~slot ok =
   ok
 
 let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_birth =
-  let n = node c i in
+  let n = node_spec c i in
   let exp_v = max birth expected_birth in
   let new_v = max birth new_birth in
   count_cas c ~slot:i
-    (Atomic.compare_and_set n.Node.next.(lvl)
+    (Access.compare_and_set n.Node.next.(lvl)
        (Packed.pack ~marked:false ~index:expected ~version:exp_v)
        (Packed.pack ~marked:false ~index:new_ ~version:new_v))
 
@@ -291,13 +299,13 @@ let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_bi
    new birth epoch, which is strictly larger (Claim 6) — and it always
    terminates. See DESIGN.md §"Divergences from the paper's pseudo-code". *)
 let mark (c : ctx) ?(lvl = 0) i ~birth =
-  let n = node c i in
-  let w = Atomic.get n.Node.next.(lvl) in
-  if Atomic.get n.Node.birth <> birth then false (* line 37: already gone *)
+  let n = node_spec c i in
+  let w = Access.get n.Node.next.(lvl) in
+  if Access.get n.Node.birth <> birth then false (* line 37: already gone *)
   else if Packed.is_marked w then false
   else
     count_cas c ~slot:i
-      (Atomic.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w))
+      (Access.compare_and_set n.Node.next.(lvl) w (Packed.set_mark w))
 
 (* Raw-expected variant of [update] for a node's *own* not-yet-linked
    field (a skiplist inserter refreshing its forward pointer): the caller
@@ -305,13 +313,13 @@ let mark (c : ctx) ?(lvl = 0) i ~birth =
    current target may already be recycled. Safe for the same version-
    algebra reason as [mark]. *)
 let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
-  let n = node c i in
-  let w = Atomic.get n.Node.next.(lvl) in
-  if Atomic.get n.Node.birth <> birth then false
+  let n = node_spec c i in
+  let w = Access.get n.Node.next.(lvl) in
+  if Access.get n.Node.birth <> birth then false
   else if Packed.is_marked w then false
   else
     count_cas c ~slot:i
-      (Atomic.compare_and_set n.Node.next.(lvl) w
+      (Access.compare_and_set n.Node.next.(lvl) w
          (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth)))
 
 (* A garbage edge — one whose stored version is below its target's
@@ -322,16 +330,16 @@ let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
    never-retired sentinel). Only upper skiplist levels can ever carry
    garbage edges; see DESIGN.md. *)
 let heal_stale_edge (c : ctx) ?(lvl = 0) i ~birth ~to_ ~to_birth =
-  let n = node c i in
-  let w = Atomic.get n.Node.next.(lvl) in
-  if Atomic.get n.Node.birth <> birth then false
+  let n = node_spec c i in
+  let w = Access.get n.Node.next.(lvl) in
+  if Access.get n.Node.birth <> birth then false
   else if Packed.is_marked w then false
   else begin
     let tgt = Packed.index w in
     tgt <> 0
     && Packed.version w < birth_of c tgt
     && count_cas c ~slot:i
-         (Atomic.compare_and_set n.Node.next.(lvl) w
+         (Access.compare_and_set n.Node.next.(lvl) w
             (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth)))
   end
 
@@ -339,13 +347,13 @@ let make_root ~init ~init_birth =
   Atomic.make (Packed.pack ~marked:false ~index:init ~version:init_birth)
 
 let read_root (c : ctx) root =
-  let w = Atomic.get root in
+  let w = Access.get root in
   validate c;
   (Packed.index w, Packed.version w)
 
 let cas_root (c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
   count_cas c ~slot:0
-    (Atomic.compare_and_set root
+    (Access.compare_and_set root
        (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
        (Packed.pack ~marked:false ~index:new_ ~version:new_birth))
 

@@ -8,7 +8,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let create r ~arena =
     let tail = R.alloc r ~tid:0 ~level:1 ~key:Set_intf.max_key_bound in
     let head = R.alloc r ~tid:0 ~level:1 ~key:Set_intf.min_key_bound in
-    Atomic.set
+    Access.set
       (Node.next0 (Arena.get arena head))
       (Packed.pack ~marked:false ~index:tail ~version:0);
     { r; arena; head; tail }
@@ -36,30 +36,30 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       let nxt = Packed.index cursor_next in
       if nxt = t.tail then nxt
       else begin
-        let nn = Atomic.get (next_word t nxt) in
+        let nn = Access.get (next_word t nxt) in
         if Packed.is_marked nn || key_of t nxt < key then step nxt nn
         else nxt
       end
     in
-    let right = step t.head (Atomic.get (next_word t t.head)) in
+    let right = step t.head (Access.get (next_word t t.head)) in
     if Packed.index !left_next = right then
-      if right <> t.tail && Packed.is_marked (Atomic.get (next_word t right))
+      if right <> t.tail && Packed.is_marked (Access.get (next_word t right))
       then search t ~tid key
       else (!left, right)
     else if
       (* Snip the whole marked segment in one CAS. *)
-      Atomic.compare_and_set (next_word t !left) !left_next (word_to right)
+      Access.compare_and_set (next_word t !left) !left_next (word_to right)
     then begin
       (* The snipper retires every node of the segment exactly once. *)
       let rec retire_segment i =
         if i <> right then begin
-          let nxt = Packed.index (Atomic.get (next_word t i)) in
+          let nxt = Packed.index (Access.get (next_word t i)) in
           R.retire t.r ~tid i;
           retire_segment nxt
         end
       in
       retire_segment (Packed.index !left_next);
-      if right <> t.tail && Packed.is_marked (Atomic.get (next_word t right))
+      if right <> t.tail && Packed.is_marked (Access.get (next_word t right))
       then search t ~tid key
       else (!left, right)
     end
@@ -76,8 +76,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       if right <> t.tail && key_of t right = key then false
       else begin
         let n = R.alloc t.r ~tid ~level:1 ~key in
-        Atomic.set (next_word t n) (word_to right);
-        if Atomic.compare_and_set (next_word t left) (word_to right) (word_to n)
+        Access.set (next_word t n) (word_to right);
+        if Access.compare_and_set (next_word t left) (word_to right) (word_to n)
         then true
         else begin
           R.dealloc t.r ~tid n;
@@ -95,15 +95,15 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       let left, right = search t ~tid key in
       if right = t.tail || key_of t right <> key then false
       else begin
-        let rn = Atomic.get (next_word t right) in
+        let rn = Access.get (next_word t right) in
         if Packed.is_marked rn then loop ()
         else if
-          Atomic.compare_and_set (next_word t right) rn (Packed.set_mark rn)
+          Access.compare_and_set (next_word t right) rn (Packed.set_mark rn)
         then begin
           (* Try the quick one-node snip; otherwise a future search will
              trim (and retire) the segment. *)
           if
-            Atomic.compare_and_set (next_word t left) (word_to right)
+            Access.compare_and_set (next_word t left) (word_to right)
               (word_to (Packed.index rn))
           then R.retire t.r ~tid right
           else ignore (search t ~tid key);
@@ -128,7 +128,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     let rec go acc i =
       if i = t.tail then List.rev acc
       else begin
-        let w = Atomic.get (next_word t i) in
+        let w = Access.get (next_word t i) in
         let acc =
           if i <> t.head && not (Packed.is_marked w) then key_of t i :: acc
           else acc

@@ -17,7 +17,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       match tail with Some i -> i | None -> make_tail r ~tid:0
     in
     let head = R.alloc r ~tid:0 ~level:1 ~key:Set_intf.min_key_bound in
-    Atomic.set
+    Access.set
       (Node.next0 (Arena.get arena head))
       (Packed.pack ~marked:false ~index:tail ~version:0);
     { r; arena; head }
@@ -35,7 +35,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     let pred = t.head in
     let curr_w =
       R.protect t.r ~tid ~slot:slot_curr (fun () ->
-          Atomic.get (next_word t pred))
+          Access.get (next_word t pred))
     in
     walk t ~tid key pred (Packed.index curr_w)
 
@@ -44,15 +44,15 @@ module Make (R : Reclaim.Smr_intf.S) = struct
        (slot_curr) and was pred's unmarked successor when protected. *)
     let cw =
       R.protect t.r ~tid ~slot:slot_succ (fun () ->
-          Atomic.get (next_word t curr))
+          Access.get (next_word t curr))
     in
     (* Re-validate the link; a change means pred or curr moved under us. *)
-    let pv = Atomic.get (next_word t pred) in
+    let pv = Access.get (next_word t pred) in
     if Packed.index pv <> curr || Packed.is_marked pv then find t ~tid key
     else if Packed.is_marked cw then begin
       (* curr is logically deleted: unlink it or restart. *)
       let succ = Packed.index cw in
-      if Atomic.compare_and_set (next_word t pred) pv (word_to succ) then begin
+      if Access.compare_and_set (next_word t pred) pv (word_to succ) then begin
         R.retire t.r ~tid curr;
         R.transfer t.r ~tid ~src:slot_succ ~dst:slot_curr;
         walk t ~tid key pred succ
@@ -76,8 +76,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       if found then false
       else begin
         let n = R.alloc t.r ~tid ~level:1 ~key in
-        Atomic.set (next_word t n) (word_to curr);
-        if Atomic.compare_and_set (next_word t pred) (word_to curr) (word_to n)
+        Access.set (next_word t n) (word_to curr);
+        if Access.compare_and_set (next_word t pred) (word_to curr) (word_to n)
         then true
         else begin
           R.dealloc t.r ~tid n;
@@ -95,13 +95,13 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       let pred, curr, found = find t ~tid key in
       if not found then false
       else begin
-        let cw = Atomic.get (next_word t curr) in
+        let cw = Access.get (next_word t curr) in
         if Packed.is_marked cw then loop ()
-        else if Atomic.compare_and_set (next_word t curr) cw (Packed.set_mark cw)
+        else if Access.compare_and_set (next_word t curr) cw (Packed.set_mark cw)
         then begin
           (* Logical deletion done; unlink here or let a Find do it. *)
           if
-            Atomic.compare_and_set (next_word t pred) (word_to curr)
+            Access.compare_and_set (next_word t pred) (word_to curr)
               (word_to (Packed.index cw))
           then R.retire t.r ~tid curr
           else ignore (find t ~tid key);
@@ -123,7 +123,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   (* Quiescent-only helpers. *)
   let to_list t =
     let rec go acc i =
-      let w = Atomic.get (next_word t i) in
+      let w = Access.get (next_word t i) in
       let succ = Packed.index w in
       let k = key_of t i in
       let acc =

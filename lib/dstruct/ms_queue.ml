@@ -26,20 +26,20 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     R.begin_op t.r ~tid;
     let n = R.alloc t.r ~tid ~level:1 ~key:v in
     let rec loop () =
-      let tw = R.protect t.r ~tid ~slot:slot_target (fun () -> Atomic.get t.tail) in
+      let tw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.tail) in
       let tl = Packed.index tw in
-      let nw = Atomic.get (next_word t tl) in
+      let nw = Access.get (next_word t tl) in
       let nt = Packed.index nw in
       if nt = 0 then begin
-        if Atomic.compare_and_set (next_word t tl) nw (word_to n) then
+        if Access.compare_and_set (next_word t tl) nw (word_to n) then
           (* Linearized; swing the tail (losing the race is fine). *)
-          ignore (Atomic.compare_and_set t.tail tw (word_to n))
+          ignore (Access.compare_and_set t.tail tw (word_to n))
         else loop ()
       end
       else begin
         (* Tail lagging: help. The successor is safe to install because a
            node at or after the tail is never retired. *)
-        ignore (Atomic.compare_and_set t.tail tw (word_to nt));
+        ignore (Access.compare_and_set t.tail tw (word_to nt));
         loop ()
       end
     in
@@ -49,27 +49,27 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let dequeue t ~tid =
     R.begin_op t.r ~tid;
     let rec loop () =
-      let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Atomic.get t.head) in
+      let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.head) in
       let h = Packed.index hw in
-      let tw = Atomic.get t.tail in
+      let tw = Access.get t.tail in
       let fw =
         R.protect t.r ~tid ~slot:slot_succ (fun () ->
-            Atomic.get (next_word t h))
+            Access.get (next_word t h))
       in
       (* Re-validate that h is still the head: protects the first node
          (it cannot be retired before the head swings past it, and the
          head has provably not swung yet). *)
-      if Atomic.get t.head <> hw then loop ()
+      if Access.get t.head <> hw then loop ()
       else begin
         let first = Packed.index fw in
         if first = 0 then None
         else if h = Packed.index tw then begin
-          ignore (Atomic.compare_and_set t.tail tw (word_to first));
+          ignore (Access.compare_and_set t.tail tw (word_to first));
           loop ()
         end
         else begin
           let v = (Arena.get t.arena first).Node.key in
-          if Atomic.compare_and_set t.head hw (word_to first) then begin
+          if Access.compare_and_set t.head hw (word_to first) then begin
             R.retire t.r ~tid h;
             Some v
           end
@@ -83,16 +83,16 @@ module Make (R : Reclaim.Smr_intf.S) = struct
 
   let is_empty t ~tid =
     R.begin_op t.r ~tid;
-    let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Atomic.get t.head) in
-    let res = Packed.index (Atomic.get (next_word t (Packed.index hw))) = 0 in
+    let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.head) in
+    let res = Packed.index (Access.get (next_word t (Packed.index hw))) = 0 in
     R.end_op t.r ~tid;
     res
 
   (* Quiescent-only helpers. *)
   let to_list t =
-    let h = Packed.index (Atomic.get t.head) in
+    let h = Packed.index (Access.get t.head) in
     let rec go acc i =
-      let nxt = Packed.index (Atomic.get (next_word t i)) in
+      let nxt = Packed.index (Access.get (next_word t i)) in
       if nxt = 0 then List.rev acc
       else go ((Arena.get t.arena nxt).Node.key :: acc) nxt
     in

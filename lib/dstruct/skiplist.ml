@@ -29,7 +29,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     let hn = Arena.get arena head in
     Array.iter
       (fun w ->
-        Atomic.set w (Packed.pack ~marked:false ~index:tail ~version:0))
+        Access.set w (Packed.pack ~marked:false ~index:tail ~version:0))
       hn.Node.next;
     {
       r;
@@ -76,21 +76,21 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       let curr_w =
         ref
           (R.protect t.r ~tid ~slot:(slot_succ l) (fun () ->
-               Atomic.get (next t !pred l)))
+               Access.get (next t !pred l)))
       in
       let at_level = ref true in
       while !at_level do
         let curr = Packed.index !curr_w in
         let cw =
           R.protect t.r ~tid ~slot:slot_work (fun () ->
-              Atomic.get (next t curr l))
+              Access.get (next t curr l))
         in
-        let pv = Atomic.get (next t !pred l) in
+        let pv = Access.get (next t !pred l) in
         if Packed.index pv <> curr || Packed.is_marked pv then raise Restart;
         if Packed.is_marked cw then begin
           (* curr is logically deleted at this level: unlink it. *)
           let succ = Packed.index cw in
-          if Atomic.compare_and_set (next t !pred l) pv (word_to succ) then begin
+          if Access.compare_and_set (next t !pred l) pv (word_to succ) then begin
             R.transfer t.r ~tid ~src:slot_work ~dst:(slot_succ l);
             curr_w := word_to succ
           end
@@ -123,13 +123,13 @@ module Make (R : Reclaim.Smr_intf.S) = struct
         let lvl = random_level t ~tid in
         let n = R.alloc t.r ~tid ~level:lvl ~key in
         for l = 0 to lvl - 1 do
-          Atomic.set (next t n l) (word_to succs.(l))
+          Access.set (next t n l) (word_to succs.(l))
         done;
         (* Keep our node pinned: after the bottom link it is deletable by
            others while we still write its upper levels. *)
         R.protect_own t.r ~tid ~slot:slot_own n;
         if
-          Atomic.compare_and_set
+          Access.compare_and_set
             (next t preds.(0) 0)
             (word_to succs.(0))
             (word_to n)
@@ -146,25 +146,25 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       if l >= lvl then begin
         (* Fraser amendment: if the node was marked while we were linking,
            make sure it gets fully unlinked before we return. *)
-        if Packed.is_marked (Atomic.get (next t n 0)) then
+        if Packed.is_marked (Access.get (next t n 0)) then
           ignore (find t ~tid key preds succs)
       end
       else if succs.(l) = n then
         (* A refresh [find] already saw n linked at this level. *)
         link_upper n lvl (l + 1)
       else begin
-        let nw = Atomic.get (next t n l) in
+        let nw = Access.get (next t n l) in
         if Packed.is_marked nw then
           (* Being removed: stop linking and help the unlink. *)
           ignore (find t ~tid key preds succs)
         else if Packed.index nw <> succs.(l) then begin
           (* Refresh our forward pointer towards the latest succ. *)
-          if Atomic.compare_and_set (next t n l) nw (word_to succs.(l)) then
+          if Access.compare_and_set (next t n l) nw (word_to succs.(l)) then
             link_upper n lvl l
           else link_upper n lvl l (* marked or raced; re-examine *)
         end
         else if
-          Atomic.compare_and_set
+          Access.compare_and_set
             (next t preds.(l) l)
             (word_to succs.(l))
             (word_to n)
@@ -173,7 +173,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
           (* preds/succs went stale at this level: recompute and retry.
              A re-find also bails us out if n got removed meanwhile. *)
           ignore (find t ~tid key preds succs);
-          if Packed.is_marked (Atomic.get (next t n 0)) then ()
+          if Packed.is_marked (Access.get (next t n 0)) then ()
           else link_upper n lvl l
         end
       end
@@ -193,11 +193,11 @@ module Make (R : Reclaim.Smr_intf.S) = struct
         (* Mark upper levels top-down (idempotent between removers). *)
         for l = vlvl - 1 downto 1 do
           let rec mark_level () =
-            let w = Atomic.get (next t victim l) in
+            let w = Access.get (next t victim l) in
             if not (Packed.is_marked w) then
               if
                 not
-                  (Atomic.compare_and_set (next t victim l) w
+                  (Access.compare_and_set (next t victim l) w
                      (Packed.set_mark w))
               then mark_level ()
           in
@@ -205,10 +205,10 @@ module Make (R : Reclaim.Smr_intf.S) = struct
         done;
         (* Bottom-level mark: the winner is the logical remover. *)
         let rec mark_bottom () =
-          let w = Atomic.get (next t victim 0) in
+          let w = Access.get (next t victim 0) in
           if Packed.is_marked w then false
           else if
-            Atomic.compare_and_set (next t victim 0) w (Packed.set_mark w)
+            Access.compare_and_set (next t victim 0) w (Packed.set_mark w)
           then begin
             (* Unlink from every level, then retire: Fraser amendment. *)
             ignore (find t ~tid key preds succs);
@@ -233,7 +233,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   (* Quiescent-only helpers: walk the bottom level. *)
   let to_list t =
     let rec go acc i =
-      let w = Atomic.get (next t i 0) in
+      let w = Access.get (next t i 0) in
       let k = key_of t i in
       if k = Set_intf.max_key_bound then List.rev acc
       else begin

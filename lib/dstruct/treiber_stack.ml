@@ -15,9 +15,9 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     R.begin_op t.r ~tid;
     let n = R.alloc t.r ~tid ~level:1 ~key:v in
     let rec loop () =
-      let tw = Atomic.get t.top in
-      Atomic.set (next_word t n) (word_to (Packed.index tw));
-      if not (Atomic.compare_and_set t.top tw (word_to n)) then loop ()
+      let tw = Access.get t.top in
+      Access.set (next_word t n) (word_to (Packed.index tw));
+      if not (Access.compare_and_set t.top tw (word_to n)) then loop ()
     in
     loop ();
     R.end_op t.r ~tid
@@ -25,15 +25,15 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let pop t ~tid =
     R.begin_op t.r ~tid;
     let rec loop () =
-      let tw = R.protect t.r ~tid ~slot:0 (fun () -> Atomic.get t.top) in
+      let tw = R.protect t.r ~tid ~slot:0 (fun () -> Access.get t.top) in
       let top = Packed.index tw in
       if top = 0 then None
       else begin
         (* top is protected: its next is stable and it cannot be recycled
            before our swing, so the CAS is ABA-free. *)
-        let nxt = Packed.index (Atomic.get (next_word t top)) in
+        let nxt = Packed.index (Access.get (next_word t top)) in
         let v = (Arena.get t.arena top).Node.key in
-        if Atomic.compare_and_set t.top tw (word_to nxt) then begin
+        if Access.compare_and_set t.top tw (word_to nxt) then begin
           R.retire t.r ~tid top;
           Some v
         end
@@ -44,7 +44,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     R.end_op t.r ~tid;
     res
 
-  let is_empty t ~tid:_ = Packed.is_null (Atomic.get t.top)
+  let is_empty t ~tid:_ = Packed.is_null (Access.get t.top)
 
   (* Quiescent-only helpers. *)
   let to_list t =
@@ -53,9 +53,9 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       else
         go
           ((Arena.get t.arena i).Node.key :: acc)
-          (Packed.index (Atomic.get (next_word t i)))
+          (Packed.index (Access.get (next_word t i)))
     in
-    go [] (Packed.index (Atomic.get t.top))
+    go [] (Packed.index (Access.get t.top))
   [@@vbr.allow "guarded-deref"]
 
   let length t = List.length (to_list t)

@@ -1,0 +1,40 @@
+(** A Wing–Gong linearizability checker for integer-set histories.
+
+    A history is one sequential stream of completed operations per
+    thread, each with invocation/response timestamps. Operation [a]
+    precedes [b] iff [a.res < b.inv]; {!check} searches for a total
+    order extending that partial order under which sequential set
+    semantics reproduce every recorded result.
+
+    Timestamps only need to be consistent per run: real histories use
+    wall-clock stamps, virtually-scheduled ones (Schedsim) use the
+    scheduler's step counter, which gives the checker a sharper partial
+    order than wall time ever could. *)
+
+type op = Insert of int | Delete of int | Contains of int
+
+type event = {
+  op : op;
+  result : bool;
+  inv : float;  (** invocation timestamp *)
+  res : float;  (** response timestamp *)
+}
+
+type history = event array array
+(** One array of events per thread, in that thread's program order.
+    At most 1023 events per thread; keys in [0, 61] (the sequential
+    state is a bitmask). *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_event : Format.formatter -> event -> unit
+
+exception Non_linearizable of string
+
+val check : history -> bool
+(** Whether some linearization explains the history. Memoised minimal-op
+    DFS; worst-case exponential, fine on small-key test histories.
+    @raise Invalid_argument on histories breaking the documented caps. *)
+
+val check_exn : history -> unit
+(** @raise Non_linearizable with a rendering of the offending history's
+    first events when {!check} is false. *)

@@ -251,7 +251,7 @@ let supports ~structure ~scheme =
   | _ -> false
 
 let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
-    ?(epoch_freq = 32) ?trace () =
+    ?(epoch_freq = 32) ?trace ?sanitizer () =
   if not (supports ~structure ~scheme) then
     invalid_arg
       (Printf.sprintf "Registry: %s does not support %s" structure scheme);
@@ -261,6 +261,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
     Option.value retire_threshold ~default:sc.default_retire
   in
   let arena = Arena.create ~capacity in
+  Option.iter (fun m -> ignore (Arena.attach_sanitizer arena m)) sanitizer;
   let global = Global_pool.create ~max_level:st.max_level in
   let iname = st.st_name ^ "/" ^ sc.sc_name in
   let allocated () = Arena.allocated arena in

@@ -64,6 +64,7 @@ val make :
   ?retire_threshold:int ->
   ?epoch_freq:int ->
   ?trace:Obs.Trace.t ->
+  ?sanitizer:Memsim.Sanitizer.mode ->
   unit ->
   instance
 (** Build an empty instance. [range] sizes the hash table's bucket array
@@ -72,5 +73,8 @@ val make :
     (allocations per epoch/era advance, EBR/HE/IBR) defaults to 32.
     [trace], when given, is attached to the backend before any operation
     runs ({!Reclaim.Smr_intf.CORE}[.set_trace]); it must have been
-    created with at least [n_threads] rings.
+    created with at least [n_threads] rings. [sanitizer], when given, is
+    attached to the arena before any allocation (see
+    {!Memsim.Sanitizer.mode} for which modes are sound where — [Strict]
+    is sound for every scheme only under Schedsim's virtual scheduling).
     @raise Invalid_argument on an unknown or unsupported combination. *)

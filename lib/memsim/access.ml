@@ -1,0 +1,58 @@
+(* The instrumentable shared-memory access layer.
+
+   Every *semantic* shared word in the repository — node next words,
+   birth/retire stamps, epoch counters, hazard/announce slots, structure
+   roots, the global pool stacks — is read and written through these
+   wrappers instead of raw [Atomic] calls. When no scheduler is
+   installed (the default, and always the case in benchmarks) each
+   wrapper is one load of an immediate [None] and a branch in front of
+   the underlying atomic operation, so Figure-2 throughput is
+   unaffected. When [Schedsim.Sched] installs its hook, every access
+   becomes a scheduling decision point, which is what makes exhaustive
+   interleaving exploration meaningful.
+
+   Observability words (Obs counters, trace sequence numbers) stay on
+   raw [Atomic] deliberately: they are not part of any algorithm's
+   shared state, and yielding inside them would only inflate decision
+   strings without adding interleavings of interest. *)
+
+let hook : (unit -> unit) option ref = ref None
+
+let install f =
+  match !hook with
+  | Some _ -> invalid_arg "Access.install: a scheduler hook is already installed"
+  | None -> hook := Some f
+
+let uninstall () = hook := None
+let installed () = Option.is_some !hook
+
+let[@inline] yield_point () =
+  match !hook with None -> () | Some f -> f ()
+
+let[@inline] get a =
+  yield_point ();
+  Atomic.get a
+
+let[@inline] set a v =
+  yield_point ();
+  Atomic.set a v
+
+let[@inline] compare_and_set a expected new_ =
+  yield_point ();
+  Atomic.compare_and_set a expected new_
+
+let[@inline] exchange a v =
+  yield_point ();
+  Atomic.exchange a v
+
+let[@inline] fetch_and_add a n =
+  yield_point ();
+  Atomic.fetch_and_add a n
+
+let[@inline] incr a =
+  yield_point ();
+  Atomic.incr a
+
+let[@inline] decr a =
+  yield_point ();
+  Atomic.decr a

@@ -1,0 +1,43 @@
+(** The instrumentable shared-memory access layer (DESIGN.md §2.11).
+
+    Semantic shared words — node fields, epoch counters, hazard and
+    announce slots, structure roots, global pool stacks — are accessed
+    through these wrappers rather than raw [Atomic] calls. With no hook
+    installed each wrapper is a single match on an immediate [None]
+    followed by the underlying atomic operation, so the null path costs
+    one predictable branch and benchmark numbers are unaffected.
+
+    [Schedsim.Sched] installs a hook for the duration of a virtual-
+    thread run, turning every access into a scheduling decision point.
+    The hook is process-global and not synchronised: install it only
+    while no other domain is touching instrumented words (the scheduler
+    runs all virtual threads on one domain, and the harness never
+    installs it during a parallel run). *)
+
+val install : (unit -> unit) -> unit
+(** Install the yield hook. @raise Invalid_argument if one is already
+    installed (two schedulers cannot share the process). *)
+
+val uninstall : unit -> unit
+val installed : unit -> bool
+
+val yield_point : unit -> unit
+(** Run the hook if one is installed; otherwise a no-op. Exposed so
+    instrumented code can mark a decision point that is not itself an
+    atomic access (e.g. a spin-loop body). *)
+
+(** {1 Instrumented atomic operations}
+
+    Each is [yield_point ()] followed by the plain [Atomic] operation.
+    The yield happens {e before} the access, so a scheduler observes
+    the machine state in which the access is still pending — the same
+    convention model checkers use for sequentially consistent
+    exploration. *)
+
+val get : 'a Atomic.t -> 'a
+val set : 'a Atomic.t -> 'a -> unit
+val compare_and_set : 'a Atomic.t -> 'a -> 'a -> bool
+val exchange : 'a Atomic.t -> 'a -> 'a
+val fetch_and_add : int Atomic.t -> int -> int
+val incr : int Atomic.t -> unit
+val decr : int Atomic.t -> unit

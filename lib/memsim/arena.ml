@@ -64,3 +64,12 @@ let get t i =
     invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
   (match t.sanitizer with None -> () | Some s -> Sanitizer.check_read s i);
   (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))
+
+(* The optimistic plane's read path: VBR readers dereference freed slots
+   legitimately (the epoch check after the read is what rejects the
+   value), so a Strict sanitizer must not fault them. Everything else —
+   bounds, chunk resolution — is [get]. *)
+let get_speculative t i =
+  if i < 1 || i > t.capacity then
+    invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
+  (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))

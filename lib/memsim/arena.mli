@@ -52,4 +52,15 @@ val get : t -> int -> Node.t
 (** [get t i] is the node in slot [i]. The caller must only pass indices
     previously returned by {!fresh} (possibly obtained staleley through a
     data-structure pointer — that is the point of the simulation).
+    @raise Invalid_argument on slot 0 or an out-of-range index.
+    @raise Sanitizer.Violation in [Strict] mode when slot [i] is on a
+    free list — so claimed-safe derefs must go through this entry. *)
+
+val get_speculative : t -> int -> Node.t
+(** Like {!get} but never consults the sanitizer: the read entry for
+    accesses that are {e validated after the fact} (VBR's epoch-checked
+    reads, a scheme's own retired-list walks over possibly-recycled
+    slots). Using it declares "this read tolerates a freed slot", which
+    is exactly what lets {!Sanitizer.mode} [Strict] run under the
+    deterministic scheduler for every scheme, VBR included.
     @raise Invalid_argument on slot 0 or an out-of-range index. *)

@@ -23,8 +23,8 @@ let push_batch ?stats t ~level batch =
   | _ ->
       let cell = stack_for t level in
       let rec loop () =
-        let cur = Atomic.get cell in
-        if not (Atomic.compare_and_set cell cur (Cons (batch, cur))) then
+        let cur = Access.get cell in
+        if not (Access.compare_and_set cell cur (Cons (batch, cur))) then
           loop ()
       in
       loop ();
@@ -34,10 +34,10 @@ let push_batch ?stats t ~level batch =
 let pop_batch ?stats t ~level =
   let cell = stack_for t level in
   let rec loop () =
-    match Atomic.get cell with
+    match Access.get cell with
     | Nil -> None
     | Cons (batch, rest) as cur ->
-        if Atomic.compare_and_set cell cur rest then begin
+        if Access.compare_and_set cell cur rest then begin
           Atomic.decr t.count;
           count stats Obs.Event.Global_pop;
           Some batch

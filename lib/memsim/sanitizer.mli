@@ -15,12 +15,19 @@
       before publication, and their readers never deref an unvalidated
       slot. Unsound for VBR by design.
     - [Strict] additionally makes {!Arena.get} of a freed slot raise.
-      Only for single-threaded allocator tests: any concurrent structure
-      traverses freed slots benignly.
+      Reads that legitimately tolerate freed slots — VBR's epoch-
+      validated plane, retired-list walks — go through
+      {!Arena.get_speculative} and are exempt, so Strict checks exactly
+      the reads each scheme claims are safe. Sound for every scheme in
+      single-threaded or virtually-scheduled runs ([Schedsim.Sched],
+      where the whole execution interleaves on one domain and the free
+      flag is exact at every decision point); under real parallelism the
+      flag can be stale and Strict may report false positives.
 
-    Detection is exact in single-threaded tests; under races,
-    double-retire detection is best-effort (the flag itself is ordered by
-    the pool hand-off that moves the slot between threads). *)
+    Detection is exact in single-threaded and virtually-scheduled tests;
+    under races, double-retire detection is best-effort (the flag itself
+    is ordered by the pool hand-off that moves the slot between
+    threads). *)
 
 type mode =
   | Off

@@ -19,6 +19,7 @@ type kind =
   | Guard_acquire
   | Guard_release
   | Cas_fail
+  | Sched_yield
 
 let all_kinds =
   [
@@ -33,6 +34,7 @@ let all_kinds =
     Guard_acquire;
     Guard_release;
     Cas_fail;
+    Sched_yield;
   ]
 
 let kind_index = function
@@ -47,6 +49,7 @@ let kind_index = function
   | Guard_acquire -> 8
   | Guard_release -> 9
   | Cas_fail -> 10
+  | Sched_yield -> 11
 
 let kind_table = Array.of_list all_kinds
 
@@ -67,6 +70,7 @@ let kind_to_string = function
   | Guard_acquire -> "guard-acquire"
   | Guard_release -> "guard-release"
   | Cas_fail -> "cas-fail"
+  | Sched_yield -> "sched-yield"
 
 let kind_of_string = function
   | "alloc" -> Some Alloc
@@ -80,6 +84,7 @@ let kind_of_string = function
   | "guard-acquire" -> Some Guard_acquire
   | "guard-release" -> Some Guard_release
   | "cas-fail" -> Some Cas_fail
+  | "sched-yield" -> Some Sched_yield
   | _ -> None
 
 (* Row layout: seq, t_ns, kind, slot, v1, v2, epoch. *)

@@ -32,6 +32,9 @@ type kind =
           epoch = guard slot id *)
   | Guard_release  (** epoch = guard slot id, or -1 for "all guards" *)
   | Cas_fail  (** versioned CAS lost a race; slot, v1 = expected birth *)
+  | Sched_yield
+      (** virtual scheduler context switch (Schedsim); slot = thread
+          scheduled in, v1 = thread scheduled out, v2 = global step *)
 
 val all_kinds : kind list
 val kind_to_string : kind -> string

@@ -72,8 +72,8 @@ let emit ts k ~slot ~v1 ~v2 ~epoch =
    between the two events as genuinely protected (Obs.Trace contract). *)
 let begin_op t ~tid =
   let ts = t.threads.(tid) in
-  let e = Atomic.get t.epoch in
-  Atomic.set ts.announce e;
+  let e = Access.get t.epoch in
+  Access.set ts.announce e;
   (* Interval guard [e, +inf): everything retired at or after the
      announced epoch is protected. *)
   emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:(-1) ~epoch:0
@@ -81,7 +81,7 @@ let begin_op t ~tid =
 let end_op t ~tid =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
-  Atomic.set ts.announce quiescent
+  Access.set ts.announce quiescent
 
 let protect _ ~tid:_ ~slot:_ read = read ()
 
@@ -92,22 +92,22 @@ let protect _ ~tid:_ ~slot:_ read = read ()
    (more domains than cores) a wait-for-all policy starves: someone is
    always behind, the epoch freezes, and retire-list scans go quadratic. *)
 let try_advance t ts =
-  let cur = Atomic.get t.epoch in
-  if Atomic.compare_and_set t.epoch cur (cur + 1) then begin
+  let cur = Access.get t.epoch in
+  if Access.compare_and_set t.epoch cur (cur + 1) then begin
     Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
     emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:cur ~v2:(cur + 1) ~epoch:(cur + 1)
   end
 
 let min_announced t =
   Array.fold_left
-    (fun acc ts -> min acc (Atomic.get ts.announce))
+    (fun acc ts -> min acc (Access.get ts.announce))
     quiescent t.threads
 
 (* Recycle every retired node whose retire epoch precedes all announced
    epochs: such a node was unlinked before any in-flight operation began. *)
 let scan t ts =
   let horizon = min_announced t in
-  let horizon = if horizon = quiescent then Atomic.get t.epoch + 1 else horizon in
+  let horizon = if horizon = quiescent then Access.get t.epoch + 1 else horizon in
   let keep, free =
     List.partition
       (fun i -> Atomic.get (Arena.get t.arena i).Node.retire >= horizon)
@@ -130,8 +130,8 @@ let scan t ts =
 let reset_node arena i ~key =
   let n = Arena.get arena i in
   n.Node.key <- key;
-  Atomic.set n.Node.retire Node.no_epoch;
-  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+  Access.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Access.set w Packed.null) n.Node.next
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
@@ -159,11 +159,11 @@ let dealloc t ~tid i =
 
 let retire t ~tid i =
   let ts = t.threads.(tid) in
-  let re = Atomic.get t.epoch in
+  let re = Access.get t.epoch in
   (* Emitted before the retire stamp becomes visible: a guard logged
      after this event was provably announced after the unlink. *)
   emit ts Obs.Trace.Retire ~slot:i ~v1:0 ~v2:re ~epoch:re;
-  Atomic.set (Arena.get t.arena i).Node.retire re;
+  Access.set (Arena.get t.arena i).Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

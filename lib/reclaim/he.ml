@@ -74,7 +74,7 @@ let end_op t ~tid =
   let ts = t.threads.(tid) in
   (* Release BEFORE the eras are cleared (Obs.Trace contract). *)
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
-  Array.iter (fun h -> Atomic.set h none) ts.eras
+  Array.iter (fun h -> Access.set h none) ts.eras
 
 (* Publish the era that was current when the pointer was read; stable once
    two consecutive reads happen under the same global era. *)
@@ -87,16 +87,16 @@ let protect t ~tid ~slot read =
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
   let rec loop prev_era =
     let w = read () in
-    let e = Atomic.get t.era in
+    let e = Access.get t.era in
     if e = prev_era then w
     else begin
-      Atomic.set h e;
+      Access.set h e;
       Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
       loop e
     end
   in
-  let e0 = Atomic.get t.era in
-  Atomic.set h e0;
+  let e0 = Access.get t.era in
+  Access.set h e0;
   let w = loop e0 in
   (match ts.tr with
   | None -> ()
@@ -108,9 +108,9 @@ let protect t ~tid ~slot read =
 let reset_node t i ~key =
   let n = Arena.get t.arena i in
   n.Node.key <- key;
-  Atomic.set n.Node.birth (Atomic.get t.era);
-  Atomic.set n.Node.retire Node.no_epoch;
-  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+  Access.set n.Node.birth (Access.get t.era);
+  Access.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Access.set w Packed.null) n.Node.next
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
@@ -118,7 +118,7 @@ let alloc t ~tid ~level ~key =
   if ts.alloc_ticks mod t.epoch_freq = 0 then begin
     (* fetch_and_add rather than incr so the traced old -> new transition
        is unique per advance. *)
-    let old = Atomic.fetch_and_add t.era 1 in
+    let old = Access.fetch_and_add t.era 1 in
     Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
     emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:old ~v2:(old + 1)
       ~epoch:(old + 1)
@@ -139,15 +139,15 @@ let alloc t ~tid ~level ~key =
 let protect_own t ~tid ~slot _i =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
-  let e = Atomic.get t.era in
-  Atomic.set ts.eras.(slot) e;
+  let e = Access.get t.era in
+  Access.set ts.eras.(slot) e;
   emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:e ~epoch:slot
 
 let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:dst;
   let v = Atomic.get ts.eras.(src) in
-  Atomic.set ts.eras.(dst) v;
+  Access.set ts.eras.(dst) v;
   if v <> none then
     emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:v ~v2:v ~epoch:dst
 
@@ -163,7 +163,7 @@ let pinned t ~birth ~retire =
     (fun ts ->
       Array.exists
         (fun h ->
-          let g = Atomic.get h in
+          let g = Access.get h in
           g <> none && birth <= g && g <= retire)
         ts.eras)
     t.threads
@@ -195,7 +195,7 @@ let scan t ts =
 let retire t ~tid i =
   let ts = t.threads.(tid) in
   let n = Arena.get t.arena i in
-  let re = Atomic.get t.era in
+  let re = Access.get t.era in
   (* Emitted before the retire stamp becomes visible (Obs.Trace
      contract): a reservation logged after this event postdates the
      unlink. *)
@@ -204,7 +204,7 @@ let retire t ~tid i =
   | Some r ->
       Obs.Trace.emit r Obs.Trace.Retire ~slot:i
         ~v1:(Atomic.get n.Node.birth) ~v2:re ~epoch:re);
-  Atomic.set n.Node.retire re;
+  Access.set n.Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

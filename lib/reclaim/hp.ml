@@ -61,7 +61,7 @@ let end_op t ~tid =
   (* Release BEFORE the hazards are cleared (Obs.Trace contract):
      epoch = -1 releases every guard slot of this thread at once. *)
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
-  Array.iter (fun h -> Atomic.set h 0) ts.hazards
+  Array.iter (fun h -> Access.set h 0) ts.hazards
 
 (* Publish-and-validate loop: once the source field is re-read with the
    same index after the hazard became visible, the node cannot have been
@@ -77,11 +77,11 @@ let protect t ~tid ~slot read =
   let rec loop w =
     let i = Packed.index w in
     if i = 0 then begin
-      Atomic.set h 0;
+      Access.set h 0;
       w
     end
     else begin
-      Atomic.set h i;
+      Access.set h i;
       let w' = read () in
       if Packed.index w' = i then begin
         emit ts Obs.Trace.Guard_acquire ~slot:i ~v1:0 ~v2:0 ~epoch:slot;
@@ -98,8 +98,8 @@ let protect t ~tid ~slot read =
 let reset_node arena i ~key =
   let n = Arena.get arena i in
   n.Node.key <- key;
-  Atomic.set n.Node.retire Node.no_epoch;
-  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+  Access.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Access.set w Packed.null) n.Node.next
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
@@ -112,14 +112,14 @@ let alloc t ~tid ~level ~key =
 let protect_own t ~tid ~slot i =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
-  Atomic.set ts.hazards.(slot) i;
+  Access.set ts.hazards.(slot) i;
   if i <> 0 then emit ts Obs.Trace.Guard_acquire ~slot:i ~v1:0 ~v2:0 ~epoch:slot
 
 let transfer t ~tid ~src ~dst =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:dst;
   let v = Atomic.get ts.hazards.(src) in
-  Atomic.set ts.hazards.(dst) v;
+  Access.set ts.hazards.(dst) v;
   if v <> 0 then emit ts Obs.Trace.Guard_acquire ~slot:v ~v1:0 ~v2:0 ~epoch:dst
 
 let dealloc t ~tid i =
@@ -136,7 +136,7 @@ let scan t ts =
       (fun acc other ->
         Array.fold_left
           (fun acc h ->
-            let v = Atomic.get h in
+            let v = Access.get h in
             if v = 0 then acc else Iset.add v acc)
           acc other.hazards)
       Iset.empty t.threads

@@ -75,16 +75,16 @@ let emit ts k ~slot ~v1 ~v2 ~epoch =
    re-emits the acquire with the wider interval. *)
 let begin_op t ~tid =
   let ts = t.threads.(tid) in
-  let e = Atomic.get t.epoch in
-  Atomic.set ts.upper e;
-  Atomic.set ts.lower e;
+  let e = Access.get t.epoch in
+  Access.set ts.upper e;
+  Access.set ts.lower e;
   emit ts Obs.Trace.Guard_acquire ~slot:0 ~v1:e ~v2:e ~epoch:0
 
 let end_op t ~tid =
   let ts = t.threads.(tid) in
   emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:(-1);
-  Atomic.set ts.lower inactive;
-  Atomic.set ts.upper 0
+  Access.set ts.lower inactive;
+  Access.set ts.upper 0
 
 (* 2GE read barrier: re-read the field until the global epoch is stable,
    extending the reservation's upper bound on every change. *)
@@ -99,13 +99,13 @@ let protect t ~tid ~slot:_ read =
   let ts = t.threads.(tid) in
   let rec loop extended last =
     let w = read () in
-    let e = Atomic.get t.epoch in
+    let e = Access.get t.epoch in
     if e = last then begin
       if extended then note_extended ts;
       w
     end
     else begin
-      Atomic.set ts.upper e;
+      Access.set ts.upper e;
       Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
       loop true e
     end
@@ -115,9 +115,9 @@ let protect t ~tid ~slot:_ read =
 let reset_node t i ~key =
   let n = Arena.get t.arena i in
   n.Node.key <- key;
-  Atomic.set n.Node.birth (Atomic.get t.epoch);
-  Atomic.set n.Node.retire Node.no_epoch;
-  Array.iter (fun w -> Atomic.set w Packed.null) n.Node.next
+  Access.set n.Node.birth (Access.get t.epoch);
+  Access.set n.Node.retire Node.no_epoch;
+  Array.iter (fun w -> Access.set w Packed.null) n.Node.next
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
@@ -125,7 +125,7 @@ let alloc t ~tid ~level ~key =
   if ts.alloc_ticks mod t.epoch_freq = 0 then begin
     (* fetch_and_add rather than incr so the traced old -> new transition
        is unique per advance. *)
-    let old = Atomic.fetch_and_add t.epoch 1 in
+    let old = Access.fetch_and_add t.epoch 1 in
     Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
     emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:old ~v2:(old + 1)
       ~epoch:(old + 1)
@@ -135,9 +135,9 @@ let alloc t ~tid ~level ~key =
   reset_node t i ~key;
   (* Cover our own allocation with the reservation so the node stays
      pinned if another thread retires it right after we publish it. *)
-  let e = Atomic.get t.epoch in
+  let e = Access.get t.epoch in
   if e > Atomic.get ts.upper then begin
-    Atomic.set ts.upper e;
+    Access.set ts.upper e;
     note_extended ts
   end;
   (match ts.tr with
@@ -161,8 +161,8 @@ let dealloc t ~tid i =
 let pinned t ~birth ~retire =
   Array.exists
     (fun ts ->
-      let l = Atomic.get ts.lower in
-      let u = Atomic.get ts.upper in
+      let l = Access.get ts.lower in
+      let u = Access.get ts.upper in
       l <> inactive && birth <= u && l <= retire)
     t.threads
 
@@ -193,7 +193,7 @@ let scan t ts =
 let retire t ~tid i =
   let ts = t.threads.(tid) in
   let n = Arena.get t.arena i in
-  let re = Atomic.get t.epoch in
+  let re = Access.get t.epoch in
   (* Emitted before the retire stamp becomes visible (Obs.Trace
      contract): a reservation logged after this event postdates the
      unlink. *)
@@ -202,7 +202,7 @@ let retire t ~tid i =
   | Some r ->
       Obs.Trace.emit r Obs.Trace.Retire ~slot:i
         ~v1:(Atomic.get n.Node.birth) ~v2:re ~epoch:re);
-  Atomic.set n.Node.retire re;
+  Access.set n.Node.retire re;
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;

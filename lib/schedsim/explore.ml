@@ -1,0 +1,439 @@
+(* The scenario table and the explore/replay drivers on top of Sched.
+
+   A scenario is a named, fully deterministic workload: given a decision
+   string and a tail policy it builds a fresh instance, runs the bodies
+   under the virtual scheduler, and post-checks the run (linearizability,
+   sanitizer, trace invariants, robustness bounds). Determinism is what
+   makes tokens work — a failure found by random exploration replays bit
+   for bit from [outcome.recorded], and ddmin can shrink it by replaying
+   candidates.
+
+   Three scenario families:
+   - lin-<structure>-<scheme>: three threads over a small key range with
+     Strict sanitization, a lifecycle trace, and a Wing–Gong
+     linearizability check over virtually-timestamped histories.
+   - robust-<scheme>-<structure>: the paper's §1/§5.3 descheduled-thread
+     experiment, made deterministic: a reader stalled forever mid-search
+     while two writers churn. Asserts EBR's unreclaimed count grows
+     linearly while HP/HE/IBR/VBR keep reclaiming.
+   - seeded bugs (aba-immediate-free, late-guard, double-retire): known
+     broken protocols whose failing interleavings the explorer must be
+     able to find; their shrunk tokens are the test/sched_fixtures/
+     corpus. *)
+
+open Memsim
+
+type failure = { cls : string; detail : string }
+
+type report = {
+  scenario : string;
+  tail : Sched.tail;
+  outcome : Sched.outcome;
+  failure : failure option;
+}
+
+type scenario = {
+  s_name : string;
+  s_tail : Sched.tail;
+  s_max_len : int;
+  s_expect_bug : bool;
+      (* seeded-bug scenarios: exploration is EXPECTED to find a failing
+         schedule; not finding one means the explorer lost its teeth *)
+  s_exec : decisions:int array -> tail:Sched.tail -> report;
+}
+
+(* Failure classes are part of the fixture format (sched_fixtures files
+   name the class they expect), so keep them short and stable. *)
+let classify = function
+  | Sanitizer.Violation m -> { cls = "sanitizer"; detail = m }
+  | Harness.Lin.Non_linearizable m -> { cls = "lin"; detail = m }
+  | Sched.Quota_exceeded n ->
+      { cls = "quota"; detail = Printf.sprintf "exceeded %d steps" n }
+  | e -> { cls = "exn"; detail = Printexc.to_string e }
+
+let report ~name ~tail ~outcome failure =
+  let failure =
+    match failure with
+    | Some _ as f -> f
+    | None -> Option.map classify outcome.Sched.error
+  in
+  { scenario = name; tail; outcome; failure }
+
+(* ---------- lin-<structure>-<scheme> ---------- *)
+
+(* Fixed per-thread scripts over keys 0..7 (the structure is
+   pre-populated with {1,3,5} before the scheduler starts). Small enough
+   that the Wing–Gong search is instant, contended enough that insert /
+   delete / contains races on the same keys are common. *)
+let lin_script tid =
+  match tid with
+  | 0 -> [ `I 2; `D 1; `C 3; `I 5; `D 2 ]
+  | 1 -> [ `D 3; `I 1; `C 2; `D 5; `I 3 ]
+  | _ -> [ `C 1; `I 3; `D 2; `C 5; `D 1 ]
+
+let lin_prepopulated = [ 1; 3; 5 ]
+
+let lin_exec ~structure ~scheme ~name ~decisions ~tail =
+  let n_threads = 3 in
+  let trace =
+    Obs.Trace.create ~capacity:(1 lsl 12) ~n_threads ~scheme ()
+  in
+  let inst =
+    Harness.Registry.make ~structure ~scheme ~n_threads ~range:8
+      ~capacity:4096 ~retire_threshold:4 ~epoch_freq:2 ~trace
+      ~sanitizer:Sanitizer.Strict ()
+  in
+  (* Quiescent pre-population (no hook installed yet, so these take no
+     scheduling decisions); recorded as a strictly-earlier prefix of
+     thread 0's history via negative timestamps. *)
+  let prefix =
+    List.mapi
+      (fun j k ->
+        let ok = inst.Harness.Registry.insert ~tid:0 k in
+        {
+          Harness.Lin.op = Harness.Lin.Insert k;
+          result = ok;
+          inv = float_of_int ((2 * j) - 2 * List.length lin_prepopulated);
+          res = float_of_int ((2 * j) + 1 - (2 * List.length lin_prepopulated));
+        })
+      lin_prepopulated
+  in
+  let histories = Array.make n_threads [||] in
+  let body tid () =
+    let events = ref [] in
+    List.iter
+      (fun step ->
+        let inv = Sched.now () in
+        let op, result =
+          match step with
+          | `I k -> (Harness.Lin.Insert k, inst.Harness.Registry.insert ~tid k)
+          | `D k -> (Harness.Lin.Delete k, inst.Harness.Registry.delete ~tid k)
+          | `C k ->
+              (Harness.Lin.Contains k, inst.Harness.Registry.contains ~tid k)
+        in
+        events := { Harness.Lin.op; result; inv; res = Sched.now () } :: !events)
+      (lin_script tid);
+    histories.(tid) <- Array.of_list (List.rev !events)
+  in
+  let outcome = Sched.run ~decisions ~tail ~trace (Array.init n_threads body) in
+  let failure =
+    if outcome.Sched.error <> None then None
+    else begin
+      (* All bodies completed: check the history, then the trace. *)
+      histories.(0) <- Array.append (Array.of_list prefix) histories.(0);
+      match Harness.Lin.check_exn histories with
+      | () -> (
+          let d = Obs.Trace.dump trace in
+          match (Lint.Trace_check.check ~file:name d).Lint.Trace_check.findings with
+          | [] -> None
+          | f :: _ ->
+              Some { cls = "trace"; detail = Lint.Finding.to_string f })
+      | exception Harness.Lin.Non_linearizable m ->
+          Some { cls = "lin"; detail = m }
+    end
+  in
+  report ~name ~tail ~outcome failure
+
+(* ---------- robust-<scheme>-<structure> ---------- *)
+
+(* The §1 experiment as a deterministic assertion. Thread 2 is a reader
+   descheduled forever a few yield points into a [contains] — after its
+   scheme's protection (epoch announce, hazard, era) is published but
+   before the operation completes. Threads 0 and 1 then churn disjoint
+   key stripes. Under EBR the frozen announce pins the reclamation
+   horizon and unreclaimed grows with every round; HP/HE/IBR pin at most
+   the nodes the stalled reader could still reach, and VBR pins nothing.
+
+   The bound is shared: EBR must end ABOVE it, everyone else BELOW it,
+   and the non-EBR schemes must also still be making progress in the
+   second half of the run (freed strictly increases after the midpoint). *)
+let robust_rounds = 40
+let robust_stripe = 8
+let robust_bound = robust_rounds * 4
+
+let robust_exec ~structure ~scheme ~name ~decisions ~tail =
+  let n_threads = 3 in
+  let inst =
+    Harness.Registry.make ~structure ~scheme ~n_threads ~range:64
+      ~capacity:(1 lsl 15) ~retire_threshold:8 ~epoch_freq:4
+      ~sanitizer:Sanitizer.Track ()
+  in
+  for k = 0 to 15 do
+    ignore (inst.Harness.Registry.insert ~tid:0 k)
+  done;
+  let freed_at stats = Obs.Counters.get (stats ()) Obs.Event.Reclaim in
+  let samples = Array.make robust_rounds 0 in
+  let writer tid () =
+    let base = 16 + (tid * robust_stripe) in
+    for r = 1 to robust_rounds do
+      for j = 0 to robust_stripe - 1 do
+        ignore (inst.Harness.Registry.insert ~tid (base + j))
+      done;
+      for j = 0 to robust_stripe - 1 do
+        ignore (inst.Harness.Registry.delete ~tid (base + j))
+      done;
+      if tid = 0 then
+        samples.(r - 1) <- freed_at inst.Harness.Registry.stats
+    done
+  in
+  let reader () =
+    (* A single search for the deepest pre-populated key: the walk is
+       long enough that the fault lands mid-traversal, protection
+       published. *)
+    ignore (inst.Harness.Registry.contains ~tid:2 15)
+  in
+  let bodies = [| writer 0; writer 1; reader |] in
+  let fault =
+    { Sched.victim = 2; after_yields = 12; for_steps = Sched.forever }
+  in
+  let outcome = Sched.run ~decisions ~tail ~fault ~max_steps:2_000_000 bodies in
+  let failure =
+    if outcome.Sched.error <> None then None
+    else begin
+      let unreclaimed = inst.Harness.Registry.unreclaimed () in
+      let fail detail = Some { cls = "robustness"; detail } in
+      if scheme = "EBR" then
+        if unreclaimed < robust_bound then
+          fail
+            (Printf.sprintf
+               "EBR unreclaimed %d stayed below the linear bound %d: the \
+                stalled reader failed to pin the epoch horizon"
+               unreclaimed robust_bound)
+        else None
+      else if unreclaimed > robust_bound then
+        fail
+          (Printf.sprintf
+             "%s unreclaimed %d exceeded the bound %d under a stalled reader"
+             scheme unreclaimed robust_bound)
+      else
+        let mid = samples.((robust_rounds / 2) - 1) in
+        let last = samples.(robust_rounds - 1) in
+        if not (last > mid && last > 0) then
+          fail
+            (Printf.sprintf
+               "%s stopped reclaiming under a stalled reader: freed %d at \
+                round %d, still %d at round %d"
+               scheme mid (robust_rounds / 2) last robust_rounds)
+        else None
+    end
+  in
+  report ~name ~tail ~outcome failure
+
+(* ---------- seeded bugs ---------- *)
+
+(* A reader repeatedly walks to the far end of a small list while two
+   threads churn the keys in the middle of its path. Under a broken
+   scheme a specific interleaving has the reader dereference a freed
+   slot — Sanitizer Strict fault — or see a reincarnated node. *)
+let faulty_exec (module R : Reclaim.Smr_intf.GUARDED) ~name ~decisions ~tail =
+  let arena = Arena.create ~capacity:4096 in
+  ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
+  let global = Global_pool.create ~max_level:1 in
+  let r =
+    R.create ~arena ~global ~n_threads:3 ~hazards:3 ~retire_threshold:2
+      ~epoch_freq:1
+  in
+  let module L = Dstruct.Linked_list.Make (R) in
+  let l = L.create r ~arena in
+  List.iter (fun k -> ignore (L.insert l ~tid:0 k)) [ 1; 2; 3; 4; 5 ];
+  let body tid () =
+    match tid with
+    | 0 ->
+        for _ = 1 to 3 do
+          ignore (L.delete l ~tid:0 3);
+          ignore (L.insert l ~tid:0 3)
+        done
+    | 1 ->
+        for _ = 1 to 3 do
+          ignore (L.contains l ~tid:1 5)
+        done
+    | _ ->
+        for _ = 1 to 3 do
+          ignore (L.delete l ~tid:2 4);
+          ignore (L.insert l ~tid:2 4)
+        done
+  in
+  let outcome = Sched.run ~decisions ~tail (Array.init 3 body) in
+  report ~name ~tail ~outcome None
+
+(* The late-guard window is one yield wide: between a protect's edge
+   read and its (too late) hazard store. A churner that also inserts
+   would mask the bug — the freed slot is immediately reused, so the
+   parked reader resumes onto a live reincarnation and Strict sees
+   nothing. A delete-only churner leaves the freed slots dead: a reader
+   parked in the window dereferences one on resume. *)
+let late_guard_exec ~name ~decisions ~tail =
+  let arena = Arena.create ~capacity:4096 in
+  ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
+  let global = Global_pool.create ~max_level:1 in
+  let r =
+    Faulty.Late_guard.create ~arena ~global ~n_threads:2 ~hazards:3
+      ~retire_threshold:2 ~epoch_freq:1
+  in
+  let module L = Dstruct.Linked_list.Make (Faulty.Late_guard) in
+  let l = L.create r ~arena in
+  List.iter (fun k -> ignore (L.insert l ~tid:0 k)) [ 1; 2; 3; 4; 5 ];
+  let deleter () =
+    List.iter (fun k -> ignore (L.delete l ~tid:0 k)) [ 2; 3; 4 ]
+  in
+  let reader () =
+    for _ = 1 to 3 do
+      ignore (L.contains l ~tid:1 5)
+    done
+  in
+  let outcome = Sched.run ~decisions ~tail [| deleter; reader |] in
+  report ~name ~tail ~outcome None
+
+(* A check-then-act race on an unsynchronised claim flag: both threads
+   can observe it unclaimed and retire the same slot. With a threshold
+   of 1 each retire scans immediately, so the second free is a Track
+   double-free Violation. Sequential schedules never fail — only the
+   interleaving where both reads precede both writes does. *)
+let double_retire_exec ~name ~decisions ~tail =
+  let arena = Arena.create ~capacity:64 in
+  ignore (Arena.attach_sanitizer arena Sanitizer.Track);
+  let global = Global_pool.create ~max_level:1 in
+  let r =
+    Reclaim.Ebr.create ~arena ~global ~n_threads:2 ~hazards:1
+      ~retire_threshold:1 ~epoch_freq:1
+  in
+  let slot = Reclaim.Ebr.alloc r ~tid:0 ~level:1 ~key:7 in
+  let claimed = Atomic.make 0 in
+  let body tid () =
+    if Access.get claimed = 0 then begin
+      Access.set claimed 1;
+      Reclaim.Ebr.retire r ~tid slot
+    end
+  in
+  let outcome = Sched.run ~decisions ~tail (Array.init 2 body) in
+  report ~name ~tail ~outcome None
+
+(* ---------- the table ---------- *)
+
+let lin_structures = [ "list"; "skiplist" ]
+let robust_schemes = [ "EBR"; "HP"; "HE"; "IBR"; "VBR" ]
+
+let table =
+  List.concat_map
+    (fun structure ->
+      List.map
+        (fun scheme ->
+          let name = Printf.sprintf "lin-%s-%s" structure scheme in
+          {
+            s_name = name;
+            s_tail = Sched.First;
+            s_max_len = 96;
+            s_expect_bug = false;
+            s_exec = lin_exec ~structure ~scheme ~name;
+          })
+        Harness.Registry.schemes)
+    lin_structures
+  @ List.concat_map
+      (fun structure ->
+        List.map
+          (fun scheme ->
+            let name = Printf.sprintf "robust-%s-%s" scheme structure in
+            {
+              s_name = name;
+              s_tail = Sched.Round_robin;
+              s_max_len = 32;
+              s_expect_bug = false;
+              s_exec = robust_exec ~structure ~scheme ~name;
+            })
+          robust_schemes)
+      lin_structures
+  @ [
+      {
+        s_name = "aba-immediate-free";
+        s_tail = Sched.First;
+        s_max_len = 96;
+        s_expect_bug = true;
+        s_exec =
+          faulty_exec (module Faulty.Immediate_free) ~name:"aba-immediate-free";
+      };
+      {
+        s_name = "late-guard";
+        s_tail = Sched.First;
+        s_max_len = 48;
+        s_expect_bug = true;
+        s_exec = late_guard_exec ~name:"late-guard";
+      };
+      {
+        s_name = "double-retire";
+        s_tail = Sched.First;
+        s_max_len = 8;
+        s_expect_bug = true;
+        s_exec = double_retire_exec ~name:"double-retire";
+      };
+    ]
+
+let scenarios = List.map (fun s -> s.s_name) table
+let seeded_bugs = List.filter_map (fun s -> if s.s_expect_bug then Some s.s_name else None) table
+
+let find name =
+  match List.find_opt (fun s -> s.s_name = name) table with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Explore: unknown scenario %S (try: %s)" name
+           (String.concat ", " scenarios))
+
+let run_scenario ?(decisions = [||]) ?tail name =
+  let s = find name in
+  let tail = Option.value tail ~default:s.s_tail in
+  s.s_exec ~decisions ~tail
+
+let replay token =
+  let name, tail, decisions = Token.decode token in
+  run_scenario ~decisions ~tail name
+
+(* ---------- exploration ---------- *)
+
+type found = {
+  f_token : string;
+  f_shrunk : string;
+  f_failure : failure;
+  f_attempt : int;
+}
+
+type explored = Clean of int | Found of found
+
+let token_of s ~tail decisions = Token.encode ~scenario:s.s_name ~tail decisions
+
+let shrink_failure s ~tail ~cls decisions =
+  let fails cand =
+    match (s.s_exec ~decisions:cand ~tail).failure with
+    | Some f -> f.cls = cls
+    | None -> false
+  in
+  Shrink.ddmin fails decisions
+
+let explore ?(seed = 0) ?(budget = 200) ?max_len ~scenario () =
+  let s = find scenario in
+  let max_len = Option.value max_len ~default:s.s_max_len in
+  let rng = Harness.Rng.create ~seed in
+  let rec attempt i =
+    if i > budget then Clean budget
+    else begin
+      let decisions = Array.init max_len (fun _ -> Harness.Rng.below rng 8) in
+      let r = s.s_exec ~decisions ~tail:s.s_tail in
+      match r.failure with
+      | None -> attempt (i + 1)
+      | Some f ->
+          (* The recorded string (not the random input) is the exact
+             schedule: it includes tail-policy picks, so the token
+             replays bit for bit whatever the tail. *)
+          let recorded = r.outcome.Sched.recorded in
+          let shrunk =
+            shrink_failure s ~tail:s.s_tail ~cls:f.cls recorded
+          in
+          Found
+            {
+              f_token = token_of s ~tail:s.s_tail recorded;
+              f_shrunk = token_of s ~tail:s.s_tail shrunk;
+              f_failure = f;
+              f_attempt = i;
+            }
+    end
+  in
+  attempt 1

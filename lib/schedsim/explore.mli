@@ -1,0 +1,70 @@
+(** Named deterministic scenarios and the explore / replay drivers.
+
+    A scenario is a pure function of (decisions, tail): it builds a fresh
+    instance, runs its thread bodies under {!Sched}, and post-checks the
+    result. Families:
+
+    - [lin-<structure>-<scheme>] (every scheme × list, skiplist): three
+      scripted threads, Strict sanitization, a lifecycle trace checked by
+      {!Lint.Trace_check}, and a {!Harness.Lin} linearizability check
+      over virtually-timestamped histories.
+    - [robust-<scheme>-<structure>] (every reclaiming scheme × list,
+      skiplist): the paper's §1 descheduled-thread experiment as a
+      deterministic assertion — a reader stalled forever mid-search must
+      make EBR's unreclaimed count grow past a linear bound while
+      HP/HE/IBR/VBR stay bounded and keep reclaiming.
+    - Seeded bugs ([aba-immediate-free], [late-guard], [double-retire]):
+      broken protocols the explorer must catch; their shrunk tokens form
+      the [test/sched_fixtures/] corpus. *)
+
+type failure = {
+  cls : string;
+      (** stable failure class: ["lin"], ["sanitizer"], ["trace"],
+          ["robustness"], ["quota"] or ["exn"] *)
+  detail : string;
+}
+
+type report = {
+  scenario : string;
+  tail : Sched.tail;
+  outcome : Sched.outcome;
+  failure : failure option;  (** [None] = the run passed every check *)
+}
+
+val scenarios : string list
+(** Every scenario name, table order. *)
+
+val seeded_bugs : string list
+(** The scenarios built over deliberately broken protocols: exploration
+    is expected to find a failing schedule there, and a clean sweep over
+    one of them means the explorer (not the scheme) regressed. *)
+
+val run_scenario :
+  ?decisions:int array -> ?tail:Sched.tail -> string -> report
+(** Run one scenario once. [tail] defaults to the scenario's canonical
+    policy (Round_robin for robust-*, First otherwise).
+    @raise Invalid_argument on an unknown scenario name. *)
+
+val replay : string -> report
+(** Decode a {!Token} and re-run its scenario with exactly the recorded
+    decisions — the bit-for-bit reproduction path.
+    @raise Token.Malformed on a bad token,
+    [Invalid_argument] on an unknown scenario. *)
+
+type found = {
+  f_token : string;  (** full recorded schedule of the failing run *)
+  f_shrunk : string;  (** ddmin-minimised token, same failure class *)
+  f_failure : failure;
+  f_attempt : int;  (** 1-based attempt index that failed *)
+}
+
+type explored = Clean of int | Found of found
+
+val explore :
+  ?seed:int -> ?budget:int -> ?max_len:int -> scenario:string -> unit -> explored
+(** Random schedule exploration: up to [budget] (default 200) runs with
+    seeded random decision strings of length [max_len] (default:
+    per-scenario). Stops at the first failing schedule, shrinks it with
+    {!Shrink.ddmin} preserving the failure class, and returns both
+    tokens; [Clean budget] if no schedule failed.
+    @raise Invalid_argument on an unknown scenario name. *)

@@ -1,0 +1,16 @@
+(** Deliberately broken GUARDED backends — seeded bugs the schedule
+    explorer must be able to find, shrink, and replay. Test-only; never
+    registered in {!Harness.Registry}. *)
+
+module Immediate_free : Reclaim.Smr_intf.GUARDED
+(** Frees a retired node immediately: no grace period, no protection.
+    The textbook ABA / read-after-free; a specific interleaving makes a
+    reader dereference a freed slot ({!Memsim.Sanitizer} [Strict]
+    violation) or observe a reincarnated one (linearizability
+    violation). *)
+
+module Late_guard : Reclaim.Smr_intf.GUARDED
+(** Hazard pointers minus the validation re-read: the hazard is
+    published after the load and never re-checked, so a retire-and-scan
+    interleaved into that window frees the node the reader is about to
+    dereference. *)

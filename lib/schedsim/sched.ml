@@ -1,0 +1,203 @@
+(* The cooperative virtual-thread scheduler (DESIGN.md §2.11).
+
+   N logical threads run on one domain as effect-based fibers. Every
+   instrumented shared-memory access (Memsim.Access) performs [Yield],
+   suspending the fiber and handing control back here; which fiber runs
+   next is decided by a decision string, so an execution is a pure
+   function of (bodies, decisions, tail policy, fault) and any failing
+   interleaving replays bit for bit from its recorded decisions.
+
+   Decisions are consumed only when more than one thread is runnable —
+   forced moves are not recorded — which keeps decision strings short
+   and makes delta-debugging shrink well: dropping a decision merely
+   re-routes the suffix instead of desynchronising it. *)
+
+type tail = First | Round_robin
+
+let forever = max_int
+
+type fault = { victim : int; after_yields : int; for_steps : int }
+
+type outcome = {
+  recorded : int array;
+  steps : int;
+  completed : bool array;
+  error : exn option;
+}
+
+exception Torn_down
+exception Quota_exceeded of int
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* The virtual clock: scheduler slices since the run began. Histories
+   recorded by fiber bodies use it as their timestamp source, giving the
+   linearizability checker a sharper precedence order than wall time. *)
+let clock = ref 0
+let now () = float_of_int !clock
+
+type thread = {
+  body : unit -> unit;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable finished : bool;
+  mutable yields : int;
+  mutable wake_at : int;  (* runnable iff current step >= wake_at *)
+}
+
+let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
+    ?trace bodies =
+  let n = Array.length bodies in
+  if n < 1 then invalid_arg "Sched.run: no threads";
+  (match fault with
+  | Some f when f.victim < 0 || f.victim >= n ->
+      invalid_arg "Sched.run: fault victim out of range"
+  | _ -> ());
+  let threads =
+    Array.map
+      (fun body -> { body; cont = None; finished = false; yields = 0; wake_at = 0 })
+      bodies
+  in
+  let in_fiber = ref false in
+  let teardown = ref false in
+  let step = ref 0 in
+  let error = ref None in
+  let recorded = ref [] in
+  let dpos = ref 0 in
+  let last = ref 0 in
+  let record_error e =
+    if !error = None && e <> Torn_down then error := Some e
+  in
+  (* One handler per fiber, installed at its first slice; resumed slices
+     re-enter it through the captured continuation. *)
+  let handler t =
+    {
+      Effect.Deep.retc = (fun () -> t.finished <- true);
+      exnc =
+        (fun e ->
+          t.finished <- true;
+          record_error e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  t.cont <- Some k)
+          | _ -> None);
+    }
+  in
+  let run_slice t =
+    in_fiber := true;
+    (match t.cont with
+    | Some k ->
+        t.cont <- None;
+        Effect.Deep.continue k ()
+    | None -> Effect.Deep.match_with t.body () (handler t));
+    in_fiber := false;
+    if not t.finished then begin
+      t.yields <- t.yields + 1;
+      match fault with
+      | Some f when threads.(f.victim) == t && t.yields = f.after_yields ->
+          t.wake_at <-
+            (if f.for_steps = forever then forever else !step + f.for_steps)
+      | _ -> ()
+    end
+  in
+  let runnable () =
+    let l = ref [] in
+    for i = n - 1 downto 0 do
+      let t = threads.(i) in
+      if (not t.finished) && t.wake_at <= !step then l := i :: !l
+    done;
+    !l
+  in
+  let emit_switch ~to_ =
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Obs.Trace.emit
+          (Obs.Trace.ring tr ~tid:to_)
+          Obs.Trace.Sched_yield ~slot:to_ ~v1:!last ~v2:!step ~epoch:0
+  in
+  let schedule i =
+    incr step;
+    clock := !step;
+    if !step > max_steps then record_error (Quota_exceeded max_steps)
+    else begin
+      if i <> !last then emit_switch ~to_:i;
+      last := i;
+      run_slice threads.(i)
+    end
+  in
+  Memsim.Access.install (fun () ->
+      if !in_fiber && not !teardown then Effect.perform Yield);
+  clock := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      Memsim.Access.uninstall ();
+      clock := 0)
+    (fun () ->
+      let running = ref true in
+      while !running do
+        if !error <> None then running := false
+        else
+          match runnable () with
+          | [] ->
+              (* Nobody runnable right now. If some thread is stalled for
+                 a finite window, let virtual time pass; otherwise (all
+                 remaining threads finished or stalled forever) the run is
+                 over. *)
+              let wake =
+                Array.fold_left
+                  (fun acc t ->
+                    if t.finished || t.wake_at = forever then acc
+                    else min acc t.wake_at)
+                  forever threads
+              in
+              if wake = forever then running := false else step := wake
+          | [ i ] -> schedule i
+          | rs ->
+              let len = List.length rs in
+              let raw =
+                if !dpos < Array.length decisions then begin
+                  let d = decisions.(!dpos) in
+                  incr dpos;
+                  d
+                end
+                else
+                  match tail with
+                  | First -> 0
+                  | Round_robin ->
+                      (* Index in [rs] of the first thread after the one
+                         scheduled last, cyclically ([rs] is sorted). *)
+                      let rec pos i = function
+                        | [] -> 0
+                        | x :: tl -> if x > !last then i else pos (i + 1) tl
+                      in
+                      pos 0 rs
+              in
+              let idx = ((raw mod len) + len) mod len in
+              recorded := idx :: !recorded;
+              schedule (List.nth rs idx)
+      done;
+      let completed = Array.map (fun t -> t.finished) threads in
+      (* Tear down unfinished fibers: resume each at its yield point with
+         [Torn_down]. The teardown flag turns every further yield point
+         into a no-op so cleanup code runs straight through. *)
+      teardown := true;
+      Array.iter
+        (fun t ->
+          match t.cont with
+          | None -> ()
+          | Some k -> (
+              t.cont <- None;
+              in_fiber := true;
+              (try Effect.Deep.discontinue k Torn_down with _ -> ());
+              in_fiber := false))
+        threads;
+      {
+        recorded = Array.of_list (List.rev !recorded);
+        steps = !step;
+        completed;
+        error = !error;
+      })

@@ -1,0 +1,87 @@
+(** The cooperative virtual-thread scheduler (DESIGN.md §2.11): N logical
+    threads interleaved on one domain, with a scheduling decision at
+    every instrumented shared-memory access.
+
+    While {!run} is active it installs the {!Memsim.Access} hook, so
+    every [Access] operation performed by a thread body suspends the
+    body and returns control to the scheduler. Which thread resumes is
+    chosen by a {e decision string}: an execution is a pure function of
+    (bodies, decisions, tail policy, fault), and a failing interleaving
+    replays bit for bit from the decisions the run records.
+
+    Decisions are consumed only when more than one thread is runnable;
+    forced moves are free. A decision value [d] picks entry
+    [d mod |runnable|] of the runnable set in ascending thread order.
+    When the string is exhausted, the {!tail} policy takes over — and
+    those picks are recorded too, so [outcome.recorded] always
+    determines the whole schedule. *)
+
+type tail =
+  | First  (** always the lowest-numbered runnable thread *)
+  | Round_robin  (** the next runnable thread after the last scheduled *)
+
+val forever : int
+(** Stall duration meaning "never wakes up" ([max_int]). *)
+
+type fault = {
+  victim : int;  (** thread to stall *)
+  after_yields : int;  (** stall begins at the victim's n-th yield point *)
+  for_steps : int;  (** scheduler steps to stay stalled; {!forever} = never *)
+}
+(** The §1 descheduled-thread fault, as scheduler policy: the victim is
+    removed from the runnable set at its [after_yields]-th yield point —
+    mid-operation, with whatever protection it published still live. *)
+
+type outcome = {
+  recorded : int array;
+      (** every decision actually taken, including tail-policy picks:
+          replaying with [~decisions:recorded] reproduces the schedule
+          exactly, whatever the tail *)
+  steps : int;  (** total scheduler slices executed *)
+  completed : bool array;
+      (** per thread: body ran to completion (a stalled or torn-down
+          thread reports [false]) *)
+  error : exn option;
+      (** first exception raised by any thread body, or
+          {!Quota_exceeded}; [None] for a clean run *)
+}
+
+exception Torn_down
+(** Raised inside unfinished fibers at the end of a run to unwind them.
+    Thread bodies should not catch it; it is never reported as an
+    [outcome.error]. *)
+
+exception Quota_exceeded of int
+(** The run passed [max_steps] scheduler slices (livelock guard). *)
+
+type _ Effect.t += Yield : unit Effect.t
+(** The suspension effect; performed by the installed Access hook.
+    Exposed so bespoke bodies can add extra decision points. *)
+
+val now : unit -> float
+(** The virtual clock: scheduler slices since {!run} began, as a float
+    so recorded histories can use it directly as a
+    {!Harness.Lin.event} timestamp. 0 outside a run. *)
+
+val run :
+  ?decisions:int array ->
+  ?tail:tail ->
+  ?max_steps:int ->
+  ?fault:fault ->
+  ?trace:Obs.Trace.t ->
+  (unit -> unit) array ->
+  outcome
+(** [run bodies] interleaves the bodies (thread [i] = [bodies.(i)]) to
+    completion and returns the outcome. Defaults: no decisions (pure
+    tail policy), [tail = First], [max_steps = 1_000_000], no fault, no
+    trace. [trace], when given, receives a [Sched_yield] event on every
+    context switch (ring of the incoming thread; [v1] = outgoing).
+
+    The run ends when every thread that can still wake has finished, an
+    error is recorded, or the step quota is hit; remaining suspended
+    fibers are then resumed once with {!Torn_down} to unwind.
+
+    Not reentrant (the Access hook is process-global) and must not run
+    concurrently with any other domain touching instrumented words.
+    @raise Invalid_argument on an empty body array or an out-of-range
+    fault victim. *)

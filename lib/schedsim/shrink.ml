@@ -1,0 +1,50 @@
+(* Delta-debugging over decision strings (ddmin, Zeller & Hildebrandt).
+
+   Because the scheduler consumes decisions only at genuine choice
+   points and falls back to the tail policy past the end of the string,
+   any subsequence of a failing string is itself a well-formed schedule
+   — removal never desynchronises the suffix, it just reroutes it. That
+   is what makes plain ddmin effective here.
+
+   The predicate must be deterministic (replay the same scenario); it
+   receives candidate decision strings and answers "does this still
+   fail the same way". *)
+
+let ddmin fails arr =
+  if not (fails arr) then
+    invalid_arg "Shrink.ddmin: input does not satisfy the predicate";
+  let rec go arr n =
+    let len = Array.length arr in
+    if len <= 1 then arr
+    else begin
+      let chunk = max 1 ((len + n - 1) / n) in
+      (* Try each complement (the string minus one chunk). *)
+      let rec complements i =
+        let lo = i * chunk in
+        if lo >= len then None
+        else
+          let hi = min len (lo + chunk) in
+          let cand =
+            Array.append (Array.sub arr 0 lo) (Array.sub arr hi (len - hi))
+          in
+          if Array.length cand < len && fails cand then Some cand
+          else complements (i + 1)
+      in
+      match complements 0 with
+      | Some cand -> go cand (max 2 (n - 1))
+      | None -> if chunk = 1 then arr else go arr (min len (2 * n))
+    end
+  in
+  let arr = go arr 2 in
+  (* Canonicalisation pass: lower surviving decisions to 0 ("first
+     runnable") where the failure persists, so equivalent shrunk strings
+     from different random originals converge on the same token. *)
+  let arr = Array.copy arr in
+  for i = 0 to Array.length arr - 1 do
+    if arr.(i) <> 0 then begin
+      let saved = arr.(i) in
+      arr.(i) <- 0;
+      if not (fails arr) then arr.(i) <- saved
+    end
+  done;
+  arr

@@ -1,0 +1,9 @@
+(** Delta-debugging minimisation of failing decision strings. *)
+
+val ddmin : (int array -> bool) -> int array -> int array
+(** [ddmin fails arr] returns a subsequence of [arr] (possibly with
+    surviving entries lowered to 0) on which [fails] still holds, and
+    from which no single ddmin chunk can be removed without losing the
+    failure. [fails] must be deterministic; it is invoked O(n²) times
+    in the worst case.
+    @raise Invalid_argument if [fails arr] is already false. *)

@@ -1,0 +1,91 @@
+(* Replay tokens: a failing schedule printed as one copy-pastable line.
+
+   Grammar:  S1.<scenario>.<tail>.<rle>
+     scenario  name from Explore's table; no '.' allowed
+     tail      f (First) | r (Round_robin)
+     rle       run-length-encoded decisions: comma-separated [v] or
+               [vxn] groups ("0,2x3,1" = [|0;2;2;2;1|]); "-" when empty
+
+   The version prefix is bumped whenever the encoding or the decision
+   semantics change, so a stale token fails loudly instead of silently
+   replaying a different schedule. *)
+
+let version = "S1"
+
+let check_scenario s =
+  if s = "" then invalid_arg "Token: empty scenario name";
+  String.iter
+    (fun c ->
+      if c = '.' || c = ',' then
+        invalid_arg "Token: scenario name may not contain '.' or ','")
+    s
+
+let encode_rle d =
+  if Array.length d = 0 then "-"
+  else begin
+    let buf = Buffer.create 64 in
+    let flush v count =
+      if Buffer.length buf > 0 then Buffer.add_char buf ',';
+      if count = 1 then Buffer.add_string buf (string_of_int v)
+      else Buffer.add_string buf (Printf.sprintf "%dx%d" v count)
+    in
+    let v = ref d.(0) and count = ref 1 in
+    for i = 1 to Array.length d - 1 do
+      if d.(i) = !v then incr count
+      else begin
+        flush !v !count;
+        v := d.(i);
+        count := 1
+      end
+    done;
+    flush !v !count;
+    Buffer.contents buf
+  end
+
+let tail_to_char = function Sched.First -> 'f' | Sched.Round_robin -> 'r'
+
+let encode ~scenario ~tail decisions =
+  check_scenario scenario;
+  Printf.sprintf "%s.%s.%c.%s" version scenario (tail_to_char tail)
+    (encode_rle decisions)
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> v
+  | _ -> fail "%s %S is not a non-negative integer" what s
+
+let decode_rle s =
+  if s = "-" then [||]
+  else
+    String.split_on_char ',' s
+    |> List.concat_map (fun group ->
+           match String.index_opt group 'x' with
+           | None -> [ int_field "decision" group ]
+           | Some i ->
+               let v = int_field "decision" (String.sub group 0 i) in
+               let n =
+                 int_field "repeat count"
+                   (String.sub group (i + 1) (String.length group - i - 1))
+               in
+               if n < 1 then fail "repeat count in %S must be >= 1" group;
+               List.init n (fun _ -> v))
+    |> Array.of_list
+
+let decode s =
+  match String.split_on_char '.' s with
+  | [ v; scenario; tail; rle ] ->
+      if v <> version then
+        fail "token version %S (this build expects %s)" v version;
+      if scenario = "" then fail "empty scenario name";
+      let tail =
+        match tail with
+        | "f" -> Sched.First
+        | "r" -> Sched.Round_robin
+        | t -> fail "unknown tail policy %S (want f or r)" t
+      in
+      (scenario, tail, decode_rle rle)
+  | _ -> fail "want %s.<scenario>.<tail>.<rle>, got %S" version s

@@ -1,0 +1,22 @@
+(** Replay tokens: a failing schedule as one copy-pastable line,
+    [S1.<scenario>.<tail>.<rle>] — version prefix, scenario name from
+    {!Explore}'s table, tail policy ([f]irst / [r]ound-robin), and the
+    run-length-encoded decision string ("0,2x3,1" = [|0;2;2;2;1|]; "-"
+    when empty).
+
+    Replaying a token re-runs its scenario with exactly these decisions;
+    because an execution is a pure function of (scenario, decisions,
+    tail), the failure reproduces bit for bit. The version prefix is
+    bumped whenever encoding or decision semantics change, so a stale
+    token fails loudly instead of replaying a different schedule. *)
+
+val version : string
+
+exception Malformed of string
+
+val encode : scenario:string -> tail:Sched.tail -> int array -> string
+(** @raise Invalid_argument if the scenario name contains '.' or ','. *)
+
+val decode : string -> string * Sched.tail * int array
+(** [(scenario, tail, decisions)] of a token.
+    @raise Malformed with a diagnostic on any parse error. *)

@@ -6,6 +6,91 @@
    Also sanity-checks the checker itself on hand-written histories, both
    linearizable and not. *)
 
+module Lin = Harness.Lin
+
+(* One base seed for every recorded history, printed up front so a failed
+   run can be replayed exactly: VBR_TEST_SEED=<n> dune exec ... *)
+let base_seed =
+  match Sys.getenv_opt "VBR_TEST_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg "VBR_TEST_SEED must be an integer")
+  | None -> 0xC0FFEE
+
+let () =
+  Printf.printf "PRNG base seed: %d (override with VBR_TEST_SEED)\n%!"
+    base_seed
+
+(* --- checker properties ------------------------------------------- *)
+
+(* Random valid sequential histories must be accepted, and the same
+   history with exactly one result flipped must be rejected: with
+   disjoint, totally ordered intervals the replay from the empty set is
+   forced, so there is exactly one linearisation and any single lie
+   contradicts it. *)
+
+let gen_seq_ops =
+  (* (tid, op kind, key) triples, applied in sequence. *)
+  QCheck2.Gen.(
+    list_size (int_range 1 40) (triple (int_bound 2) (int_bound 2) (int_bound 7)))
+
+(* Sequential set semantics: the forced result of each op in order. *)
+let forced_results ops =
+  let module S = Set.Make (Int) in
+  let state = ref S.empty in
+  List.map
+    (fun (tid, kind, key) ->
+      let op, result =
+        match kind with
+        | 0 ->
+            ( Lin.Insert key,
+              if S.mem key !state then false
+              else begin
+                state := S.add key !state;
+                true
+              end )
+        | 1 ->
+            ( Lin.Delete key,
+              if S.mem key !state then begin
+                state := S.remove key !state;
+                true
+              end
+              else false )
+        | _ -> (Lin.Contains key, S.mem key !state)
+      in
+      (tid, op, result))
+    ops
+
+(* Thread streams with strictly increasing disjoint intervals; [flip]
+   negates the result of the op at that global position. *)
+let sequential_history ?flip ops =
+  let streams = Array.make 3 [] in
+  List.iteri
+    (fun i (tid, op, result) ->
+      let result = if flip = Some i then not result else result in
+      streams.(tid) <-
+        {
+          Lin.op;
+          result;
+          inv = float_of_int (2 * i);
+          res = float_of_int ((2 * i) + 1);
+        }
+        :: streams.(tid))
+    (forced_results ops);
+  Array.map (fun l -> Array.of_list (List.rev l)) streams
+
+let prop_accepts_sequential =
+  QCheck2.Test.make ~name:"accepts random valid sequential histories"
+    ~count:500 gen_seq_ops (fun ops -> Lin.check (sequential_history ops))
+
+let prop_rejects_mutation =
+  QCheck2.Test.make ~name:"rejects one flipped result" ~count:500
+    QCheck2.Gen.(pair gen_seq_ops nat)
+    (fun (ops, n) ->
+      let flip = n mod List.length ops in
+      not (Lin.check (sequential_history ~flip ops)))
+
 (* --- checker self-tests ------------------------------------------- *)
 
 let ev op result inv res = { Lin.op; result; inv; res }
@@ -74,7 +159,9 @@ let record_history (inst : Harness.Registry.instance) ~threads ~ops_per_thread
   let domains =
     List.init threads (fun tid ->
         Domain.spawn (fun () ->
-            let rng = Harness.Rng.create ~seed:((tid * 31) + round + 100) in
+            let rng =
+              Harness.Rng.create ~seed:(base_seed + (tid * 31) + round)
+            in
             let events = ref [] in
             Atomic.incr barrier;
             while Atomic.get barrier < threads do
@@ -153,5 +240,8 @@ let () =
           Alcotest.test_case "rejects invalid histories" `Quick
             test_checker_rejects;
         ] );
+      ( "checker-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_accepts_sequential; prop_rejects_mutation ] );
       ("recorded", combos);
     ]

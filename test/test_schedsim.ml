@@ -1,0 +1,316 @@
+(* The virtual-thread scheduler end to end: decision-string determinism
+   and bit-for-bit replay, tail policies, fault injection, replay-token
+   round-trips, ddmin shrinking, the Strict sanitizer under virtual
+   scheduling, the robustness assertions (stalled reader: EBR grows,
+   everyone else keeps reclaiming) for list AND skiplist, exploration
+   finding a seeded bug, and the sched_fixtures/ token corpus. *)
+
+open Schedsim
+module Access = Memsim.Access
+
+(* ---------- scheduler primitives ---------- *)
+
+(* Each body takes three yield points (one per Access.get) and logs its
+   tid per slice; the log is the observable schedule. *)
+let logging_bodies log =
+  let a = Atomic.make 0 in
+  Array.init 2 (fun tid () ->
+      for _ = 1 to 3 do
+        ignore (Access.get a);
+        log := tid :: !log
+      done)
+
+let test_tail_first () =
+  let log = ref [] in
+  let o = Sched.run (logging_bodies log) in
+  Alcotest.(check (list int))
+    "first-runnable runs thread 0 to completion" [ 0; 0; 0; 1; 1; 1 ]
+    (List.rev !log);
+  Alcotest.(check bool) "no error" true (o.Sched.error = None);
+  Alcotest.(check (array bool)) "both completed" [| true; true |] o.Sched.completed
+
+let test_decisions_determinism () =
+  let run () =
+    let log = ref [] in
+    let o =
+      Sched.run ~decisions:[| 1; 1; 0; 1; 0; 0 |] (logging_bodies log)
+    in
+    (List.rev !log, o.Sched.recorded, o.Sched.steps)
+  in
+  let l1, r1, s1 = run () in
+  let l2, r2, s2 = run () in
+  Alcotest.(check (list int)) "same log" l1 l2;
+  Alcotest.(check (array int)) "same recorded" r1 r2;
+  Alcotest.(check int) "same steps" s1 s2
+
+let test_recorded_replays () =
+  let o1 = Sched.run ~decisions:[| 1; 0; 1 |] ~tail:Sched.Round_robin
+      (logging_bodies (ref []))
+  in
+  (* Replaying the full recorded string under the OTHER tail policy must
+     reproduce the schedule: every pick is in the string. *)
+  let log = ref [] in
+  let o2 =
+    Sched.run ~decisions:o1.Sched.recorded ~tail:Sched.First
+      (logging_bodies log)
+  in
+  Alcotest.(check (array int)) "recorded stable" o1.Sched.recorded
+    o2.Sched.recorded;
+  Alcotest.(check int) "steps stable" o1.Sched.steps o2.Sched.steps
+
+let test_fault_transient () =
+  let log = ref [] in
+  let o =
+    Sched.run
+      ~fault:{ Sched.victim = 0; after_yields = 1; for_steps = 2 }
+      (logging_bodies log)
+  in
+  Alcotest.(check (array bool))
+    "a transient stall still completes" [| true; true |] o.Sched.completed;
+  (* Thread 0 stalls at its first yield, so thread 1 logs first. *)
+  Alcotest.(check int) "thread 1 overtook" 1 (List.nth (List.rev !log) 0)
+
+let test_fault_forever () =
+  let log = ref [] in
+  let o =
+    Sched.run
+      ~fault:{ Sched.victim = 0; after_yields = 1; for_steps = Sched.forever }
+      (logging_bodies log)
+  in
+  Alcotest.(check (array bool))
+    "victim never completes" [| false; true |] o.Sched.completed;
+  Alcotest.(check bool) "a stall is not an error" true (o.Sched.error = None);
+  Alcotest.(check (list int)) "only thread 1 logged" [ 1; 1; 1 ] (List.rev !log)
+
+let test_quota () =
+  let a = Atomic.make 0 in
+  let spin () =
+    while true do
+      ignore (Access.get a)
+    done
+  in
+  let o = Sched.run ~max_steps:50 [| spin |] in
+  match o.Sched.error with
+  | Some (Sched.Quota_exceeded n) -> Alcotest.(check int) "quota" 50 n
+  | _ -> Alcotest.fail "expected Quota_exceeded"
+
+let test_sched_yield_trace () =
+  let trace = Obs.Trace.create ~capacity:64 ~n_threads:2 ~scheme:"sched" () in
+  ignore (Sched.run ~trace ~tail:Sched.Round_robin (logging_bodies (ref [])));
+  let d = Obs.Trace.dump trace in
+  let yields =
+    Array.to_list d.Obs.Trace.d_events
+    |> List.filter (fun e -> e.Obs.Trace.e_kind = Obs.Trace.Sched_yield)
+  in
+  Alcotest.(check bool) "context switches were traced" true
+    (List.length yields >= 2)
+
+(* ---------- Strict sanitization under virtual scheduling ---------- *)
+
+(* The injected bug Strict must catch: a reader parked at a yield point
+   holding a slot index, the slot freed under it, the read resuming into
+   Arena.get. Also the exemption that makes Strict usable at all for
+   optimistic readers: get_speculative on the same schedule is clean. *)
+let strict_outcome ~speculative =
+  let open Memsim in
+  let arena = Arena.create ~capacity:8 in
+  ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
+  let global = Global_pool.create ~max_level:1 in
+  let pool = Pool.create arena global ~spill:64 in
+  let slot = Arena.fresh arena ~level:1 in
+  let flag = Atomic.make 0 in
+  let reader () =
+    ignore (Access.get flag);
+    if speculative then ignore (Arena.get_speculative arena slot)
+    else ignore (Arena.get arena slot)
+  in
+  let freer () = Pool.put pool slot in
+  Sched.run ~decisions:[| 0; 1 |] [| reader; freer |]
+
+let test_strict_catches_deref_after_free () =
+  match (strict_outcome ~speculative:false).Sched.error with
+  | Some (Memsim.Sanitizer.Violation _) -> ()
+  | Some e -> Alcotest.fail ("wrong error: " ^ Printexc.to_string e)
+  | None -> Alcotest.fail "Strict missed a guarded deref-after-free"
+
+let test_strict_spares_speculative_read () =
+  Alcotest.(check bool) "speculative read is exempt" true
+    ((strict_outcome ~speculative:true).Sched.error = None)
+
+(* ---------- tokens ---------- *)
+
+let test_token_roundtrip () =
+  let cases =
+    [ [||]; [| 0 |]; [| 2; 2; 2 |]; [| 0; 1; 1; 0; 3; 3; 3; 3; 0 |] ]
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun tail ->
+          let t = Token.encode ~scenario:"lin-list-VBR" ~tail d in
+          let n, tl, d' = Token.decode t in
+          Alcotest.(check string) "scenario" "lin-list-VBR" n;
+          Alcotest.(check bool) "tail" true (tl = tail);
+          Alcotest.(check (array int)) "decisions" d d')
+        [ Sched.First; Sched.Round_robin ])
+    cases
+
+let test_token_malformed () =
+  List.iter
+    (fun t ->
+      match Token.decode t with
+      | _ -> Alcotest.fail ("decoded malformed token " ^ t)
+      | exception Token.Malformed _ -> ())
+    [
+      "";
+      "S0.x.f.-" (* wrong version *);
+      "S1.x.q.-" (* bad tail *);
+      "S1.x.f" (* missing decisions *);
+      "S1.x.f.1x" (* bad RLE *);
+      "S1.x.f.1x0" (* zero repeat *);
+      "S1.x.f.a" (* not a number *);
+    ]
+
+(* ---------- shrinking ---------- *)
+
+let test_ddmin () =
+  (* Fails iff the string contains two 1s: minimum is exactly [|1;1|]. *)
+  let fails a = Array.fold_left (fun n v -> n + min v 1) 0 a >= 2 in
+  let shrunk = Shrink.ddmin fails [| 0; 1; 3; 0; 0; 1; 0; 2; 1; 0 |] in
+  Alcotest.(check bool) "still fails" true (fails shrunk);
+  Alcotest.(check int) "minimal" 2 (Array.length shrunk);
+  match Shrink.ddmin fails [| 0; 0 |] with
+  | _ -> Alcotest.fail "ddmin accepted a passing input"
+  | exception Invalid_argument _ -> ()
+
+let test_explore_finds_and_shrinks () =
+  match Explore.explore ~seed:0 ~budget:100 ~scenario:"double-retire" () with
+  | Explore.Clean _ -> Alcotest.fail "explorer missed the seeded double retire"
+  | Explore.Found f ->
+      Alcotest.(check string) "class" "sanitizer" f.Explore.f_failure.Explore.cls;
+      let _, _, full = Token.decode f.Explore.f_token in
+      let _, _, shrunk = Token.decode f.Explore.f_shrunk in
+      Alcotest.(check bool) "shrunk no longer than the original" true
+        (Array.length shrunk <= Array.length full);
+      (* Both tokens must still replay to the same failure class. *)
+      List.iter
+        (fun token ->
+          match (Explore.replay token).Explore.failure with
+          | Some { Explore.cls = "sanitizer"; _ } -> ()
+          | _ -> Alcotest.fail ("token did not replay: " ^ token))
+        [ f.Explore.f_token; f.Explore.f_shrunk ]
+
+(* ---------- the robustness assertions ---------- *)
+
+(* The scenario itself encodes the assertion (EBR unreclaimed grows past
+   the linear bound, the others stay bounded AND keep reclaiming), so
+   the test just demands a clean report for every scheme and both
+   structures — under the canonical round-robin schedule. *)
+let test_robustness structure scheme () =
+  let name = Printf.sprintf "robust-%s-%s" scheme structure in
+  match (Explore.run_scenario name).Explore.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.fail (Printf.sprintf "%s: [%s] %s" name f.Explore.cls f.Explore.detail)
+
+(* ---------- the fixture corpus ---------- *)
+
+let parse_fixture path =
+  let ic = open_in path in
+  let rec lines acc =
+    match input_line ic with
+    | l -> lines (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  let content =
+    lines []
+    |> List.filter (fun l ->
+           String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match content with
+  | [ token; expected ] -> (String.trim token, String.trim expected)
+  | _ -> Alcotest.fail (path ^ ": expected exactly a token and a class line")
+
+let test_fixture file () =
+  let token, expected = parse_fixture (Filename.concat "sched_fixtures" file) in
+  let r = Explore.replay token in
+  match (expected, r.Explore.failure) with
+  | "pass", None -> ()
+  | "pass", Some f ->
+      Alcotest.fail
+        (Printf.sprintf "expected pass, got [%s] %s" f.Explore.cls
+           f.Explore.detail)
+  | cls, Some f when f.Explore.cls = cls -> ()
+  | cls, Some f ->
+      Alcotest.fail
+        (Printf.sprintf "expected [%s], got [%s] %s" cls f.Explore.cls
+           f.Explore.detail)
+  | cls, None -> Alcotest.fail (Printf.sprintf "expected [%s], run passed" cls)
+
+let fixture_files () =
+  Sys.readdir "sched_fixtures" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".token")
+  |> List.sort compare
+
+(* ---------- a short exploration sweep over the real schemes ---------- *)
+
+let test_lin_sweep () =
+  (* A handful of random schedules per structure under the two extreme
+     schemes; the full-budget sweep lives behind `dune build @schedsim`. *)
+  List.iter
+    (fun scenario ->
+      match Explore.explore ~seed:11 ~budget:6 ~scenario () with
+      | Explore.Clean _ -> ()
+      | Explore.Found f ->
+          Alcotest.fail
+            (Printf.sprintf "%s: [%s] %s — replay with: %s" scenario
+               f.Explore.f_failure.Explore.cls f.Explore.f_failure.Explore.detail
+               f.Explore.f_token))
+    [ "lin-list-EBR"; "lin-list-VBR"; "lin-skiplist-HP"; "lin-skiplist-VBR" ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "schedsim"
+    [
+      ( "sched",
+        [
+          quick "tail-first" test_tail_first;
+          quick "decision-determinism" test_decisions_determinism;
+          quick "recorded-replays" test_recorded_replays;
+          quick "fault-transient" test_fault_transient;
+          quick "fault-forever" test_fault_forever;
+          quick "quota" test_quota;
+          quick "sched-yield-trace" test_sched_yield_trace;
+        ] );
+      ( "sanitizer",
+        [
+          quick "strict-catches-deref-after-free"
+            test_strict_catches_deref_after_free;
+          quick "strict-spares-speculative" test_strict_spares_speculative_read;
+        ] );
+      ( "token",
+        [
+          quick "roundtrip" test_token_roundtrip;
+          quick "malformed" test_token_malformed;
+        ] );
+      ( "shrink",
+        [
+          quick "ddmin" test_ddmin;
+          quick "explore-finds-and-shrinks" test_explore_finds_and_shrinks;
+        ] );
+      ( "robustness",
+        List.concat_map
+          (fun structure ->
+            List.map
+              (fun scheme ->
+                quick
+                  (Printf.sprintf "%s-%s" scheme structure)
+                  (test_robustness structure scheme))
+              [ "EBR"; "HP"; "HE"; "IBR"; "VBR" ])
+          [ "list"; "skiplist" ] );
+      ( "fixtures",
+        List.map (fun f -> quick f (test_fixture f)) (fixture_files ()) );
+      ("sweep", [ quick "lin-short-sweep" test_lin_sweep ]);
+    ]

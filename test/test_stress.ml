@@ -8,6 +8,20 @@
    catches lost updates, erroneous CAS successes (ABA), duplicate keys and
    broken reclamation under interleaving. *)
 
+(* One base seed for the churn PRNGs, printed up front so a failing run
+   can be replayed exactly: VBR_TEST_SEED=<n> dune exec ... *)
+let base_seed =
+  match Sys.getenv_opt "VBR_TEST_SEED" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> invalid_arg "VBR_TEST_SEED must be an integer")
+  | None -> 0xC0FFEE
+
+let () =
+  Printf.printf "PRNG base seed: %d (override with VBR_TEST_SEED)\n%!"
+    base_seed
+
 type handle = {
   hname : string;
   insert : tid:int -> int -> bool;
@@ -201,7 +215,7 @@ let run_churn mk () =
   let workers =
     List.init n_threads (fun tid ->
         Domain.spawn (fun () ->
-            let st = ref (Random.State.make [| tid; 0xC0FFEE |]) in
+            let st = ref (Random.State.make [| tid; base_seed |]) in
             for _ = 1 to rounds * 10 do
               let k = Random.State.int !st range in
               match Random.State.int !st 3 with
