@@ -89,8 +89,8 @@ type cell = {
   c_latencies : (string * Obs.Histogram.t) list;
 }
 
-let measure_cell ~structure ~scheme ~threads ~range ~profile ~duration
-    ~repeats ~timed =
+let measure_cell ?keydist ~structure ~scheme ~threads ~range ~profile
+    ~duration ~repeats ~timed () =
   let capacity = capacity_for ~structure ~scheme ~range ~duration ~profile in
   let last = ref None in
   let make () =
@@ -102,10 +102,12 @@ let measure_cell ~structure ~scheme ~threads ~range ~profile ~duration
   in
   let point, latencies =
     if timed then
-      Throughput.measure_timed ~make ~profile ~threads ~range ~duration
-        ~repeats
+      Throughput.measure_timed ?keydist ~make ~profile ~threads ~range
+        ~duration ~repeats ()
     else
-      (Throughput.measure ~make ~profile ~threads ~range ~duration ~repeats, [])
+      ( Throughput.measure ?keydist ~make ~profile ~threads ~range ~duration
+          ~repeats (),
+        [] )
   in
   let counters =
     match !last with
@@ -140,15 +142,16 @@ let cell_json c =
                    lat) );
           ])
 
-let run_figure fig ~threads_list ~duration ~repeats ~timed =
+let run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed =
   let columns = schemes_for fig.structure in
   let cells =
     List.concat_map
       (fun threads ->
         List.map
           (fun scheme ->
-            measure_cell ~structure:fig.structure ~scheme ~threads
-              ~range:fig.range ~profile:fig.profile ~duration ~repeats ~timed)
+            measure_cell ~keydist ~structure:fig.structure ~scheme ~threads
+              ~range:fig.range ~profile:fig.profile ~duration ~repeats ~timed
+              ())
           columns)
       threads_list
   in
@@ -178,6 +181,7 @@ let run_figure fig ~threads_list ~duration ~repeats ~timed =
       ("structure", String fig.structure);
       ("profile", String fig.profile.Workload.pname);
       ("range", Int fig.range);
+      ("keydist", String (Keygen.dist_to_string keydist));
       ("duration_s", Float duration);
       ("repeats", Int repeats);
       ("timed", Bool timed);
@@ -412,7 +416,7 @@ let ablate ~threads ~duration ~repeats =
         in
         let p =
           Throughput.measure ~make ~profile:Workload.update_intensive ~threads
-            ~range ~duration ~repeats
+            ~range ~duration ~repeats ()
         in
         (* A deterministic single-threaded drive to report the epoch-advance
            rate this threshold induces. *)
@@ -492,7 +496,7 @@ let ablate_epoch_freq ~threads ~duration ~repeats =
               in
               let p =
                 Throughput.measure ~make ~profile:Workload.balanced ~threads
-                  ~range ~duration ~repeats
+                  ~range ~duration ~repeats ()
               in
               Printf.printf "%10.3f " p.Throughput.mops;
               (scheme, p))
@@ -559,7 +563,7 @@ let harris ~threads_list ~duration ~repeats =
             in
             let p =
               Throughput.measure ~make ~profile ~threads ~range ~duration
-                ~repeats
+                ~repeats ()
             in
             (threads, col, p))
           columns)
@@ -618,7 +622,7 @@ let queue_stack_structures () =
       | Some Registry.Set | None -> false)
     Registry.structures
 
-let queue ~threads_list ~duration ~repeats =
+let queue ~keydist ~threads_list ~duration ~repeats =
   (* The 50/50 insert/delete profile is exactly a produce/consume pair
      stream through the set-shaped instance ops: insert enqueues/pushes
      the key, delete dequeues/pops one element. Prefill warms the pool so
@@ -634,8 +638,8 @@ let queue ~threads_list ~duration ~repeats =
             (fun threads ->
               List.map
                 (fun scheme ->
-                  measure_cell ~structure ~scheme ~threads ~range ~profile
-                    ~duration ~repeats ~timed:false)
+                  measure_cell ~keydist ~structure ~scheme ~threads ~range
+                    ~profile ~duration ~repeats ~timed:false ())
                 columns)
             threads_list
         in
@@ -669,6 +673,7 @@ let queue ~threads_list ~duration ~repeats =
     [
       ("profile", String profile.Workload.pname);
       ("range", Int range);
+      ("keydist", String (Keygen.dist_to_string keydist));
       ("duration_s", Float duration);
       ("repeats", Int repeats);
       ( "points",
@@ -769,19 +774,104 @@ let trace_panel ~threads =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Net: the vbr-kv service end to end over loopback — every hash-      *)
+(* capable scheme serves real sockets while the loadgen measures wire  *)
+(* throughput/latency and samples the server's SMR counters (STATS),   *)
+(* so reclamation behaviour under served traffic lands next to the     *)
+(* in-process panels (DESIGN.md 2.12).                                 *)
+(* ------------------------------------------------------------------ *)
+
+let net_panel ~keydist ~threads ~duration =
+  let range = 16384 in
+  let columns = schemes_for "hash" in
+  print_newline ();
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf
+    "[net] vbr-kv over loopback (hash, range %d, %d clients, batch 8, 90%% \
+     reads, %s)\n"
+    range threads
+    (Keygen.dist_to_string keydist);
+  print_endline
+    "------------------------------------------------------------";
+  Printf.printf "%-8s %10s %10s %10s %8s %12s %14s\n" "scheme" "wire Mops"
+    "p50 ns" "p99 ns" "errors" "unreclaimed" "epoch advances";
+  let points =
+    List.map
+      (fun scheme ->
+        let server =
+          Net.Server.start
+            {
+              Net.Server.default_config with
+              Net.Server.scheme;
+              range;
+              buckets = range;
+              workers = 2;
+              prefill = true;
+            }
+        in
+        let cfg =
+          {
+            Net.Loadgen.default_config with
+            Net.Loadgen.port = Net.Server.port server;
+            clients = max 1 threads;
+            duration;
+            keydist;
+            range;
+            batch = 8;
+            reads = 90;
+          }
+        in
+        let r = Net.Loadgen.run cfg in
+        ignore (Net.Server.stop server);
+        let s = Obs.Histogram.summarize r.Net.Loadgen.r_latency in
+        let gauge k =
+          Option.value
+            (List.assoc_opt k r.Net.Loadgen.r_server_after)
+            ~default:0
+        in
+        Printf.printf "%-8s %10.3f %10d %10d %8d %12d %14d\n" scheme
+          r.Net.Loadgen.r_mops s.Obs.Histogram.p50 s.Obs.Histogram.p99
+          r.Net.Loadgen.r_errors (gauge "unreclaimed")
+          (gauge "epoch_advances");
+        (scheme, cfg, r))
+      columns
+  in
+  print_endline
+    "------------------------------------------------------------";
+  let open Obs.Sink in
+  write_json "net"
+    [
+      ("structure", String "hash");
+      ("range", Int range);
+      ( "points",
+        List
+          (List.map
+             (fun (scheme, cfg, r) ->
+               match Net.Loadgen.report_json cfg r with
+               | Obj fields -> Obj (("scheme", String scheme) :: fields)
+               | other -> other)
+             points) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* CLI.                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
   List.map (fun f -> f.fid) figures
-  @ [ "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "queue"; "trace" ]
+  @ [
+      "micro"; "robust"; "ablate"; "ablate-freq"; "harris"; "queue"; "trace";
+      "net";
+    ]
 
-let run_experiments names ~threads_list ~duration ~repeats ~timed =
+let run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.find_opt (fun f -> f.fid = name) figures with
-      | Some fig -> run_figure fig ~threads_list ~duration ~repeats ~timed
+      | Some fig ->
+          run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed
       | None -> (
           match name with
           | "micro" -> micro ()
@@ -796,9 +886,13 @@ let run_experiments names ~threads_list ~duration ~repeats ~timed =
                 ~threads:(max 2 (List.fold_left max 1 threads_list))
                 ~duration ~repeats
           | "harris" -> harris ~threads_list ~duration ~repeats
-          | "queue" -> queue ~threads_list ~duration ~repeats
+          | "queue" -> queue ~keydist ~threads_list ~duration ~repeats
           | "trace" ->
               trace_panel ~threads:(max 2 (List.fold_left max 1 threads_list))
+          | "net" ->
+              net_panel ~keydist
+                ~threads:(max 2 (List.fold_left max 1 threads_list))
+                ~duration
           | other -> Printf.eprintf "unknown experiment: %s (skipped)\n" other))
     names;
   Printf.printf "\ntotal bench time: %.1fs\n%!" (Unix.gettimeofday () -. t0)
@@ -811,7 +905,7 @@ let () =
   let experiments =
     let doc =
       "Experiments to run: fig2a..fig2i, micro, robust, ablate, ablate-freq, \
-       harris, queue, trace, or 'all' / 'figures'."
+       harris, queue, trace, net, or 'all' / 'figures'."
     in
     Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT" ~doc)
   in
@@ -831,6 +925,14 @@ let () =
     let doc = "Shrink to a smoke-test run (threads 1,4; 0.1s; 1 repeat)." in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
+  let keydist =
+    let doc =
+      "Key distribution for the figure/queue/net panel traffic: uniform, or \
+       zipf:<theta> with theta in (0, 1) — e.g. zipf:0.99 for the YCSB-style \
+       hot-key skew."
+    in
+    Arg.(value & opt string "uniform" & info [ "keydist" ] ~doc)
+  in
   let timed =
     let doc =
       "Per-operation latency mode for the figure panels: time every \
@@ -840,7 +942,14 @@ let () =
     in
     Arg.(value & flag & info [ "timed" ] ~doc)
   in
-  let main exps threads duration repeats quick timed =
+  let main exps threads duration repeats quick keydist timed =
+    let keydist =
+      match Keygen.parse keydist with
+      | Ok d -> d
+      | Result.Error msg ->
+          Printf.eprintf "--keydist: %s\n" msg;
+          exit 2
+    in
     let names =
       List.concat_map
         (function
@@ -852,7 +961,7 @@ let () =
     let threads_list, duration, repeats =
       if quick then ([ 1; 4 ], 0.1, 1) else (threads, duration, repeats)
     in
-    run_experiments names ~threads_list ~duration ~repeats ~timed
+    run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed
   in
   let cmd =
     Cmd.v
@@ -860,6 +969,6 @@ let () =
          ~doc:"Regenerate the VBR paper's evaluation (SPAA 2021, Figure 2)")
       Term.(
         const main $ experiments $ threads $ duration $ repeats $ quick
-        $ timed)
+        $ keydist $ timed)
   in
   exit (Cmd.eval cmd)

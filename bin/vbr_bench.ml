@@ -100,10 +100,10 @@ let run structure scheme threads range profile_name duration repeats
       let p, latencies =
         if timed then
           Throughput.measure_timed ~make ~profile ~threads ~range ~duration
-            ~repeats
+            ~repeats ()
         else
           ( Throughput.measure ~make ~profile ~threads ~range ~duration
-              ~repeats,
+              ~repeats (),
             [] )
       in
       Printf.printf "%s/%s  threads=%d  range=%d  profile=%s\n" structure

@@ -1,0 +1,140 @@
+(* The vbr-kv server binary: the lock-free hash table (any registry
+   scheme, selected at startup) behind the net subsystem's TCP protocol.
+
+   Examples:
+     dune exec bin/vbr_kv.exe -- --scheme vbr --port 4150 --workers 4
+     dune exec bin/vbr_kv.exe -- --scheme ebr --port 0 --port-file kv.port
+
+   Runs until SIGINT/SIGTERM, then drains the workers, prints the final
+   stats and exits 0 — the clean-shutdown contract the CI net job gates
+   on. *)
+
+let stop_requested = Atomic.make false
+
+let install_signals () =
+  let handle = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle
+
+let run scheme host port workers range buckets capacity retire_threshold
+    prefill port_file =
+  match Net.Server.scheme_of_cli scheme with
+  | Result.Error msg ->
+      prerr_endline msg;
+      exit 2
+  | Ok scheme ->
+      let cfg =
+        {
+          Net.Server.host;
+          port;
+          workers;
+          scheme;
+          range;
+          buckets = (match buckets with Some b -> b | None -> range);
+          capacity;
+          retire_threshold;
+          prefill;
+        }
+      in
+      install_signals ();
+      let server =
+        try Net.Server.start cfg
+        with
+        | Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "vbr-kv: cannot bind %s:%d: %s\n" host port
+              (Unix.error_message e);
+            exit 1
+        | Invalid_argument msg ->
+            Printf.eprintf "vbr-kv: %s\n" msg;
+            exit 2
+      in
+      let bound = Net.Server.port server in
+      Printf.printf
+        "vbr-kv: serving hash/%s on %s:%d (%d workers, range %d, buckets %d%s)\n\
+         %!"
+        scheme host bound workers range cfg.Net.Server.buckets
+        (if prefill then ", prefilled" else "");
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Printf.fprintf oc "%d\n" bound;
+          close_out oc)
+        port_file;
+      while not (Atomic.get stop_requested) do
+        (try Unix.sleepf 0.2
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      let final = Net.Server.stop server in
+      print_endline "vbr-kv: shutting down; final stats:";
+      List.iter (fun (k, v) -> Printf.printf "  %-18s %12d\n" k v) final;
+      flush stdout;
+      exit 0
+
+let () =
+  let open Cmdliner in
+  let scheme =
+    Arg.(
+      value & opt string "vbr"
+      & info [ "scheme" ]
+          ~doc:
+            "Reclamation scheme for the hash table: ebr | hp | he | ibr | \
+             vbr | none.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(
+      value & opt int 4150
+      & info [ "port" ] ~doc:"TCP port; 0 picks an ephemeral one.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~doc:"Worker domains (= SMR thread ids).")
+  in
+  let range =
+    Arg.(value & opt int 65536 & info [ "range" ] ~doc:"Key space [0, range).")
+  in
+  let buckets =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "buckets" ] ~doc:"Hash buckets (default: range).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~doc:"Arena capacity (default: auto-sized).")
+  in
+  let retire_threshold =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retire-threshold" ] ~doc:"Retired-list flush threshold.")
+  in
+  let prefill =
+    Arg.(
+      value & flag
+      & info [ "prefill" ]
+          ~doc:"Preload the deterministic half-range initial set.")
+  in
+  let port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"PATH"
+          ~doc:
+            "Write the bound port to $(docv) once listening (for scripts \
+             using --port 0).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-kv"
+         ~doc:"Networked key-value service over the VBR hash table")
+      Term.(
+        const run $ scheme $ host $ port $ workers $ range $ buckets
+        $ capacity $ retire_threshold $ prefill $ port_file)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,137 @@
+(* The vbr-kv load generator binary: drive a running vbr_kv server with a
+   configurable read/update mix and emit BENCH_net.json.
+
+   Example (against a server started with --port 4150):
+     dune exec bin/vbr_loadgen.exe -- --port 4150 --clients 8 --duration 5 \
+       --mix 90:10 --keydist zipf:0.9
+
+   Exits 0 only when every response decoded and matched its request —
+   nonzero on any protocol error, which is what the CI net job gates on. *)
+
+let parse_mix s =
+  match String.split_on_char ':' s with
+  | [ r; u ] -> (
+      match (int_of_string_opt r, int_of_string_opt u) with
+      | Some r, Some u when r >= 0 && u >= 0 && r + u = 100 -> Ok r
+      | _ -> Error (Printf.sprintf "bad --mix %S (expected R:U summing to 100)" s)
+      )
+  | _ -> Error (Printf.sprintf "bad --mix %S (expected e.g. 90:10)" s)
+
+let run host port clients duration mix keydist range batch rate value_len seed
+    json_path =
+  let fail msg =
+    prerr_endline msg;
+    exit 2
+  in
+  let reads = match parse_mix mix with Ok r -> r | Error m -> fail m in
+  let keydist =
+    match Harness.Keygen.parse keydist with
+    | Ok d -> d
+    | Error m -> fail m
+  in
+  if clients < 1 then fail "loadgen: --clients must be >= 1";
+  if batch < 1 then fail "loadgen: --batch must be >= 1";
+  if range < 1 then fail "loadgen: --range must be >= 1";
+  let cfg =
+    {
+      Net.Loadgen.host;
+      port;
+      clients;
+      duration;
+      reads;
+      keydist;
+      range;
+      batch;
+      rate;
+      value_len;
+      seed;
+    }
+  in
+  let report =
+    try Net.Loadgen.run cfg
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "loadgen: cannot reach %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  Net.Loadgen.print_report cfg report;
+  Obs.Sink.write_file json_path
+    (Obs.Sink.Obj
+       [
+         ("panel", Obs.Sink.String "net");
+         ("points", Obs.Sink.List [ Net.Loadgen.report_json cfg report ]);
+       ]);
+  Printf.printf "wrote %s\n%!" json_path;
+  exit (if report.Net.Loadgen.r_errors > 0 then 1 else 0)
+
+let () =
+  let open Cmdliner in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server address.")
+  in
+  let port =
+    Arg.(value & opt int 4150 & info [ "port" ] ~doc:"Server TCP port.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~doc:"Client domains, one connection each.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~doc:"Seconds of measured traffic.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "90:10"
+      & info [ "mix" ] ~docv:"R:U"
+          ~doc:
+            "Read:update percentages (must sum to 100); updates split \
+             PUT/DELETE evenly.")
+  in
+  let keydist =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "keydist" ] ~docv:"DIST"
+          ~doc:"Key distribution: uniform | zipf:<theta> with theta in (0,1).")
+  in
+  let range =
+    Arg.(
+      value & opt int 65536
+      & info [ "range" ] ~doc:"Key space [0, range) — match the server's.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~doc:"Closed-loop pipeline depth per client.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rate" ]
+          ~doc:"Open loop: requests/s per client (omit for closed loop).")
+  in
+  let value_len =
+    Arg.(
+      value & opt int 64
+      & info [ "value-len" ] ~doc:"PUT payload size in bytes.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.")
+  in
+  let json_path =
+    Arg.(
+      value & opt string "BENCH_net.json"
+      & info [ "json" ] ~docv:"PATH" ~doc:"Where to write the panel point.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-loadgen" ~doc:"Load generator for the vbr-kv server")
+      Term.(
+        const run $ host $ port $ clients $ duration $ mix $ keydist $ range
+        $ batch $ rate $ value_len $ seed $ json_path)
+  in
+  exit (Cmd.eval cmd)

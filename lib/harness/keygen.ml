@@ -1,0 +1,79 @@
+type dist = Uniform | Zipf of float
+
+let parse s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Ok Uniform
+  | s when String.length s > 5 && String.sub s 0 5 = "zipf:" -> (
+      let arg = String.sub s 5 (String.length s - 5) in
+      match float_of_string_opt arg with
+      | Some theta when theta > 0.0 && theta < 1.0 -> Ok (Zipf theta)
+      | Some _ -> Result.Error "zipf theta must be in (0, 1)"
+      | None -> Result.Error (Printf.sprintf "bad zipf theta %S" arg))
+  | _ ->
+      Result.Error
+        (Printf.sprintf "unknown key distribution %S (uniform | zipf:<theta>)" s)
+
+let dist_to_string = function
+  | Uniform -> "uniform"
+  | Zipf theta -> Printf.sprintf "zipf:%g" theta
+
+(* The Gray et al. "quickly generating billion-record..." sampler (the
+   YCSB ZipfianGenerator): one uniform draw, two comparisons and a [pow]
+   per key, after an O(n) harmonic precomputation. *)
+type zipf = {
+  n : int;
+  alpha : float;  (* 1 / (1 - theta) *)
+  zetan : float;  (* sum_{i=1..n} i^-theta *)
+  eta : float;
+  half_pow : float;  (* 2^-theta *)
+}
+
+type t = Uniform_t of int | Zipf_t of zipf
+
+let create dist ~range =
+  if range < 1 then invalid_arg "Keygen.create: range < 1";
+  match dist with
+  | Uniform -> Uniform_t range
+  | Zipf theta ->
+      if not (theta > 0.0 && theta < 1.0) then
+        invalid_arg "Keygen.create: zipf theta must be in (0, 1)";
+      let zetan = ref 0.0 in
+      for i = 1 to range do
+        zetan := !zetan +. (1.0 /. (float_of_int i ** theta))
+      done;
+      let zetan = !zetan in
+      let n = float_of_int range in
+      let zeta2 = if range >= 2 then 1.0 +. (0.5 ** theta) else 1.0 in
+      let eta =
+        if range >= 2 then
+          (1.0 -. ((2.0 /. n) ** (1.0 -. theta))) /. (1.0 -. (zeta2 /. zetan))
+        else 0.0
+      in
+      Zipf_t
+        {
+          n = range;
+          alpha = 1.0 /. (1.0 -. theta);
+          zetan;
+          eta;
+          half_pow = 0.5 ** theta;
+        }
+
+(* One uniform float in [0, 1) from the 62 usable bits of Rng.next. *)
+let unit_float rng = float_of_int (Rng.next rng) /. (float_of_int max_int +. 1.0)
+
+let next t rng =
+  match t with
+  | Uniform_t range -> Rng.below rng range
+  | Zipf_t z ->
+      if z.n = 1 then 0
+      else
+        let u = unit_float rng in
+        let uz = u *. z.zetan in
+        if uz < 1.0 then 0
+        else if uz < 1.0 +. z.half_pow then 1
+        else
+          let r =
+            int_of_float
+              (float_of_int z.n *. (((z.eta *. u) -. z.eta +. 1.0) ** z.alpha))
+          in
+          if r < 0 then 0 else if r >= z.n then z.n - 1 else r

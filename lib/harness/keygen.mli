@@ -1,0 +1,32 @@
+(** Key-distribution sampling for the workload drivers: the uniform keys
+    the paper's harness always used, plus a seeded zipfian generator (the
+    ROADMAP "skewed workloads" axis, first slice).
+
+    A [t] holds only the distribution's precomputed constants; every draw
+    consumes randomness from the caller's {!Rng.t}, so [Uniform] sampling
+    through here is bit-identical to the historical direct
+    [Rng.below rng range] call — existing panels are unperturbed. *)
+
+type dist =
+  | Uniform
+  | Zipf of float
+      (** Zipf-distributed ranks with exponent theta in (0, 1): rank [r]
+          (0-based) is drawn with probability proportional to
+          [1/(r+1)^theta]. Theta ~0.99 is the YCSB-style hot-key skew.
+          Hot keys are the low keys. *)
+
+val parse : string -> (dist, string) result
+(** ["uniform"] or ["zipf:<theta>"] (e.g. ["zipf:0.99"]). *)
+
+val dist_to_string : dist -> string
+(** Inverse of {!parse} (as emitted into BENCH_*.json). *)
+
+type t
+
+val create : dist -> range:int -> t
+(** Precompute the distribution over keys [0, range). O(range) for
+    [Zipf] (the harmonic normalizer), O(1) for [Uniform].
+    @raise Invalid_argument if [range < 1], or theta outside (0, 1). *)
+
+val next : t -> Rng.t -> int
+(** Draw one key in [0, range). *)

@@ -52,8 +52,14 @@ type structure_row = {
   max_level : int;  (* tower cap the global pool must support *)
   hazard_slots : int;  (* protection slots per thread (guarded schemes) *)
   guarded :
-    ((module GUARDED_INST) -> arena:Arena.t -> range:int -> ops) option;
-  optimistic : ((module OPTIMISTIC_INST) -> range:int -> ops) option;
+    ((module GUARDED_INST) ->
+    arena:Arena.t ->
+    range:int ->
+    buckets:int ->
+    ops)
+    option;
+  optimistic :
+    ((module OPTIMISTIC_INST) -> range:int -> buckets:int -> ops) option;
   guarded_schemes : string list option;
       (* allow-list of guarded scheme names; None = all (see harris) *)
 }
@@ -110,14 +116,14 @@ let structure_table =
       hazard_slots = 3;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets:_ ->
             let module L = Dstruct.Linked_list.Make (I.R) in
             set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
               ~size:L.size
               (L.create I.r ~arena));
       optimistic =
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets:_ ->
             let module L = Dstruct.Vbr_list.Make (I.V) in
             set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
               ~size:L.size (L.create I.v));
@@ -130,18 +136,18 @@ let structure_table =
       hazard_slots = 3;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets ->
             let module H = Dstruct.Hash_table.Make (I.R) in
             set_ops ~insert:H.insert ~delete:H.delete ~contains:H.contains
               ~size:H.size
-              (H.create I.r ~arena ~buckets:range));
+              (H.create I.r ~arena ~buckets));
       optimistic =
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets ->
             let module H = Dstruct.Vbr_hash.Make (I.V) in
             set_ops ~insert:H.insert ~delete:H.delete ~contains:H.contains
               ~size:H.size
-              (H.create I.v ~buckets:range));
+              (H.create I.v ~buckets));
       guarded_schemes = None;
     };
     {
@@ -151,13 +157,13 @@ let structure_table =
       hazard_slots = (2 * Dstruct.Skiplist.max_level) + 2;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets:_ ->
             let module S = Dstruct.Skiplist.Make (I.R) in
             set_ops ~insert:S.insert ~delete:S.delete ~contains:S.contains
               ~size:S.size (S.create I.r ~arena));
       optimistic =
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets:_ ->
             let module S = Dstruct.Vbr_skiplist.Make (I.V) in
             set_ops ~insert:S.insert ~delete:S.delete ~contains:S.contains
               ~size:S.size (S.create I.v));
@@ -170,7 +176,7 @@ let structure_table =
       hazard_slots = 3;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets:_ ->
             let module L = Dstruct.Harris_list.Make (I.R) in
             set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
               ~size:L.size (L.create I.r ~arena));
@@ -178,7 +184,7 @@ let structure_table =
         (* Vbr_list's Figure-3 find *is* the Harris-style segment-trimming
            traversal, so it serves as both. *)
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets:_ ->
             let module L = Dstruct.Vbr_list.Make (I.V) in
             set_ops ~insert:L.insert ~delete:L.delete ~contains:L.contains
               ~size:L.size (L.create I.v));
@@ -193,13 +199,13 @@ let structure_table =
       hazard_slots = 2;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets:_ ->
             let module Q = Dstruct.Ms_queue.Make (I.R) in
             queue_ops ~enqueue:Q.enqueue ~dequeue:Q.dequeue
               ~is_empty:Q.is_empty ~length:Q.length (Q.create I.r ~arena));
       optimistic =
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets:_ ->
             let module Q = Dstruct.Vbr_queue.Make (I.V) in
             queue_ops ~enqueue:Q.enqueue ~dequeue:Q.dequeue
               ~is_empty:Q.is_empty ~length:Q.length (Q.create I.v));
@@ -212,13 +218,13 @@ let structure_table =
       hazard_slots = 1;
       guarded =
         Some
-          (fun (module I : GUARDED_INST) ~arena ~range:_ ->
+          (fun (module I : GUARDED_INST) ~arena ~range:_ ~buckets:_ ->
             let module S = Dstruct.Treiber_stack.Make (I.R) in
             queue_ops ~enqueue:S.push ~dequeue:S.pop ~is_empty:S.is_empty
               ~length:S.length (S.create I.r ~arena));
       optimistic =
         Some
-          (fun (module I : OPTIMISTIC_INST) ~range:_ ->
+          (fun (module I : OPTIMISTIC_INST) ~range:_ ~buckets:_ ->
             let module S = Dstruct.Vbr_stack.Make (I.V) in
             queue_ops ~enqueue:S.push ~dequeue:S.pop ~is_empty:S.is_empty
               ~length:S.length (S.create I.v));
@@ -250,13 +256,17 @@ let supports ~structure ~scheme =
       | Reclaim.Smr_intf.Optimistic _ -> Option.is_some st.optimistic)
   | _ -> false
 
-let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
-    ?(epoch_freq = 32) ?trace ?sanitizer () =
+let make ~structure ~scheme ~n_threads ~range ~capacity ?buckets
+    ?retire_threshold ?(epoch_freq = 32) ?trace ?sanitizer () =
   if not (supports ~structure ~scheme) then
     invalid_arg
       (Printf.sprintf "Registry: %s does not support %s" structure scheme);
   let st = Option.get (find_structure structure) in
   let sc = Option.get (find_scheme scheme) in
+  (* The hash rows size their bucket array from this; every other
+     structure ignores it. Default: the historical load-factor-1 sizing. *)
+  let buckets = Option.value buckets ~default:range in
+  if buckets < 1 then invalid_arg "Registry: buckets < 1";
   let retire_threshold =
     Option.value retire_threshold ~default:sc.default_retire
   in
@@ -279,7 +289,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
 
             let r = r
           end)
-          ~arena ~range
+          ~arena ~range ~buckets
       in
       {
         iname;
@@ -316,7 +326,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?retire_threshold
 
             let v = v
           end)
-          ~range
+          ~range ~buckets
       in
       {
         iname;

@@ -61,14 +61,18 @@ val make :
   n_threads:int ->
   range:int ->
   capacity:int ->
+  ?buckets:int ->
   ?retire_threshold:int ->
   ?epoch_freq:int ->
   ?trace:Obs.Trace.t ->
   ?sanitizer:Memsim.Sanitizer.mode ->
   unit ->
   instance
-(** Build an empty instance. [range] sizes the hash table's bucket array
-    (load factor 1). [retire_threshold] defaults to each scheme's table
+(** Build an empty instance. [buckets] sizes the hash table's bucket
+    array and defaults to [range] (the historical load-factor-1 sizing);
+    non-hash structures ignore it — it is a tuning surface, so callers
+    like the net server can size tables without bypassing the registry.
+    [retire_threshold] defaults to each scheme's table
     row (64 for VBR, 128 for the conservative schemes); [epoch_freq]
     (allocations per epoch/era advance, EBR/HE/IBR) defaults to 32.
     [trace], when given, is attached to the backend before any operation

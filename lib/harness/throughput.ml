@@ -17,8 +17,8 @@ let op_index = function
 
 let op_names = [| "insert"; "delete"; "search" |]
 
-let worker ?lat (inst : Registry.instance) ~tid ~range profile start stop count
-    =
+let worker ?lat (inst : Registry.instance) ~tid ~keygen profile start stop
+    count =
   let rng = Rng.create ~seed:((tid * 7919) + 13) in
   (* Spin until the coordinator releases everyone at once. *)
   while not (Atomic.get start) do
@@ -29,7 +29,7 @@ let worker ?lat (inst : Registry.instance) ~tid ~range profile start stop count
      match lat with
      | None ->
          while not (Atomic.get stop) do
-           let k = Rng.below rng range in
+           let k = Keygen.next keygen rng in
            run_op inst ~tid k (Workload.pick profile rng);
            incr ops
          done
@@ -39,7 +39,7 @@ let worker ?lat (inst : Registry.instance) ~tid ~range profile start stop count
             its (typically microsecond) resolution — fine for the paper's
             list/skiplist operations, which sit well above it. *)
          while not (Atomic.get stop) do
-           let k = Rng.below rng range in
+           let k = Keygen.next keygen rng in
            let op = Workload.pick profile rng in
            let t0 = Unix.gettimeofday () in
            run_op inst ~tid k op;
@@ -57,16 +57,19 @@ let worker ?lat (inst : Registry.instance) ~tid ~range profile start stop count
      ());
   count := !ops
 
-let one_run ?lat ~make ~profile ~threads ~range ~duration () =
+let one_run ?lat ~make ~profile ~threads ~range ~keydist ~duration () =
   let inst = make () in
   prefill inst ~range;
+  (* One shared immutable sampler: draws go through each worker's own
+     RNG, so workers still share nothing mutable. *)
+  let keygen = Keygen.create keydist ~range in
   let start = Atomic.make false and stop = Atomic.make false in
   let counts = Array.init threads (fun _ -> ref 0) in
   let domains =
     List.init threads (fun tid ->
         Domain.spawn (fun () ->
             let lat = Option.map (fun l -> l.(tid)) lat in
-            worker ?lat inst ~tid ~range profile start stop counts.(tid)))
+            worker ?lat inst ~tid ~keygen profile start stop counts.(tid)))
   in
   let t0 = Unix.gettimeofday () in
   Atomic.set start true;
@@ -85,14 +88,16 @@ let summarize_samples ~threads ~repeats samples =
   in
   { threads; mops = mean; stddev = sqrt var; repeats }
 
-let measure ~make ~profile ~threads ~range ~duration ~repeats =
+let measure ?(keydist = Keygen.Uniform) ~make ~profile ~threads ~range
+    ~duration ~repeats () =
   let samples =
     List.init repeats (fun _ ->
-        one_run ~make ~profile ~threads ~range ~duration ())
+        one_run ~make ~profile ~threads ~range ~keydist ~duration ())
   in
   summarize_samples ~threads ~repeats samples
 
-let measure_timed ~make ~profile ~threads ~range ~duration ~repeats =
+let measure_timed ?(keydist = Keygen.Uniform) ~make ~profile ~threads ~range
+    ~duration ~repeats () =
   (* Each worker records into its own histogram for the whole run; the
      aggregation is one merge_all per op kind at the end, after every
      domain has joined — no synchronization on the recording path. *)
@@ -103,7 +108,9 @@ let measure_timed ~make ~profile ~threads ~range ~duration ~repeats =
           Array.init threads (fun _ ->
               Array.init 3 (fun _ -> Obs.Histogram.create ()))
         in
-        let mops = one_run ~lat ~make ~profile ~threads ~range ~duration () in
+        let mops =
+          one_run ~lat ~make ~profile ~threads ~range ~keydist ~duration ()
+        in
         Array.iter
           (Array.iteri (fun op h -> per_op.(op) := h :: !(per_op.(op))))
           lat;

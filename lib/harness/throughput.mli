@@ -16,23 +16,31 @@ val prefill : Registry.instance -> range:int -> unit
 (** Insert the deterministic half-range initial set from thread 0. *)
 
 val measure :
+  ?keydist:Keygen.dist ->
   make:(unit -> Registry.instance) ->
   profile:Workload.profile ->
   threads:int ->
   range:int ->
   duration:float ->
   repeats:int ->
+  unit ->
   point
 (** One averaged measurement point. A fresh instance (and prefill) per
-    repeat. *)
+    repeat. [keydist] (default [Uniform], bit-identical to the historical
+    behaviour) skews the per-operation key draws — the ROADMAP "skewed
+    workloads" axis; the prefill stays the uniform half-range set either
+    way, so skew shows up as traffic concentration, not a different
+    initial size. *)
 
 val measure_timed :
+  ?keydist:Keygen.dist ->
   make:(unit -> Registry.instance) ->
   profile:Workload.profile ->
   threads:int ->
   range:int ->
   duration:float ->
   repeats:int ->
+  unit ->
   point * (string * Obs.Histogram.t) list
 (** Like {!measure}, but each worker also times every operation into a
     per-thread log-bucketed histogram; the returned association list maps

@@ -1,0 +1,62 @@
+type t = { conn : Conn.t }
+
+exception Disconnected
+exception Protocol_failure of string
+
+let connect ~host ~port =
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    { conn = Conn.create fd }
+  with e ->
+    Unix.close fd;
+    raise e
+
+let close t = Conn.close t.conn
+
+let send t req =
+  Conn.queue t.conn Protocol.encode_request req;
+  Conn.flush t.conn
+
+(* One buffered response if already decodable, otherwise one blocking
+   read and retry; the socket is blocking, so [Conn.fill] parks until
+   the server answers. *)
+let rec recv t =
+  match Conn.next t.conn ~decode:Protocol.decode_response with
+  | `Msg r -> r
+  | `Bad msg -> raise (Protocol_failure msg)
+  | `Need_more -> (
+      match Conn.fill t.conn with
+      | `Eof -> raise Disconnected
+      | `Data _ | `Would_block -> recv t)
+
+let try_recv t ~timeout_s =
+  match Conn.next t.conn ~decode:Protocol.decode_response with
+  | `Msg r -> Some r
+  | `Bad msg -> raise (Protocol_failure msg)
+  | `Need_more -> (
+      match Unix.select [ Conn.fd t.conn ] [] [] timeout_s with
+      | [], _, _ -> None
+      | _ :: _, _, _ -> (
+          match Conn.fill t.conn with
+          | `Eof -> raise Disconnected
+          | `Data _ | `Would_block -> (
+              match Conn.next t.conn ~decode:Protocol.decode_response with
+              | `Msg r -> Some r
+              | `Bad msg -> raise (Protocol_failure msg)
+              | `Need_more -> None))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> None)
+
+let batch t reqs =
+  List.iter (fun r -> Conn.queue t.conn Protocol.encode_request r) reqs;
+  Conn.flush t.conn;
+  List.map (fun _ -> recv t) reqs
+
+let request t req =
+  match batch t [ req ] with
+  | [ r ] -> r
+  | _ -> assert false

@@ -1,0 +1,34 @@
+(** A blocking vbr-kv client connection with explicit pipelining:
+    {!batch} queues every request, flushes them in one write, then reads
+    the same number of responses — the client half of the server's
+    drain-one-read / flush-one-write loop. *)
+
+type t
+
+exception Disconnected
+(** The server closed the connection (e.g. after a malformed frame). *)
+
+exception Protocol_failure of string
+(** The byte stream stopped parsing as frames — a codec bug or a
+    corrupted transport; the connection is unusable. *)
+
+val connect : host:string -> port:int -> t
+(** TCP connect (blocking socket, [TCP_NODELAY]).
+    @raise Unix.Unix_error when the server is unreachable. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** One request, one round trip. *)
+
+val batch : t -> Protocol.request list -> Protocol.response list
+(** Pipelined: send all (single flush), then collect one response per
+    request, in order. *)
+
+val send : t -> Protocol.request -> unit
+(** Queue and flush one request without waiting — the open-loop
+    primitive. Pair with {!try_recv}. *)
+
+val try_recv : t -> timeout_s:float -> Protocol.response option
+(** Next in-flight response if one arrives within the timeout ([None]
+    otherwise). [timeout_s = 0.] polls. *)

@@ -1,0 +1,93 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable ibuf : Bytes.t;
+  mutable ipos : int;  (* first unconsumed byte *)
+  mutable ilen : int;  (* end of valid data *)
+  obuf : Buffer.t;
+  mutable closed : bool;
+}
+
+let initial_buf = 1 lsl 16
+
+let create fd =
+  {
+    fd;
+    ibuf = Bytes.create initial_buf;
+    ipos = 0;
+    ilen = 0;
+    obuf = Buffer.create initial_buf;
+    closed = false;
+  }
+
+let fd t = t.fd
+
+(* Make room for at least [n] more input bytes: compact the consumed
+   prefix away first, double only if still needed. The buffer never needs
+   to exceed one max frame + one read chunk. *)
+let reserve t n =
+  if t.ilen + n > Bytes.length t.ibuf then begin
+    if t.ipos > 0 then begin
+      Bytes.blit t.ibuf t.ipos t.ibuf 0 (t.ilen - t.ipos);
+      t.ilen <- t.ilen - t.ipos;
+      t.ipos <- 0
+    end;
+    while t.ilen + n > Bytes.length t.ibuf do
+      let bigger = Bytes.create (2 * Bytes.length t.ibuf) in
+      Bytes.blit t.ibuf 0 bigger 0 t.ilen;
+      t.ibuf <- bigger
+    done
+  end
+
+let read_chunk = 1 lsl 16
+
+let fill t =
+  reserve t read_chunk;
+  match Unix.read t.fd t.ibuf t.ilen read_chunk with
+  | 0 -> `Eof
+  | n ->
+      t.ilen <- t.ilen + n;
+      `Data n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      `Would_block
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+let next t ~decode =
+  match
+    Protocol.frame_peek t.ibuf ~pos:t.ipos ~avail:(t.ilen - t.ipos)
+  with
+  | `Need_more -> `Need_more
+  | `Bad msg -> `Bad msg
+  | `Frame (body_pos, body_len, total) -> (
+      let r = decode t.ibuf ~pos:body_pos ~len:body_len in
+      t.ipos <- t.ipos + total;
+      if t.ipos = t.ilen then begin
+        t.ipos <- 0;
+        t.ilen <- 0
+      end;
+      match r with Ok v -> `Msg v | Error msg -> `Bad msg)
+
+let queue t encode v = encode t.obuf v
+let output_pending t = Buffer.length t.obuf
+
+let flush t =
+  let data = Buffer.to_bytes t.obuf in
+  Buffer.clear t.obuf;
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write t.fd data !off (len - !off) with
+    | n -> off := !off + n
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        (* Nonblocking socket with a full kernel buffer: wait until
+           writable, then retry the remainder. *)
+        ignore (Unix.select [] [ t.fd ] [] (-1.0))
+  done
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

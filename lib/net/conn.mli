@@ -1,0 +1,41 @@
+(** One buffered socket: an input byte buffer fed by [read(2)] and
+    drained a frame at a time, and an output buffer flushed with as few
+    [write(2)]s as possible — the pipelining substrate on both sides of
+    the wire. A server worker reads one chunk, decodes {e every} complete
+    frame in it, queues every response, and flushes once. *)
+
+type t
+
+val create : Unix.file_descr -> t
+(** Wrap an already-connected socket. The fd's blocking mode is left to
+    the caller; {!fill} reports [`Would_block] on nonblocking sockets. *)
+
+val fd : t -> Unix.file_descr
+
+val fill : t -> [ `Data of int | `Eof | `Would_block ]
+(** One [read(2)] into the input buffer (compacting/growing as needed).
+    [`Data n] appended [n] fresh bytes; [`Eof] is a clean peer close.
+    [ECONNRESET]/[EPIPE] also report [`Eof]. *)
+
+val next : t ->
+  decode:(Bytes.t -> pos:int -> len:int -> ('a, string) result) ->
+  [ `Msg of 'a | `Need_more | `Bad of string ]
+(** Pop the next complete frame from the input buffer and decode its
+    body with [decode] (one of {!Protocol.decode_request} /
+    {!Protocol.decode_response}). [`Bad] covers both a corrupt frame
+    boundary and a body the decoder rejects; the connection is beyond
+    recovery and should be dropped. *)
+
+val queue : t -> (Buffer.t -> 'a -> unit) -> 'a -> unit
+(** Append one encoded frame to the output buffer without writing. *)
+
+val flush : t -> unit
+(** Write the whole output buffer, looping over partial writes (waiting
+    for writability on a nonblocking socket).
+    @raise Unix.Unix_error on a dead peer ([EPIPE]/[ECONNRESET]). *)
+
+val output_pending : t -> int
+(** Bytes queued but not yet flushed. *)
+
+val close : t -> unit
+(** Close the fd; repeated closes are no-ops. *)

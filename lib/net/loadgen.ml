@@ -1,0 +1,247 @@
+open Harness
+
+type config = {
+  host : string;
+  port : int;
+  clients : int;
+  duration : float;
+  reads : int;
+  keydist : Keygen.dist;
+  range : int;
+  batch : int;
+  rate : int option;
+  value_len : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    clients = 4;
+    duration = 5.0;
+    reads = 90;
+    keydist = Keygen.Uniform;
+    range = 65536;
+    batch = 1;
+    rate = None;
+    value_len = 64;
+    seed = 42;
+  }
+
+type report = {
+  r_ops : int;
+  r_errors : int;
+  r_elapsed : float;
+  r_mops : float;
+  r_latency : Obs.Histogram.t;
+  r_server_before : (string * int) list;
+  r_server_after : (string * int) list;
+}
+
+(* One sampled request: GET with probability [reads]%, the rest split
+   between PUT and DELETE — the net twin of Workload.pick. *)
+let sample_request cfg kg rng value =
+  let k = Keygen.next kg rng in
+  let r = Rng.below rng 100 in
+  if r < cfg.reads then Protocol.Get k
+  else if (r - cfg.reads) mod 2 = 0 then Protocol.Put (k, value)
+  else Protocol.Delete k
+
+(* A response is valid iff its constructor can answer its request;
+   ERROR and cross-matched pairs count as protocol errors. *)
+let valid_pair (req : Protocol.request) (resp : Protocol.response) =
+  match (req, resp) with
+  | Protocol.Get _, (Protocol.Value _ | Protocol.Not_found) -> true
+  | Protocol.Put _, Protocol.Stored _ -> true
+  | Protocol.Delete _, (Protocol.Deleted | Protocol.Not_found) -> true
+  | Protocol.Stats, Protocol.Stats_reply _ -> true
+  | Protocol.Ping, Protocol.Pong -> true
+  | _ -> false
+
+type client_result = { ops : int; errors : int; hist : Obs.Histogram.t }
+
+let closed_loop cfg ~id stop =
+  let c = Client.connect ~host:cfg.host ~port:cfg.port in
+  let rng = Rng.create ~seed:(cfg.seed + (id * 7919) + 13) in
+  let kg = Keygen.create cfg.keydist ~range:cfg.range in
+  let value = String.make cfg.value_len 'v' in
+  let hist = Obs.Histogram.create () in
+  let ops = ref 0 and errors = ref 0 in
+  (try
+     while not (Atomic.get stop) do
+       let reqs = List.init cfg.batch (fun _ -> sample_request cfg kg rng value) in
+       let t0 = Obs.Clock.now_ns () in
+       let resps = Client.batch c reqs in
+       Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+       List.iter2
+         (fun req resp ->
+           incr ops;
+           if not (valid_pair req resp) then incr errors)
+         reqs resps
+     done
+   with
+  | Client.Disconnected | Client.Protocol_failure _ -> incr errors
+  | Unix.Unix_error _ -> incr errors);
+  Client.close c;
+  { ops = !ops; errors = !errors; hist }
+
+let open_loop cfg ~id ~rate stop =
+  let c = Client.connect ~host:cfg.host ~port:cfg.port in
+  let rng = Rng.create ~seed:(cfg.seed + (id * 7919) + 13) in
+  let kg = Keygen.create cfg.keydist ~range:cfg.range in
+  let value = String.make cfg.value_len 'v' in
+  let hist = Obs.Histogram.create () in
+  let ops = ref 0 and errors = ref 0 in
+  let interval_ns = max 1 (1_000_000_000 / max 1 rate) in
+  (* FIFO of (request, scheduled send time): responses come back in
+     order, so the head is always the next match. *)
+  let pending = Queue.create () in
+  let next_send = ref (Obs.Clock.now_ns ()) in
+  (try
+     while not (Atomic.get stop) do
+       let now = Obs.Clock.now_ns () in
+       if now >= !next_send then begin
+         let req = sample_request cfg kg rng value in
+         Client.send c req;
+         (* Stamp the *scheduled* time: a late send is server-induced
+            queueing delay and must show up in the percentiles. *)
+         Queue.push (req, !next_send) pending;
+         next_send := !next_send + interval_ns
+       end;
+       let timeout_s =
+         float_of_int (max 0 (!next_send - Obs.Clock.now_ns ())) /. 1e9
+       in
+       match Client.try_recv c ~timeout_s:(Float.min timeout_s 0.05) with
+       | None -> ()
+       | Some resp ->
+           let req, t0 = Queue.pop pending in
+           Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+           incr ops;
+           if not (valid_pair req resp) then incr errors
+     done;
+     (* Drain what is still in flight so the server sees a quiet close. *)
+     let deadline = Obs.Clock.now_ns () + 500_000_000 in
+     while (not (Queue.is_empty pending)) && Obs.Clock.now_ns () < deadline do
+       match Client.try_recv c ~timeout_s:0.05 with
+       | None -> ()
+       | Some resp ->
+           let req, t0 = Queue.pop pending in
+           Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+           incr ops;
+           if not (valid_pair req resp) then incr errors
+     done
+   with
+  | Client.Disconnected | Client.Protocol_failure _ -> incr errors
+  | Unix.Unix_error _ -> incr errors);
+  Client.close c;
+  { ops = !ops; errors = !errors; hist }
+
+let run cfg =
+  if cfg.clients < 1 then invalid_arg "Loadgen.run: clients < 1";
+  if cfg.batch < 1 then invalid_arg "Loadgen.run: batch < 1";
+  if cfg.reads < 0 || cfg.reads > 100 then
+    invalid_arg "Loadgen.run: reads outside 0..100";
+  (* A control connection samples STATS outside the measured window. *)
+  let ctl = Client.connect ~host:cfg.host ~port:cfg.port in
+  let stats_of = function
+    | Protocol.Stats_reply kvs -> kvs
+    | other ->
+        raise
+          (Client.Protocol_failure
+             ("STATS answered " ^ Protocol.response_to_string other))
+  in
+  let before = stats_of (Client.request ctl Protocol.Stats) in
+  let stop = Atomic.make false in
+  let t0 = Obs.Clock.now_s () in
+  let domains =
+    List.init cfg.clients (fun id ->
+        Domain.spawn (fun () ->
+            match cfg.rate with
+            | None -> closed_loop cfg ~id stop
+            | Some rate -> open_loop cfg ~id ~rate stop))
+  in
+  Unix.sleepf cfg.duration;
+  Atomic.set stop true;
+  let results = List.map Domain.join domains in
+  let elapsed = Obs.Clock.now_s () -. t0 in
+  let after = stats_of (Client.request ctl Protocol.Stats) in
+  Client.close ctl;
+  let ops = List.fold_left (fun acc r -> acc + r.ops) 0 results in
+  let errors = List.fold_left (fun acc r -> acc + r.errors) 0 results in
+  {
+    r_ops = ops;
+    r_errors = errors;
+    r_elapsed = elapsed;
+    r_mops = float_of_int ops /. elapsed /. 1e6;
+    r_latency = Obs.Histogram.merge_all (List.map (fun r -> r.hist) results);
+    r_server_before = before;
+    r_server_after = after;
+  }
+
+let latency_json h =
+  let open Obs.Sink in
+  let s = Obs.Histogram.summarize h in
+  Obj
+    [
+      ("count", Int s.Obs.Histogram.count);
+      ("mean_ns", Float s.Obs.Histogram.mean);
+      ("p50_ns", Int s.Obs.Histogram.p50);
+      ("p90_ns", Int s.Obs.Histogram.p90);
+      ("p99_ns", Int s.Obs.Histogram.p99);
+      ("p999_ns", Int (Obs.Histogram.quantile h 0.999));
+      ("max_ns", Int s.Obs.Histogram.max);
+    ]
+
+let report_json cfg r =
+  let open Obs.Sink in
+  let stats_obj kvs = Obj (List.map (fun (k, v) -> (k, Int v)) kvs) in
+  Obj
+    [
+      ("clients", Int cfg.clients);
+      ("duration_s", Float cfg.duration);
+      ("reads_pct", Int cfg.reads);
+      ("keydist", String (Keygen.dist_to_string cfg.keydist));
+      ("range", Int cfg.range);
+      ("batch", Int cfg.batch);
+      ( "rate_per_client",
+        match cfg.rate with None -> Null | Some r -> Int r );
+      ("value_len", Int cfg.value_len);
+      ("ops", Int r.r_ops);
+      ("errors", Int r.r_errors);
+      ("elapsed_s", Float r.r_elapsed);
+      ("wire_mops", Float r.r_mops);
+      ("latency_ns", latency_json r.r_latency);
+      ("server_before", stats_obj r.r_server_before);
+      ("server_after", stats_obj r.r_server_after);
+    ]
+
+let print_report cfg r =
+  let loop_desc =
+    match cfg.rate with
+    | None -> Printf.sprintf "closed loop, batch %d" cfg.batch
+    | Some rate -> Printf.sprintf "open loop, %d req/s per client" rate
+  in
+  Printf.printf
+    "[net] %d clients x %.1fs against %s:%d (%d%% reads, %s, %s)\n"
+    cfg.clients cfg.duration cfg.host cfg.port cfg.reads
+    (Keygen.dist_to_string cfg.keydist)
+    loop_desc;
+  Printf.printf "  ops %d (%d errors)  %.3f Mops/s over the wire\n" r.r_ops
+    r.r_errors r.r_mops;
+  let s = Obs.Histogram.summarize r.r_latency in
+  Printf.printf
+    "  latency ns: p50 %d  p90 %d  p99 %d  p999 %d  max %d (%s samples)\n"
+    s.Obs.Histogram.p50 s.Obs.Histogram.p90 s.Obs.Histogram.p99
+    (Obs.Histogram.quantile r.r_latency 0.999)
+    s.Obs.Histogram.max
+    (string_of_int s.Obs.Histogram.count);
+  let get kvs k = Option.value (List.assoc_opt k kvs) ~default:0 in
+  let delta k = get r.r_server_after k - get r.r_server_before k in
+  Printf.printf
+    "  server: unreclaimed %d  allocated %d  epoch advances +%d  retires \
+     +%d  reclaims +%d  rollbacks +%d\n"
+    (get r.r_server_after "unreclaimed")
+    (get r.r_server_after "allocated")
+    (delta "epoch_advances") (delta "retires") (delta "reclaims")
+    (delta "rollbacks")

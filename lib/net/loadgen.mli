@@ -1,0 +1,55 @@
+(** The vbr-kv load generator: N client domains driving a server with a
+    read/update mix over a key distribution, measuring over-the-wire
+    throughput and latency percentiles, and sampling the server's SMR
+    counters (via STATS) before and after — so wire behaviour and
+    reclamation behaviour land side by side in one BENCH_net.json point.
+
+    Closed loop (default): each client keeps [batch] requests in flight —
+    send the pipelined batch, wait for every response, repeat; each batch
+    round trip is one latency sample. Open loop ([rate = Some r]): each
+    client fires single requests on a fixed schedule of [r] requests/s
+    and matches responses asynchronously; latency is measured from the
+    {e scheduled} send time, so a stalling server accrues the delay
+    (no coordinated omission). *)
+
+type config = {
+  host : string;
+  port : int;
+  clients : int;  (** client domains, one connection each *)
+  duration : float;  (** seconds of measured traffic *)
+  reads : int;  (** GET percentage; the rest splits PUT/DELETE evenly *)
+  keydist : Harness.Keygen.dist;
+  range : int;  (** keys drawn from [0, range) — match the server's *)
+  batch : int;  (** closed-loop pipeline depth (>= 1) *)
+  rate : int option;  (** open loop: requests/s per client *)
+  value_len : int;  (** PUT payload size in bytes *)
+  seed : int;  (** per-client RNGs derive from this *)
+}
+
+val default_config : config
+(** localhost, 4 clients, 5 s, 90 % reads, uniform keys over 65536,
+    batch 1, closed loop, 64-byte values, seed 42. *)
+
+type report = {
+  r_ops : int;  (** responses received and validated *)
+  r_errors : int;
+      (** protocol-level failures: ERROR responses, response/request
+          mismatches, decode failures, early disconnects *)
+  r_elapsed : float;  (** measured wall seconds *)
+  r_mops : float;  (** over-the-wire Mops/s *)
+  r_latency : Obs.Histogram.t;
+      (** batch round trips (closed loop) / per-request (open loop), ns *)
+  r_server_before : (string * int) list;  (** STATS before traffic *)
+  r_server_after : (string * int) list;  (** STATS after traffic *)
+}
+
+val run : config -> report
+(** Drive the configured traffic.
+    @raise Unix.Unix_error when the server is unreachable. *)
+
+val report_json : config -> report -> Obs.Sink.json
+(** One panel point: config echo, wire throughput, latency
+    p50/p90/p99/p999/max, and both server STATS snapshots. *)
+
+val print_report : config -> report -> unit
+(** The human-facing summary table. *)

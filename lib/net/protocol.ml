@@ -1,0 +1,286 @@
+let version = 1
+let max_value_len = 65535
+let max_stats_name_len = 255
+let max_error_len = 65535
+
+(* magic 'V' 'B' + version + opcode *)
+let header_len = 4
+let magic0 = Char.code 'V'
+let magic1 = Char.code 'B'
+
+(* Every legal body fits under 128 KiB: the largest PUT/VALUE body is
+   header + key + vlen prefix + 65535, and the largest stats reply is
+   header + count + 256 * (1 + 255 + 8) = 67590. A length prefix above
+   the bound is corrupt and rejected before buffering. *)
+let max_stats_entries = 256
+let max_frame_body = 1 lsl 17
+
+type request =
+  | Get of int
+  | Put of int * string
+  | Delete of int
+  | Stats
+  | Ping
+
+type response =
+  | Value of string
+  | Not_found
+  | Stored of bool
+  | Deleted
+  | Stats_reply of (string * int) list
+  | Pong
+  | Error of string
+
+let clip s =
+  if String.length s <= 24 then s else String.sub s 0 24 ^ "..."
+
+let request_to_string = function
+  | Get k -> Printf.sprintf "GET %d" k
+  | Put (k, v) -> Printf.sprintf "PUT %d <%d bytes>" k (String.length v)
+  | Delete k -> Printf.sprintf "DELETE %d" k
+  | Stats -> "STATS"
+  | Ping -> "PING"
+
+let response_to_string = function
+  | Value v -> Printf.sprintf "VALUE <%d bytes>" (String.length v)
+  | Not_found -> "NOT_FOUND"
+  | Stored created -> if created then "STORED created" else "STORED replaced"
+  | Deleted -> "DELETED"
+  | Stats_reply kvs -> Printf.sprintf "STATS_REPLY (%d entries)" (List.length kvs)
+  | Pong -> "PONG"
+  | Error m -> Printf.sprintf "ERROR %s" (clip m)
+
+(* Opcodes: requests in 0x01..0x7f, responses in 0x81..0xff, so a frame
+   decoded with the wrong decoder fails on the opcode, not the payload. *)
+let op_get = 0x01
+let op_put = 0x02
+let op_delete = 0x03
+let op_stats = 0x04
+let op_ping = 0x05
+let op_value = 0x81
+let op_not_found = 0x82
+let op_stored = 0x83
+let op_deleted = 0x84
+let op_stats_reply = 0x85
+let op_pong = 0x86
+let op_error = 0x87
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: body into a scratch buffer, then length prefix + body     *)
+(* into the caller's buffer.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_u16 b v =
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_u32 b v =
+  add_u16 b (v lsr 16);
+  add_u16 b v
+
+let add_key b k =
+  if k < 0 then invalid_arg "Protocol: negative key";
+  Buffer.add_int64_be b (Int64.of_int k)
+
+let add_header b opcode =
+  add_u8 b magic0;
+  add_u8 b magic1;
+  add_u8 b version;
+  add_u8 b opcode
+
+let frame out body =
+  let n = Buffer.length body in
+  add_u32 out n;
+  Buffer.add_buffer out body
+
+let encode_request out req =
+  let b = Buffer.create 32 in
+  (match req with
+  | Get k ->
+      add_header b op_get;
+      add_key b k
+  | Put (k, v) ->
+      if String.length v > max_value_len then
+        invalid_arg "Protocol: value too long";
+      add_header b op_put;
+      add_key b k;
+      add_u32 b (String.length v);
+      Buffer.add_string b v
+  | Delete k ->
+      add_header b op_delete;
+      add_key b k
+  | Stats -> add_header b op_stats
+  | Ping -> add_header b op_ping);
+  frame out b
+
+let encode_response out resp =
+  let b = Buffer.create 32 in
+  (match resp with
+  | Value v ->
+      if String.length v > max_value_len then
+        invalid_arg "Protocol: value too long";
+      add_header b op_value;
+      add_u32 b (String.length v);
+      Buffer.add_string b v
+  | Not_found -> add_header b op_not_found
+  | Stored created ->
+      add_header b op_stored;
+      add_u8 b (if created then 1 else 0)
+  | Deleted -> add_header b op_deleted
+  | Stats_reply kvs ->
+      let n = List.length kvs in
+      if n > max_stats_entries then invalid_arg "Protocol: too many stats";
+      add_header b op_stats_reply;
+      add_u16 b n;
+      List.iter
+        (fun (name, v) ->
+          if String.length name > max_stats_name_len then
+            invalid_arg "Protocol: stats name too long";
+          add_u8 b (String.length name);
+          Buffer.add_string b name;
+          Buffer.add_int64_be b (Int64.of_int v))
+        kvs
+  | Pong -> add_header b op_pong
+  | Error m ->
+      let m =
+        if String.length m > max_error_len then String.sub m 0 max_error_len
+        else m
+      in
+      add_header b op_error;
+      add_u16 b (String.length m);
+      Buffer.add_string b m);
+  frame out b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: a little cursor over a byte slice; every getter checks    *)
+(* bounds and fails through [exception Bad] caught at the entry point, *)
+(* so the public decoders are total.                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+type cursor = { buf : Bytes.t; stop : int; mutable p : int }
+
+let need c n msg = if c.p + n > c.stop then raise (Bad msg)
+
+let u8 c msg =
+  need c 1 msg;
+  let v = Char.code (Bytes.get c.buf c.p) in
+  c.p <- c.p + 1;
+  v
+
+let u16 c msg =
+  let hi = u8 c msg in
+  let lo = u8 c msg in
+  (hi lsl 8) lor lo
+
+let u32 c msg =
+  let hi = u16 c msg in
+  let lo = u16 c msg in
+  (hi lsl 16) lor lo
+
+let key c =
+  need c 8 "truncated key";
+  let v = Bytes.get_int64_be c.buf c.p in
+  c.p <- c.p + 8;
+  let k = Int64.to_int v in
+  if Int64.of_int k <> v || k < 0 then raise (Bad "key out of 63-bit range");
+  k
+
+let bytes_field c n msg =
+  need c n msg;
+  let s = Bytes.sub_string c.buf c.p n in
+  c.p <- c.p + n;
+  s
+
+let i64 c msg =
+  need c 8 msg;
+  let v = Bytes.get_int64_be c.buf c.p in
+  c.p <- c.p + 8;
+  Int64.to_int v
+
+type frame = [ `Need_more | `Frame of int * int * int | `Bad of string ]
+
+let frame_peek buf ~pos ~avail : frame =
+  if avail < 4 then `Need_more
+  else
+    let c = { buf; stop = pos + avail; p = pos } in
+    let body_len = u32 c "unreachable" in
+    if body_len > max_frame_body then
+      `Bad (Printf.sprintf "frame body %d exceeds %d" body_len max_frame_body)
+    else if body_len < header_len then
+      `Bad (Printf.sprintf "frame body %d shorter than the header" body_len)
+    else if avail < 4 + body_len then `Need_more
+    else `Frame (pos + 4, body_len, 4 + body_len)
+
+(* Magic/version check shared by both decoders; returns the opcode. *)
+let open_body c =
+  let m0 = u8 c "truncated header" in
+  let m1 = u8 c "truncated header" in
+  if m0 <> magic0 || m1 <> magic1 then raise (Bad "bad magic");
+  let ver = u8 c "truncated header" in
+  if ver <> version then raise (Bad (Printf.sprintf "unsupported version %d" ver));
+  u8 c "truncated header"
+
+let finish c v =
+  if c.p <> c.stop then raise (Bad "trailing bytes in frame");
+  v
+
+let decode decode_op buf ~pos ~len =
+  let c = { buf; stop = pos + len; p = pos } in
+  match finish c (decode_op c (open_body c)) with
+  | v -> Ok v
+  | exception Bad msg -> Result.Error msg
+
+let decode_request buf ~pos ~len =
+  decode
+    (fun c op ->
+      if op = op_get then Get (key c)
+      else if op = op_put then begin
+        let k = key c in
+        let n = u32 c "truncated value length" in
+        if n > max_value_len then raise (Bad "value too long");
+        Put (k, bytes_field c n "truncated value")
+      end
+      else if op = op_delete then Delete (key c)
+      else if op = op_stats then Stats
+      else if op = op_ping then Ping
+      else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" op)))
+    buf ~pos ~len
+
+let decode_response buf ~pos ~len =
+  decode
+    (fun c op ->
+      if op = op_value then begin
+        let n = u32 c "truncated value length" in
+        if n > max_value_len then raise (Bad "value too long");
+        Value (bytes_field c n "truncated value")
+      end
+      else if op = op_not_found then Not_found
+      else if op = op_stored then begin
+        match u8 c "truncated stored flag" with
+        | 0 -> Stored false
+        | 1 -> Stored true
+        | v -> raise (Bad (Printf.sprintf "bad stored flag %d" v))
+      end
+      else if op = op_deleted then Deleted
+      else if op = op_stats_reply then begin
+        let n = u16 c "truncated stats count" in
+        if n > max_stats_entries then raise (Bad "too many stats entries");
+        let entries =
+          List.init n (fun _ ->
+              let klen = u8 c "truncated stats name length" in
+              let name = bytes_field c klen "truncated stats name" in
+              (name, i64 c "truncated stats value"))
+        in
+        Stats_reply entries
+      end
+      else if op = op_pong then Pong
+      else if op = op_error then begin
+        let n = u16 c "truncated error length" in
+        Error (bytes_field c n "truncated error message")
+      end
+      else raise (Bad (Printf.sprintf "unknown response opcode 0x%02x" op)))
+    buf ~pos ~len

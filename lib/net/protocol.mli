@@ -1,0 +1,79 @@
+(** The vbr-kv wire protocol: a length-prefixed binary framing with a
+    versioned magic header, five commands, and total (never-throwing)
+    incremental decoders.
+
+    Frame layout (all integers big-endian):
+
+    {v
+    u32 body_len | body
+    body = u8 'V' | u8 'B' | u8 version (1) | u8 opcode | payload
+    v}
+
+    Request payloads: GET/DELETE carry an 8-byte non-negative key; PUT a
+    key plus [u32 vlen | vlen bytes]; STATS and PING are empty. Response
+    payloads mirror the constructors below. Keys are 63-bit non-negative
+    integers (the storage engine is an integer-keyed lock-free hash
+    table); values are opaque byte strings up to {!max_value_len}.
+
+    Decoding is total: a truncated buffer yields [`Need_more], a corrupt
+    one (bad magic/version/opcode, oversized or short body, trailing
+    junk, negative key) yields an [Error] — never an exception, never a
+    garbage frame. *)
+
+val version : int
+(** Wire version carried in every frame header (currently 1). *)
+
+val max_value_len : int
+(** Upper bound on a PUT/VALUE payload (65535 bytes). *)
+
+val max_frame_body : int
+(** Largest legal body length; a length prefix above this is rejected
+    before any buffering, so a corrupt prefix cannot trigger a huge
+    allocation. *)
+
+type request =
+  | Get of int
+  | Put of int * string
+  | Delete of int
+  | Stats
+  | Ping
+
+type response =
+  | Value of string  (** GET hit: the stored payload *)
+  | Not_found  (** GET/DELETE miss *)
+  | Stored of bool  (** PUT ack; [true] = created, [false] = replaced *)
+  | Deleted  (** DELETE hit *)
+  | Stats_reply of (string * int) list
+      (** server gauges/counters; names ≤ 255 bytes, ≤ 65535 entries *)
+  | Pong
+  | Error of string  (** server-side rejection (e.g. key out of range) *)
+
+val request_to_string : request -> string
+val response_to_string : response -> string
+(** One-line renderings for logs and test failures (values truncated). *)
+
+(** {2 Encoding} *)
+
+val encode_request : Buffer.t -> request -> unit
+(** Append one full frame (length prefix included).
+    @raise Invalid_argument on a negative key or an over-long value. *)
+
+val encode_response : Buffer.t -> response -> unit
+(** @raise Invalid_argument on over-long stats names/messages/values. *)
+
+(** {2 Incremental decoding} *)
+
+type frame = [ `Need_more | `Frame of int * int * int | `Bad of string ]
+(** [`Frame (body_pos, body_len, total)]: a complete frame starts at the
+    scanned position; its body (magic included) sits at [body_pos] and
+    the whole frame spans [total] bytes. *)
+
+val frame_peek : Bytes.t -> pos:int -> avail:int -> frame
+(** Scan [avail] bytes at [pos] for one complete frame. Rejects an
+    oversized length prefix ([`Bad]) without waiting for the body. *)
+
+val decode_request : Bytes.t -> pos:int -> len:int -> (request, string) result
+(** Decode one frame body (as delimited by {!frame_peek}): magic,
+    version, opcode and payload, rejecting trailing bytes. *)
+
+val decode_response : Bytes.t -> pos:int -> len:int -> (response, string) result

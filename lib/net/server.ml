@@ -1,0 +1,288 @@
+open Harness
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  scheme : string;
+  range : int;
+  buckets : int;
+  capacity : int option;
+  retire_threshold : int option;
+  prefill : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    scheme = "VBR";
+    range = 65536;
+    buckets = 65536;
+    capacity = None;
+    retire_threshold = None;
+    prefill = false;
+  }
+
+let scheme_of_cli s =
+  match String.lowercase_ascii s with
+  | "none" | "norecl" -> Ok "NoRecl"
+  | "ebr" -> Ok "EBR"
+  | "hp" -> Ok "HP"
+  | "he" -> Ok "HE"
+  | "ibr" -> Ok "IBR"
+  | "vbr" -> Ok "VBR"
+  | _ ->
+      Result.Error
+        (Printf.sprintf "unknown scheme %S (expected ebr|hp|he|ibr|vbr|none)" s)
+
+(* Per-worker request counters: plain ints owned by one domain, summed
+   racily for STATS (the same contract as Obs.Counters shards). *)
+let c_get = 0
+let c_put = 1
+let c_delete = 2
+let c_stats = 3
+let c_ping = 4
+let c_errors = 5  (* protocol errors: malformed frames *)
+let c_batches = 6  (* drains that decoded at least one frame *)
+let c_accepted = 7
+let n_counts = 8
+
+type worker = {
+  tid : int;
+  counts : int array;
+  mutable live : int;  (* connections currently on this worker *)
+}
+
+type t = {
+  cfg : config;
+  inst : Registry.instance;
+  values : string option array;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stopping : bool Atomic.t;
+  workers : worker array;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+let port t = t.bound_port
+
+let stats t =
+  let sum i =
+    Array.fold_left (fun acc w -> acc + w.counts.(i)) 0 t.workers
+  in
+  let live = Array.fold_left (fun acc w -> acc + w.live) 0 t.workers in
+  let snap = t.inst.Registry.stats () in
+  let ev e = Obs.Counters.get snap e in
+  [
+    ("version", Protocol.version);
+    ("workers", t.cfg.workers);
+    ("range", t.cfg.range);
+    ("buckets", t.cfg.buckets);
+    ("size", t.inst.Registry.size ());
+    ("conns", live);
+    ("accepted", sum c_accepted);
+    ("ops_get", sum c_get);
+    ("ops_put", sum c_put);
+    ("ops_delete", sum c_delete);
+    ("ops_stats", sum c_stats);
+    ("ops_ping", sum c_ping);
+    ("batches", sum c_batches);
+    ("protocol_errors", sum c_errors);
+    ("unreclaimed", t.inst.Registry.unreclaimed ());
+    ("allocated", t.inst.Registry.allocated ());
+    ("epoch_advances", t.inst.Registry.epoch_advances ());
+    ("allocs", ev Obs.Event.Alloc);
+    ("retires", ev Obs.Event.Retire);
+    ("reclaims", ev Obs.Event.Reclaim);
+    ("rollbacks", ev Obs.Event.Rollback);
+    ("cas_fails", ev Obs.Event.Cas_fail);
+  ]
+
+(* [size] walks the buckets quiescently; under live traffic it is only a
+   rough gauge, which is all STATS promises. *)
+
+let exec t w (req : Protocol.request) : Protocol.response =
+  let tid = w.tid in
+  let in_range k = k >= 0 && k < t.cfg.range in
+  match req with
+  | Protocol.Ping ->
+      w.counts.(c_ping) <- w.counts.(c_ping) + 1;
+      Protocol.Pong
+  | Protocol.Stats ->
+      w.counts.(c_stats) <- w.counts.(c_stats) + 1;
+      Protocol.Stats_reply (stats t)
+  | Protocol.Get k ->
+      w.counts.(c_get) <- w.counts.(c_get) + 1;
+      if not (in_range k) then Protocol.Error "key out of range"
+      else if t.inst.Registry.contains ~tid k then
+        Protocol.Value (Option.value t.values.(k) ~default:"")
+      else Protocol.Not_found
+  | Protocol.Put (k, v) ->
+      w.counts.(c_put) <- w.counts.(c_put) + 1;
+      if not (in_range k) then Protocol.Error "key out of range"
+      else begin
+        (* Payload before presence: a concurrent GET that sees the key
+           present also sees some complete value (possibly a stale one —
+           last writer wins on the cell). *)
+        t.values.(k) <- Some v;
+        match t.inst.Registry.insert ~tid k with
+        | created -> Protocol.Stored created
+        | exception Memsim.Arena.Exhausted ->
+            Protocol.Error "arena exhausted (NoRecl headroom ran out?)"
+      end
+  | Protocol.Delete k ->
+      w.counts.(c_delete) <- w.counts.(c_delete) + 1;
+      if not (in_range k) then Protocol.Error "key out of range"
+      else if t.inst.Registry.delete ~tid k then begin
+        t.values.(k) <- None;
+        Protocol.Deleted
+      end
+      else Protocol.Not_found
+
+(* Drain every complete frame the input buffer holds; returns [false]
+   when the connection must be dropped (malformed frame). *)
+let drain t w conn =
+  let rec go n =
+    match Conn.next conn ~decode:Protocol.decode_request with
+    | `Need_more ->
+        if n > 0 then w.counts.(c_batches) <- w.counts.(c_batches) + 1;
+        true
+    | `Bad _msg ->
+        w.counts.(c_errors) <- w.counts.(c_errors) + 1;
+        false
+    | `Msg req ->
+        Conn.queue conn Protocol.encode_response (exec t w req);
+        go (n + 1)
+  in
+  go 0
+
+let accept_all t w conns =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _addr ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        w.counts.(c_accepted) <- w.counts.(c_accepted) + 1;
+        w.live <- w.live + 1;
+        conns := Conn.create fd :: !conns
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        continue := false
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let service t w conns conn =
+  let drop () =
+    Conn.close conn;
+    w.live <- w.live - 1;
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  match Conn.fill conn with
+  | `Eof -> drop ()
+  | `Would_block -> ()
+  | `Data _ ->
+      if drain t w conn then (
+        try Conn.flush conn
+        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop ())
+      else drop ()
+
+let worker_loop t w =
+  let conns = ref [] in
+  while not (Atomic.get t.stopping) do
+    let fds = t.listen_fd :: List.map Conn.fd !conns in
+    match Unix.select fds [] [] 0.05 with
+    | readable, _, _ ->
+        if List.memq t.listen_fd readable then accept_all t w conns;
+        List.iter
+          (fun conn ->
+            if List.memq (Conn.fd conn) readable then service t w conns conn)
+          !conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        (* A peer died between building [fds] and selecting; the next
+           fill on the dead conn reports `Eof and drops it. *)
+        List.iter
+          (fun conn -> service t w conns conn)
+          !conns
+  done;
+  List.iter Conn.close !conns;
+  w.live <- 0
+
+(* Arena sizing mirrors bench/main.ml's [capacity_for]: sentinels (one
+   head per bucket + shared tail) + live set + churn slack, with big
+   headroom for NoRecl since it never reuses a slot. *)
+let auto_capacity (cfg : config) =
+  let sentinels = cfg.buckets + 2 in
+  let base = sentinels + cfg.range + 400_000 in
+  let cap = if cfg.scheme = "NoRecl" then base + 8_000_000 else base in
+  min cap Memsim.Packed.max_index
+
+let start (cfg : config) =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers < 1";
+  if cfg.range < 1 then invalid_arg "Server.start: range < 1";
+  (* A peer that disappears mid-write must surface as EPIPE on the
+     write, not kill the process. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let capacity =
+    match cfg.capacity with Some c -> c | None -> auto_capacity cfg
+  in
+  let inst =
+    Registry.make ~structure:"hash" ~scheme:cfg.scheme ~n_threads:cfg.workers
+      ~range:cfg.range ~capacity ~buckets:cfg.buckets
+      ?retire_threshold:cfg.retire_threshold ()
+  in
+  if cfg.prefill then
+    for k = 0 to cfg.range - 1 do
+      if Workload.prefill_member k then ignore (inst.Registry.insert ~tid:0 k)
+    done;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd 128;
+     Unix.set_nonblock listen_fd
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let t =
+    {
+      cfg;
+      inst;
+      values = Array.make cfg.range None;
+      listen_fd;
+      bound_port;
+      stopping = Atomic.make false;
+      workers =
+        Array.init cfg.workers (fun tid ->
+            { tid; counts = Array.make n_counts 0; live = 0 });
+      domains = [];
+      stopped = false;
+    }
+  in
+  t.domains <-
+    Array.to_list
+      (Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+  end;
+  stats t

@@ -1,0 +1,61 @@
+(** The vbr-kv TCP server: a lock-free hash table behind the wire
+    protocol, served by a fixed pool of worker domains.
+
+    Threading model: the storage engine is one {!Harness.Registry}
+    instance built with [n_threads = workers]; each worker domain owns
+    SMR thread id [tid] and runs a [select]-based event loop over the
+    connections it accepted (the shared listening socket is in every
+    worker's readable set, so accepting is take-what-you-get load
+    balancing). A connection lives on one worker for its whole life, so
+    every table operation it triggers runs under that worker's [tid] —
+    exactly the per-thread discipline the SMR schemes require.
+
+    Batching: one [read(2)] is drained of {e every} complete frame it
+    contains, each request runs against the table, and all responses are
+    flushed with one [write(2)] — a pipelining client amortizes one
+    syscall pair over the whole batch.
+
+    Values: the lock-free table indexes {e presence} of the integer key
+    (that is the SMR-stressed hot path); the payload bytes ride in a
+    per-key sidecar cell with last-writer-wins raciness. [GET] returns
+    the cell only when the table says the key is present. *)
+
+type config = {
+  host : string;  (** bind address, default "127.0.0.1" *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker domains = SMR thread ids *)
+  scheme : string;  (** a {!Harness.Registry} scheme name, e.g. "VBR" *)
+  range : int;  (** key space is [0, range) *)
+  buckets : int;  (** hash bucket count (load factor = range/buckets) *)
+  capacity : int option;  (** arena slots; [None] = auto-sized *)
+  retire_threshold : int option;  (** scheme default when [None] *)
+  prefill : bool;  (** preload the deterministic half-range set *)
+}
+
+val default_config : config
+(** VBR, port 0, 4 workers, range 65536, buckets = range, no prefill. *)
+
+val scheme_of_cli : string -> (string, string) result
+(** Map a CLI spelling — [ebr|hp|he|ibr|vbr|none], case-insensitive,
+    registry spellings also accepted — to the registry scheme name. *)
+
+type t
+
+val start : config -> t
+(** Bind, build the table, spawn the workers, return immediately.
+    @raise Invalid_argument on a bad scheme/range/buckets.
+    @raise Unix.Unix_error if the bind fails. *)
+
+val port : t -> int
+(** The bound port (the ephemeral one when [config.port] was 0). *)
+
+val stats : t -> (string * int) list
+(** The same racy gauge/counter assoc served to STATS requests: request
+    counts per opcode, live connections, protocol errors, and the
+    scheme's SMR counters (unreclaimed, allocated, epoch advances,
+    retires, reclaims, rollbacks, CAS fails). *)
+
+val stop : t -> (string * int) list
+(** Ask every worker to finish its current drain, join them, close the
+    listening socket and every connection, and return the final stats.
+    Idempotent. *)

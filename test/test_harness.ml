@@ -133,7 +133,7 @@ let test_throughput_smoke () =
   in
   let p =
     Harness.Throughput.measure ~make ~profile:Harness.Workload.balanced
-      ~threads:2 ~range:256 ~duration:0.05 ~repeats:2
+      ~threads:2 ~range:256 ~duration:0.05 ~repeats:2 ()
   in
   Alcotest.(check bool) "positive throughput" true (p.Harness.Throughput.mops > 0.0);
   Alcotest.(check int) "repeats recorded" 2 p.Harness.Throughput.repeats

@@ -1,0 +1,466 @@
+(* The net subsystem suite: qcheck round-trips for the wire codec,
+   in-process loopback server tests (all five commands, pipelined
+   batches, concurrent clients, malformed-frame disconnect, every
+   registry scheme), a mini in-process loadgen run in both loop modes,
+   and the zipfian key generator. Every server binds port 0, so the
+   suite runs anywhere dune runtest does. *)
+
+open Net
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trips                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_key = QCheck2.Gen.(map (fun i -> i land max_int) int)
+
+let gen_value =
+  QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_bound 200))
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun k -> Protocol.Get k) gen_key;
+        map2 (fun k v -> Protocol.Put (k, v)) gen_key gen_value;
+        map (fun k -> Protocol.Delete k) gen_key;
+        return Protocol.Stats;
+        return Protocol.Ping;
+      ])
+
+let gen_stats_entry =
+  QCheck2.Gen.(
+    pair (string_size ~gen:(char_range 'a' 'z') (int_bound 24)) int)
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> Protocol.Value v) gen_value;
+        return Protocol.Not_found;
+        map (fun b -> Protocol.Stored b) bool;
+        return Protocol.Deleted;
+        map
+          (fun kvs -> Protocol.Stats_reply kvs)
+          (list_size (int_bound 12) gen_stats_entry);
+        return Protocol.Pong;
+        map
+          (fun m -> Protocol.Error m)
+          (string_size ~gen:(char_range ' ' '~') (int_bound 60));
+      ])
+
+let encode_to_bytes encode v =
+  let b = Buffer.create 64 in
+  encode b v;
+  Buffer.to_bytes b
+
+(* encode ∘ frame_peek ∘ decode = id, and the frame spans exactly the
+   encoded bytes. *)
+let roundtrip encode decode v =
+  let bytes = encode_to_bytes encode v in
+  let avail = Bytes.length bytes in
+  match Protocol.frame_peek bytes ~pos:0 ~avail with
+  | `Need_more -> QCheck2.Test.fail_report "complete frame read as Need_more"
+  | `Bad msg -> QCheck2.Test.fail_report ("complete frame read as Bad: " ^ msg)
+  | `Frame (body_pos, body_len, total) ->
+      if total <> avail then
+        QCheck2.Test.fail_report "frame total <> encoded length";
+      (match decode bytes ~pos:body_pos ~len:body_len with
+      | Ok v' -> v' = v
+      | Error msg -> QCheck2.Test.fail_report ("decode failed: " ^ msg))
+
+let qcheck_roundtrip_request =
+  QCheck2.Test.make ~name:"request roundtrip" ~count:1000 gen_request
+    (roundtrip Protocol.encode_request Protocol.decode_request)
+
+let qcheck_roundtrip_response =
+  QCheck2.Test.make ~name:"response roundtrip" ~count:1000 gen_response
+    (roundtrip Protocol.encode_response Protocol.decode_response)
+
+(* Every proper prefix of a well-formed frame is Need_more — a truncated
+   buffer never decodes and never errors. *)
+let qcheck_truncated =
+  QCheck2.Test.make ~name:"truncated prefixes are Need_more" ~count:300
+    gen_request (fun req ->
+      let bytes = encode_to_bytes Protocol.encode_request req in
+      let n = Bytes.length bytes in
+      let ok = ref true in
+      for avail = 0 to n - 1 do
+        match Protocol.frame_peek bytes ~pos:0 ~avail with
+        | `Need_more -> ()
+        | `Frame _ | `Bad _ -> ok := false
+      done;
+      !ok)
+
+let test_max_length_values () =
+  let big = String.make Protocol.max_value_len 'x' in
+  let check encode decode v =
+    Alcotest.(check bool) "max-length roundtrip" true (roundtrip encode decode v)
+  in
+  check Protocol.encode_request Protocol.decode_request
+    (Protocol.Put (max_int, big));
+  check Protocol.encode_response Protocol.decode_response (Protocol.Value big);
+  (* One past the limit must be rejected at encode time. *)
+  let over = String.make (Protocol.max_value_len + 1) 'x' in
+  Alcotest.check_raises "over-long value"
+    (Invalid_argument "Protocol: value too long") (fun () ->
+      Protocol.encode_request (Buffer.create 16) (Protocol.Put (0, over)))
+
+let test_corrupt_frames () =
+  let body_of bytes =
+    match
+      Protocol.frame_peek bytes ~pos:0 ~avail:(Bytes.length bytes)
+    with
+    | `Frame (p, l, _) -> (p, l)
+    | _ -> Alcotest.fail "expected a complete frame"
+  in
+  let expect_error what bytes =
+    let pos, len = body_of bytes in
+    match Protocol.decode_request bytes ~pos ~len with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (what ^ ": decoded a corrupt frame")
+  in
+  let ping = encode_to_bytes Protocol.encode_request Protocol.Ping in
+  (* Corrupt magic. *)
+  let bad_magic = Bytes.copy ping in
+  Bytes.set bad_magic 4 'X';
+  expect_error "bad magic" bad_magic;
+  (* Wrong version. *)
+  let bad_version = Bytes.copy ping in
+  Bytes.set bad_version 6 '\x07';
+  expect_error "bad version" bad_version;
+  (* Unknown opcode. *)
+  let bad_op = Bytes.copy ping in
+  Bytes.set bad_op 7 '\x7f';
+  expect_error "bad opcode" bad_op;
+  (* Trailing junk after a complete payload. *)
+  let padded = Bytes.extend ping 0 1 in
+  Bytes.set padded (Bytes.length padded - 1) '!';
+  (* Fix up the length prefix to claim the junk byte as body. *)
+  Bytes.set_int32_be padded 0 (Int32.of_int (Bytes.length padded - 4));
+  expect_error "trailing junk" padded;
+  (* A length prefix above max_frame_body is rejected before buffering. *)
+  let huge = Bytes.create 4 in
+  Bytes.set_int32_be huge 0 (Int32.of_int (Protocol.max_frame_body + 1));
+  (match Protocol.frame_peek huge ~pos:0 ~avail:4 with
+  | `Bad _ -> ()
+  | `Need_more | `Frame _ -> Alcotest.fail "oversized prefix not rejected");
+  (* A negative length prefix likewise. *)
+  let neg = Bytes.create 4 in
+  Bytes.set_int32_be neg 0 0xffff_ffffl;
+  match Protocol.frame_peek neg ~pos:0 ~avail:4 with
+  | `Bad _ -> ()
+  | `Need_more | `Frame _ -> Alcotest.fail "negative prefix not rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Loopback server                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(scheme = "VBR") ?(range = 1024) ?(buckets = 256)
+    ?(prefill = false) f =
+  let cfg =
+    {
+      Server.default_config with
+      Server.scheme;
+      range;
+      buckets;
+      workers = 2;
+      prefill;
+    }
+  in
+  let server = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> ignore (Server.stop server))
+    (fun () -> f server)
+
+let with_client server f =
+  let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port server) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let resp = Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Protocol.response_to_string r))
+    ( = )
+
+let test_five_commands () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          let req = Client.request c in
+          Alcotest.check resp "ping" Protocol.Pong (req Protocol.Ping);
+          Alcotest.check resp "get miss" Protocol.Not_found
+            (req (Protocol.Get 7));
+          Alcotest.check resp "put creates" (Protocol.Stored true)
+            (req (Protocol.Put (7, "hello")));
+          Alcotest.check resp "put replaces" (Protocol.Stored false)
+            (req (Protocol.Put (7, "world")));
+          Alcotest.check resp "get hit" (Protocol.Value "world")
+            (req (Protocol.Get 7));
+          Alcotest.check resp "delete hit" Protocol.Deleted
+            (req (Protocol.Delete 7));
+          Alcotest.check resp "delete miss" Protocol.Not_found
+            (req (Protocol.Delete 7));
+          Alcotest.check resp "get after delete" Protocol.Not_found
+            (req (Protocol.Get 7));
+          (match req (Protocol.Get 99999999) with
+          | Protocol.Error _ -> ()
+          | r ->
+              Alcotest.failf "out-of-range GET: %s"
+                (Protocol.response_to_string r));
+          match req Protocol.Stats with
+          | Protocol.Stats_reply kvs ->
+              let get k = List.assoc k kvs in
+              Alcotest.(check int) "stats version" Protocol.version
+                (get "version");
+              Alcotest.(check int) "stats buckets" 256 (get "buckets");
+              Alcotest.(check bool) "counted the gets" true (get "ops_get" >= 3)
+          | r ->
+              Alcotest.failf "STATS: %s" (Protocol.response_to_string r)))
+
+let test_pipelined_batch () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          let n = 200 in
+          let puts =
+            List.init n (fun i -> Protocol.Put (i, Printf.sprintf "v%d" i))
+          in
+          let acks = Client.batch c puts in
+          Alcotest.(check int) "one ack per put" n (List.length acks);
+          List.iter
+            (fun r -> Alcotest.check resp "stored" (Protocol.Stored true) r)
+            acks;
+          let gets = List.init n (fun i -> Protocol.Get i) in
+          let values = Client.batch c gets in
+          List.iteri
+            (fun i r ->
+              Alcotest.check resp "value back in order"
+                (Protocol.Value (Printf.sprintf "v%d" i))
+                r)
+            values))
+
+let test_concurrent_clients () =
+  with_server (fun server ->
+      let n_clients = 4 and per_client = 300 in
+      let errors = Atomic.make 0 in
+      let domains =
+        List.init n_clients (fun id ->
+            Domain.spawn (fun () ->
+                with_client server (fun c ->
+                    for i = 0 to per_client - 1 do
+                      let k = ((id * per_client) + i) mod 1024 in
+                      (match Client.request c (Protocol.Put (k, "x")) with
+                      | Protocol.Stored _ -> ()
+                      | _ -> Atomic.incr errors);
+                      match Client.request c (Protocol.Get k) with
+                      | Protocol.Value _ | Protocol.Not_found -> ()
+                      | _ -> Atomic.incr errors
+                    done)))
+      in
+      List.iter Domain.join domains;
+      Alcotest.(check int) "no unexpected responses" 0 (Atomic.get errors);
+      let served =
+        List.assoc "accepted" (Server.stats server)
+      in
+      Alcotest.(check int) "every client was accepted" n_clients served)
+
+let test_malformed_disconnect () =
+  with_server (fun server ->
+      (* A raw socket speaking garbage: a plausible length prefix whose
+         body fails the magic check. The server must drop us, not hang
+         or crash — and must keep serving others. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          let junk = Bytes.of_string "\x00\x00\x00\x04JUNK" in
+          let n = Unix.write fd junk 0 (Bytes.length junk) in
+          Alcotest.(check int) "junk written" (Bytes.length junk) n;
+          let buf = Bytes.create 64 in
+          let got = Unix.read fd buf 0 64 in
+          Alcotest.(check int) "server closed on malformed frame" 0 got);
+      with_client server (fun c ->
+          Alcotest.check resp "still serving" Protocol.Pong
+            (Client.request c Protocol.Ping));
+      let pe = List.assoc "protocol_errors" (Server.stats server) in
+      Alcotest.(check int) "counted as protocol error" 1 pe)
+
+let test_every_scheme () =
+  List.iter
+    (fun scheme ->
+      with_server ~scheme ~range:256 ~buckets:64 ~prefill:true (fun server ->
+          with_client server (fun c ->
+              let req = Client.request c in
+              (match req (Protocol.Put (3, "s")) with
+              | Protocol.Stored _ -> ()
+              | r ->
+                  Alcotest.failf "%s PUT: %s" scheme
+                    (Protocol.response_to_string r));
+              Alcotest.check resp
+                (scheme ^ " get")
+                (Protocol.Value "s")
+                (req (Protocol.Get 3));
+              Alcotest.check resp
+                (scheme ^ " delete")
+                Protocol.Deleted
+                (req (Protocol.Delete 3));
+              match req Protocol.Stats with
+              | Protocol.Stats_reply kvs ->
+                  Alcotest.(check bool)
+                    (scheme ^ " gauges sane")
+                    true
+                    (List.assoc "unreclaimed" kvs >= 0
+                    && List.assoc "allocated" kvs >= 0)
+              | r ->
+                  Alcotest.failf "%s STATS: %s" scheme
+                    (Protocol.response_to_string r))))
+    Harness.Registry.schemes
+
+(* ------------------------------------------------------------------ *)
+(* In-process loadgen                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_loadgen_closed () =
+  with_server ~prefill:true (fun server ->
+      let cfg =
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port server;
+          clients = 2;
+          duration = 0.3;
+          batch = 4;
+          range = 1024;
+          keydist = Harness.Keygen.Zipf 0.9;
+        }
+      in
+      let r = Loadgen.run cfg in
+      Alcotest.(check int) "no protocol errors" 0 r.Loadgen.r_errors;
+      Alcotest.(check bool) "made progress" true (r.Loadgen.r_ops > 0);
+      (* The JSON point is well-formed and carries both STATS snapshots. *)
+      let json = Obs.Sink.to_string (Loadgen.report_json cfg r) in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "json has server counters" true
+        (contains json "unreclaimed"
+        && contains json "p999_ns"
+        && contains json "mops"))
+
+let test_loadgen_open () =
+  with_server ~prefill:true (fun server ->
+      let cfg =
+        {
+          Loadgen.default_config with
+          Loadgen.port = Server.port server;
+          clients = 2;
+          duration = 0.3;
+          rate = Some 500;
+          range = 1024;
+        }
+      in
+      let r = Loadgen.run cfg in
+      Alcotest.(check int) "no protocol errors" 0 r.Loadgen.r_errors;
+      Alcotest.(check bool) "made progress" true (r.Loadgen.r_ops > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Keygen                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_keygen_parse () =
+  let ok s d =
+    match Harness.Keygen.parse s with
+    | Ok d' -> Alcotest.(check bool) s true (d = d')
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "uniform" Harness.Keygen.Uniform;
+  ok "zipf:0.9" (Harness.Keygen.Zipf 0.9);
+  List.iter
+    (fun s ->
+      match Harness.Keygen.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed %S" s)
+    [ "zipf"; "zipf:"; "zipf:0"; "zipf:1.5"; "zipf:-0.5"; "bogus" ]
+
+let test_keygen_deterministic_and_bounded () =
+  let range = 1000 in
+  let draw dist =
+    let kg = Harness.Keygen.create dist ~range in
+    let rng = Harness.Rng.create ~seed:7 in
+    List.init 5000 (fun _ -> Harness.Keygen.next kg rng)
+  in
+  List.iter
+    (fun dist ->
+      let a = draw dist and b = draw dist in
+      Alcotest.(check bool) "same seed, same keys" true (a = b);
+      Alcotest.(check bool) "all in range" true
+        (List.for_all (fun k -> k >= 0 && k < range) a))
+    [ Harness.Keygen.Uniform; Harness.Keygen.Zipf 0.5;
+      Harness.Keygen.Zipf 0.99 ];
+  (* Uniform through Keygen is bit-identical to the historical direct
+     Rng.below draw — existing panels are unperturbed. *)
+  let direct =
+    let rng = Harness.Rng.create ~seed:7 in
+    List.init 5000 (fun _ -> Harness.Rng.below rng range)
+  in
+  Alcotest.(check bool) "uniform = Rng.below" true
+    (draw Harness.Keygen.Uniform = direct)
+
+let test_keygen_skew () =
+  let range = 1000 and draws = 50_000 in
+  let hot_mass dist =
+    let kg = Harness.Keygen.create dist ~range in
+    let rng = Harness.Rng.create ~seed:11 in
+    let hot = ref 0 in
+    for _ = 1 to draws do
+      if Harness.Keygen.next kg rng < 10 then incr hot
+    done;
+    float_of_int !hot /. float_of_int draws
+  in
+  let uniform = hot_mass Harness.Keygen.Uniform in
+  let zipf = hot_mass (Harness.Keygen.Zipf 0.99) in
+  Alcotest.(check bool)
+    (Printf.sprintf "uniform hot mass ~1%% (got %.3f)" uniform)
+    true
+    (uniform < 0.03);
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf 0.99 concentrates on hot keys (got %.3f)" zipf)
+    true (zipf > 0.15)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "codec",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_roundtrip_request; qcheck_roundtrip_response;
+            qcheck_truncated ]
+        @ [
+            Alcotest.test_case "max-length values" `Quick
+              test_max_length_values;
+            Alcotest.test_case "corrupt frames" `Quick test_corrupt_frames;
+          ] );
+      ( "server",
+        [
+          Alcotest.test_case "five commands" `Quick test_five_commands;
+          Alcotest.test_case "pipelined batch" `Quick test_pipelined_batch;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "malformed frame disconnects" `Quick
+            test_malformed_disconnect;
+          Alcotest.test_case "every scheme serves" `Quick test_every_scheme;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "closed loop" `Quick test_loadgen_closed;
+          Alcotest.test_case "open loop" `Quick test_loadgen_open;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "parse" `Quick test_keygen_parse;
+          Alcotest.test_case "deterministic and bounded" `Quick
+            test_keygen_deterministic_and_bounded;
+          Alcotest.test_case "zipf skew" `Quick test_keygen_skew;
+        ] );
+    ]

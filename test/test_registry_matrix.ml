@@ -86,6 +86,32 @@ let test_conservative_epoch_advances () =
     true
     (inst.Registry.epoch_advances () > 0)
 
+let test_hash_buckets () =
+  (* The ?buckets tuning surface: a hash table sized away from the
+     load-factor-1 default still works (correctness does not depend on
+     the bucket count), and a nonsensical count is rejected. *)
+  List.iter
+    (fun buckets ->
+      let inst =
+        Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:1 ~range:64
+          ~capacity:10_000 ~buckets ()
+      in
+      for k = 0 to 63 do
+        ignore (inst.Registry.insert ~tid:0 k)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "all present with %d buckets" buckets)
+        64 (inst.Registry.size ());
+      for k = 0 to 63 do
+        Alcotest.(check bool) "contains" true (inst.Registry.contains ~tid:0 k)
+      done)
+    [ 1; 7; 64; 512 ];
+  Alcotest.check_raises "buckets < 1 rejected"
+    (Invalid_argument "Registry: buckets < 1") (fun () ->
+      ignore
+        (Registry.make ~structure:"hash" ~scheme:"VBR" ~n_threads:1 ~range:64
+           ~capacity:10_000 ~buckets:0 ()))
+
 let () =
   let combos =
     List.concat_map
@@ -107,6 +133,7 @@ let () =
         [
           Alcotest.test_case "conservative epoch_advances" `Quick
             test_conservative_epoch_advances;
+          Alcotest.test_case "hash buckets knob" `Quick test_hash_buckets;
         ] );
       ("matrix", combos);
     ]
