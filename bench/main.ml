@@ -142,7 +142,55 @@ let cell_json c =
                    lat) );
           ])
 
-let run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed =
+(* --profile: the memory-plane story behind a panel's throughput row.
+   One block per thread count, schemes as columns, the counters that the
+   sharding/batching/amortization work moves as rows — so "CAS traffic
+   visibly reduced" is readable straight off the bench output instead of
+   requiring a dig through BENCH_*.json. *)
+let profile_events =
+  Obs.Event.
+    [
+      Alloc;
+      Pool_recycle;
+      Arena_fresh;
+      Pool_spill;
+      Global_push;
+      Global_pop;
+      Global_steal;
+      Retire;
+      Reclaim;
+      Scan_skip;
+      Epoch_advance;
+      Advance_skip;
+      Rollback;
+      Cas_fail;
+      Protect_retry;
+    ]
+
+let print_profile ~title cells =
+  let threads_list =
+    List.sort_uniq compare (List.map (fun c -> c.c_threads) cells)
+  in
+  Printf.printf "\n[profile] %s - memory-plane counters per run\n" title;
+  List.iter
+    (fun threads ->
+      let row = List.filter (fun c -> c.c_threads = threads) cells in
+      Printf.printf "-- %d thread%s\n" threads (if threads = 1 then "" else "s");
+      Printf.printf "%-20s" "";
+      List.iter (fun c -> Printf.printf "%12s" c.c_scheme) row;
+      print_newline ();
+      List.iter
+        (fun ev ->
+          Printf.printf "%-20s" (Obs.Event.to_string ev);
+          List.iter
+            (fun c ->
+              Printf.printf "%12d" (Obs.Counters.get c.c_counters ev))
+            row;
+          print_newline ())
+        profile_events)
+    threads_list
+
+let run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed ~profile =
   let columns = schemes_for fig.structure in
   let cells =
     List.concat_map
@@ -174,6 +222,7 @@ let run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed =
     ~title:
       (Printf.sprintf "[%s] %s (range %d)" fig.fid fig.paper_ref fig.range)
     ~ylabel:"Mops/s" ~columns ~rows;
+  if profile then print_profile ~title:fig.fid cells;
   let open Obs.Sink in
   write_json fig.fid
     [
@@ -622,7 +671,7 @@ let queue_stack_structures () =
       | Some Registry.Set | None -> false)
     Registry.structures
 
-let queue ~keydist ~threads_list ~duration ~repeats =
+let queue ~keydist ~threads_list ~duration ~repeats ~profile:show_profile =
   (* The 50/50 insert/delete profile is exactly a produce/consume pair
      stream through the set-shaped instance ops: insert enqueues/pushes
      the key, delete dequeues/pops one element. Prefill warms the pool so
@@ -665,6 +714,7 @@ let queue ~keydist ~threads_list ~duration ~repeats =
                 paper)"
                structure)
           ~ylabel:"Mops/s" ~columns ~rows;
+        if show_profile then print_profile ~title:structure cells;
         (structure, cells))
       (queue_stack_structures ())
   in
@@ -865,13 +915,15 @@ let all_experiments =
       "net";
     ]
 
-let run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed =
+let run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed
+    ~profile =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.find_opt (fun f -> f.fid = name) figures with
       | Some fig ->
           run_figure fig ~keydist ~threads_list ~duration ~repeats ~timed
+            ~profile
       | None -> (
           match name with
           | "micro" -> micro ()
@@ -886,7 +938,7 @@ let run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed =
                 ~threads:(max 2 (List.fold_left max 1 threads_list))
                 ~duration ~repeats
           | "harris" -> harris ~threads_list ~duration ~repeats
-          | "queue" -> queue ~keydist ~threads_list ~duration ~repeats
+          | "queue" -> queue ~keydist ~threads_list ~duration ~repeats ~profile
           | "trace" ->
               trace_panel ~threads:(max 2 (List.fold_left max 1 threads_list))
           | "net" ->
@@ -942,7 +994,15 @@ let () =
     in
     Arg.(value & flag & info [ "timed" ] ~doc)
   in
-  let main exps threads duration repeats quick keydist timed =
+  let profile =
+    let doc =
+      "Print a memory-plane counter breakdown (pool recycles, global-pool \
+       push/pop/steal CAS traffic, skipped scans, epoch-advance cadence, \
+       rollbacks) per scheme under each figure/queue panel."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let main exps threads duration repeats quick keydist timed profile =
     let keydist =
       match Keygen.parse keydist with
       | Ok d -> d
@@ -962,6 +1022,7 @@ let () =
       if quick then ([ 1; 4 ], 0.1, 1) else (threads, duration, repeats)
     in
     run_experiments names ~keydist ~threads_list ~duration ~repeats ~timed
+      ~profile
   in
   let cmd =
     Cmd.v
@@ -969,6 +1030,6 @@ let () =
          ~doc:"Regenerate the VBR paper's evaluation (SPAA 2021, Figure 2)")
       Term.(
         const main $ experiments $ threads $ duration $ repeats $ quick
-        $ keydist $ timed)
+        $ keydist $ timed $ profile)
   in
   exit (Cmd.eval cmd)

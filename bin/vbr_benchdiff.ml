@@ -1,0 +1,88 @@
+(* vbr-benchdiff: the CI perf ratchet (DESIGN §2.13). Compares freshly
+   measured BENCH_*.json panels against committed baselines point by
+   point and exits 1 if any shared (structure, scheme, threads) point
+   regressed beyond the threshold.
+
+     vbr-benchdiff BENCH_fig2b.json:fresh/BENCH_fig2b.json ...
+
+   Each positional argument is baseline:candidate. Threshold resolution:
+   --threshold flag, then the BENCH_DIFF_THRESHOLD env var, then 0.15. *)
+
+let () =
+  let open Cmdliner in
+  let pairs =
+    let doc =
+      "Panel pairs to compare, as $(i,BASELINE):$(i,CANDIDATE) JSON paths."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"BASE:CAND" ~doc)
+  in
+  let threshold =
+    let doc =
+      "Maximum tolerated per-point throughput drop, as a fraction of the \
+       baseline (0.15 = fail below 0.85x). Overrides the \
+       BENCH_DIFF_THRESHOLD environment variable; default 0.15."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+  in
+  let json_out =
+    let doc = "Write the full diff report as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+  in
+  let main pairs threshold json_out =
+    let threshold = Benchdiff.resolve_threshold threshold in
+    let parsed =
+      List.map
+        (fun spec ->
+          match String.index_opt spec ':' with
+          | Some i ->
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | None ->
+              Printf.eprintf
+                "vbr-benchdiff: %S is not BASELINE:CANDIDATE\n" spec;
+              exit 2)
+        pairs
+    in
+    let reports =
+      List.map
+        (fun (baseline, candidate) ->
+          match Benchdiff.compare_files ~threshold ~baseline ~candidate with
+          | Ok r ->
+              Benchdiff.print_report stdout r;
+              r
+          | Error msg ->
+              Printf.eprintf "vbr-benchdiff: %s\n" msg;
+              exit 2)
+        parsed
+    in
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        Obs.Sink.write_file path
+          (Obs.Sink.Obj
+             [
+               ("tool", Obs.Sink.String "vbr-benchdiff");
+               ("threshold", Obs.Sink.Float threshold);
+               ( "pass",
+                 Obs.Sink.Bool
+                   (List.for_all
+                      (fun r -> r.Benchdiff.r_regressions = [])
+                      reports) );
+               ( "panels",
+                 Obs.Sink.List (List.map Benchdiff.report_json reports) );
+             ]);
+        Printf.printf "wrote %s\n%!" path);
+    if List.exists (fun r -> r.Benchdiff.r_regressions <> []) reports then
+      exit 1
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-benchdiff"
+         ~doc:
+           "Per-point benchmark regression gate over BENCH_*.json panels")
+      Term.(const main $ pairs $ threshold $ json_out)
+  in
+  exit (Cmd.eval cmd)

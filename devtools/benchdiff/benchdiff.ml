@@ -1,0 +1,230 @@
+(* The CI perf ratchet: compare a freshly measured BENCH_*.json against
+   the committed trajectory, point by point, and fail on any per-point
+   throughput regression beyond a threshold. A "point" is one
+   (structure, scheme, threads) cell of a panel; matching is by key, so
+   adding a scheme or a thread count to a panel never breaks the gate —
+   only making an existing point slower does.
+
+   The threshold is a fraction of the baseline: with threshold 0.15, a
+   candidate below 0.85x baseline on any shared point is a regression.
+   Points present on only one side are reported but never fail the gate
+   (new schemes appear, retired panels drop out). *)
+
+module Json_read = Json_read
+(** Re-exported: the library is wrapped behind this module, and the CLI
+    and tests both want the reader. *)
+
+type point = {
+  p_structure : string;  (* "" for single-structure panels *)
+  p_scheme : string;
+  p_threads : int;
+  p_mops : float;
+}
+
+type delta = {
+  d_point : point;  (* baseline side *)
+  d_base : float;
+  d_cand : float;
+  d_ratio : float;  (* cand / base *)
+}
+
+type report = {
+  r_panel : string;
+  r_threshold : float;
+  r_deltas : delta list;  (* every shared point, worst ratio first *)
+  r_regressions : delta list;  (* deltas beyond the threshold *)
+  r_only_baseline : point list;
+  r_only_candidate : point list;
+}
+
+let key p = (p.p_structure, p.p_scheme, p.p_threads)
+
+let field name fields = List.assoc_opt name fields
+
+let as_float = function
+  | Some (Obs.Sink.Float f) -> Some f
+  | Some (Obs.Sink.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let as_int = function Some (Obs.Sink.Int i) -> Some i | _ -> None
+let as_string = function Some (Obs.Sink.String s) -> Some s | _ -> None
+
+(* Extract the throughput points of one panel document. Points missing
+   any of scheme/threads/mops (robust series, micro estimates, trace
+   metrics) yield no point — benchdiff only ratchets throughput panels. *)
+let points_of_json (j : Obs.Sink.json) : (string * point list, string) result
+    =
+  match j with
+  | Obs.Sink.Obj fields -> (
+      match as_string (field "panel" fields) with
+      | None -> Error "document has no \"panel\" field"
+      | Some panel ->
+          let pts =
+            match field "points" fields with
+            | Some (Obs.Sink.List items) ->
+                List.filter_map
+                  (function
+                    | Obs.Sink.Obj pf -> (
+                        match
+                          ( as_string (field "scheme" pf),
+                            as_int (field "threads" pf),
+                            as_float (field "mops" pf) )
+                        with
+                        | Some scheme, Some threads, Some mops ->
+                            Some
+                              {
+                                p_structure =
+                                  Option.value
+                                    (as_string (field "structure" pf))
+                                    ~default:"";
+                                p_scheme = scheme;
+                                p_threads = threads;
+                                p_mops = mops;
+                              }
+                        | _ -> None)
+                    | _ -> None)
+                  items
+            | _ -> []
+          in
+          Ok (panel, pts))
+  | _ -> Error "document is not a JSON object"
+
+let compare_panels ~threshold ~panel ~(baseline : point list)
+    ~(candidate : point list) : report =
+  let deltas, only_base =
+    List.fold_left
+      (fun (ds, lone) bp ->
+        match List.find_opt (fun cp -> key cp = key bp) candidate with
+        | Some cp ->
+            let ratio =
+              if bp.p_mops > 0.0 then cp.p_mops /. bp.p_mops
+              else if cp.p_mops > 0.0 then Float.infinity
+              else 1.0
+            in
+            ( { d_point = bp; d_base = bp.p_mops; d_cand = cp.p_mops;
+                d_ratio = ratio }
+              :: ds,
+              lone )
+        | None -> (ds, bp :: lone))
+      ([], []) baseline
+  in
+  let only_cand =
+    List.filter
+      (fun cp -> not (List.exists (fun bp -> key bp = key cp) baseline))
+      candidate
+  in
+  let deltas =
+    List.sort (fun a b -> compare a.d_ratio b.d_ratio) deltas
+  in
+  {
+    r_panel = panel;
+    r_threshold = threshold;
+    r_deltas = deltas;
+    r_regressions =
+      List.filter (fun d -> d.d_ratio < 1.0 -. threshold) deltas;
+    r_only_baseline = List.rev only_base;
+    r_only_candidate = only_cand;
+  }
+
+let compare_json ~threshold ~baseline ~candidate :
+    (report, string) result =
+  match (points_of_json baseline, points_of_json candidate) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("candidate: " ^ e)
+  | Ok (bpanel, bpts), Ok (cpanel, cpts) ->
+      if bpanel <> cpanel then
+        Error
+          (Printf.sprintf "panel mismatch: baseline %S vs candidate %S"
+             bpanel cpanel)
+      else Ok (compare_panels ~threshold ~panel:bpanel ~baseline:bpts
+                 ~candidate:cpts)
+
+let compare_files ~threshold ~baseline ~candidate :
+    (report, string) result =
+  match Json_read.of_file baseline with
+  | Error e -> Error (Printf.sprintf "%s: %s" baseline e)
+  | Ok bj -> (
+      match Json_read.of_file candidate with
+      | Error e -> Error (Printf.sprintf "%s: %s" candidate e)
+      | Ok cj -> compare_json ~threshold ~baseline:bj ~candidate:cj)
+
+let point_name p =
+  if p.p_structure = "" then
+    Printf.sprintf "%s@%dT" p.p_scheme p.p_threads
+  else Printf.sprintf "%s/%s@%dT" p.p_structure p.p_scheme p.p_threads
+
+let print_report oc r =
+  Printf.fprintf oc
+    "[benchdiff] panel %s: %d shared points, threshold -%.0f%%\n" r.r_panel
+    (List.length r.r_deltas)
+    (r.r_threshold *. 100.0);
+  List.iter
+    (fun d ->
+      Printf.fprintf oc "  %-24s %10.4f -> %10.4f  %+7.1f%%%s\n"
+        (point_name d.d_point) d.d_base d.d_cand
+        ((d.d_ratio -. 1.0) *. 100.0)
+        (if d.d_ratio < 1.0 -. r.r_threshold then "  REGRESSION" else ""))
+    r.r_deltas;
+  List.iter
+    (fun p ->
+      Printf.fprintf oc "  %-24s only in baseline (ignored)\n" (point_name p))
+    r.r_only_baseline;
+  List.iter
+    (fun p ->
+      Printf.fprintf oc "  %-24s only in candidate (ignored)\n"
+        (point_name p))
+    r.r_only_candidate;
+  (match r.r_regressions with
+  | [] -> Printf.fprintf oc "  PASS\n"
+  | regs -> Printf.fprintf oc "  FAIL: %d regression(s)\n" (List.length regs));
+  flush oc
+
+let report_json r =
+  Obs.Sink.Obj
+    [
+      ("panel", Obs.Sink.String r.r_panel);
+      ("threshold", Obs.Sink.Float r.r_threshold);
+      ("pass", Obs.Sink.Bool (r.r_regressions = []));
+      ( "deltas",
+        Obs.Sink.List
+          (List.map
+             (fun d ->
+               Obs.Sink.Obj
+                 [
+                   ("point", Obs.Sink.String (point_name d.d_point));
+                   ("structure", Obs.Sink.String d.d_point.p_structure);
+                   ("scheme", Obs.Sink.String d.d_point.p_scheme);
+                   ("threads", Obs.Sink.Int d.d_point.p_threads);
+                   ("baseline_mops", Obs.Sink.Float d.d_base);
+                   ("candidate_mops", Obs.Sink.Float d.d_cand);
+                   ("ratio", Obs.Sink.Float d.d_ratio);
+                   ( "regression",
+                     Obs.Sink.Bool (d.d_ratio < 1.0 -. r.r_threshold) );
+                 ])
+             r.r_deltas) );
+      ( "only_baseline",
+        Obs.Sink.List
+          (List.map (fun p -> Obs.Sink.String (point_name p))
+             r.r_only_baseline) );
+      ( "only_candidate",
+        Obs.Sink.List
+          (List.map (fun p -> Obs.Sink.String (point_name p))
+             r.r_only_candidate) );
+    ]
+
+(* Threshold resolution: explicit flag > BENCH_DIFF_THRESHOLD env var >
+   the 0.15 default the CI ratchet documents. *)
+let default_threshold = 0.15
+
+let resolve_threshold = function
+  | Some t -> t
+  | None -> (
+      match Sys.getenv_opt "BENCH_DIFF_THRESHOLD" with
+      | Some s -> (
+          match float_of_string_opt s with
+          | Some t when t > 0.0 && t < 1.0 -> t
+          | _ ->
+              Printf.eprintf
+                "benchdiff: ignoring bad BENCH_DIFF_THRESHOLD %S\n" s;
+              default_threshold)
+      | None -> default_threshold)

@@ -1,0 +1,172 @@
+(* A reader for the JSON that Obs.Sink writes — the container ships no
+   JSON library, and the bench artifacts only use the subset Sink emits
+   (no unicode surrogate pairs, no exotic numbers), so a small
+   recursive-descent parser into [Obs.Sink.json] keeps benchdiff
+   dependency-free. Strict enough for the gate: any malformed input is a
+   hard [Error], never a silently-empty parse. *)
+
+type state = { s : string; mutable pos : int }
+
+exception Fail of string * int
+
+let error st msg = raise (Fail (msg, st.pos))
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.pos <- st.pos + 1;
+      c
+  | None -> error st "unexpected end of input"
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        st.pos <- st.pos + 1;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  let got = next st in
+  if got <> c then error st (Printf.sprintf "expected %c, got %c" c got)
+
+let literal st word value =
+  String.iter (fun c -> expect st c) word;
+  value
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            let hex = String.init 4 (fun _ -> next st) in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> error st "bad \\u escape"
+            in
+            (* Sink only escapes control characters; anything wider is
+               preserved as '?' rather than attempting UTF-8. *)
+            Buffer.add_char buf
+              (if code < 0x80 then Char.chr code else '?')
+        | c -> error st (Printf.sprintf "bad escape \\%c" c));
+        go ()
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  if tok = "" then error st "expected a number";
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+    match float_of_string_opt tok with
+    | Some f -> Obs.Sink.Float f
+    | None -> error st (Printf.sprintf "bad float %S" tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Obs.Sink.Int i
+    | None -> error st (Printf.sprintf "bad int %S" tok)
+
+let rec parse_value st : Obs.Sink.json =
+  skip_ws st;
+  match peek st with
+  | Some 'n' -> literal st "null" Obs.Sink.Null
+  | Some 't' -> literal st "true" (Obs.Sink.Bool true)
+  | Some 'f' -> literal st "false" (Obs.Sink.Bool false)
+  | Some '"' -> Obs.Sink.String (parse_string st)
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        Obs.Sink.List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          st.pos <- st.pos + 1;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        Obs.Sink.List (List.rev !items)
+      end
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obs.Sink.Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        while peek st = Some ',' do
+          st.pos <- st.pos + 1;
+          fields := field () :: !fields
+        done;
+        expect st '}';
+        Obs.Sink.Obj (List.rev !fields)
+      end
+  | Some c -> parse_number_or_fail st c
+  | None -> error st "unexpected end of input"
+
+and parse_number_or_fail st c =
+  match c with
+  | '-' | '0' .. '9' -> parse_number st
+  | c -> error st (Printf.sprintf "unexpected character %c" c)
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  match parse_value st with
+  | v ->
+      skip_ws st;
+      if st.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+      else Ok v
+  | exception Fail (msg, pos) ->
+      Error (Printf.sprintf "%s at offset %d" msg pos)
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg

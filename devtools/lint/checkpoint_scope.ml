@@ -18,8 +18,12 @@ let checked =
     "alloc";
     "get_next";
     "get_next_word";
+    "get_next_packed";
+    "get_next_raw";
+    "get_birth";
     "get_key";
     "read_root";
+    "read_root_packed";
     "update";
     "mark";
     "cas_root";
@@ -29,9 +33,15 @@ let checked =
     "heal_stale_edge";
   ]
 
+(* The closure-free [checkpoint2]/[checkpoint3] shapes install scope just
+   like [checkpoint]; their body arguments are usually references to
+   top-level functions, which carry their own allow annotations. *)
 let is_checkpoint_head (e : expression) =
   match Ast_util.fn_name e with
-  | Some n -> Ast_util.last_component n = "checkpoint"
+  | Some n -> (
+      match Ast_util.last_component n with
+      | "checkpoint" | "checkpoint2" | "checkpoint3" -> true
+      | _ -> false)
   | None -> false
 
 let check (ctx : Rule.ctx) str =

@@ -19,10 +19,25 @@ let banned =
     "Atomic.decr";
   ]
 
+(* [Atomic.get (Padded.cell c)] and friends are exempt: [Padded.cell] is
+   the identity whose whole point is to mark an access as touching padded
+   plane bookkeeping (a counter, an announcement slot) rather than a
+   simulated node word — see lib/memsim/padded.mli and DESIGN §2.13. *)
+let is_padded_cell (arg : Parsetree.expression) =
+  match arg.pexp_desc with
+  | Parsetree.Pexp_apply (head, _) -> (
+      match Ast_util.fn_name head with
+      | Some n -> Ast_util.suffix_matches n ~suffixes:[ "Padded.cell" ]
+      | None -> false)
+  | _ -> false
+
 let check (ctx : Rule.ctx) str =
   let findings = ref [] in
-  Ast_util.iter_applications str ~f:(fun ~name:fname ~loc _args ->
-      if Ast_util.suffix_matches fname ~suffixes:banned then
+  Ast_util.iter_applications str ~f:(fun ~name:fname ~loc args ->
+      if
+        Ast_util.suffix_matches fname ~suffixes:banned
+        && not (List.exists (fun (_, a) -> is_padded_cell a) args)
+      then
         findings :=
           Finding.make ~rule:name ~file:ctx.scope.path
             ~line:(Ast_util.line_of loc) ~col:(Ast_util.col_of loc)

@@ -1,6 +1,10 @@
 type t = { value : int Atomic.t; advances : int Atomic.t }
 
-let create () = { value = Atomic.make 1; advances = Atomic.make 0 }
+(* The epoch word is the single hottest line in the plane — every VBR
+   read validates against it — so it must never share a cache line with
+   another mutable word (least of all its own advances counter). *)
+let create () =
+  { value = Memsim.Padded.atomic 1; advances = Memsim.Padded.atomic 0 }
 let get t = Memsim.Access.get t.value
 
 let try_advance t ~expected =

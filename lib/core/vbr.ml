@@ -18,6 +18,16 @@ type ctx = {
   (* Advance *attempts* from the alloc slow path; the Epoch_advance event
      counts only the successful ones. *)
   mutable epoch_bumps : int;
+  (* Adaptive advance cadence: relaxation spins granted to other threads
+     before this one CASes the epoch from the alloc slow path. Doubles on
+     every advance this thread loses (someone else is moving the clock),
+     halves when its own CAS wins. See [alloc_ctx]. *)
+  mutable advance_backoff : int;
+  (* Per-thread scratch for multi-value returns on hot paths: a
+     traversal that found (pred, curr, ...) writes the components here
+     instead of allocating a tuple per call. Single-owner (the ctx is
+     per-thread), so plain int stores. *)
+  scratch : int array;
   mutable tr : Obs.Trace.ring option;
 }
 
@@ -47,12 +57,14 @@ let create_tuned ?(retire_threshold = 64) ?(spill = 4096) ~arena ~global
           epoch;
           retire_threshold;
           my_e = 1;
-          pool = Pool.create ~stats:obs arena global ~spill;
+          pool = Pool.create ~stats:obs ~shard:tid arena global ~spill;
           obs;
           retired = [];
           retired_len = 0;
           pending = [];
           epoch_bumps = 0;
+          advance_backoff = 0;
+          scratch = Array.make 8 0;
           tr = None;
         })
   in
@@ -66,6 +78,7 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq:_
   create_tuned ~retire_threshold ~arena ~global ~n_threads ()
 
 let ctx (t : t) ~tid = t.ctxs.(tid)
+let scratch (c : ctx) = c.scratch
 let arena (t : t) = t.arena
 let epoch (t : t) = t.epoch
 
@@ -109,28 +122,58 @@ let flush_pending (c : ctx) =
           Pool.put c.pool i)
         pending
 
-let checkpoint (c : ctx) f =
-  let rec loop () =
-    refresh_epoch c;
-    emit c Obs.Trace.Checkpoint ~slot:0 ~v1:0 ~v2:0 ~epoch:c.my_e;
-    match f () with
-    | v ->
-        c.pending <- [];
-        v
-    | exception Rollback ->
-        Obs.Counters.shard_incr c.obs Obs.Event.Rollback;
-        (match c.tr with
-        | None -> ()
-        | Some r ->
-            (* Stamped with the epoch that invalidated us, not the stale
-               cache, so the thread's traced clock stays monotone. *)
-            let e_now = Epoch.get c.epoch in
-            Obs.Trace.emit r Obs.Trace.Rollback ~slot:0 ~v1:c.my_e ~v2:e_now
-              ~epoch:e_now);
-        flush_pending c;
-        loop ()
-  in
-  loop ()
+(* Rollback bookkeeping shared by every checkpoint shape. *)
+let on_rollback (c : ctx) =
+  Obs.Counters.shard_incr c.obs Obs.Event.Rollback;
+  (match c.tr with
+  | None -> ()
+  | Some r ->
+      (* Stamped with the epoch that invalidated us, not the stale
+         cache, so the thread's traced clock stays monotone. *)
+      let e_now = Epoch.get c.epoch in
+      Obs.Trace.emit r Obs.Trace.Rollback ~slot:0 ~v1:c.my_e ~v2:e_now
+        ~epoch:e_now);
+  flush_pending c
+
+(* Top-level recursion, not an inner [loop] closure: [checkpoint] brackets
+   every operation, so a per-call closure would charge the minor heap once
+   per op even on rollback-free runs. *)
+let rec checkpoint (c : ctx) f =
+  refresh_epoch c;
+  emit c Obs.Trace.Checkpoint ~slot:0 ~v1:0 ~v2:0 ~epoch:c.my_e;
+  match f () with
+  | v ->
+      c.pending <- [];
+      v
+  | exception Rollback ->
+      on_rollback c;
+      checkpoint c f
+
+(* Closure-free checkpoint shapes: the body is a static function applied
+   to explicitly threaded arguments, so operations whose state is a few
+   scalars (a structure handle, a key, a tid) can run under a checkpoint
+   with zero per-call allocation. *)
+let rec checkpoint2 (c : ctx) f a b =
+  refresh_epoch c;
+  emit c Obs.Trace.Checkpoint ~slot:0 ~v1:0 ~v2:0 ~epoch:c.my_e;
+  match f c a b with
+  | v ->
+      c.pending <- [];
+      v
+  | exception Rollback ->
+      on_rollback c;
+      checkpoint2 c f a b
+
+let rec checkpoint3 (c : ctx) f a b d =
+  refresh_epoch c;
+  emit c Obs.Trace.Checkpoint ~slot:0 ~v1:0 ~v2:0 ~epoch:c.my_e;
+  match f c a b d with
+  | v ->
+      c.pending <- [];
+      v
+  | exception Rollback ->
+      on_rollback c;
+      checkpoint3 c f a b d
 
 (* Move a full retired list to the allocation pool as a whole (§4.1). *)
 let maybe_flush_retired (c : ctx) =
@@ -157,14 +200,43 @@ let alloc_ctx (c : ctx) ~level key =
   let i = Pool.take c.pool ~level in
   let n = node c i in
   if Access.get n.Node.retire >= c.my_e then begin
-    (* Figure 1, lines 3-6: the slot was retired in the current epoch; bump
-       the epoch (any thread's success is enough) and roll back so my_e is
-       refreshed above the slot's retire epoch. *)
+    (* Figure 1, lines 3-6: the slot was retired in the current epoch; the
+       epoch must move past it (any thread's success is enough) and we
+       roll back so my_e is refreshed above the slot's retire epoch.
+
+       Adaptive cadence: the CAS is elided whenever a load shows the
+       epoch already moved past our cache — the rollback alone
+       un-wedges us, and the CAS was guaranteed to fail. When the epoch
+       has NOT moved, someone must advance it or this thread livelocks
+       on the same pool head (a hard allocation budget would be unsafe
+       here), so we spin [advance_backoff] relaxations to let a
+       concurrent winner emerge, then CAS; losing doubles the backoff,
+       winning halves it. *)
     c.epoch_bumps <- c.epoch_bumps + 1;
-    if Epoch.try_advance c.epoch ~expected:c.my_e then begin
-      Obs.Counters.shard_incr c.obs Obs.Event.Epoch_advance;
-      emit c Obs.Trace.Epoch_advance ~slot:0 ~v1:c.my_e ~v2:(c.my_e + 1)
-        ~epoch:(c.my_e + 1)
+    if Epoch.get c.epoch <> c.my_e then
+      Obs.Counters.shard_incr c.obs Obs.Event.Advance_skip
+    else begin
+      let rec grace k =
+        if k > 0 && Epoch.get c.epoch = c.my_e then begin
+          Domain.cpu_relax ();
+          grace (k - 1)
+        end
+      in
+      grace c.advance_backoff;
+      if Epoch.get c.epoch <> c.my_e then begin
+        c.advance_backoff <- min (2 * max 1 c.advance_backoff) 64;
+        Obs.Counters.shard_incr c.obs Obs.Event.Advance_skip
+      end
+      else if Epoch.try_advance c.epoch ~expected:c.my_e then begin
+        c.advance_backoff <- c.advance_backoff / 2;
+        Obs.Counters.shard_incr c.obs Obs.Event.Epoch_advance;
+        emit c Obs.Trace.Epoch_advance ~slot:0 ~v1:c.my_e ~v2:(c.my_e + 1)
+          ~epoch:(c.my_e + 1)
+      end
+      else begin
+        c.advance_backoff <- min (2 * max 1 c.advance_backoff) 64;
+        Obs.Counters.shard_incr c.obs Obs.Event.Advance_skip
+      end
     end;
     Pool.put c.pool i;
     raise Rollback
@@ -176,7 +248,7 @@ let alloc_ctx (c : ctx) ~level key =
     let word = n.Node.next.(lvl) in
     let ok =
       Access.compare_and_set word (Access.get word)
-        (Packed.pack ~marked:false ~index:0 ~version:b)
+        (Packed.pack_unchecked ~marked:false ~index:0 ~version:b)
     in
     (* Line 9: always succeeds — the fields of a retired node are
        invalidated and immutable (Assumption 3), so no concurrent update
@@ -193,7 +265,11 @@ let alloc_ctx (c : ctx) ~level key =
   (i, b)
 
 let commit_alloc (c : ctx) i =
-  c.pending <- List.filter (fun j -> j <> i) c.pending
+  (* The common shape is a single pending allocation; skip the filter's
+     list rebuild for it (this runs on every successful insert). *)
+  match c.pending with
+  | [ j ] when j = i -> c.pending <- []
+  | l -> c.pending <- List.filter (fun j -> j <> i) l
 
 let retire_ctx (c : ctx) i ~birth =
   let n = node_spec c i in
@@ -250,10 +326,53 @@ let get_next_word (c : ctx) ?(lvl = 0) i =
   validate c;
   (succ, succ_b, Packed.is_marked w)
 
+(* Allocation-free fusion of [get_next]/[get_next_word]: (successor,
+   successor birth, own mark bit) packs into one immediate word — the
+   successor index fits the index field by construction and a birth epoch
+   fits the version field — so a traversal's per-hop result costs no
+   minor-heap block. [lvl] is a required label to keep even the [Some]
+   boxing of an optional argument off the hop. *)
+let get_next_packed (c : ctx) ~lvl i =
+  let w = Access.get (node_spec c i).Node.next.(lvl) in
+  let succ = Packed.index w in
+  let succ_b = birth_of c succ in
+  validate c;
+  Packed.pack_unchecked ~marked:(Packed.is_marked w) ~index:succ
+    ~version:succ_b
+
+(* The cheapest hop: the stored word, validated, as-is. [update] stores
+   max(linker birth, successor birth) in the version field, so the raw
+   version is NOT the successor's birth — callers must consume only
+   [Packed.index] and [Packed.is_marked] of the result. Read-only
+   traversals (Figure 6) need exactly those two, and skipping the
+   successor-birth recompute saves a node touch per hop. *)
+let get_next_raw (c : ctx) ~lvl i =
+  let w = Access.get (node_spec c i).Node.next.(lvl) in
+  validate c;
+  w
+
+(* A root word already carries (index, version = pointee birth); validate
+   and hand it back unboxed. *)
+let read_root_packed (c : ctx) root =
+  let w = Access.get root in
+  validate c;
+  w
+
 let get_key (c : ctx) i =
   let k = (node_spec c i).Node.key in
   validate c;
   k
+
+(* The validated birth epoch of one node, on demand. Pairs with
+   [get_next_raw]: a CAS-bound traversal can hop on raw words and
+   recompute the births it actually needs (pred, curr) only at its
+   stopping point, instead of paying a successor-birth node touch on
+   every hop. If the node was recycled since the raw hop, the epoch
+   necessarily advanced and [validate] rolls the operation back. *)
+let get_birth (c : ctx) i =
+  let b = birth_of c i in
+  validate c;
+  b
 
 let is_marked (c : ctx) ?(lvl = 0) i ~birth =
   let n = node_spec c i in
@@ -285,8 +404,8 @@ let update (c : ctx) ?(lvl = 0) i ~birth ~expected ~expected_birth ~new_ ~new_bi
   let new_v = max birth new_birth in
   count_cas c ~slot:i
     (Access.compare_and_set n.Node.next.(lvl)
-       (Packed.pack ~marked:false ~index:expected ~version:exp_v)
-       (Packed.pack ~marked:false ~index:new_ ~version:new_v))
+       (Packed.pack_unchecked ~marked:false ~index:expected ~version:exp_v)
+       (Packed.pack_unchecked ~marked:false ~index:new_ ~version:new_v))
 
 (* Figure 1 computes the expected version as max(n_b, exp's birth) (line
    36). That recomputation livelocks on partially-linked skiplist towers:
@@ -320,7 +439,8 @@ let refresh_next (c : ctx) ?(lvl = 0) i ~birth ~new_ ~new_birth =
   else
     count_cas c ~slot:i
       (Access.compare_and_set n.Node.next.(lvl) w
-         (Packed.pack ~marked:false ~index:new_ ~version:(max birth new_birth)))
+         (Packed.pack_unchecked ~marked:false ~index:new_
+            ~version:(max birth new_birth)))
 
 (* A garbage edge — one whose stored version is below its target's
    current birth epoch — can never be touched by a versioned CAS (every
@@ -340,7 +460,8 @@ let heal_stale_edge (c : ctx) ?(lvl = 0) i ~birth ~to_ ~to_birth =
     && Packed.version w < birth_of c tgt
     && count_cas c ~slot:i
          (Access.compare_and_set n.Node.next.(lvl) w
-            (Packed.pack ~marked:false ~index:to_ ~version:(max birth to_birth)))
+            (Packed.pack_unchecked ~marked:false ~index:to_
+               ~version:(max birth to_birth)))
   end
 
 let make_root ~init ~init_birth =
@@ -354,8 +475,9 @@ let read_root (c : ctx) root =
 let cas_root (c : ctx) root ~expected ~expected_birth ~new_ ~new_birth =
   count_cas c ~slot:0
     (Access.compare_and_set root
-       (Packed.pack ~marked:false ~index:expected ~version:expected_birth)
-       (Packed.pack ~marked:false ~index:new_ ~version:new_birth))
+       (Packed.pack_unchecked ~marked:false ~index:expected
+          ~version:expected_birth)
+       (Packed.pack_unchecked ~marked:false ~index:new_ ~version:new_birth))
 
 type ctx_stats = {
   allocs : int;

@@ -68,6 +68,13 @@ val create_tuned :
 val ctx : t -> tid:int -> ctx
 (** The context of thread [tid] (0-based). *)
 
+val scratch : ctx -> int array
+(** The context's per-thread scratch plane (8 slots): hot paths that
+    would otherwise return a tuple per call (a find's pred/curr/key)
+    write their components here instead — zero allocation. Contents are
+    only meaningful between a writer and the immediately following
+    reader on the same thread; any operation may clobber them. *)
+
 val arena : t -> Memsim.Arena.t
 val epoch : t -> Epoch.t
 
@@ -111,6 +118,16 @@ val checkpoint : ctx -> (unit -> 'a) -> 'a
     a second checkpoint after a rollback-unsafe CAS is expressed by calling
     [checkpoint] again on the remainder of the operation. *)
 
+val checkpoint2 : ctx -> (ctx -> 'a -> 'b -> 'r) -> 'a -> 'b -> 'r
+(** [checkpoint2 c f a b] is [checkpoint c (fun () -> f c a b)] without
+    the closure: when [f] is a top-level function and the arguments are
+    immediates, the call allocates nothing, which matters on operation
+    hot paths re-run once per rollback. *)
+
+val checkpoint3 : ctx -> (ctx -> 'a -> 'b -> 'c -> 'r) -> 'a -> 'b -> 'c -> 'r
+(** Three-argument sibling of {!checkpoint2} for operation bodies whose
+    state is a few scalars (e.g. structure + tid + key). *)
+
 val refresh_epoch : ctx -> unit
 (** Re-read the global epoch into [my_e]. [checkpoint] does this
     automatically; exposed for operations that install a checkpoint
@@ -136,8 +153,30 @@ val get_next_word : ctx -> ?lvl:int -> int -> int * int * bool
     a convenience for traversals that would otherwise pair [get_next] with
     [is_marked]; same validation. *)
 
+val get_next_packed : ctx -> lvl:int -> int -> Memsim.Packed.t
+(** Allocation-free fusion of {!get_next} and {!get_next_word}: the result
+    word's index is the successor slot, its version the successor's birth
+    epoch, and its mark bit the node's own mark — all in one immediate
+    [int], so a traversal hop allocates nothing. [lvl] is a required label
+    (an optional argument would box). Same validation as {!get_next}. *)
+
+val get_next_raw : ctx -> lvl:int -> int -> Memsim.Packed.t
+(** The stored next word, validated, as-is — the cheapest hop. The raw
+    version field is [max] of the linker's and successor's births (the
+    {!update} encoding), NOT the successor's birth, so callers must
+    consume only [Packed.index] and [Packed.is_marked] of the result.
+    For read-only traversals that never CAS (Figure 6). *)
+
 val get_key : ctx -> int -> int
 (** Figure 1, lines 22–25. Raises {!Rollback} if the epoch changed. *)
+
+val get_birth : ctx -> int -> int
+(** The node's current birth epoch, validated. Pairs with
+    {!get_next_raw}: a CAS-bound traversal can hop on raw words and
+    recompute the births it actually needs (pred, curr) only at its
+    stopping point. A recycled node implies an epoch advance, so a stale
+    raw hop is caught here by the validation. Raises {!Rollback} if the
+    epoch changed. *)
 
 val is_marked : ctx -> ?lvl:int -> int -> birth:int -> bool
 (** Figure 1, lines 26–29. Never rolls back: a birth-epoch mismatch means
@@ -221,6 +260,10 @@ val read_root : ctx -> int Atomic.t -> int * int
 (** [(index, birth)] of the referenced node — the birth is the version
     stored in the word, so the pair is read atomically. Epoch-validated;
     raises {!Rollback} like the other read methods. *)
+
+val read_root_packed : ctx -> int Atomic.t -> Memsim.Packed.t
+(** Allocation-free {!read_root}: the raw validated root word — its index
+    and version components are the node and its birth. *)
 
 val cas_root :
   ctx ->

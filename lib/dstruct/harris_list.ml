@@ -16,7 +16,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
 
   let next_word t i = Node.next0 (Arena.get t.arena i)
   let key_of t i = (Arena.get t.arena i).Node.key
-  let word_to i = Packed.pack ~marked:false ~index:i ~version:0
+  (* Arena indices are in range by construction. *)
+  let word_to i = Packed.pack_unchecked ~marked:false ~index:i ~version:0
 
   (* Harris's search: returns (left, right) where right is the first node
      with an unmarked next word and key >= [key], and left is its last

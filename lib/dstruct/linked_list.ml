@@ -25,7 +25,9 @@ module Make (R : Reclaim.Smr_intf.S) = struct
 
   let next_word t i = Node.next0 (Arena.get t.arena i)
   let key_of t i = (Arena.get t.arena i).Node.key
-  let word_to i = Packed.pack ~marked:false ~index:i ~version:0
+
+  (* Arena indices are in range by construction. *)
+  let word_to i = Packed.pack_unchecked ~marked:false ~index:i ~version:0
 
   (* Michael's Find: returns (pred, curr) with
      pred.key < key <= curr.key, both protected, and a flag for
@@ -33,19 +35,15 @@ module Make (R : Reclaim.Smr_intf.S) = struct
      anomaly restarts from the head. *)
   let rec find t ~tid key =
     let pred = t.head in
-    let curr_w =
-      R.protect t.r ~tid ~slot:slot_curr (fun () ->
-          Access.get (next_word t pred))
-    in
+    (* [protect_read] keeps the per-hop load closure-free: the traversal
+       is the benchmark's hot loop and must not touch the minor heap. *)
+    let curr_w = R.protect_read t.r ~tid ~slot:slot_curr (next_word t pred) in
     walk t ~tid key pred (Packed.index curr_w)
 
   and walk t ~tid key pred curr =
     (* Invariant: pred is protected (slot_pred or head), curr is protected
        (slot_curr) and was pred's unmarked successor when protected. *)
-    let cw =
-      R.protect t.r ~tid ~slot:slot_succ (fun () ->
-          Access.get (next_word t curr))
-    in
+    let cw = R.protect_read t.r ~tid ~slot:slot_succ (next_word t curr) in
     (* Re-validate the link; a change means pred or curr moved under us. *)
     let pv = Access.get (next_word t pred) in
     if Packed.index pv <> curr || Packed.is_marked pv then find t ~tid key

@@ -14,7 +14,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let name = "queue/" ^ R.name
   let hazard_slots = 2
 
-  let word_to i = Packed.pack ~marked:false ~index:i ~version:0
+  (* Arena indices are in range by construction. *)
+  let word_to i = Packed.pack_unchecked ~marked:false ~index:i ~version:0
 
   let create r ~arena =
     let dummy = R.alloc r ~tid:0 ~level:1 ~key:0 in
@@ -26,7 +27,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     R.begin_op t.r ~tid;
     let n = R.alloc t.r ~tid ~level:1 ~key:v in
     let rec loop () =
-      let tw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.tail) in
+      let tw = R.protect_read t.r ~tid ~slot:slot_target t.tail in
       let tl = Packed.index tw in
       let nw = Access.get (next_word t tl) in
       let nt = Packed.index nw in
@@ -49,12 +50,11 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let dequeue t ~tid =
     R.begin_op t.r ~tid;
     let rec loop () =
-      let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.head) in
+      let hw = R.protect_read t.r ~tid ~slot:slot_target t.head in
       let h = Packed.index hw in
       let tw = Access.get t.tail in
       let fw =
-        R.protect t.r ~tid ~slot:slot_succ (fun () ->
-            Access.get (next_word t h))
+        R.protect_read t.r ~tid ~slot:slot_succ (next_word t h)
       in
       (* Re-validate that h is still the head: protects the first node
          (it cannot be retired before the head swings past it, and the
@@ -83,7 +83,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
 
   let is_empty t ~tid =
     R.begin_op t.r ~tid;
-    let hw = R.protect t.r ~tid ~slot:slot_target (fun () -> Access.get t.head) in
+    let hw = R.protect_read t.r ~tid ~slot:slot_target t.head in
     let res = Packed.index (Access.get (next_word t (Packed.index hw))) = 0 in
     R.end_op t.r ~tid;
     res

@@ -56,7 +56,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let next t i l = (node t i).Node.next.(l)
   let key_of t i = (node t i).Node.key
   let level_of t i = (node t i).Node.level
-  let word_to i = Packed.pack ~marked:false ~index:i ~version:0
+  (* Arena indices are in range by construction. *)
+  let word_to i = Packed.pack_unchecked ~marked:false ~index:i ~version:0
 
   (* The Herlihy–Shavit find: latch pred/succ at every level, physically
      unlinking marked nodes on the way; any anomaly restarts the whole
@@ -75,15 +76,13 @@ module Make (R : Reclaim.Smr_intf.S) = struct
     for l = max_level - 1 downto 0 do
       let curr_w =
         ref
-          (R.protect t.r ~tid ~slot:(slot_succ l) (fun () ->
-               Access.get (next t !pred l)))
+          (R.protect_read t.r ~tid ~slot:(slot_succ l) (next t !pred l))
       in
       let at_level = ref true in
       while !at_level do
         let curr = Packed.index !curr_w in
         let cw =
-          R.protect t.r ~tid ~slot:slot_work (fun () ->
-              Access.get (next t curr l))
+          R.protect_read t.r ~tid ~slot:slot_work (next t curr l)
         in
         let pv = Access.get (next t !pred l) in
         if Packed.index pv <> curr || Packed.is_marked pv then raise Restart;

@@ -5,7 +5,8 @@ module Make (R : Reclaim.Smr_intf.S) = struct
 
   let name = "stack/" ^ R.name
   let hazard_slots = 1
-  let word_to i = Packed.pack ~marked:false ~index:i ~version:0
+  (* Arena indices are in range by construction. *)
+  let word_to i = Packed.pack_unchecked ~marked:false ~index:i ~version:0
 
   let create r ~arena = { r; arena; top = Atomic.make Packed.null }
 
@@ -25,7 +26,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
   let pop t ~tid =
     R.begin_op t.r ~tid;
     let rec loop () =
-      let tw = R.protect t.r ~tid ~slot:0 (fun () -> Access.get t.top) in
+      let tw = R.protect_read t.r ~tid ~slot:0 t.top in
       let top = Packed.index tw in
       if top = 0 then None
       else begin

@@ -2,6 +2,7 @@
    Smr_intf.OPTIMISTIC (today Vbr_core.Vbr; tomorrow an ablation variant)
    reuses the Figure 3-6 integration unchanged. *)
 module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  module P = Memsim.Packed
   type t = {
     vbr : V.t;
     head : int;
@@ -38,118 +39,154 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     create_with_tail vbr ~tail ~tail_birth
 
   (* Figure 3: the find auxiliary method. Raises Rollback on staleness;
-     installed checkpoints live in the calling operation. Returns
-     (pred, pred_b, curr, curr_b, curr_key) with pred.key < key <= curr_key. *)
-  let find t c key =
-    let rec retry () =
-      let pred = t.head and pred_b = t.head_b in
-      let curr, curr_b = V.get_next c pred in
-      let curr_key = V.get_key c curr in
-      loop pred pred_b curr curr_b curr_key
-    and loop pred pred_b curr curr_b curr_key =
-      if V.is_marked c curr ~birth:curr_b then begin
-        (* Walk to the end of the marked segment, then trim it with one
-           versioned update (Figure 3, lines 9-13) — rollback-safe. *)
-        let rec skip s s_b =
-          if V.is_marked c s ~birth:s_b then begin
-            let s', s'_b = V.get_next c s in
-            skip s' s'_b
-          end
-          else (s, s_b)
-        in
-        let first, first_b = V.get_next c curr in
-        let succ, succ_b = skip first first_b in
-        if
-          V.update c pred ~birth:pred_b ~expected:curr ~expected_birth:curr_b
-            ~new_:succ ~new_birth:succ_b
-        then loop pred pred_b succ succ_b (V.get_key c succ)
-        else retry ()
-      end
-      else if curr_key >= key then (pred, pred_b, curr, curr_b, curr_key)
-      else begin
-        let succ, succ_b = V.get_next c curr in
-        loop curr curr_b succ succ_b (V.get_key c succ)
-      end
-    in
-    retry ()
+     installed checkpoints live in the calling operation. Leaves
+     (pred, pred_b, curr, curr_b, curr_key) with pred.key < key <=
+     curr_key in the per-thread scratch plane (slots 0-4): returning a
+     5-tuple would allocate six minor words per find, and on the
+     Figure-2 update mix that allocation dominated the 8-thread
+     stop-the-world minor-GC rendezvous.
+
+     The hop primitive is [get_next_raw]: one validated load yields the
+     node's own mark bit plus its successor's index, and the births the
+     CASes will need (pred's and curr's) are recomputed by [get_birth]
+     only at the stopping point — not one successor-birth node touch per
+     hop. Using the raw mark in place of [is_marked], and a raw hop in
+     place of the per-hop birth, is equivalent inside a checkpoint: a
+     recycled node implies an epoch advance, which the next validated
+     read turns into the same re-run that the eager birth check would
+     have forced one step later.
+
+     All the traversal loops live at module level with their state
+     threaded as arguments: an inner [let rec] would capture [c] and
+     [key] in a fresh closure on every operation. *)
+  let rec find_retry t c key =
+    let w = V.get_next_raw c ~lvl:0 t.head in
+    let curr = P.index w in
+    find_loop t c key t.head curr (V.get_key c curr)
   [@@vbr.allow "checkpoint-scope"]
 
-  (* Figure 4. *)
+  and find_loop t c key pred curr curr_key =
+    let w = V.get_next_raw c ~lvl:0 curr in
+    if P.is_marked w then begin
+      (* Walk to the end of the marked segment, then trim it with one
+         versioned update (Figure 3, lines 9-13) — rollback-safe. *)
+      let succ = skip_marked c (P.index w) in
+      if
+        V.update c pred ~birth:(V.get_birth c pred) ~expected:curr
+          ~expected_birth:(V.get_birth c curr) ~new_:succ
+          ~new_birth:(V.get_birth c succ)
+      then find_loop t c key pred succ (V.get_key c succ)
+      else find_retry t c key
+    end
+    else if curr_key >= key then begin
+      let s = V.scratch c in
+      s.(0) <- pred;
+      s.(1) <- V.get_birth c pred;
+      s.(2) <- curr;
+      s.(3) <- V.get_birth c curr;
+      s.(4) <- curr_key
+    end
+    else
+      let succ = P.index w in
+      find_loop t c key curr succ (V.get_key c succ)
+  [@@vbr.allow "checkpoint-scope"]
+
+  and skip_marked c s =
+    let sw = V.get_next_raw c ~lvl:0 s in
+    if P.is_marked sw then skip_marked c (P.index sw) else s
+  [@@vbr.allow "checkpoint-scope"]
+
+  (* Figure 4. The body re-enters itself on a failed publishing CAS
+     instead of an inner loop closure; its checkpoint is installed by
+     [insert] below via the closure-free [checkpoint3]. *)
+  let rec insert_body c t tid key =
+    find_retry t c key;
+    let s = V.scratch c in
+    let pred = s.(0) and pred_b = s.(1) and succ = s.(2) and succ_b = s.(3) in
+    if s.(4) = key then false
+    else begin
+      let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key in
+      (* Point the private node at succ before publishing. *)
+      let ok =
+        V.update c n ~birth:n_b ~expected:0 ~expected_birth:n_b ~new_:succ
+          ~new_birth:succ_b
+      in
+      assert ok;
+      if
+        V.update c pred ~birth:pred_b ~expected:succ ~expected_birth:succ_b
+          ~new_:n ~new_birth:n_b
+      then begin
+        V.commit_alloc c n;
+        (* Figure 4, lines 12-13: checkpoint after the rollback-unsafe
+           insertion — nothing left to roll back, so just refresh. *)
+        V.refresh_epoch c;
+        true
+      end
+      else begin
+        V.retire t.vbr ~tid (n, n_b);  (* Figure 4, line 15 *)
+        insert_body c t tid key
+      end
+    end
+  [@@vbr.allow "checkpoint-scope"]
+
   let insert t ~tid key =
     let c = V.ctx t.vbr ~tid in
-    V.checkpoint c (fun () ->
-        let rec loop () =
-          let pred, pred_b, succ, succ_b, succ_key = find t c key in
-          if succ_key = key then false
-          else begin
-            let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key in
-            (* Point the private node at succ before publishing. *)
-            let ok =
-              V.update c n ~birth:n_b ~expected:0 ~expected_birth:n_b
-                ~new_:succ ~new_birth:succ_b
-            in
-            assert ok;
-            if
-              V.update c pred ~birth:pred_b ~expected:succ
-                ~expected_birth:succ_b ~new_:n ~new_birth:n_b
-            then begin
-              V.commit_alloc c n;
-              (* Figure 4, lines 12-13: checkpoint after the rollback-unsafe
-                 insertion — nothing left to roll back, so just refresh. *)
-              V.refresh_epoch c;
-              true
-            end
-            else begin
-              V.retire t.vbr ~tid (n, n_b);  (* Figure 4, line 15 *)
-              loop ()
-            end
-          end
-        in
-        loop ())
+    V.checkpoint3 c insert_body t tid key
 
   (* Figure 5. *)
+  let rec delete_mark_loop c t tid key pred pred_b curr curr_b =
+    if V.is_marked c curr ~birth:curr_b then false
+    else begin
+      let succ, succ_b = V.get_next c curr in
+      if V.mark c curr ~birth:curr_b then begin
+        (* Lines 11-16: the mark is the linearization point; the unlink,
+           clean-up find and retire run under a fresh checkpoint so a
+           rollback cannot cross back over it. The closure here is
+           per-successful-delete, not per-hop, so it stays. *)
+        V.checkpoint c (fun () ->
+            if
+              not
+                (V.update c pred ~birth:pred_b ~expected:curr
+                   ~expected_birth:curr_b ~new_:succ ~new_birth:succ_b)
+            then find_retry t c key;
+            V.retire t.vbr ~tid (curr, curr_b));
+        true
+      end
+      else delete_mark_loop c t tid key pred pred_b curr curr_b
+    end
+  [@@vbr.allow "checkpoint-scope"]
+
+  let delete_body c t tid key =
+    find_retry t c key;
+    let s = V.scratch c in
+    let pred = s.(0) and pred_b = s.(1) and curr = s.(2) and curr_b = s.(3) in
+    if s.(4) <> key then false
+    else delete_mark_loop c t tid key pred pred_b curr curr_b
+  [@@vbr.allow "checkpoint-scope"]
+
   let delete t ~tid key =
     let c = V.ctx t.vbr ~tid in
-    V.checkpoint c (fun () ->
-        let pred, pred_b, curr, curr_b, curr_key = find t c key in
-        if curr_key <> key then false
-        else begin
-          let rec mark_loop () =
-            if V.is_marked c curr ~birth:curr_b then false
-            else begin
-              let succ, succ_b = V.get_next c curr in
-              if V.mark c curr ~birth:curr_b then begin
-                (* Lines 11-16: the mark is the linearization point; the
-                   unlink, clean-up find and retire run under a fresh
-                   checkpoint so a rollback cannot cross back over it. *)
-                V.checkpoint c (fun () ->
-                    if
-                      not
-                        (V.update c pred ~birth:pred_b ~expected:curr
-                           ~expected_birth:curr_b ~new_:succ ~new_birth:succ_b)
-                    then ignore (find t c key);
-                    V.retire t.vbr ~tid (curr, curr_b));
-                true
-              end
-              else mark_loop ()
-            end
-          in
-          mark_loop ()
-        end)
+    V.checkpoint3 c delete_body t tid key
 
-  (* Figure 6. *)
+  (* Figure 6. Wait-free readers need only the successor index per hop
+     plus the final node's mark — exactly what [get_next_raw] carries, so
+     the scan is allocation-free and skips the successor-birth recompute
+     the CAS-bound traversals pay. *)
+  let rec contains_loop c key curr curr_key =
+    if curr_key < key then
+      let succ = P.index (V.get_next_raw c ~lvl:0 curr) in
+      contains_loop c key succ (V.get_key c succ)
+    else curr_key = key && not (P.is_marked (V.get_next_raw c ~lvl:0 curr))
+  [@@vbr.allow "checkpoint-scope"]
+
+  let contains_body c t key =
+    let curr = P.index (V.get_next_raw c ~lvl:0 t.head) in
+    contains_loop c key curr (V.get_key c curr)
+  [@@vbr.allow "checkpoint-scope"]
+
   let contains t ~tid key =
     let c = V.ctx t.vbr ~tid in
-    V.checkpoint c (fun () ->
-        let rec loop curr curr_b curr_key =
-          if curr_key < key then begin
-            let succ, succ_b = V.get_next c curr in
-            loop succ succ_b (V.get_key c succ)
-          end
-          else curr_key = key && not (V.is_marked c curr ~birth:curr_b)
-        in
-        let curr, curr_b = V.get_next c t.head in
-        loop curr curr_b (V.get_key c curr))
+    V.checkpoint2 c contains_body t key
 
   (* Quiescent-only helpers. *)
   let to_list t =

@@ -1,4 +1,8 @@
+(* Hot paths read roots and next pointers through the packed variants
+   ([read_root_packed]/[get_next_packed]) so a retry loop allocates
+   nothing; the (index, birth) components are unpacked on demand. *)
 module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  module P = Memsim.Packed
   type t = { vbr : V.t; head : int Atomic.t; tail : int Atomic.t }
 
   let name = "queue/" ^ V.name
@@ -19,8 +23,10 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     V.checkpoint c (fun () ->
         let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key:v in
         let rec loop () =
-          let tl, tl_b = V.read_root c t.tail in
-          let nt, nt_b = V.get_next c tl in
+          let tw = V.read_root_packed c t.tail in
+          let tl = P.index tw and tl_b = P.version tw in
+          let nw = V.get_next_packed c ~lvl:0 tl in
+          let nt = P.index nw in
           if nt = 0 then begin
             (* The tail's next word is still ⟨NULL, tl_b⟩ from its own
                allocation; the versioned CAS links n behind it. *)
@@ -40,7 +46,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
             (* Tail is lagging: help it forward, then retry. *)
             ignore
               (V.cas_root c t.tail ~expected:tl ~expected_birth:tl_b ~new_:nt
-                 ~new_birth:nt_b);
+                 ~new_birth:(P.version nw));
             loop ()
           end
         in
@@ -50,9 +56,12 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     let c = V.ctx t.vbr ~tid in
     V.checkpoint c (fun () ->
         let rec loop () =
-          let h, h_b = V.read_root c t.head in
-          let tl, tl_b = V.read_root c t.tail in
-          let first, first_b = V.get_next c h in
+          let hw = V.read_root_packed c t.head in
+          let h = P.index hw and h_b = P.version hw in
+          let tw = V.read_root_packed c t.tail in
+          let tl = P.index tw and tl_b = P.version tw in
+          let fw = V.get_next_packed c ~lvl:0 h in
+          let first = P.index fw and first_b = P.version fw in
           if first = 0 then None
           else if h = tl && h_b = tl_b then begin
             (* Non-empty but tail still points at the dummy: help. *)
@@ -82,9 +91,8 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
   let is_empty t ~tid =
     let c = V.ctx t.vbr ~tid in
     V.checkpoint c (fun () ->
-        let h, _ = V.read_root c t.head in
-        let first, _ = V.get_next c h in
-        first = 0)
+        let h = P.index (V.read_root_packed c t.head) in
+        P.index (V.get_next_packed c ~lvl:0 h) = 0)
 
   (* Quiescent-only helpers. *)
   let to_list t =

@@ -1,4 +1,6 @@
 module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  module P = Memsim.Packed
+
   let max_level = Skiplist.max_level
 
   exception Restart
@@ -61,13 +63,14 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     let found = ref false in
     let pred = ref t.head and pred_b = ref t.head_b in
     for l = max_level - 1 downto 0 do
-      let curr, curr_b = V.get_next c ~lvl:l !pred in
-      let curr = ref curr and curr_b = ref curr_b in
+      let w = V.get_next_packed c ~lvl:l !pred in
+      let curr = ref (P.index w) and curr_b = ref (P.version w) in
       let at_level = ref true in
       while !at_level do
         if V.is_marked c ~lvl:l !curr ~birth:!curr_b then begin
           (* Snip the marked node from this level (rollback-safe). *)
-          let succ, succ_b = V.get_next c ~lvl:l !curr in
+          let sw = V.get_next_packed c ~lvl:l !curr in
+          let succ = P.index sw and succ_b = P.version sw in
           if
             V.update c ~lvl:l !pred ~birth:!pred_b ~expected:!curr
               ~expected_birth:!curr_b ~new_:succ ~new_birth:succ_b
@@ -91,9 +94,9 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
           if k < key then begin
             pred := !curr;
             pred_b := !curr_b;
-            let succ, succ_b = V.get_next c ~lvl:l !curr in
-            curr := succ;
-            curr_b := succ_b
+            let sw = V.get_next_packed c ~lvl:l !curr in
+            curr := P.index sw;
+            curr_b := P.version sw
           end
           else begin
             preds.(l) <- !pred;
@@ -160,7 +163,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     else begin
       (* Reading n's level-l word validates the epoch and exposes the mark;
          the index/version it holds may be stale (see below). *)
-      let _nw, _nw_b, nw_marked = V.get_next_word c ~lvl:l n in
+      let nw_marked = P.is_marked (V.get_next_packed c ~lvl:l n) in
       if nw_marked || V.is_marked c ~lvl:0 n ~birth:n_b then
         (* n is being removed: help the unlink and stop. *)
         ignore (find t c key preds preds_b succs succs_b)
@@ -277,39 +280,33 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
 
   (* Read-only traversal in the spirit of Figure 6: skip logically deleted
      nodes without trimming; the first unmarked node with key >= target
-     decides membership. *)
+     decides membership. Like the list's [contains], the hop primitive is
+     [get_next_raw] — the stored word's index and mark bit are all a
+     reader needs — and the loops are module-level recursions threading
+     scalar state, so the whole scan is allocation-free (the old version
+     paid a closure plus six [ref] cells per call). The packed mark bit
+     replaces [is_marked]'s birth check: a recycled node implies an epoch
+     advance, which the validated read turns into the same rollback. *)
+  let rec contains_down c key pred l =
+    contains_walk c key pred l (P.index (V.get_next_raw c ~lvl:l pred))
+  [@@vbr.allow "checkpoint-scope"]
+
+  and contains_walk c key pred l curr =
+    let w = V.get_next_raw c ~lvl:l curr in
+    if P.is_marked w then contains_walk c key pred l (P.index w)
+    else
+      let k = V.get_key c curr in
+      if k < key then contains_walk c key curr l (P.index w)
+      else if l = 0 then k = key
+      else contains_down c key pred (l - 1)
+  [@@vbr.allow "checkpoint-scope"]
+
+  let contains_body c t key = contains_down c key t.head (max_level - 1)
+  [@@vbr.allow "checkpoint-scope"]
+
   let contains t ~tid key =
     let c = V.ctx t.vbr ~tid in
-    V.checkpoint c (fun () ->
-        let pred = ref t.head and pred_b = ref t.head_b in
-        let result = ref false in
-        for l = max_level - 1 downto 0 do
-          let curr, curr_b = V.get_next c ~lvl:l !pred in
-          let curr = ref curr and curr_b = ref curr_b in
-          let at_level = ref true in
-          while !at_level do
-            if V.is_marked c ~lvl:l !curr ~birth:!curr_b then begin
-              let succ, succ_b = V.get_next c ~lvl:l !curr in
-              curr := succ;
-              curr_b := succ_b
-            end
-            else begin
-              let k = V.get_key c !curr in
-              if k < key then begin
-                pred := !curr;
-                pred_b := !curr_b;
-                let succ, succ_b = V.get_next c ~lvl:l !curr in
-                curr := succ;
-                curr_b := succ_b
-              end
-              else begin
-                if l = 0 then result := k = key;
-                at_level := false
-              end
-            end
-          done
-        done;
-        !result)
+    V.checkpoint2 c contains_body t key
 
   (* Quiescent-only helpers: walk the bottom level. *)
   let to_list t =

@@ -1,4 +1,7 @@
+(* Hot paths use the packed read variants so a retry loop allocates
+   nothing; components are unpacked on demand. *)
 module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
+  module P = Memsim.Packed
   type t = { vbr : V.t; top : int Atomic.t }
 
   let name = "stack/" ^ V.name
@@ -9,7 +12,8 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     V.checkpoint c (fun () ->
         let n, n_b = V.alloc t.vbr ~tid ~level:1 ~key:v in
         let rec loop () =
-          let top, top_b = V.read_root c t.top in
+          let tw = V.read_root_packed c t.top in
+          let top = P.index tw and top_b = P.version tw in
           (* Aim the private node at the current top. Raw-expected because a
              previous iteration may have left n.next pointing at a top that
              has since been recycled. *)
@@ -27,10 +31,12 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     let c = V.ctx t.vbr ~tid in
     V.checkpoint c (fun () ->
         let rec loop () =
-          let top, top_b = V.read_root c t.top in
+          let tw = V.read_root_packed c t.top in
+          let top = P.index tw and top_b = P.version tw in
           if top = 0 then None
           else begin
-            let nxt, nxt_b = V.get_next c top in
+            let nw = V.get_next_packed c ~lvl:0 top in
+            let nxt = P.index nw and nxt_b = P.version nw in
             let v = V.get_key c top in
             if
               V.cas_root c t.top ~expected:top ~expected_birth:top_b
@@ -47,7 +53,7 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
 
   let is_empty t ~tid =
     let c = V.ctx t.vbr ~tid in
-    V.checkpoint c (fun () -> fst (V.read_root c t.top) = 0)
+    V.checkpoint c (fun () -> P.index (V.read_root_packed c t.top) = 0)
 
   (* Quiescent-only helpers. *)
   let to_list t =

@@ -1,6 +1,7 @@
 type t = {
   capacity : int;
   chunk_bits : int;
+  chunk_mask : int;
   chunks : Node.t array Atomic.t array;
   next_fresh : int Atomic.t;
   mutable sanitizer : Sanitizer.t option;
@@ -19,6 +20,7 @@ let create ~capacity =
   {
     capacity;
     chunk_bits;
+    chunk_mask = (1 lsl chunk_bits) - 1;
     chunks = Array.init n_chunks (fun _ -> Atomic.make no_chunk);
     next_fresh = Atomic.make 1;
     sanitizer = None;
@@ -59,11 +61,19 @@ let fresh t ~level =
    clamp to the capacity. *)
 let allocated t = min (Atomic.get t.next_fresh - 1) t.capacity
 
+(* The two array indexings below run on every single node dereference of
+   every scheme, so once the one explicit bounds check has proved
+   [1 <= i <= capacity] — which caps both the chunk index and the
+   in-chunk offset by construction — the redundant per-array bounds
+   checks are skipped. *)
 let get t i =
   if i < 1 || i > t.capacity then
     invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
   (match t.sanitizer with None -> () | Some s -> Sanitizer.check_read s i);
-  (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))
+  let chunk = Atomic.get (Array.unsafe_get t.chunks (i lsr t.chunk_bits)) in
+  if chunk == no_chunk then
+    invalid_arg (Printf.sprintf "Arena.get: slot %d not yet allocated" i);
+  Array.unsafe_get chunk (i land t.chunk_mask)
 
 (* The optimistic plane's read path: VBR readers dereference freed slots
    legitimately (the epoch check after the read is what rejects the
@@ -72,4 +82,7 @@ let get t i =
 let get_speculative t i =
   if i < 1 || i > t.capacity then
     invalid_arg (Printf.sprintf "Arena.get: slot %d out of range" i);
-  (Atomic.get t.chunks.(i lsr t.chunk_bits)).(i land ((1 lsl t.chunk_bits) - 1))
+  let chunk = Atomic.get (Array.unsafe_get t.chunks (i lsr t.chunk_bits)) in
+  if chunk == no_chunk then
+    invalid_arg (Printf.sprintf "Arena.get: slot %d not yet allocated" i);
+  Array.unsafe_get chunk (i land t.chunk_mask)

@@ -1,49 +1,94 @@
 type stack = Nil | Cons of int list * stack
 
-type t = { stacks : stack Atomic.t array; count : int Atomic.t }
+(* Shards break the single-Treiber-stack bottleneck: each domain pushes
+   and pops on its own shard (one uncontended CAS in steady state) and
+   only crosses shards to steal when its own is empty. Transfers stay
+   whole-batch, so even a steal is one CAS for a whole free list, not one
+   per slot. Shard heads and the per-shard resident counts are padded to
+   cache-line stride — they are the plane's hottest words. *)
+let shard_count = 8
+let shard_mask = shard_count - 1
+
+type t = {
+  shards : stack Atomic.t array array;  (* shard -> level-1 -> head *)
+  counts : int Atomic.t array;  (* shard -> resident batches, stats *)
+  max_level : int;
+}
 
 let create ~max_level =
   if max_level < 1 then invalid_arg "Global_pool.create: max_level < 1";
   {
-    stacks = Array.init max_level (fun _ -> Atomic.make Nil);
-    count = Atomic.make 0;
+    shards =
+      Array.init shard_count (fun _ ->
+          Array.init max_level (fun _ -> Padded.atomic Nil));
+    counts = Array.init shard_count (fun _ -> Padded.atomic 0);
+    max_level;
   }
 
-let stack_for t level =
-  if level < 1 || level > Array.length t.stacks then
-    invalid_arg (Printf.sprintf "Global_pool: level %d out of range" level);
-  t.stacks.(level - 1)
+let check_level t level =
+  if level < 1 || level > t.max_level then
+    invalid_arg (Printf.sprintf "Global_pool: level %d out of range" level)
 
 let count stats ev =
   match stats with None -> () | Some s -> Obs.Counters.shard_incr s ev
 
-let push_batch ?stats t ~level batch =
+let push_batch ?stats ?(shard = 0) t ~level batch =
+  check_level t level;
   match batch with
   | [] -> ()
   | _ ->
-      let cell = stack_for t level in
+      let s = shard land shard_mask in
+      let cell = t.shards.(s).(level - 1) in
       let rec loop () =
         let cur = Access.get cell in
         if not (Access.compare_and_set cell cur (Cons (batch, cur))) then
           loop ()
       in
       loop ();
-      Atomic.incr t.count;
+      Atomic.incr t.counts.(s);
       count stats Obs.Event.Global_push
 
-let pop_batch ?stats t ~level =
-  let cell = stack_for t level in
+let try_pop t s lvl =
+  let cell = t.shards.(s).(lvl) in
   let rec loop () =
     match Access.get cell with
     | Nil -> None
     | Cons (batch, rest) as cur ->
         if Access.compare_and_set cell cur rest then begin
-          Atomic.decr t.count;
-          count stats Obs.Event.Global_pop;
+          Atomic.decr t.counts.(s);
           Some batch
         end
         else loop ()
   in
   loop ()
 
-let approx_batches t = Atomic.get t.count
+let pop_batch ?stats ?(shard = 0) ?(probe = 0) t ~level =
+  check_level t level;
+  let lvl = level - 1 in
+  let own = shard land shard_mask in
+  match try_pop t own lvl with
+  | Some _ as r ->
+      count stats Obs.Event.Global_pop;
+      r
+  | None ->
+      (* Steal sweep. The starting victim is displaced by [probe] (the
+         caller's per-thread RNG) so simultaneous thieves fan out across
+         shards instead of convoying on the same one. *)
+      let start = (own + 1 + (probe land max_int)) land shard_mask in
+      let rec sweep k =
+        if k = shard_count then None
+        else
+          let v = (start + k) land shard_mask in
+          if v = own then sweep (k + 1)
+          else
+            match try_pop t v lvl with
+            | Some _ as r ->
+                count stats Obs.Event.Global_pop;
+                count stats Obs.Event.Global_steal;
+                r
+            | None -> sweep (k + 1)
+      in
+      sweep 0
+
+let approx_batches t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts

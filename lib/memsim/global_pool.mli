@@ -1,8 +1,14 @@
 (** The shared pool of recycled slots (§4.1: "a shared pool of nodes, from
     which they can be re-allocated by any thread").
 
-    A lock-free Treiber stack of slot-index batches, one stack per node
-    size class (tower level), so re-allocation is always type-preserving.
+    Sharded to keep the common case contention-free: {!shard_count}
+    independent lock-free Treiber stacks of slot-index batches per node
+    size class (tower level). A thread pushes to and pops from its own
+    shard (one CAS on a line nobody else touches in steady state) and
+    falls over to a randomized steal sweep of the other shards only when
+    its own runs dry. Batches move whole, so a miss costs one CAS for a
+    whole free list — not one per slot. Shard heads and the per-shard
+    batch counts are cache-line padded ({!Padded}).
 
     IMPORTANT: the pool's bookkeeping lives entirely in ordinary (GC'd)
     OCaml cells, never inside the simulated node fields. VBR readers may
@@ -13,18 +19,34 @@
 
 type t
 
+val shard_count : int
+(** Number of shards (a power of two; shard arguments are taken
+    mod [shard_count], so any thread id is a valid shard). *)
+
 val create : max_level:int -> t
 (** A pool accepting slots of tower levels [1 .. max_level]. *)
 
-val push_batch : ?stats:Obs.Counters.shard -> t -> level:int -> int list -> unit
-(** Donate a non-empty batch of recycled slots, all of tower [level].
-    No-op on the empty list. Lock-free. [stats] (the calling thread's
-    shard) counts one [Global_push]. *)
+val push_batch :
+  ?stats:Obs.Counters.shard -> ?shard:int -> t -> level:int -> int list -> unit
+(** Donate a non-empty batch of recycled slots, all of tower [level], to
+    [shard] (default 0; callers pass their thread id). No-op on the
+    empty list. Lock-free. [stats] (the calling thread's shard) counts
+    one [Global_push]. *)
 
-val pop_batch : ?stats:Obs.Counters.shard -> t -> level:int -> int list option
-(** Take one whole batch of slots of tower [level], if any. Lock-free.
-    [stats] counts one [Global_pop] on success. *)
+val pop_batch :
+  ?stats:Obs.Counters.shard ->
+  ?shard:int ->
+  ?probe:int ->
+  t ->
+  level:int ->
+  int list option
+(** Take one whole batch of slots of tower [level]: from [shard]
+    (default 0) if it has one, else by sweeping the other shards
+    starting at a victim displaced by [probe] (pass a nonnegative
+    per-thread random draw so concurrent thieves fan out; default 0).
+    Lock-free. [stats] counts one [Global_pop] on success, plus a
+    [Global_steal] when the batch came from a foreign shard. *)
 
 val approx_batches : t -> int
-(** Approximate number of batches currently held (all levels); racy, for
-    stats only. *)
+(** Approximate number of batches currently held (all shards, all
+    levels); racy, for stats only. *)

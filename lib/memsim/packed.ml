@@ -18,6 +18,16 @@ let pack ~marked ~index ~version =
   lor (index lsl index_shift)
   lor (if marked then 1 else 0)
 
+(* The traversal-path codec: every pointer hop through a guarded or
+   optimistic structure packs a word, so the checked [pack]'s two range
+   branches (and their Printf closures) are measurable. Callers whose
+   components are range-correct by construction — an index from the
+   arena, a version from the epoch — use the branch-free variant.
+   [Bool.to_int] is the identity on the runtime representation, so the
+   whole expression compiles to three ALU ops. *)
+let pack_unchecked ~marked ~index ~version =
+  (version lsl version_shift) lor (index lsl index_shift) lor Bool.to_int marked
+
 let index w = (w lsr index_shift) land index_mask
 let version w = (w lsr version_shift) land version_mask
 let is_marked w = w land 1 = 1

@@ -38,6 +38,13 @@ val pack : marked:bool -> index:int -> version:int -> t
 (** [pack ~marked ~index ~version] assembles a word.
     @raise Invalid_argument if [index] or [version] is out of range. *)
 
+val pack_unchecked : marked:bool -> index:int -> version:int -> t
+(** Branch-free [pack] with no range validation, for hot paths whose
+    components are in range by construction (an index handed out by the
+    arena, a version read from the epoch). Out-of-range components
+    silently corrupt neighbouring fields — callers own the proof.
+    Equal to [pack] on every in-range input (see [test_packed]). *)
+
 val index : t -> int
 (** Slot-index component. *)
 

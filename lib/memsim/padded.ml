@@ -1,0 +1,45 @@
+(* Cache-line padding for the plane's hot atomics.
+
+   OCaml gives no layout control, so the only portable way to keep two
+   hot words off the same cache line is to make the *block holding them*
+   span a whole line: re-allocate the value into a block of the same tag
+   with trailing padding words, so the allocator can never pack another
+   hot block into the same line behind it. This is the multicore-magic
+   [copy_as_padded] idiom. [Obj.new_block] initialises every field (to
+   unit), so the padding words are always valid OCaml values and the GC
+   scans them harmlessly.
+
+   Only ordinary boxed blocks (tag < [Obj.no_scan_tag], excluding
+   closures/objects/lazies, whose headers carry extra structure) are
+   copied; anything else is returned unchanged, so the function is total.
+   [Atomic.t] is a one-field tag-0 block on every OCaml 5.x we target,
+   which is exactly the shape this handles. *)
+
+(* One x86/arm cache line is 64 B; padding to two lines (16 words on a
+   64-bit system) also defeats adjacent-line prefetcher ping-pong, which
+   is what multicore-magic pads to as well. *)
+let pad_to_words = 16
+
+let copy_as_padded (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if
+    Obj.is_block r
+    && Obj.tag r < Obj.no_scan_tag
+    && Obj.tag r <> Obj.closure_tag
+    && Obj.tag r <> Obj.object_tag
+    && Obj.tag r <> Obj.lazy_tag
+    && Obj.tag r <> Obj.forward_tag
+    && Obj.size r < pad_to_words
+  then begin
+    let n = Obj.size r in
+    let p = Obj.new_block (Obj.tag r) pad_to_words in
+    for i = 0 to n - 1 do
+      Obj.set_field p i (Obj.field r i)
+    done;
+    Obj.obj p
+  end
+  else v
+
+let atomic v = copy_as_padded (Atomic.make v)
+let atomic_array n v = Array.init n (fun _ -> atomic v)
+let cell (a : 'a Atomic.t) = a

@@ -1,25 +1,31 @@
 type t = {
   arena : Arena.t;
   global : Global_pool.t;
+  shard : int;  (* this thread's Global_pool shard *)
   spill : int;
   free : int list array;  (* per level-1 *)
   free_len : int array;
   mutable recycled : int;
+  mutable rng : int;  (* xorshift state for the steal probe *)
   stats : Obs.Counters.shard option;
   mutable trace : Obs.Trace.ring option;
 }
 
 let max_supported_level = 32
 
-let create ?stats arena global ~spill =
+let create ?stats ?(shard = 0) arena global ~spill =
   if spill < 2 then invalid_arg "Pool.create: spill must be >= 2";
   {
     arena;
     global;
+    shard;
     spill;
     free = Array.make max_supported_level [];
     free_len = Array.make max_supported_level 0;
     recycled = 0;
+    (* Any nonzero per-shard seed works; the golden-ratio multiplier just
+       decorrelates neighbouring shards' probe sequences. *)
+    rng = ((shard + 1) * 0x9E3779B97F4A7C1) lor 1;
     stats;
     trace = None;
   }
@@ -32,6 +38,14 @@ let count t ev =
 let count_n t ev n =
   match t.stats with None -> () | Some s -> Obs.Counters.shard_add s ev n
 
+let probe t =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  t.rng <- x;
+  x land max_int
+
 let rec split_at n acc = function
   | rest when n = 0 -> (List.rev acc, rest)
   | [] -> (List.rev acc, [])
@@ -39,12 +53,16 @@ let rec split_at n acc = function
 
 let maybe_spill t lvl =
   if t.free_len.(lvl) > t.spill then begin
-    let keep = t.free_len.(lvl) / 2 in
+    let len = t.free_len.(lvl) in
+    let keep = len / 2 in
     let kept, donated = split_at keep [] t.free.(lvl) in
     t.free.(lvl) <- kept;
     t.free_len.(lvl) <- keep;
-    count_n t Obs.Event.Pool_spill (List.length donated);
-    Global_pool.push_batch ?stats:t.stats t.global ~level:(lvl + 1) donated
+    (* [free_len] is exact, so the donated length is arithmetic — no
+       second traversal of the donated half. *)
+    count_n t Obs.Event.Pool_spill (len - keep);
+    Global_pool.push_batch ?stats:t.stats ~shard:t.shard t.global
+      ~level:(lvl + 1) donated
   end
 
 let put_no_spill t i =
@@ -88,7 +106,10 @@ let take t ~level =
       note_reuse t i;
       i
   | [] -> (
-      match Global_pool.pop_batch ?stats:t.stats t.global ~level with
+      match
+        Global_pool.pop_batch ?stats:t.stats ~shard:t.shard ~probe:(probe t)
+          t.global ~level
+      with
       | Some (i :: rest) ->
           t.free.(lvl) <- rest;
           t.free_len.(lvl) <- List.length rest;

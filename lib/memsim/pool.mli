@@ -12,12 +12,21 @@
 
 type t
 
-val create : ?stats:Obs.Counters.shard -> Arena.t -> Global_pool.t -> spill:int -> t
+val create :
+  ?stats:Obs.Counters.shard ->
+  ?shard:int ->
+  Arena.t ->
+  Global_pool.t ->
+  spill:int ->
+  t
 (** [create arena global ~spill] makes an empty pool. [spill] is the local
     free-list length that triggers donating half a list to [global].
-    [stats], when given, receives allocator events ([Pool_recycle],
-    [Pool_spill], [Arena_fresh], [Arena_exhausted], and — via the calls
-    this pool makes into [global] — [Global_push]/[Global_pop]); it should
+    [shard] (default 0) is the {!Global_pool} shard this pool donates to
+    and allocates from first — pass the owning thread's id so each
+    domain's global traffic stays on its own shard. [stats], when given,
+    receives allocator events ([Pool_recycle], [Pool_spill],
+    [Arena_fresh], [Arena_exhausted], and — via the calls this pool makes
+    into [global] — [Global_push]/[Global_pop]/[Global_steal]); it should
     be the owning thread's shard.
     @raise Invalid_argument if [spill < 2]. *)
 

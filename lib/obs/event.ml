@@ -13,8 +13,11 @@ type t =
   | Pool_spill
   | Global_push
   | Global_pop
+  | Global_steal
+  | Scan_skip
+  | Advance_skip
 
-let count = 14
+let count = 17
 
 let all =
   [
@@ -32,6 +35,9 @@ let all =
     Pool_spill;
     Global_push;
     Global_pop;
+    Global_steal;
+    Scan_skip;
+    Advance_skip;
   ]
 
 let to_index = function
@@ -49,6 +55,9 @@ let to_index = function
   | Pool_spill -> 11
   | Global_push -> 12
   | Global_pop -> 13
+  | Global_steal -> 14
+  | Scan_skip -> 15
+  | Advance_skip -> 16
 
 let to_string = function
   | Alloc -> "alloc"
@@ -65,5 +74,8 @@ let to_string = function
   | Pool_spill -> "pool-spill"
   | Global_push -> "global-pool-push"
   | Global_pop -> "global-pool-pop"
+  | Global_steal -> "global-pool-steal"
+  | Scan_skip -> "scan-skip"
+  | Advance_skip -> "epoch-advance-skip"
 
 let of_string s = List.find_opt (fun e -> to_string e = s) all

@@ -23,6 +23,11 @@ type t =
   | Pool_spill  (** a slot donated from a local pool to the global pool *)
   | Global_push  (** a batch pushed onto the global pool *)
   | Global_pop  (** a batch popped from the global pool *)
+  | Global_steal  (** a pop served by stealing from a foreign shard *)
+  | Scan_skip  (** a retire that deferred its scan to the adaptive trigger *)
+  | Advance_skip
+      (** an epoch-advance attempt elided or lost because another thread
+          already moved the epoch (the adaptive-cadence dividend) *)
 
 val count : int
 (** Number of distinct events (the counter-array stride). *)

@@ -14,7 +14,15 @@ type thread_state = {
      retirement even while a descheduled thread pins the horizon (an
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
-  mutable alloc_ticks : int;
+  (* Adaptive advance cadence: a countdown of allocations until the next
+     epoch-advance attempt. The reload period starts at [epoch_freq] and
+     doubles whenever the advance CAS fails (another thread moved the
+     epoch — this thread's clock duty is being covered), so under
+     contention the per-thread CAS traffic on the epoch word decays
+     geometrically instead of every thread hammering it every
+     [epoch_freq] allocs. A successful CAS resets the period. *)
+  mutable advance_countdown : int;
+  mutable advance_period : int;
   mutable tr : Obs.Trace.ring option;
 }
 
@@ -35,18 +43,22 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq =
   let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
-    epoch = Atomic.make 1;
+    (* Padded: the epoch word is read by every [begin_op] and CASed by
+       every advance; the announce slots are scanned by every reclaimer
+       while their owners store to them per op. *)
+    epoch = Padded.atomic 1;
     threads =
       Array.init n_threads (fun tid ->
           let obs = Obs.Counters.shard counters tid in
           {
-            announce = Atomic.make quiescent;
-            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            announce = Padded.atomic quiescent;
+            pool = Pool.create ~stats:obs ~shard:tid arena global ~spill:4096;
             obs;
             retired = [];
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
-            alloc_ticks = 0;
+            advance_countdown = max 1 epoch_freq;
+            advance_period = max 1 epoch_freq;
             tr = None;
           });
     counters;
@@ -85,18 +97,33 @@ let end_op t ~tid =
 
 let protect _ ~tid:_ ~slot:_ read = read ()
 
+(* The epoch announcement in [begin_op] already protects everything
+   reachable; a protected read is a plain load, closure or not. *)
+let protect_read _ ~tid:_ ~slot:_ field = Access.get field
+
 (* Advance the global epoch unconditionally (the paper's "tuned" EBR):
    safety never depends on the advance — a node is freed only when its
    retire epoch precedes every announced epoch — so waiting for stragglers
    before advancing would only delay reclamation. Under oversubscription
    (more domains than cores) a wait-for-all policy starves: someone is
    always behind, the epoch freezes, and retire-list scans go quadratic. *)
+let max_advance_period_factor = 64
+
 let try_advance t ts =
   let cur = Access.get t.epoch in
   if Access.compare_and_set t.epoch cur (cur + 1) then begin
     Obs.Counters.shard_incr ts.obs Obs.Event.Epoch_advance;
-    emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:cur ~v2:(cur + 1) ~epoch:(cur + 1)
+    emit ts Obs.Trace.Epoch_advance ~slot:0 ~v1:cur ~v2:(cur + 1) ~epoch:(cur + 1);
+    ts.advance_period <- t.epoch_freq
   end
+  else begin
+    (* Lost the race: someone else is advancing the clock, so back off
+       (double the period, capped so a thread never goes fully silent). *)
+    Obs.Counters.shard_incr ts.obs Obs.Event.Advance_skip;
+    ts.advance_period <-
+      min (2 * ts.advance_period) (t.epoch_freq * max_advance_period_factor)
+  end;
+  ts.advance_countdown <- ts.advance_period
 
 let min_announced t =
   Array.fold_left
@@ -108,13 +135,13 @@ let min_announced t =
 let scan t ts =
   let horizon = min_announced t in
   let horizon = if horizon = quiescent then Access.get t.epoch + 1 else horizon in
-  let keep, free =
-    List.partition
-      (fun i -> Atomic.get (Arena.get t.arena i).Node.retire >= horizon)
+  let keep, keep_len, free =
+    Retired.partition_keep
+      ~keep:(fun i -> Atomic.get (Arena.get t.arena i).Node.retire >= horizon)
       ts.retired
   in
   ts.retired <- keep;
-  ts.retired_len <- List.length keep;
+  ts.retired_len <- keep_len;
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
@@ -135,8 +162,11 @@ let reset_node arena i ~key =
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
-  ts.alloc_ticks <- ts.alloc_ticks + 1;
-  if ts.alloc_ticks mod t.epoch_freq = 0 then try_advance t ts;
+  (* Countdown instead of [alloc_ticks mod epoch_freq]: same cadence in
+     the uncontended case, no hardware division per alloc, and the
+     reload period adapts (see [thread_state]). *)
+  ts.advance_countdown <- ts.advance_countdown - 1;
+  if ts.advance_countdown <= 0 then try_advance t ts;
   let i = Pool.take ts.pool ~level in
   Obs.Counters.shard_incr ts.obs Obs.Event.Alloc;
   reset_node t.arena i ~key;
@@ -172,6 +202,10 @@ let retire t ~tid i =
     scan t ts;
     ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
   end
+  else if ts.retired_len >= t.retire_threshold then
+    (* A per-op policy would have scanned here; the adaptive trigger
+       amortized it away. *)
+    Obs.Counters.shard_incr ts.obs Obs.Event.Scan_skip
 
 let stats t = Obs.Counters.snapshot t.counters
 let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim

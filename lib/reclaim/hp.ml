@@ -6,6 +6,12 @@ type thread_state = {
   obs : Obs.Counters.shard;
   mutable retired : int list;
   mutable retired_len : int;
+  (* Adaptive scan trigger (new with the batched-scan refactor: HP used
+     to rescan on EVERY retire once the list reached the threshold,
+     going quadratic whenever a stalled thread's hazards pinned nodes).
+     Scan when the retired list doubles past what survived the previous
+     scan, so scan work stays amortized O(1) per retirement. *)
+  mutable scan_trigger : int;
   mutable tr : Obs.Trace.ring option;
 }
 
@@ -30,11 +36,14 @@ let create ~arena ~global ~n_threads ~hazards ~retire_threshold ~epoch_freq:_
       Array.init n_threads (fun tid ->
           let obs = Obs.Counters.shard counters tid in
           {
-            hazards = Array.init hazards (fun _ -> Atomic.make 0);
-            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            (* Each hazard slot padded to its own line: the owner stores
+               per traversal hop while every scanning thread reads. *)
+            hazards = Padded.atomic_array hazards 0;
+            pool = Pool.create ~stats:obs ~shard:tid arena global ~spill:4096;
             obs;
             retired = [];
             retired_len = 0;
+            scan_trigger = max 1 retire_threshold;
             tr = None;
           });
     counters;
@@ -95,6 +104,33 @@ let protect t ~tid ~slot read =
   in
   loop (read ())
 
+(* [protect] with the load inlined: traversals call this once per hop, so
+   the closure the [read] thunk would allocate is worth eliding. *)
+let protect_read t ~tid ~slot field =
+  let ts = t.threads.(tid) in
+  let h = ts.hazards.(slot) in
+  emit ts Obs.Trace.Guard_release ~slot:0 ~v1:0 ~v2:0 ~epoch:slot;
+  let rec loop w =
+    let i = Packed.index w in
+    if i = 0 then begin
+      Access.set h 0;
+      w
+    end
+    else begin
+      Access.set h i;
+      let w' = Access.get field in
+      if Packed.index w' = i then begin
+        emit ts Obs.Trace.Guard_acquire ~slot:i ~v1:0 ~v2:0 ~epoch:slot;
+        w'
+      end
+      else begin
+        Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
+        loop w'
+      end
+    end
+  in
+  loop (Access.get field)
+
 let reset_node arena i ~key =
   let n = Arena.get arena i in
   n.Node.key <- key;
@@ -141,11 +177,11 @@ let scan t ts =
           acc other.hazards)
       Iset.empty t.threads
   in
-  let keep, free =
-    List.partition (fun i -> Iset.mem i hazard_set) ts.retired
+  let keep, keep_len, free =
+    Retired.partition_keep ~keep:(fun i -> Iset.mem i hazard_set) ts.retired
   in
   ts.retired <- keep;
-  ts.retired_len <- List.length keep;
+  ts.retired_len <- keep_len;
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
@@ -159,7 +195,13 @@ let retire t ~tid i =
   ts.retired <- i :: ts.retired;
   ts.retired_len <- ts.retired_len + 1;
   Obs.Counters.shard_incr ts.obs Obs.Event.Retire;
-  if ts.retired_len >= t.retire_threshold then scan t ts
+  if ts.retired_len >= ts.scan_trigger then begin
+    scan t ts;
+    ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
+  end
+  else if ts.retired_len >= t.retire_threshold then
+    (* The old per-op policy would have rescanned here. *)
+    Obs.Counters.shard_incr ts.obs Obs.Event.Scan_skip
 
 let stats t = Obs.Counters.snapshot t.counters
 let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim

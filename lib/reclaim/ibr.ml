@@ -14,7 +14,10 @@ type thread_state = {
      retirement even while a descheduled thread pins the horizon (an
      oversubscription regime the paper's testbed never enters). *)
   mutable scan_trigger : int;
-  mutable alloc_ticks : int;
+  (* Allocations until the next era/epoch advance: same cadence as the
+     old [alloc_ticks mod epoch_freq] but without a hardware division
+     on every allocation. *)
+  mutable advance_countdown : int;
   mutable tr : Obs.Trace.ring option;
 }
 
@@ -36,19 +39,19 @@ let create ~arena ~global ~n_threads ~hazards:_ ~retire_threshold ~epoch_freq
   let counters = Obs.Counters.create ~shards:(max 1 n_threads) in
   {
     arena;
-    epoch = Atomic.make 1;
+    epoch = Padded.atomic 1;
     threads =
       Array.init n_threads (fun tid ->
           let obs = Obs.Counters.shard counters tid in
           {
-            lower = Atomic.make inactive;
-            upper = Atomic.make 0;
-            pool = Pool.create ~stats:obs arena global ~spill:4096;
+            lower = Padded.atomic inactive;
+            upper = Padded.atomic 0;
+            pool = Pool.create ~stats:obs ~shard:tid arena global ~spill:4096;
             obs;
             retired = [];
             retired_len = 0;
             scan_trigger = max 1 retire_threshold;
-            alloc_ticks = 0;
+            advance_countdown = max 1 epoch_freq;
             tr = None;
           });
     counters;
@@ -112,6 +115,25 @@ let protect t ~tid ~slot:_ read =
   in
   loop false (Atomic.get ts.upper)
 
+(* [protect] with the load inlined: traversals call this once per hop, so
+   the closure the [read] thunk would allocate is worth eliding. *)
+let protect_read t ~tid ~slot:_ field =
+  let ts = t.threads.(tid) in
+  let rec loop extended last =
+    let w = Access.get field in
+    let e = Access.get t.epoch in
+    if e = last then begin
+      if extended then note_extended ts;
+      w
+    end
+    else begin
+      Access.set ts.upper e;
+      Obs.Counters.shard_incr ts.obs Obs.Event.Protect_retry;
+      loop true e
+    end
+  in
+  loop false (Atomic.get ts.upper)
+
 let reset_node t i ~key =
   let n = Arena.get t.arena i in
   n.Node.key <- key;
@@ -121,8 +143,9 @@ let reset_node t i ~key =
 
 let alloc t ~tid ~level ~key =
   let ts = t.threads.(tid) in
-  ts.alloc_ticks <- ts.alloc_ticks + 1;
-  if ts.alloc_ticks mod t.epoch_freq = 0 then begin
+  ts.advance_countdown <- ts.advance_countdown - 1;
+  if ts.advance_countdown <= 0 then begin
+    ts.advance_countdown <- t.epoch_freq;
     (* fetch_and_add rather than incr so the traced old -> new transition
        is unique per advance. *)
     let old = Access.fetch_and_add t.epoch 1 in
@@ -167,16 +190,16 @@ let pinned t ~birth ~retire =
     t.threads
 
 let scan t ts =
-  let keep, free =
-    List.partition
-      (fun i ->
+  let keep, keep_len, free =
+    Retired.partition_keep
+      ~keep:(fun i ->
         let n = Arena.get t.arena i in
         pinned t ~birth:(Atomic.get n.Node.birth)
           ~retire:(Atomic.get n.Node.retire))
       ts.retired
   in
   ts.retired <- keep;
-  ts.retired_len <- List.length keep;
+  ts.retired_len <- keep_len;
   List.iter
     (fun i ->
       Obs.Counters.shard_incr ts.obs Obs.Event.Reclaim;
@@ -210,6 +233,9 @@ let retire t ~tid i =
     scan t ts;
     ts.scan_trigger <- max t.retire_threshold (2 * ts.retired_len)
   end
+  else if ts.retired_len >= t.retire_threshold then
+    (* A per-op policy would have scanned here; amortized away. *)
+    Obs.Counters.shard_incr ts.obs Obs.Event.Scan_skip
 
 let stats t = Obs.Counters.snapshot t.counters
 let freed t = Obs.Counters.read t.counters Obs.Event.Reclaim

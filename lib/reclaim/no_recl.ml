@@ -29,6 +29,7 @@ let emit t ~tid k ~slot ~v1 ~v2 ~epoch =
 let begin_op _ ~tid:_ = ()
 let end_op _ ~tid:_ = ()
 let protect _ ~tid:_ ~slot:_ read = read ()
+let protect_read _ ~tid:_ ~slot:_ field = Access.get field
 
 let alloc t ~tid ~level ~key =
   let c = t.counters in

@@ -1,0 +1,16 @@
+(* Retired-list bookkeeping shared by the guarded schemes' scans.
+
+   [List.partition] + [List.length keep] walked the surviving half twice
+   per scan; one fused pass returns the survivor count for free. The
+   relative order of the retired list is irrelevant (it is a set — every
+   element is tested against the same horizon/guard predicate), so the
+   accumulator reversal is harmless. *)
+
+let partition_keep ~keep retired =
+  let rec go kept klen free = function
+    | [] -> (kept, klen, free)
+    | i :: rest ->
+        if keep i then go (i :: kept) (klen + 1) free rest
+        else go kept klen (i :: free) rest
+  in
+  go [] 0 [] retired

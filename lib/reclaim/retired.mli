@@ -1,0 +1,7 @@
+(** Shared retired-list scan bookkeeping for the guarded schemes. *)
+
+val partition_keep :
+  keep:(int -> bool) -> int list -> int list * int * int list
+(** [partition_keep ~keep retired] is [(kept, length kept, freed)] in a
+    single pass. Element order is not preserved (retired lists are
+    sets). *)

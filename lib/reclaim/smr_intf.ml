@@ -124,6 +124,13 @@ module type GUARDED = sig
       the same shared field; it is re-invoked until validation succeeds.
       Epoch-based schemes return [read ()] unchanged. *)
 
+  val protect_read :
+    t -> tid:int -> slot:int -> Memsim.Packed.t Atomic.t -> Memsim.Packed.t
+  (** [protect_read t ~tid ~slot field] is
+      [protect t ~tid ~slot (fun () -> Memsim.Access.get field)] without
+      the closure: the scheme loads the shared word itself, so a traversal
+      hop allocates nothing. Semantically identical to {!protect}. *)
+
   val protect_own : t -> tid:int -> slot:int -> int -> unit
   (** Unconditionally publish protection for a node the caller knows is
       not yet retired (typically its own node around the publishing CAS,
@@ -168,6 +175,13 @@ module type OPTIMISTIC = sig
   val ctx : t -> tid:int -> ctx
   (** The context of thread [tid] (0-based). *)
 
+  val scratch : ctx -> int array
+  (** The context's per-thread scratch plane (8 slots): hot paths that
+      would otherwise return a tuple per call (a find's pred/curr/key)
+      write their components here instead — zero allocation. Contents
+      are only meaningful between a writer and the immediately
+      following reader on the same thread. *)
+
   (** {2 Checkpoints (§4.2.1)} *)
 
   val checkpoint : ctx -> (unit -> 'a) -> 'a
@@ -175,6 +189,16 @@ module type OPTIMISTIC = sig
       it performs the Appendix-B duties (returning nodes allocated since
       the checkpoint to the allocation pool), refreshes the thread's epoch
       cache, and re-runs [f]. *)
+
+  val checkpoint2 : ctx -> (ctx -> 'a -> 'b -> 'r) -> 'a -> 'b -> 'r
+  (** [checkpoint2 c f a b] is [checkpoint c (fun () -> f c a b)] without
+      the closure: when [f] is a top-level function and the arguments are
+      immediates, the call allocates nothing — operation hot paths use
+      this. *)
+
+  val checkpoint3 : ctx -> (ctx -> 'a -> 'b -> 'c -> 'r) -> 'a -> 'b -> 'c -> 'r
+  (** Three-argument sibling of {!checkpoint2} for operation bodies whose
+      state is a few scalars (e.g. structure + tid + key). *)
 
   val refresh_epoch : ctx -> unit
   (** Re-read the global epoch into the thread's cache. [checkpoint] does
@@ -207,8 +231,29 @@ module type OPTIMISTIC = sig
   (** Like {!get_next} but also returns whether the next word was marked;
       same validation. *)
 
+  val get_next_packed : ctx -> lvl:int -> int -> Memsim.Packed.t
+  (** Allocation-free fusion of {!get_next} and {!get_next_word}: the
+      result word's index is the successor slot, its version the
+      successor's birth epoch, and its mark bit the node's own mark — one
+      immediate [int], so a traversal hop allocates nothing. [lvl] is a
+      required label (an optional argument would box). Same validation as
+      {!get_next}. *)
+
+  val get_next_raw : ctx -> lvl:int -> int -> Memsim.Packed.t
+  (** The stored next word, validated, as-is — the cheapest hop. The raw
+      version field is [max] of the linker's and successor's births (the
+      {!update} encoding), NOT the successor's birth, so callers must
+      consume only [Packed.index] and [Packed.is_marked] of the result.
+      For read-only traversals that never CAS. *)
+
   val get_key : ctx -> int -> int
   (** Raises {!Rollback} if the epoch changed. *)
+
+  val get_birth : ctx -> int -> int
+  (** The node's current birth epoch, validated. Pairs with
+      {!get_next_raw}: a CAS-bound traversal can hop on raw words and
+      recompute the births it actually needs only at its stopping point.
+      Raises {!Rollback} if the epoch changed. *)
 
   val is_marked : ctx -> ?lvl:int -> int -> birth:int -> bool
   (** Never rolls back: a birth-epoch mismatch means the node was
@@ -277,6 +322,10 @@ module type OPTIMISTIC = sig
   val read_root : ctx -> int Atomic.t -> int * int
   (** [(index, birth)] of the referenced node, read atomically.
       Epoch-validated; raises {!Rollback} like the other read methods. *)
+
+  val read_root_packed : ctx -> int Atomic.t -> Memsim.Packed.t
+  (** Allocation-free {!read_root}: the raw validated root word — its
+      index and version components are the node and its birth. *)
 
   val cas_root :
     ctx ->

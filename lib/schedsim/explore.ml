@@ -16,6 +16,8 @@
      experiment, made deterministic: a reader stalled forever mid-search
      while two writers churn. Asserts EBR's unreclaimed count grows
      linearly while HP/HE/IBR/VBR keep reclaiming.
+   - pool-steal: the sharded global pool's push/pop/steal CAS loops
+     driven through Memsim.Access, post-checked for slot conservation.
    - seeded bugs (aba-immediate-free, late-guard, double-retire): known
      broken protocols whose failing interleavings the explorer must be
      able to find; their shrunk tokens are the test/sched_fixtures/
@@ -219,6 +221,73 @@ let robust_exec ~structure ~scheme ~name ~decisions ~tail =
   in
   report ~name ~tail ~outcome failure
 
+(* ---------- pool-steal ---------- *)
+
+(* The sharded global pool under adversarial interleavings: its
+   push/pop/steal CAS loops all go through Memsim.Access, so the virtual
+   scheduler can park a thread between the head read and the CAS — the
+   window where a lost update or double-pop would hide. Two producers
+   feed their own shards while a thief, whose own shard is never fed,
+   pops concurrently (every hit is a cross-shard steal). Post-check:
+   thief loot + own-shard pops + a quiescent drain must be exactly the
+   pushed set, and the resident count must return to zero. *)
+let pool_steal_batches = 6
+
+let pool_steal_exec ~name ~decisions ~tail =
+  let g = Global_pool.create ~max_level:1 in
+  let n = pool_steal_batches in
+  let popped = Array.make 3 [] in
+  let body tid () =
+    if tid < 2 then begin
+      for b = 0 to n - 1 do
+        Global_pool.push_batch g ~shard:((4 * tid) + 1) ~level:1
+          [ (tid * n) + b ]
+      done;
+      for _ = 1 to 2 do
+        match
+          Global_pool.pop_batch g ~shard:((4 * tid) + 1) ~level:1
+        with
+        | Some b -> popped.(tid) <- b @ popped.(tid)
+        | None -> ()
+      done
+    end
+    else
+      for probe = 0 to 3 do
+        match Global_pool.pop_batch g ~shard:6 ~probe ~level:1 with
+        | Some b -> popped.(2) <- b @ popped.(2)
+        | None -> ()
+      done
+  in
+  let outcome = Sched.run ~decisions ~tail (Array.init 3 body) in
+  let failure =
+    if outcome.Sched.error <> None then None
+    else begin
+      let rec drain acc =
+        match Global_pool.pop_batch g ~level:1 with
+        | Some b -> drain (b @ acc)
+        | None -> acc
+      in
+      let all = drain (popped.(0) @ popped.(1) @ popped.(2)) in
+      if List.sort compare all <> List.init (2 * n) Fun.id then
+        Some
+          {
+            cls = "conservation";
+            detail =
+              Printf.sprintf
+                "recovered %d slots of %d pushed (loss or duplication)"
+                (List.length all) (2 * n);
+          }
+      else if Global_pool.approx_batches g <> 0 then
+        Some
+          {
+            cls = "conservation";
+            detail = "resident batch count nonzero after a full drain";
+          }
+      else None
+    end
+  in
+  report ~name ~tail ~outcome failure
+
 (* ---------- seeded bugs ---------- *)
 
 (* A reader repeatedly walks to the far end of a small list while two
@@ -266,9 +335,12 @@ let late_guard_exec ~name ~decisions ~tail =
   let arena = Arena.create ~capacity:4096 in
   ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
   let global = Global_pool.create ~max_level:1 in
+  (* retire_threshold 1: every retire scans immediately. HP's amortized
+     scan cadence would otherwise skip the scan on some retires and
+     narrow the window this scenario exists to expose. *)
   let r =
     Faulty.Late_guard.create ~arena ~global ~n_threads:2 ~hazards:3
-      ~retire_threshold:2 ~epoch_freq:1
+      ~retire_threshold:1 ~epoch_freq:1
   in
   let module L = Dstruct.Linked_list.Make (Faulty.Late_guard) in
   let l = L.create r ~arena in
@@ -344,6 +416,13 @@ let table =
       lin_structures
   @ [
       {
+        s_name = "pool-steal";
+        s_tail = Sched.Round_robin;
+        s_max_len = 64;
+        s_expect_bug = false;
+        s_exec = pool_steal_exec ~name:"pool-steal";
+      };
+      {
         s_name = "aba-immediate-free";
         s_tail = Sched.First;
         s_max_len = 96;
@@ -410,6 +489,12 @@ let shrink_failure s ~tail ~cls decisions =
 
 let explore ?(seed = 0) ?(budget = 200) ?max_len ~scenario () =
   let s = find scenario in
+  (* Seeded-bug scenarios exist to prove the explorer still has teeth, and
+     their workloads are tiny, so spend more schedules on them than on the
+     (clean, much heavier) linearizability/robustness sweeps sharing the
+     same budget knob. The late-guard window in particular became rarer
+     when the sharded global pool lengthened the allocation prefix. *)
+  let budget = if s.s_expect_bug then budget * 8 else budget in
   let max_len = Option.value max_len ~default:s.s_max_len in
   let rng = Harness.Rng.create ~seed in
   let rec attempt i =

@@ -38,6 +38,7 @@ module Immediate_free = struct
   let begin_op _ ~tid:_ = ()
   let end_op _ ~tid:_ = ()
   let protect _ ~tid:_ ~slot:_ read = read ()
+  let protect_read _ ~tid:_ ~slot:_ field = Access.get field
   let protect_own _ ~tid:_ ~slot:_ _ = ()
   let transfer _ ~tid:_ ~src:_ ~dst:_ = ()
 
@@ -84,6 +85,13 @@ module Late_guard = struct
 
   let protect t ~tid ~slot read =
     let w = read () in
+    let i = Packed.index w in
+    if i <> 0 then Reclaim.Hp.protect_own t ~tid ~slot i;
+    w
+
+  (* Same seeded bug on the closure-free path. *)
+  let protect_read t ~tid ~slot field =
+    let w = Access.get field in
     let i = Packed.index w in
     if i <> 0 then Reclaim.Hp.protect_own t ~tid ~slot i;
     w

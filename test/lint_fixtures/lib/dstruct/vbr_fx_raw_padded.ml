@@ -1,0 +1,7 @@
+(* Fixture: raw-atomic, Padded exemption. The access goes through
+   [Padded.cell] — the identity marker for padded plane bookkeeping — so
+   the rule must produce no finding without any allow attribute. *)
+type t = { hits : int Atomic.t }
+
+let peek t = Atomic.get (Padded.cell t.hits)
+let bump t = Atomic.incr (Memsim.Padded.cell t.hits)

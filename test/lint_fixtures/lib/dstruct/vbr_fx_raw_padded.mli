@@ -1,0 +1,5 @@
+(* Fixture interface: raw-atomic Padded.cell exemption. *)
+type t = { hits : int Atomic.t }
+
+val peek : t -> int
+val bump : t -> unit

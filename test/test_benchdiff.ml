@@ -1,0 +1,201 @@
+(* The perf-ratchet library behind bin/vbr_benchdiff.exe: the Sink-subset
+   JSON reader, per-point panel comparison, and threshold resolution.
+   The injected-regression case is the gate's reason to exist — a 20%
+   throughput drop must fail at the default threshold. *)
+
+module Json_read = Benchdiff.Json_read
+
+let panel ?(name = "fig2b") pts =
+  Obs.Sink.Obj
+    [
+      ("panel", Obs.Sink.String name);
+      ( "points",
+        Obs.Sink.List
+          (List.map
+             (fun (scheme, threads, mops) ->
+               Obs.Sink.Obj
+                 [
+                   ("scheme", Obs.Sink.String scheme);
+                   ("threads", Obs.Sink.Int threads);
+                   ("mops", Obs.Sink.Float mops);
+                 ])
+             pts) );
+    ]
+
+let baseline_pts =
+  [ ("VBR", 1, 0.08); ("VBR", 8, 0.09); ("EBR", 1, 0.08); ("EBR", 8, 0.084) ]
+
+let scale f pts = List.map (fun (s, t, m) -> (s, t, m *. f)) pts
+
+(* ---------- Json_read ---------- *)
+
+let test_roundtrip () =
+  (* Whatever Sink writes, the reader must reproduce structurally —
+     including escapes, nested containers, negative ints and floats. *)
+  let doc =
+    Obs.Sink.Obj
+      [
+        ("s", Obs.Sink.String "a\"b\\c\nd\te");
+        ("i", Obs.Sink.Int (-42));
+        ("f", Obs.Sink.Float 0.125);
+        ("b", Obs.Sink.Bool true);
+        ("n", Obs.Sink.Null);
+        ( "l",
+          Obs.Sink.List
+            [ Obs.Sink.Int 1; Obs.Sink.Obj []; Obs.Sink.List [] ] );
+        ("panel", panel baseline_pts);
+      ]
+  in
+  let path = Filename.temp_file "benchdiff_rt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Sink.write_file path doc;
+      match Json_read.of_file path with
+      | Ok got ->
+          Alcotest.(check bool) "structurally equal" true (got = doc)
+      | Error e -> Alcotest.fail ("parse failed: " ^ e))
+
+let test_parse_errors () =
+  let bad s =
+    match Json_read.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" s)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "nul";
+  bad "{} trailing";
+  bad "\"unterminated"
+
+(* ---------- compare_json ---------- *)
+
+let compare_exn ~threshold ~baseline ~candidate =
+  match Benchdiff.compare_json ~threshold ~baseline ~candidate with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_identical_pass () =
+  let r =
+    compare_exn ~threshold:0.15 ~baseline:(panel baseline_pts)
+      ~candidate:(panel baseline_pts)
+  in
+  Alcotest.(check int) "all points shared" (List.length baseline_pts)
+    (List.length r.Benchdiff.r_deltas);
+  Alcotest.(check int) "no regressions" 0
+    (List.length r.Benchdiff.r_regressions)
+
+let test_injected_regression_fails () =
+  (* The acceptance case: a uniform 20% drop trips the default 15%
+     threshold on every point, and the worst ratio sorts first. *)
+  let r =
+    compare_exn ~threshold:Benchdiff.default_threshold
+      ~baseline:(panel baseline_pts)
+      ~candidate:(panel (scale 0.8 baseline_pts))
+  in
+  Alcotest.(check int) "every point regressed" (List.length baseline_pts)
+    (List.length r.Benchdiff.r_regressions);
+  (match r.Benchdiff.r_deltas with
+  | d :: _ ->
+      Alcotest.(check bool) "ratio is 0.8" true
+        (Float.abs (d.Benchdiff.d_ratio -. 0.8) < 1e-9)
+  | [] -> Alcotest.fail "no deltas");
+  (* The same drop passes a looser gate. *)
+  let loose =
+    compare_exn ~threshold:0.25 ~baseline:(panel baseline_pts)
+      ~candidate:(panel (scale 0.8 baseline_pts))
+  in
+  Alcotest.(check int) "passes at 25%" 0
+    (List.length loose.Benchdiff.r_regressions)
+
+let test_single_point_regression () =
+  (* Only the slowed point fails; improvements elsewhere don't mask it. *)
+  let candidate =
+    List.map
+      (fun (s, t, m) ->
+        if s = "VBR" && t = 8 then (s, t, m *. 0.5) else (s, t, m *. 1.5))
+      baseline_pts
+  in
+  let r =
+    compare_exn ~threshold:0.15 ~baseline:(panel baseline_pts)
+      ~candidate:(panel candidate)
+  in
+  match r.Benchdiff.r_regressions with
+  | [ d ] ->
+      Alcotest.(check string) "the slowed scheme" "VBR"
+        d.Benchdiff.d_point.Benchdiff.p_scheme;
+      Alcotest.(check int) "the slowed thread count" 8
+        d.Benchdiff.d_point.Benchdiff.p_threads
+  | rs ->
+      Alcotest.fail (Printf.sprintf "expected 1 regression, got %d"
+                       (List.length rs))
+
+let test_unmatched_points_ignored () =
+  (* Schemes appearing on only one side are reported but never fail. *)
+  let r =
+    compare_exn ~threshold:0.15
+      ~baseline:(panel (("HP", 8, 0.02) :: baseline_pts))
+      ~candidate:(panel (("HE", 8, 0.02) :: scale 0.9 baseline_pts))
+  in
+  Alcotest.(check int) "shared points only" (List.length baseline_pts)
+    (List.length r.Benchdiff.r_deltas);
+  Alcotest.(check int) "baseline-only reported" 1
+    (List.length r.Benchdiff.r_only_baseline);
+  Alcotest.(check int) "candidate-only reported" 1
+    (List.length r.Benchdiff.r_only_candidate);
+  Alcotest.(check int) "a 10% dip is not a regression" 0
+    (List.length r.Benchdiff.r_regressions)
+
+let test_panel_mismatch () =
+  match
+    Benchdiff.compare_json ~threshold:0.15
+      ~baseline:(panel ~name:"fig2b" baseline_pts)
+      ~candidate:(panel ~name:"queue" baseline_pts)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "panel mismatch accepted"
+
+(* ---------- threshold resolution ---------- *)
+
+let test_threshold_resolution () =
+  let check_f name expect got =
+    Alcotest.(check bool) name true (Float.abs (expect -. got) < 1e-9)
+  in
+  Unix.putenv "BENCH_DIFF_THRESHOLD" "0.30";
+  check_f "env var honoured" 0.30 (Benchdiff.resolve_threshold None);
+  check_f "flag beats env" 0.05 (Benchdiff.resolve_threshold (Some 0.05));
+  Unix.putenv "BENCH_DIFF_THRESHOLD" "bogus";
+  check_f "bad env falls back to default" Benchdiff.default_threshold
+    (Benchdiff.resolve_threshold None);
+  Unix.putenv "BENCH_DIFF_THRESHOLD" "1.5";
+  check_f "out-of-range env falls back" Benchdiff.default_threshold
+    (Benchdiff.resolve_threshold None)
+
+let () =
+  Alcotest.run "benchdiff"
+    [
+      ( "json_read",
+        [
+          Alcotest.test_case "sink round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "identical panels pass" `Quick
+            test_identical_pass;
+          Alcotest.test_case "injected 20% regression fails" `Quick
+            test_injected_regression_fails;
+          Alcotest.test_case "single-point regression" `Quick
+            test_single_point_regression;
+          Alcotest.test_case "unmatched points ignored" `Quick
+            test_unmatched_points_ignored;
+          Alcotest.test_case "panel mismatch" `Quick test_panel_mismatch;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "resolution order" `Quick
+            test_threshold_resolution;
+        ] );
+    ]

@@ -90,6 +90,9 @@ let clean_cases =
     (* Suppression machinery: same violation as vbr_fx_raw.ml, silenced by
        the binding attribute. *)
     "lib/dstruct/vbr_fx_raw_ok.ml";
+    (* Padded exemption: Atomic ops routed through Padded.cell are plane
+       bookkeeping, not node words — clean with no annotation. *)
+    "lib/dstruct/vbr_fx_raw_padded.ml";
     (* Timed scope: the wall clock is legal in lib/harness. *)
     "lib/harness/fx_clock_ok.ml";
     (* Signature carrier: *_intf.ml is exempt from mli-coverage. *)

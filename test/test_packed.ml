@@ -104,6 +104,25 @@ let prop_mark_involution =
       let w = pack ~marked ~index:i ~version:v in
       clear_mark (set_mark w) = clear_mark w)
 
+(* The mli promises pack_unchecked = pack on every in-range input; the
+   hot paths (vbr.ml update/read) lean on that promise. Cover both the
+   small-version region and the top of the version range, where a missing
+   mask would overflow into the sign bit. *)
+let prop_unchecked_agrees =
+  QCheck2.Test.make ~name:"pack_unchecked = pack on valid inputs" ~count:1000
+    QCheck2.Gen.(
+      triple bool (int_bound Memsim.Packed.max_index)
+        (oneof
+           [
+             int_bound (1 lsl 30);
+             map
+               (fun v -> Memsim.Packed.max_version - v)
+               (int_bound (1 lsl 30));
+           ]))
+    (fun (marked, i, v) ->
+      Memsim.Packed.pack_unchecked ~marked ~index:i ~version:v
+      = Memsim.Packed.pack ~marked ~index:i ~version:v)
+
 let prop_with_version =
   QCheck2.Test.make ~name:"with_version replaces only version" ~count:500
     QCheck2.Gen.(pair gen_components (int_bound (1 lsl 30)))
@@ -135,6 +154,7 @@ let () =
             prop_roundtrip;
             prop_roundtrip_big;
             prop_mark_involution;
+            prop_unchecked_agrees;
             prop_with_version;
           ] );
     ]

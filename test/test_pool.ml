@@ -161,6 +161,124 @@ let test_concurrent_global () =
   List.iter Domain.join cs;
   Alcotest.(check int) "all consumed" (2 * n_batches) (Atomic.get consumed)
 
+let test_steal_counters () =
+  (* An own-shard pop counts only Global_pop; a foreign-shard pop counts
+     Global_pop plus Global_steal; pushes count Global_push. *)
+  let g = Global_pool.create ~max_level:1 in
+  let c = Obs.Counters.create ~shards:1 in
+  let sh = Obs.Counters.shard c 0 in
+  Global_pool.push_batch ~stats:sh ~shard:3 g ~level:1 [ 1; 2 ];
+  Global_pool.push_batch ~stats:sh ~shard:3 g ~level:1 [ 3 ];
+  (match Global_pool.pop_batch ~stats:sh ~shard:3 g ~level:1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an own-shard batch");
+  Alcotest.(check int) "no steal from own shard" 0
+    (Obs.Counters.read c Obs.Event.Global_steal);
+  (match Global_pool.pop_batch ~stats:sh ~shard:0 ~probe:5 g ~level:1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a stolen batch");
+  Alcotest.(check int) "two pushes" 2
+    (Obs.Counters.read c Obs.Event.Global_push);
+  Alcotest.(check int) "two pops" 2
+    (Obs.Counters.read c Obs.Event.Global_pop);
+  Alcotest.(check int) "one steal" 1
+    (Obs.Counters.read c Obs.Event.Global_steal)
+
+(* Conservation across shards under real steal races: two producer
+   domains push singleton batches to their own shards while a thief whose
+   own shard is never fed pops concurrently — every one of its hits is a
+   cross-shard steal. After the dust settles, thief loot + a full drain
+   must be exactly the pushed set: nothing lost, nothing duplicated. *)
+let prop_sharded_conservation =
+  QCheck2.Test.make ~name:"sharded conservation under steal races" ~count:10
+    QCheck2.Gen.(pair (int_range 8 120) (int_bound 7))
+    (fun (n, probe) ->
+      let g = Global_pool.create ~max_level:1 in
+      let c = Obs.Counters.create ~shards:1 in
+      let producer p () =
+        for b = 0 to n - 1 do
+          Global_pool.push_batch g ~shard:((4 * p) + 1) ~level:1
+            [ (p * n) + b ]
+        done
+      in
+      let loot = ref [] in
+      let thief () =
+        let sh = Obs.Counters.shard c 0 in
+        let got = ref 0 in
+        while !got < n do
+          match
+            Global_pool.pop_batch ~stats:sh ~shard:6 ~probe g ~level:1
+          with
+          | Some b ->
+              loot := b @ !loot;
+              incr got
+          | None -> Domain.cpu_relax ()
+        done
+      in
+      let ds =
+        Domain.spawn thief
+        :: List.init 2 (fun p -> Domain.spawn (producer p))
+      in
+      List.iter Domain.join ds;
+      let rec drain acc =
+        match Global_pool.pop_batch g ~level:1 with
+        | Some b -> drain (b @ acc)
+        | None -> acc
+      in
+      let all = drain !loot in
+      List.sort compare all = List.init (2 * n) Fun.id
+      && Obs.Counters.read c Obs.Event.Global_steal = n
+      && Global_pool.approx_batches g = 0)
+
+(* The adaptive epoch-advance cadence (EBR): a countdown of [epoch_freq]
+   allocations per advance attempt, with the period doubling on a lost
+   CAS. Uncontended the cadence is exact; contended, total attempts stay
+   within the allocs/freq budget because the period never shrinks below
+   [epoch_freq]. *)
+let test_advance_budget_single () =
+  let arena = Arena.create ~capacity:4096 in
+  let global = Global_pool.create ~max_level:1 in
+  let freq = 8 and allocs = 1_000 in
+  let r =
+    Reclaim.Ebr.create ~arena ~global ~n_threads:1 ~hazards:1
+      ~retire_threshold:64 ~epoch_freq:freq
+  in
+  for _ = 1 to allocs do
+    let i = Reclaim.Ebr.alloc r ~tid:0 ~level:1 ~key:0 in
+    Reclaim.Ebr.dealloc r ~tid:0 i
+  done;
+  let s = Reclaim.Ebr.stats r in
+  Alcotest.(check int) "exactly allocs/freq advances" (allocs / freq)
+    (Obs.Counters.get s Obs.Event.Epoch_advance);
+  Alcotest.(check int) "no lost races single-threaded" 0
+    (Obs.Counters.get s Obs.Event.Advance_skip)
+
+let test_advance_budget_contended () =
+  let arena = Arena.create ~capacity:8192 in
+  let global = Global_pool.create ~max_level:1 in
+  let freq = 8 and allocs = 600 in
+  let r =
+    Reclaim.Ebr.create ~arena ~global ~n_threads:2 ~hazards:1
+      ~retire_threshold:64 ~epoch_freq:freq
+  in
+  let worker tid () =
+    for _ = 1 to allocs do
+      let i = Reclaim.Ebr.alloc r ~tid ~level:1 ~key:0 in
+      Reclaim.Ebr.dealloc r ~tid i
+    done
+  in
+  let ds = List.init 2 (fun tid -> Domain.spawn (worker tid)) in
+  List.iter Domain.join ds;
+  let s = Reclaim.Ebr.stats r in
+  let adv = Obs.Counters.get s Obs.Event.Epoch_advance in
+  let skips = Obs.Counters.get s Obs.Event.Advance_skip in
+  (* Every attempt (win or lose) consumed at least [freq] allocations of
+     countdown, so attempts are bounded by the global budget even though
+     the backoff redistributes them between threads. *)
+  Alcotest.(check bool) "attempts within allocs/freq budget" true
+    (adv + skips <= 2 * allocs / freq);
+  Alcotest.(check bool) "the clock still advances" true (adv >= 1)
+
 let () =
   Alcotest.run "pool"
     [
@@ -175,5 +293,12 @@ let () =
             test_put_batch_single_spill;
           Alcotest.test_case "conservation" `Quick test_conservation;
           Alcotest.test_case "concurrent global" `Quick test_concurrent_global;
+          Alcotest.test_case "steal counters" `Quick test_steal_counters;
+          Alcotest.test_case "advance budget (single)" `Quick
+            test_advance_budget_single;
+          Alcotest.test_case "advance budget (contended)" `Quick
+            test_advance_budget_contended;
         ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_sharded_conservation ] );
     ]
