@@ -50,7 +50,7 @@ let () =
                 "%s: warning: %d events dropped; lifecycle, guard and \
                  rollback rules skipped\n"
                 file dump.Obs.Trace.d_dropped;
-          List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+          List.iter (fun f -> print_endline (Lint_core.Finding.to_string f)) findings;
           if findings <> [] then failed := true
           else if not !quiet then
             Printf.printf "%s: %d events (%s, %d threads): no violations\n"

@@ -1,0 +1,5 @@
+(* vbr-verify: the typed, interprocedural companion to vbr-lint (see
+   DESIGN.md §2.14). Everything lives in the [verify] library so the
+   test suite can drive the same analysis over fixture trees. *)
+
+let () = exit (Verify.Driver.main ())

@@ -5,7 +5,7 @@
    whose checkpoints are deliberately installed by their callers (the
    Figure-3 find idiom) document that transfer of obligation with
    [@vbr.allow "checkpoint-scope"] on the binding. *)
-
+open Lint_core
 open Parsetree
 
 let name = "checkpoint-scope"

@@ -3,7 +3,7 @@
    (lib/harness + lib/obs). A wall-clock read or self-seeded RNG anywhere
    else makes a failing run unreproducible, which the stress/linearization
    suites depend on. *)
-
+open Lint_core
 open Parsetree
 
 let name = "determinism"

@@ -2,6 +2,7 @@
    compiler's own parser, run the rule table, filter [@vbr.allow] spans,
    and report human-readable text plus (optionally) machine-readable JSON
    through Obs.Sink. Exit status 1 iff findings remain. *)
+open Lint_core
 
 let scan_dirs = [ "lib"; "bench"; "bin"; "examples" ]
 let skip_dirs = [ "_build"; ".git"; "lint_fixtures" ]

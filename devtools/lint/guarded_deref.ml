@@ -8,7 +8,7 @@
    function body that engages the plane (protect / protect_own / transfer
    / begin_op / end_op). Construction-time and quiescent helpers document
    their single-threadedness with [@vbr.allow "guarded-deref"]. *)
-
+open Lint_core
 open Parsetree
 
 let name = "guarded-deref"

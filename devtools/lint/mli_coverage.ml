@@ -3,6 +3,7 @@
    — an .mli is where GUARDED vs OPTIMISTIC obligations become visible.
    Signature-only carriers — the *_intf.ml files — are exempt: they exist
    to be included and have no hidden surface. *)
+open Lint_core
 
 let name = "mli-coverage"
 

@@ -5,6 +5,7 @@
    paper's ABA/staleness argument (PAPER.md §4) no longer covers it. The
    plane implementors (lib/core, lib/memsim) are the only allowlisted
    users of Atomic on node words. *)
+open Lint_core
 
 let name = "raw-atomic"
 

@@ -6,6 +6,7 @@
    never-published fast path: it must stay local to the operation that
    allocated the node (test code is outside the lint scope and may
    dealloc freely). *)
+open Lint_core
 
 let name = "retire-discipline"
 

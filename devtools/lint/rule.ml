@@ -1,5 +1,6 @@
 (* A named rule of the repo's concurrency discipline. AST rules run per
    parsed file; tree rules see the whole file set (mli-coverage). *)
+open Lint_core
 
 type ctx = { scope : Scope.t }
 

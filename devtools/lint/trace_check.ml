@@ -11,7 +11,7 @@
    a node's retire in the trace and no release intervenes before the
    reclaim, the protection really did overlap the unlink — which a
    correct scheme never reclaims under. *)
-
+open Lint_core
 open Obs
 
 (* Per-slot lifecycle state machine. [Unknown] is the pre-history state

@@ -1,0 +1,81 @@
+(* SARIF 2.1.0 emission: the interchange format GitHub code scanning
+   ingests, so CI can annotate PR diffs with findings. One run per
+   report; every finding becomes a [result] at error level anchored to
+   its file/line/col, with the fix hint folded into the message (SARIF
+   has no dedicated hint field). Rule metadata is listed once under the
+   tool driver so viewers can show per-rule documentation. *)
+
+let version = "2.1.0"
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+(* [rules] is the (name, one-line doc) table of the emitting tool. *)
+let rule_json (name, doc) : Obs.Sink.json =
+  Obj
+    [
+      ("id", String name);
+      ("shortDescription", Obj [ ("text", String doc) ]);
+      ("defaultConfiguration", Obj [ ("level", String "error") ]);
+    ]
+
+let result_json (f : Finding.t) : Obs.Sink.json =
+  Obj
+    [
+      ("ruleId", String f.rule);
+      ("level", String "error");
+      ("message", Obj [ ("text", String (f.message ^ "; hint: " ^ f.hint)) ]);
+      ( "locations",
+        List
+          [
+            Obj
+              [
+                ( "physicalLocation",
+                  Obj
+                    [
+                      ( "artifactLocation",
+                        Obj
+                          [
+                            ("uri", String f.file);
+                            ("uriBaseId", String "SRCROOT");
+                          ] );
+                      ( "region",
+                        Obj
+                          [
+                            ("startLine", Int f.line);
+                            (* SARIF columns are 1-based; findings carry
+                               the compiler's 0-based column. *)
+                            ("startColumn", Int (f.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let to_json ~tool ~rules findings : Obs.Sink.json =
+  Obj
+    [
+      ("$schema", String schema);
+      ("version", String version);
+      ( "runs",
+        List
+          [
+            Obj
+              [
+                ( "tool",
+                  Obj
+                    [
+                      ( "driver",
+                        Obj
+                          [
+                            ("name", String tool);
+                            ("rules", List (List.map rule_json rules));
+                          ] );
+                    ] );
+                (* No originalUriBaseIds: SRCROOT is the conventional
+                   id code-scanning resolves to the checkout root. *)
+                ("results", List (List.map result_json findings));
+              ];
+          ] );
+    ]
+
+let write_file path ~tool ~rules findings =
+  Obs.Sink.write_file path (to_json ~tool ~rules findings)

@@ -45,6 +45,7 @@ let spans_of_attrs attrs ~(loc : Location.t) =
         (rules_of_attr attr))
     attrs
 
+(* Parse-tree collector (vbr-lint). *)
 let collect (str : structure) =
   let spans = ref [] in
   let add s = spans := s @ !spans in
@@ -70,6 +71,45 @@ let collect (str : structure) =
                    (rules_of_attr attr))
           | _ -> ());
           Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  it.structure it str;
+  !spans
+
+(* Typed-tree collector (vbr-verify). Typedtree nodes carry the very
+   same Parsetree attributes, so the verifier honors the identical
+   attribute at the identical expr/binding/file granularity: the spans
+   produced here for a file are the spans [collect] produces from its
+   parse tree. *)
+let collect_typed (str : Typedtree.structure) =
+  let spans = ref [] in
+  let add s = spans := s @ !spans in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          add
+            (spans_of_attrs e.Typedtree.exp_attributes
+               ~loc:e.Typedtree.exp_loc);
+          Tast_iterator.default_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          add
+            (spans_of_attrs vb.Typedtree.vb_attributes
+               ~loc:vb.Typedtree.vb_loc);
+          Tast_iterator.default_iterator.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          (match si.Typedtree.str_desc with
+          | Typedtree.Tstr_attribute attr ->
+              (* Floating attribute: file-wide suppression. *)
+              add
+                (List.map
+                   (fun rule -> { rule; first = 1; last = whole_file })
+                   (rules_of_attr attr))
+          | _ -> ());
+          Tast_iterator.default_iterator.structure_item it si);
     }
   in
   it.structure it str;

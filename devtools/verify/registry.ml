@@ -1,0 +1,20 @@
+(* The verifier's rule table: interprocedural rules over the typed
+   program model. Mirrors Lint.Registry so the two drivers read the
+   same way; kept separate because these rules consume Prog.t, not
+   parse trees. *)
+
+open Lint_core
+
+type rule = { name : string; doc : string; check : Prog.t -> Finding.t list }
+
+let all : rule list =
+  [
+    { name = Rule_ckpt.name; doc = Rule_ckpt.doc; check = Rule_ckpt.check };
+    { name = Rule_taint.name; doc = Rule_taint.doc; check = Rule_taint.check };
+    { name = Rule_guard.name; doc = Rule_guard.doc; check = Rule_guard.check };
+    { name = Rule_block.name; doc = Rule_block.doc; check = Rule_block.check };
+    { name = Rule_raw.name; doc = Rule_raw.doc; check = Rule_raw.check };
+  ]
+
+let find name = List.find_opt (fun r -> r.name = name) all
+let docs () = List.map (fun r -> (r.name, r.doc)) all

@@ -1,0 +1,75 @@
+(* raw-atomic, typed edition: optimistic vbr_ structures must go
+   through the versioned plane, never raw Atomic. The untyped linter
+   matches the literal path [Atomic.op] and is blind to [module A =
+   Atomic] and [open Atomic]; here the type-checker has already
+   resolved every use to its canonical path (Stdlib.Atomic.op), and the
+   file-local alias table catches renamings, so both spellings are
+   caught. The rule keeps the untyped rule's name on purpose: the
+   discipline is the same, so one [@vbr.allow "raw-atomic"] suppresses
+   the same exemption in both tools (the quiescent to_list debug
+   helpers rely on that).
+
+   The Padded.cell exemption also carries over: reading through the
+   false-sharing padding wrapper is how the plane itself is reached. *)
+
+open Lint_core
+
+let name = "raw-atomic"
+
+let doc =
+  "vbr_* structures must not touch Atomic directly (resolved through the \
+   typed tree: aliases and opens included); use the versioned plane"
+
+let atomic_ops =
+  [
+    "Atomic.get";
+    "Atomic.set";
+    "Atomic.compare_and_set";
+    "Atomic.exchange";
+    "Atomic.fetch_and_add";
+    "Atomic.make";
+  ]
+
+let is_atomic canon = Ast_util.suffix_matches canon ~suffixes:atomic_ops
+
+let padded_subject (p : Prog.t) (s : Prog.site) =
+  match s.kind with
+  | Prog.Call args ->
+      List.exists
+        (fun (_, a) ->
+          match
+            List.find_opt
+              (fun (f : Cmt_load.file) -> f.rel = s.owner_file)
+              p.files
+          with
+          | None -> false
+          | Some file -> (
+              let aliases = Tast_util.collect_aliases file.str in
+              match Tast_util.head_canon aliases a with
+              | Some h -> Ast_util.suffix_matches h ~suffixes:[ "Padded.cell" ]
+              | None -> false))
+        args
+  | Prog.Ref -> false
+
+let check (p : Prog.t) =
+  List.filter_map
+    (fun (s : Prog.site) ->
+      if
+        Prog.file_kind p s.owner_file = Scope.Optimistic
+        && (match s.kind with Prog.Call _ -> true | Prog.Ref -> false)
+        && is_atomic s.canon
+        && not (padded_subject p s)
+      then
+        Some
+          (Prog.finding ~rule:name ~file:s.owner_file s.loc
+             ~message:
+               (Printf.sprintf
+                  "%s bypasses the versioned plane in an optimistic \
+                   structure (typed resolution: aliases and opens cannot \
+                   hide it)"
+                  s.canon)
+             ~hint:
+               "go through the OPTIMISTIC signature (read_root/get_next/\
+                update); raw Atomic skips version validation")
+      else None)
+    p.sites

@@ -12,7 +12,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       (Node.next0 (Arena.get arena head))
       (Packed.pack ~marked:false ~index:tail ~version:0);
     { r; arena; head; tail }
-  [@@vbr.allow "guarded-deref"] (* single-threaded construction *)
+  [@@vbr.allow "guarded-deref" "guard-extent"] (* single-threaded construction *)
 
   let next_word t i = Node.next0 (Arena.get t.arena i)
   let key_of t i = (Arena.get t.arena i).Node.key
@@ -138,7 +138,7 @@ module Make (R : Reclaim.Smr_intf.S) = struct
       end
     in
     go [] t.head
-  [@@vbr.allow "guarded-deref"]
+  [@@vbr.allow "guarded-deref" "guard-extent"]
 
   let size t = List.length (to_list t)
 end

@@ -20,7 +20,6 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
     let c = V.ctx vbr ~tid:0 in
     V.checkpoint c (fun () ->
         let tail, tail_b = V.alloc vbr ~tid:0 ~level:max_level ~key:Set_intf.max_key_bound in
-        V.commit_alloc c tail;
         let head, head_b = V.alloc vbr ~tid:0 ~level:max_level ~key:Set_intf.min_key_bound in
         for l = 0 to max_level - 1 do
           let ok =
@@ -29,6 +28,10 @@ module Make (V : Reclaim.Smr_intf.OPTIMISTIC) = struct
           in
           assert ok
         done;
+        (* Commit both sentinels only once the tower is wired: a rollback
+           anywhere above recycles them and re-runs the thunk, instead of
+           leaking a committed-but-unreachable tail. *)
+        V.commit_alloc c tail;
         V.commit_alloc c head;
         {
           vbr;

@@ -129,7 +129,7 @@ let lin_exec ~structure ~scheme ~name ~decisions ~tail =
           match (Lint.Trace_check.check ~file:name d).Lint.Trace_check.findings with
           | [] -> None
           | f :: _ ->
-              Some { cls = "trace"; detail = Lint.Finding.to_string f })
+              Some { cls = "trace"; detail = Lint_core.Finding.to_string f })
       | exception Harness.Lin.Non_linearizable m ->
           Some { cls = "lin"; detail = m }
     end

@@ -10,7 +10,7 @@ let fixture_findings = lazy (Lint.Driver.run ~root:"lint_fixtures" ())
 let pp_findings fs =
   String.concat "\n"
     (List.map
-       (fun (f : Lint.Finding.t) ->
+       (fun (f : Lint_core.Finding.t) ->
          Printf.sprintf "%s:%d [%s]" f.file f.line f.rule)
        fs)
 
@@ -19,7 +19,7 @@ let check_flagged ~rule ~file ~line () =
   let fs = Lazy.force fixture_findings in
   let hit =
     List.exists
-      (fun (f : Lint.Finding.t) ->
+      (fun (f : Lint_core.Finding.t) ->
         f.rule = rule && f.file = file && f.line = line)
       fs
   in
@@ -32,7 +32,7 @@ let check_flagged ~rule ~file ~line () =
 let check_clean ~file () =
   let fs = Lazy.force fixture_findings in
   let offending =
-    List.filter (fun (f : Lint.Finding.t) -> f.file = file) fs
+    List.filter (fun (f : Lint_core.Finding.t) -> f.file = file) fs
   in
   Alcotest.(check string)
     (Printf.sprintf "%s clean" file)

@@ -106,7 +106,7 @@ let traced_stress scheme () =
   | f :: _ ->
       Alcotest.failf "%d violation(s) on a clean %s run, first: %s"
         (List.length findings) scheme
-        (Lint.Finding.to_string f)
+        (Lint_core.Finding.to_string f)
 
 (* ------------------------------------------------------------------ *)
 (* Injected faults: each rule fires on its fixture.                     *)
@@ -133,7 +133,7 @@ let mk_dump ?(dropped = 0) events =
     d_events = Array.of_list events;
   }
 
-let rules fs = List.map (fun f -> f.Lint.Finding.rule) fs
+let rules fs = List.map (fun f -> f.Lint_core.Finding.rule) fs
 
 let expect_rule name fixture rule ~substring =
   let { Lint.Trace_check.findings; _ } =
@@ -142,9 +142,9 @@ let expect_rule name fixture rule ~substring =
   match
     List.find_opt
       (fun f ->
-        f.Lint.Finding.rule = rule
+        f.Lint_core.Finding.rule = rule
         &&
-        let m = f.Lint.Finding.message and s = substring in
+        let m = f.Lint_core.Finding.message and s = substring in
         let lm = String.length m and ls = String.length s in
         let rec at i = i + ls <= lm && (String.sub m i ls = s || at (i + 1)) in
         at 0)
@@ -162,7 +162,7 @@ let expect_clean name fixture =
   in
   if findings <> [] then
     Alcotest.failf "%s: expected clean, got %s" name
-      (String.concat "; " (List.map Lint.Finding.to_string findings))
+      (String.concat "; " (List.map Lint_core.Finding.to_string findings))
 
 let test_double_retire () =
   expect_rule "double retire"

@@ -1,0 +1,25 @@
+(* guard-extent fixtures (Guarded scope: no vbr_ prefix). The bad shape
+   is the "guard dropped before the extracted traversal" refactor: the
+   hand-over-hand reads moved into [traverse], and the public op calls
+   it with no begin_op/end_op bracket on any chain. The good twin is
+   the harris_list idiom: the same extracted traversal, covered because
+   its only caller engages the guard. *)
+
+type t = { words : int Atomic.t array; head : int }
+
+let next_word t i = t.words.(i)
+
+(* BAD: flagged at the Atomic.get line. *)
+let traverse t i = Atomic.get (next_word t i)
+let contains t key = traverse t (t.head + key)
+
+module MakeGuarded (R : Fx_intf.GUARD) = struct
+  (* GOOD: identical traversal, covered by the bracketing caller. *)
+  let traverse_ok t i = Atomic.get (next_word t i)
+
+  let contains_ok r t key =
+    R.begin_op r ~tid:0;
+    let v = traverse_ok t (t.head + key) in
+    R.end_op r ~tid:0;
+    v
+end

@@ -1,0 +1,21 @@
+(* blocking-in-critical-section fixture: Mutex.lock two calls deep
+   below a checkpoint argument. Criticality propagates op -> helper1 ->
+   helper2 through the call graph; the finding lands on the blocking
+   call itself. The good twin blocks outside any critical scope. *)
+
+module Make (V : Fx_intf.OPT) = struct
+  let m = Mutex.create ()
+
+  (* BAD: flagged at the Mutex.lock line. *)
+  let helper2 () = Mutex.lock m
+  let helper1 () = helper2 ()
+
+  let op (t : V.t) =
+    let c = V.ctx t ~tid:0 in
+    V.checkpoint c (fun () -> helper1 ())
+
+  (* GOOD: no checkpoint or guard is open here. *)
+  let op_ok () =
+    Mutex.lock m;
+    Mutex.unlock m
+end
