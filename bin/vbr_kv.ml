@@ -17,7 +17,7 @@ let install_signals () =
   Sys.set_signal Sys.sigterm handle
 
 let run scheme host port workers range buckets capacity retire_threshold
-    prefill port_file =
+    prefill port_file metrics_port metrics_port_file =
   match Net.Server.scheme_of_cli scheme with
   | Result.Error msg ->
       prerr_endline msg;
@@ -34,6 +34,7 @@ let run scheme host port workers range buckets capacity retire_threshold
           capacity;
           retire_threshold;
           prefill;
+          metrics_port;
         }
       in
       install_signals ();
@@ -60,6 +61,17 @@ let run scheme host port workers range buckets capacity retire_threshold
           Printf.fprintf oc "%d\n" bound;
           close_out oc)
         port_file;
+      Option.iter
+        (fun mport ->
+          Printf.printf "vbr-kv: metrics at http://%s:%d/metrics\n%!" host
+            mport;
+          Option.iter
+            (fun path ->
+              let oc = open_out path in
+              Printf.fprintf oc "%d\n" mport;
+              close_out oc)
+            metrics_port_file)
+        (Net.Server.metrics_port server);
       while not (Atomic.get stop_requested) do
         (try Unix.sleepf 0.2
          with Unix.Unix_error (Unix.EINTR, _, _) -> ())
@@ -129,12 +141,31 @@ let () =
             "Write the bound port to $(docv) once listening (for scripts \
              using --port 0).")
   in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ]
+          ~doc:
+            "Serve GET /metrics (OpenMetrics) and /metrics.json on this \
+             port; 0 picks an ephemeral one. Off by default.")
+  in
+  let metrics_port_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-port-file" ] ~docv:"PATH"
+          ~doc:
+            "Write the bound metrics port to $(docv) once listening (for \
+             scripts using --metrics-port 0).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "vbr-kv"
          ~doc:"Networked key-value service over the VBR hash table")
       Term.(
         const run $ scheme $ host $ port $ workers $ range $ buckets
-        $ capacity $ retire_threshold $ prefill $ port_file)
+        $ capacity $ retire_threshold $ prefill $ port_file $ metrics_port
+        $ metrics_port_file)
   in
   exit (Cmd.eval cmd)

@@ -18,7 +18,7 @@ let parse_mix s =
   | _ -> Error (Printf.sprintf "bad --mix %S (expected e.g. 90:10)" s)
 
 let run host port clients duration mix keydist range batch rate value_len seed
-    json_path =
+    timeline_ms json_path =
   let fail msg =
     prerr_endline msg;
     exit 2
@@ -32,6 +32,7 @@ let run host port clients duration mix keydist range batch rate value_len seed
   if clients < 1 then fail "loadgen: --clients must be >= 1";
   if batch < 1 then fail "loadgen: --batch must be >= 1";
   if range < 1 then fail "loadgen: --range must be >= 1";
+  if timeline_ms <= 0.0 then fail "loadgen: --timeline-ms must be > 0";
   let cfg =
     {
       Net.Loadgen.host;
@@ -45,6 +46,7 @@ let run host port clients duration mix keydist range batch rate value_len seed
       rate;
       value_len;
       seed;
+      timeline_ms;
     }
   in
   let report =
@@ -122,6 +124,12 @@ let () =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base RNG seed.")
   in
+  let timeline_ms =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "timeline-ms" ]
+          ~doc:"Interval time-series cadence in milliseconds.")
+  in
   let json_path =
     Arg.(
       value & opt string "BENCH_net.json"
@@ -132,6 +140,6 @@ let () =
       (Cmd.info "vbr-loadgen" ~doc:"Load generator for the vbr-kv server")
       Term.(
         const run $ host $ port $ clients $ duration $ mix $ keydist $ range
-        $ batch $ rate $ value_len $ seed $ json_path)
+        $ batch $ rate $ value_len $ seed $ timeline_ms $ json_path)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,60 @@
+(* vbr-top: live terminal view over a vbr-kv server's GET /metrics.
+
+   Examples:
+     dune exec bin/vbr_top.exe -- --port 9464
+     dune exec bin/vbr_top.exe -- --port 9464 --once
+     dune exec bin/vbr_top.exe -- --port 9464 --check   # CI smoke gate
+
+   The default mode clears the screen and re-renders every --interval
+   seconds until killed. --once prints a single frame (no escape codes
+   beyond plain text). --check scrapes twice, validates the exposition
+   (required families, bucket monotonicity, counter monotonicity) and
+   exits nonzero on any violation — the machine gate the CI metrics job
+   runs concurrently with the load. *)
+
+let run host port interval once check =
+  if check then
+    match Net.Top.check ~host ~port with
+    | Ok () ->
+        print_endline "vbr-top: scrape check passed";
+        0
+    | Error e ->
+        Printf.eprintf "vbr-top: scrape check FAILED: %s\n" e;
+        1
+  else Net.Top.run ~host ~port ~interval_s:interval ~once ()
+
+let () =
+  let open Cmdliner in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~doc:"Metrics endpoint address.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~doc:"Metrics port (vbr-kv --metrics-port).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~doc:"Refresh cadence in seconds.")
+  in
+  let once =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render one frame and exit.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Scrape twice, validate the exposition and counter \
+             monotonicity, exit nonzero on failure.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "vbr-top" ~doc:"Live view over a vbr-kv /metrics endpoint")
+      Term.(const run $ host $ port $ interval $ once $ check)
+  in
+  exit (Cmd.eval' cmd)

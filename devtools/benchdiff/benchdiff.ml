@@ -49,9 +49,45 @@ let as_float = function
 let as_int = function Some (Obs.Sink.Int i) -> Some i | _ -> None
 let as_string = function Some (Obs.Sink.String s) -> Some s | _ -> None
 
+(* Steady-state throughput from a point's interval time-series: trim the
+   first quarter (warmup) and last tenth (rampdown) of the samples, then
+   rate the cumulative op counts over the surviving window. Needs at
+   least 3 samples to have a window at all; cumulative "ops" and "t_ms"
+   must both be present and the window must span positive time. *)
+let steady_state_mops (pf : (string * Obs.Sink.json) list) : float option =
+  match field "timeline" pf with
+  | Some (Obs.Sink.List samples) when List.length samples >= 3 ->
+      let parsed =
+        List.filter_map
+          (function
+            | Obs.Sink.Obj sf -> (
+                match
+                  (as_float (field "t_ms" sf), as_float (field "ops" sf))
+                with
+                | Some t, Some o -> Some (t, o)
+                | _ -> None)
+            | _ -> None)
+          samples
+      in
+      let n = List.length parsed in
+      if n < 3 then None
+      else
+        let arr = Array.of_list parsed in
+        let lo = n / 4 in
+        let hi = n - 1 - (n / 10) in
+        if hi <= lo then None
+        else
+          let t0, o0 = arr.(lo) and t1, o1 = arr.(hi) in
+          let dt_s = (t1 -. t0) /. 1000.0 in
+          if dt_s <= 0.0 then None else Some ((o1 -. o0) /. dt_s /. 1e6)
+  | _ -> None
+
 (* Extract the throughput points of one panel document. Points missing
-   any of scheme/threads/mops (robust series, micro estimates, trace
-   metrics) yield no point — benchdiff only ratchets throughput panels. *)
+   any of threads/mops (robust series, micro estimates, trace metrics)
+   yield no point — benchdiff only ratchets throughput panels. Net
+   panels spell things differently: "clients" stands in for "threads",
+   and throughput falls back from "mops" to the timeline's steady-state
+   window, then to end-to-end "wire_mops". *)
 let points_of_json (j : Obs.Sink.json) : (string * point list, string) result
     =
   match j with
@@ -65,19 +101,31 @@ let points_of_json (j : Obs.Sink.json) : (string * point list, string) result
                 List.filter_map
                   (function
                     | Obs.Sink.Obj pf -> (
-                        match
-                          ( as_string (field "scheme" pf),
-                            as_int (field "threads" pf),
-                            as_float (field "mops" pf) )
-                        with
-                        | Some scheme, Some threads, Some mops ->
+                        let threads =
+                          match as_int (field "threads" pf) with
+                          | Some t -> Some t
+                          | None -> as_int (field "clients" pf)
+                        in
+                        let mops =
+                          match as_float (field "mops" pf) with
+                          | Some m -> Some m
+                          | None -> (
+                              match steady_state_mops pf with
+                              | Some m -> Some m
+                              | None -> as_float (field "wire_mops" pf))
+                        in
+                        match (threads, mops) with
+                        | Some threads, Some mops ->
                             Some
                               {
                                 p_structure =
                                   Option.value
                                     (as_string (field "structure" pf))
                                     ~default:"";
-                                p_scheme = scheme;
+                                p_scheme =
+                                  Option.value
+                                    (as_string (field "scheme" pf))
+                                    ~default:"";
                                 p_threads = threads;
                                 p_mops = mops;
                               }

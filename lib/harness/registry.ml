@@ -11,6 +11,7 @@ type instance = {
   pin : tid:int -> unit;
   epoch_advances : unit -> int;
   stats : unit -> Obs.Counters.snapshot;
+  pool_batches : unit -> int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -312,6 +313,7 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?buckets
              its stats shards (0 for NoRecl/HP, which have no clock). *)
           (fun () -> Obs.Counters.get (R.stats r) Obs.Event.Epoch_advance);
         stats = (fun () -> R.stats r);
+        pool_batches = (fun () -> Global_pool.approx_batches global);
       }
   | Reclaim.Smr_intf.Optimistic (module V) ->
       let v =
@@ -341,4 +343,5 @@ let make ~structure ~scheme ~n_threads ~range ~capacity ?buckets
         pin = (fun ~tid:_ -> ());
         epoch_advances = (fun () -> V.epoch_advances v);
         stats = (fun () -> V.stats v);
+        pool_batches = (fun () -> Global_pool.approx_batches global);
       }

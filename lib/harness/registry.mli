@@ -35,6 +35,10 @@ type instance = {
           epoch advances, and the allocator events underneath. The
           [unreclaimed] field above is the [Retire] − [Reclaim] view of
           the same data. *)
+  pool_batches : unit -> int;
+      (** Approximate batches currently parked in the shared
+          {!Memsim.Global_pool} (all shards, all levels) — a racy
+          occupancy gauge for telemetry. *)
 }
 
 type kind = Set | Queue | Stack

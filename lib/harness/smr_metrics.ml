@@ -1,0 +1,81 @@
+(* Per-scheme SMR health telemetry (DESIGN.md §2.15): registers gauges and
+   counters for one {!Registry.instance} on a {!Obs.Metrics} registry and
+   keeps them fresh from a background {!Obs.Sampler} collector.
+
+   The split matters for the SMR discipline: the collector domain is the
+   only thing that calls into the instance's racy accessors, publishing
+   what it reads into atomics; the scrape-side gauge closures read ONLY
+   those atomics. A scrape therefore never executes scheme code, never
+   enters a checkpoint or guard scope, and stays trivially clean under
+   vbr-verify's blocking-in-critical-section rule. *)
+
+open Obs
+
+type t = { sampler : unit Sampler.t }
+
+let attach reg ~scheme ?(interval_ms = 250.0) ?trace
+    (inst : Registry.instance) =
+  let labels = [ ("scheme", scheme) ] in
+  (* Collector-refreshed caches. The initial values are read here, on the
+     attaching thread, before any gauge can be scraped. *)
+  let snap = Atomic.make (inst.stats ()) in
+  let unreclaimed = Atomic.make (inst.unreclaimed ()) in
+  let allocated = Atomic.make (inst.allocated ()) in
+  let pool = Atomic.make (inst.pool_batches ()) in
+  let advances = Atomic.make (inst.epoch_advances ()) in
+  let last_advance_change = Atomic.make (Clock.now_s ()) in
+  let refresh () =
+    Atomic.set snap (inst.stats ());
+    Atomic.set unreclaimed (inst.unreclaimed ());
+    Atomic.set allocated (inst.allocated ());
+    Atomic.set pool (inst.pool_batches ());
+    let adv = inst.epoch_advances () in
+    if adv <> Atomic.get advances then begin
+      Atomic.set advances adv;
+      Atomic.set last_advance_change (Clock.now_s ())
+    end
+  in
+  let get ev = Counters.get (Atomic.get snap) ev in
+  let fgauge name help read = Metrics.gauge reg ~help ~labels name read in
+  let ctr name help read = Metrics.counter_fn reg ~help ~labels name read in
+  fgauge "vbr_smr_unreclaimed_slots"
+    "Retired-but-not-yet-reusable slots (the paper's robustness metric)."
+    (fun () -> float_of_int (Atomic.get unreclaimed));
+  fgauge "vbr_smr_retire_depth"
+    "Slots sitting on retire lists: cumulative retires minus reclaims."
+    (fun () ->
+      float_of_int (max 0 (get Event.Retire - get Event.Reclaim)));
+  fgauge "vbr_smr_allocated_slots"
+    "Arena slots ever claimed (memory footprint)."
+    (fun () -> float_of_int (Atomic.get allocated));
+  fgauge "vbr_smr_epoch_stall_seconds"
+    "Seconds since the global epoch/era counter last moved (0-advance \
+     schemes like NoRecl/HP grow without bound; a stalled EBR grows until \
+     the stall clears)."
+    (fun () -> Clock.now_s () -. Atomic.get last_advance_change);
+  fgauge "vbr_pool_batches"
+    "Batches currently parked in the shared global pool (all shards)."
+    (fun () -> float_of_int (Atomic.get pool));
+  ctr "vbr_smr_epoch_advances"
+    "Successful global epoch/era increments."
+    (fun () -> Atomic.get advances);
+  ctr "vbr_smr_retires" "Slots retired." (fun () -> get Event.Retire);
+  ctr "vbr_smr_reclaims" "Slots reclaimed for reuse." (fun () ->
+      get Event.Reclaim);
+  ctr "vbr_smr_rollbacks" "VBR checkpoint rollbacks." (fun () ->
+      get Event.Rollback);
+  ctr "vbr_smr_cas_fails" "Failed CAS attempts in scheme code." (fun () ->
+      get Event.Cas_fail);
+  ctr "vbr_pool_steals"
+    "Global-pool batches taken from a foreign shard."
+    (fun () -> get Event.Global_steal);
+  (match trace with
+  | Some tr ->
+      ctr "vbr_trace_dropped_events"
+        "Lifecycle trace events lost to ring overwrite."
+        (fun () -> Trace.dropped tr)
+  | None -> ());
+  { sampler = Sampler.start ~interval_ms ~keep_last:1 ~read:refresh () }
+
+let refresh_now t = ignore (Sampler.read_now t.sampler)
+let stop t = ignore (Sampler.stop t.sampler)

@@ -1,0 +1,39 @@
+(** Per-scheme SMR health telemetry (DESIGN.md §2.15).
+
+    [attach] registers the standard reclamation-health instruments for
+    one {!Registry.instance} on a {!Obs.Metrics} registry — gauges
+    [vbr_smr_unreclaimed_slots], [vbr_smr_retire_depth],
+    [vbr_smr_allocated_slots], [vbr_smr_epoch_stall_seconds],
+    [vbr_pool_batches]; counters [vbr_smr_epoch_advances],
+    [vbr_smr_retires], [vbr_smr_reclaims], [vbr_smr_rollbacks],
+    [vbr_smr_cas_fails], [vbr_pool_steals], and (with [trace])
+    [vbr_trace_dropped_events] — every series labelled
+    [{scheme="<scheme>"}].
+
+    A background {!Obs.Sampler} collector (default 250 ms cadence) is the
+    only caller of the instance's racy accessors; it publishes what it
+    reads into atomics and the scrape-side gauge closures read only
+    those. Scrapes therefore never execute scheme code and sit outside
+    every checkpoint/guard scope — the property vbr-verify's
+    blocking-in-critical-section rule polices. *)
+
+type t
+
+val attach :
+  Obs.Metrics.t ->
+  scheme:string ->
+  ?interval_ms:float ->
+  ?trace:Obs.Trace.t ->
+  Registry.instance ->
+  t
+(** Register the instrument set and start the collector. Call once per
+    (registry, scheme) pair — duplicate attachment raises through
+    {!Obs.Metrics}'s duplicate-series check. *)
+
+val refresh_now : t -> unit
+(** Run one collection pass synchronously on the calling thread (tests,
+    final pre-shutdown snapshot). *)
+
+val stop : t -> unit
+(** Stop and join the collector domain. The gauges stay registered and
+    keep serving the last published values. *)

@@ -67,6 +67,16 @@ let next t ~decode =
       end;
       match r with Ok v -> `Msg v | Error msg -> `Bad msg)
 
+let peek t = (t.ibuf, t.ipos, t.ilen - t.ipos)
+
+let consume t n =
+  if n < 0 || n > t.ilen - t.ipos then invalid_arg "Conn.consume";
+  t.ipos <- t.ipos + n;
+  if t.ipos = t.ilen then begin
+    t.ipos <- 0;
+    t.ilen <- 0
+  end
+
 let queue t encode v = encode t.obuf v
 let output_pending t = Buffer.length t.obuf
 

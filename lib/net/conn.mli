@@ -26,6 +26,16 @@ val next : t ->
     boundary and a body the decoder rejects; the connection is beyond
     recovery and should be dropped. *)
 
+val peek : t -> Bytes.t * int * int
+(** [(buf, pos, len)]: a borrowed view of the unconsumed input bytes —
+    valid only until the next {!fill}/{!next}/{!consume}. Lets protocols
+    without length-prefixed frames (the HTTP metrics responder) scan for
+    their own delimiters. *)
+
+val consume : t -> int -> unit
+(** Discard [n] unconsumed input bytes from the front.
+    @raise Invalid_argument if [n] exceeds what {!peek} reports. *)
+
 val queue : t -> (Buffer.t -> 'a -> unit) -> 'a -> unit
 (** Append one encoded frame to the output buffer without writing. *)
 

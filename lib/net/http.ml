@@ -1,0 +1,111 @@
+(* Just enough HTTP/1.1 for the telemetry plane: a request-head scanner
+   and response builder for the server's nonblocking /metrics responder
+   (riding Conn's peek/consume), and a tiny blocking GET client for
+   vbr-top, the loopback tests and the CI smoke job. Every response and
+   every client request is Connection: close — one scrape, one socket. *)
+
+let openmetrics_content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+(* Refuse to buffer unbounded garbage while hunting for the head
+   terminator: a real scrape request is a few hundred bytes. *)
+let max_head_len = 16 * 1024
+
+let head_end buf ~pos ~len =
+  let limit = pos + len in
+  let rec scan i =
+    if i + 3 >= limit then None
+    else if
+      Bytes.get buf i = '\r'
+      && Bytes.get buf (i + 1) = '\n'
+      && Bytes.get buf (i + 2) = '\r'
+      && Bytes.get buf (i + 3) = '\n'
+    then Some (i + 4 - pos)
+    else scan (i + 1)
+  in
+  scan pos
+
+let parse_request head =
+  match String.index_opt head '\r' with
+  | None -> Result.Error "missing request line"
+  | Some eol -> (
+      let line = String.sub head 0 eol in
+      match String.split_on_char ' ' line with
+      | [ meth; target; version ]
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+          (* Strip any query string: the responder routes on the path. *)
+          let path =
+            match String.index_opt target '?' with
+            | Some q -> String.sub target 0 q
+            | None -> target
+          in
+          Ok (meth, path)
+      | _ -> Result.Error "malformed request line")
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | _ -> "Internal Server Error"
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %d %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status (status_text status) content_type (String.length body) body
+
+(* ------------------------------------------------------------------ *)
+(* Blocking one-shot client.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_all fd =
+  let buf = Buffer.create 8192 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let get ?(timeout_s = 5.0) ~host ~port path =
+  match
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s;
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        let req =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n"
+            path host port
+        in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        read_all fd)
+  with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Result.Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | raw -> (
+      let hbuf = Bytes.of_string raw in
+      match head_end hbuf ~pos:0 ~len:(Bytes.length hbuf) with
+      | None -> Result.Error "truncated response (no header terminator)"
+      | Some hlen -> (
+          let head = String.sub raw 0 hlen in
+          let body = String.sub raw hlen (String.length raw - hlen) in
+          match String.split_on_char ' ' head with
+          | _ :: code :: _ when code = "200" -> Ok body
+          | _ :: code :: _ ->
+              Result.Error (Printf.sprintf "HTTP status %s" code)
+          | _ -> Result.Error "malformed status line"))

@@ -1,0 +1,38 @@
+(** Minimal HTTP/1.1 for the telemetry plane (DESIGN.md §2.15).
+
+    Server side: delimiter scanning and response building for the
+    [/metrics] responder, which rides {!Conn}'s nonblocking
+    [peek]/[consume] machinery on its own listener domain — never a
+    worker, never inside an SMR critical section. Client side: a tiny
+    blocking one-shot GET for vbr-top, the loopback tests and the CI
+    smoke job. Everything is [Connection: close]: one scrape, one
+    socket. *)
+
+val openmetrics_content_type : string
+(** The content type served for {!Obs.Metrics.expose} pages. *)
+
+val max_head_len : int
+(** Upper bound on a request head the responder will buffer while
+    waiting for the terminator; beyond it the connection is dropped. *)
+
+val head_end : Bytes.t -> pos:int -> len:int -> int option
+(** Length of the request/response head (terminating [CRLFCRLF]
+    included) within the given slice, or [None] if incomplete. *)
+
+val parse_request : string -> (string * string, string) result
+(** [(method, path)] from a request head; the query string is stripped
+    from the path. *)
+
+val response : status:int -> content_type:string -> string -> string
+(** A full [Connection: close] response with [Content-Length]. *)
+
+val get :
+  ?timeout_s:float ->
+  host:string ->
+  port:int ->
+  string ->
+  (string, string) result
+(** [get ~host ~port path]: blocking one-shot request; [Ok body] on a
+    200, [Error] describing the failure otherwise (connect/read errors,
+    non-200 status, truncated response). [timeout_s] (default 5) bounds
+    both connect-side sends and reads. *)

@@ -12,6 +12,7 @@ type config = {
   rate : int option;
   value_len : int;
   seed : int;
+  timeline_ms : float;
 }
 
 let default_config =
@@ -27,7 +28,16 @@ let default_config =
     rate = None;
     value_len = 64;
     seed = 42;
+    timeline_ms = 1000.0;
   }
+
+type timeline_point = {
+  tp_ms : float;
+  tp_ops : int;
+  tp_errors : int;
+  tp_unreclaimed : int;
+  tp_hist : Obs.Histogram.t;
+}
 
 type report = {
   r_ops : int;
@@ -37,6 +47,7 @@ type report = {
   r_latency : Obs.Histogram.t;
   r_server_before : (string * int) list;
   r_server_after : (string * int) list;
+  r_timeline : timeline_point list;
 }
 
 (* One sampled request: GET with probability [reads]%, the rest split
@@ -56,43 +67,66 @@ let valid_pair (req : Protocol.request) (resp : Protocol.response) =
   | Protocol.Put _, Protocol.Stored _ -> true
   | Protocol.Delete _, (Protocol.Deleted | Protocol.Not_found) -> true
   | Protocol.Stats, Protocol.Stats_reply _ -> true
+  | Protocol.Stats_full, Protocol.Stats_reply _ -> true
   | Protocol.Ping, Protocol.Pong -> true
   | _ -> false
 
-type client_result = { ops : int; errors : int; hist : Obs.Histogram.t }
+(* Per-client progress lives in shared padded cells (one writer per
+   client, stride-16 like Obs.Metrics) plus one histogram per client, so
+   the timeline sampler can read running totals mid-flight; the final
+   totals are read after the joins and are exact. *)
+let cell_stride = 16
 
-let closed_loop cfg ~id stop =
+type tally = {
+  t_id : int;
+  t_ops : int array;
+  t_err : int array;
+  t_hist : Obs.Histogram.t;
+}
+
+let bump_ops tl =
+  let i = tl.t_id * cell_stride in
+  tl.t_ops.(i) <- tl.t_ops.(i) + 1
+
+let bump_err tl =
+  let i = tl.t_id * cell_stride in
+  tl.t_err.(i) <- tl.t_err.(i) + 1
+
+let cell_sum arr =
+  let acc = ref 0 in
+  let n = Array.length arr / cell_stride in
+  for i = 0 to n - 1 do
+    acc := !acc + arr.(i * cell_stride)
+  done;
+  !acc
+
+let closed_loop cfg ~id tl stop =
   let c = Client.connect ~host:cfg.host ~port:cfg.port in
   let rng = Rng.create ~seed:(cfg.seed + (id * 7919) + 13) in
   let kg = Keygen.create cfg.keydist ~range:cfg.range in
   let value = String.make cfg.value_len 'v' in
-  let hist = Obs.Histogram.create () in
-  let ops = ref 0 and errors = ref 0 in
   (try
      while not (Atomic.get stop) do
        let reqs = List.init cfg.batch (fun _ -> sample_request cfg kg rng value) in
        let t0 = Obs.Clock.now_ns () in
        let resps = Client.batch c reqs in
-       Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
+       Obs.Histogram.record tl.t_hist (Obs.Clock.now_ns () - t0);
        List.iter2
          (fun req resp ->
-           incr ops;
-           if not (valid_pair req resp) then incr errors)
+           bump_ops tl;
+           if not (valid_pair req resp) then bump_err tl)
          reqs resps
      done
    with
-  | Client.Disconnected | Client.Protocol_failure _ -> incr errors
-  | Unix.Unix_error _ -> incr errors);
-  Client.close c;
-  { ops = !ops; errors = !errors; hist }
+  | Client.Disconnected | Client.Protocol_failure _ -> bump_err tl
+  | Unix.Unix_error _ -> bump_err tl);
+  Client.close c
 
-let open_loop cfg ~id ~rate stop =
+let open_loop cfg ~id ~rate tl stop =
   let c = Client.connect ~host:cfg.host ~port:cfg.port in
   let rng = Rng.create ~seed:(cfg.seed + (id * 7919) + 13) in
   let kg = Keygen.create cfg.keydist ~range:cfg.range in
   let value = String.make cfg.value_len 'v' in
-  let hist = Obs.Histogram.create () in
-  let ops = ref 0 and errors = ref 0 in
   let interval_ns = max 1 (1_000_000_000 / max 1 rate) in
   (* FIFO of (request, scheduled send time): responses come back in
      order, so the head is always the next match. *)
@@ -116,9 +150,9 @@ let open_loop cfg ~id ~rate stop =
        | None -> ()
        | Some resp ->
            let req, t0 = Queue.pop pending in
-           Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
-           incr ops;
-           if not (valid_pair req resp) then incr errors
+           Obs.Histogram.record tl.t_hist (Obs.Clock.now_ns () - t0);
+           bump_ops tl;
+           if not (valid_pair req resp) then bump_err tl
      done;
      (* Drain what is still in flight so the server sees a quiet close. *)
      let deadline = Obs.Clock.now_ns () + 500_000_000 in
@@ -127,23 +161,26 @@ let open_loop cfg ~id ~rate stop =
        | None -> ()
        | Some resp ->
            let req, t0 = Queue.pop pending in
-           Obs.Histogram.record hist (Obs.Clock.now_ns () - t0);
-           incr ops;
-           if not (valid_pair req resp) then incr errors
+           Obs.Histogram.record tl.t_hist (Obs.Clock.now_ns () - t0);
+           bump_ops tl;
+           if not (valid_pair req resp) then bump_err tl
      done
    with
-  | Client.Disconnected | Client.Protocol_failure _ -> incr errors
-  | Unix.Unix_error _ -> incr errors);
-  Client.close c;
-  { ops = !ops; errors = !errors; hist }
+  | Client.Disconnected | Client.Protocol_failure _ -> bump_err tl
+  | Unix.Unix_error _ -> bump_err tl);
+  Client.close c
 
 let run cfg =
   if cfg.clients < 1 then invalid_arg "Loadgen.run: clients < 1";
   if cfg.batch < 1 then invalid_arg "Loadgen.run: batch < 1";
   if cfg.reads < 0 || cfg.reads > 100 then
     invalid_arg "Loadgen.run: reads outside 0..100";
-  (* A control connection samples STATS outside the measured window. *)
+  if cfg.timeline_ms <= 0.0 then invalid_arg "Loadgen.run: timeline_ms <= 0";
+  (* A control connection samples STATS outside the measured window; a
+     second one belongs to the timeline sampler domain so the two never
+     share a socket. *)
   let ctl = Client.connect ~host:cfg.host ~port:cfg.port in
+  let tl_ctl = Client.connect ~host:cfg.host ~port:cfg.port in
   let stats_of = function
     | Protocol.Stats_reply kvs -> kvs
     | other ->
@@ -153,30 +190,71 @@ let run cfg =
   in
   let before = stats_of (Client.request ctl Protocol.Stats) in
   let stop = Atomic.make false in
+  let ops_cells = Array.make (cfg.clients * cell_stride) 0 in
+  let err_cells = Array.make (cfg.clients * cell_stride) 0 in
+  let hists = Array.init cfg.clients (fun _ -> Obs.Histogram.create ()) in
   let t0 = Obs.Clock.now_s () in
+  (* The interval time-series: running op/error totals and a cumulative
+     latency snapshot from the shared cells, plus the server's
+     unreclaimed gauge over the sampler's own STATS connection (-1 when
+     that read fails). *)
+  let sampler =
+    Obs.Sampler.start ~interval_ms:cfg.timeline_ms
+      ~read:(fun () ->
+        let unreclaimed =
+          match Client.request tl_ctl Protocol.Stats with
+          | Protocol.Stats_reply kvs ->
+              Option.value (List.assoc_opt "unreclaimed" kvs) ~default:(-1)
+          | _ -> -1
+          | exception _ -> -1
+        in
+        ( cell_sum ops_cells,
+          cell_sum err_cells,
+          unreclaimed,
+          Obs.Histogram.merge_all (Array.to_list hists) ))
+      ()
+  in
   let domains =
     List.init cfg.clients (fun id ->
+        let tl =
+          { t_id = id; t_ops = ops_cells; t_err = err_cells; t_hist = hists.(id) }
+        in
         Domain.spawn (fun () ->
             match cfg.rate with
-            | None -> closed_loop cfg ~id stop
-            | Some rate -> open_loop cfg ~id ~rate stop))
+            | None -> closed_loop cfg ~id tl stop
+            | Some rate -> open_loop cfg ~id ~rate tl stop))
   in
   Unix.sleepf cfg.duration;
   Atomic.set stop true;
-  let results = List.map Domain.join domains in
+  List.iter Domain.join domains;
+  let samples = Obs.Sampler.stop sampler in
+  Client.close tl_ctl;
   let elapsed = Obs.Clock.now_s () -. t0 in
   let after = stats_of (Client.request ctl Protocol.Stats) in
   Client.close ctl;
-  let ops = List.fold_left (fun acc r -> acc + r.ops) 0 results in
-  let errors = List.fold_left (fun acc r -> acc + r.errors) 0 results in
+  let ops = cell_sum ops_cells in
+  let errors = cell_sum err_cells in
+  let timeline =
+    List.map
+      (fun { Obs.Sampler.elapsed_ms; value = (o, e, u, h) } ->
+        {
+          tp_ms = elapsed_ms;
+          tp_ops = o;
+          tp_errors = e;
+          tp_unreclaimed = u;
+          tp_hist = h;
+        })
+      samples
+  in
   {
     r_ops = ops;
     r_errors = errors;
     r_elapsed = elapsed;
     r_mops = float_of_int ops /. elapsed /. 1e6;
-    r_latency = Obs.Histogram.merge_all (List.map (fun r -> r.hist) results);
+    r_latency = Obs.Histogram.merge_all (Array.to_list hists);
     r_server_before = before;
     r_server_after = after;
+    r_timeline = timeline;
   }
 
 let latency_json h =
@@ -192,6 +270,40 @@ let latency_json h =
       ("p999_ns", Int (Obs.Histogram.quantile h 0.999));
       ("max_ns", Int s.Obs.Histogram.max);
     ]
+
+(* Each timeline entry carries the cumulative totals plus the per-window
+   rate and latency percentiles (window = this sample minus the previous
+   one, via Histogram.diff). *)
+let timeline_json tl =
+  let open Obs.Sink in
+  let prev = ref None in
+  List
+    (List.map
+       (fun p ->
+         let prev_ms, prev_ops, prev_hist =
+           match !prev with
+           | None -> (0.0, 0, Obs.Histogram.create ())
+           | Some q -> (q.tp_ms, q.tp_ops, q.tp_hist)
+         in
+         prev := Some p;
+         let dt_s = (p.tp_ms -. prev_ms) /. 1000.0 in
+         let w = Obs.Histogram.diff ~since:prev_hist p.tp_hist in
+         Obj
+           [
+             ("t_ms", Float p.tp_ms);
+             ("ops", Int p.tp_ops);
+             ("errors", Int p.tp_errors);
+             ("unreclaimed", Int p.tp_unreclaimed);
+             ( "win_ops_per_s",
+               Float
+                 (if dt_s > 0.0 then
+                    float_of_int (p.tp_ops - prev_ops) /. dt_s
+                  else 0.0) );
+             ("win_count", Int (Obs.Histogram.count w));
+             ("win_p50_ns", Int (Obs.Histogram.quantile w 0.50));
+             ("win_p99_ns", Int (Obs.Histogram.quantile w 0.99));
+           ])
+       tl)
 
 let report_json cfg r =
   let open Obs.Sink in
@@ -212,6 +324,8 @@ let report_json cfg r =
       ("elapsed_s", Float r.r_elapsed);
       ("wire_mops", Float r.r_mops);
       ("latency_ns", latency_json r.r_latency);
+      ("timeline_ms", Float cfg.timeline_ms);
+      ("timeline", timeline_json r.r_timeline);
       ("server_before", stats_obj r.r_server_before);
       ("server_after", stats_obj r.r_server_after);
     ]
@@ -236,6 +350,8 @@ let print_report cfg r =
     (Obs.Histogram.quantile r.r_latency 0.999)
     s.Obs.Histogram.max
     (string_of_int s.Obs.Histogram.count);
+  Printf.printf "  timeline: %d samples at %.0f ms cadence\n"
+    (List.length r.r_timeline) cfg.timeline_ms;
   let get kvs k = Option.value (List.assoc_opt k kvs) ~default:0 in
   let delta k = get r.r_server_after k - get r.r_server_before k in
   Printf.printf

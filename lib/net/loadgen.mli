@@ -24,11 +24,26 @@ type config = {
   rate : int option;  (** open loop: requests/s per client *)
   value_len : int;  (** PUT payload size in bytes *)
   seed : int;  (** per-client RNGs derive from this *)
+  timeline_ms : float;  (** interval time-series cadence (> 0) *)
 }
 
 val default_config : config
 (** localhost, 4 clients, 5 s, 90 % reads, uniform keys over 65536,
-    batch 1, closed loop, 64-byte values, seed 42. *)
+    batch 1, closed loop, 64-byte values, seed 42, 1000 ms timeline. *)
+
+type timeline_point = {
+  tp_ms : float;  (** elapsed ms since the run started *)
+  tp_ops : int;  (** cumulative validated responses at this instant *)
+  tp_errors : int;  (** cumulative protocol errors *)
+  tp_unreclaimed : int;
+      (** the server's unreclaimed gauge via a dedicated STATS
+          connection; [-1] when that read failed *)
+  tp_hist : Obs.Histogram.t;  (** cumulative latency snapshot *)
+}
+(** One interval sample. Clients publish progress into per-client padded
+    cells; a background {!Obs.Sampler} (cadence [timeline_ms]) reads the
+    running totals racily, so mid-run points are approximate while the
+    end-of-run aggregates stay exact. *)
 
 type report = {
   r_ops : int;  (** responses received and validated *)
@@ -41,6 +56,7 @@ type report = {
       (** batch round trips (closed loop) / per-request (open loop), ns *)
   r_server_before : (string * int) list;  (** STATS before traffic *)
   r_server_after : (string * int) list;  (** STATS after traffic *)
+  r_timeline : timeline_point list;  (** chronological interval series *)
 }
 
 val run : config -> report
@@ -49,7 +65,10 @@ val run : config -> report
 
 val report_json : config -> report -> Obs.Sink.json
 (** One panel point: config echo, wire throughput, latency
-    p50/p90/p99/p999/max, and both server STATS snapshots. *)
+    p50/p90/p99/p999/max, both server STATS snapshots, and a
+    ["timeline"] array — per sample the cumulative totals plus the
+    window's ops/s and p50/p99 (this sample's histogram minus the
+    previous one, via {!Obs.Histogram.diff}). *)
 
 val print_report : config -> report -> unit
 (** The human-facing summary table. *)

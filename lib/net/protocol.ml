@@ -21,6 +21,7 @@ type request =
   | Delete of int
   | Stats
   | Ping
+  | Stats_full
 
 type response =
   | Value of string
@@ -40,6 +41,7 @@ let request_to_string = function
   | Delete k -> Printf.sprintf "DELETE %d" k
   | Stats -> "STATS"
   | Ping -> "PING"
+  | Stats_full -> "STATS_FULL"
 
 let response_to_string = function
   | Value v -> Printf.sprintf "VALUE <%d bytes>" (String.length v)
@@ -57,6 +59,7 @@ let op_put = 0x02
 let op_delete = 0x03
 let op_stats = 0x04
 let op_ping = 0x05
+let op_stats_full = 0x06
 let op_value = 0x81
 let op_not_found = 0x82
 let op_stored = 0x83
@@ -112,7 +115,8 @@ let encode_request out req =
       add_header b op_delete;
       add_key b k
   | Stats -> add_header b op_stats
-  | Ping -> add_header b op_ping);
+  | Ping -> add_header b op_ping
+  | Stats_full -> add_header b op_stats_full);
   frame out b
 
 let encode_response out resp =
@@ -247,6 +251,7 @@ let decode_request buf ~pos ~len =
       else if op = op_delete then Delete (key c)
       else if op = op_stats then Stats
       else if op = op_ping then Ping
+      else if op = op_stats_full then Stats_full
       else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" op)))
     buf ~pos ~len
 

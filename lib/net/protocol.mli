@@ -1,5 +1,5 @@
 (** The vbr-kv wire protocol: a length-prefixed binary framing with a
-    versioned magic header, five commands, and total (never-throwing)
+    versioned magic header, six commands, and total (never-throwing)
     incremental decoders.
 
     Frame layout (all integers big-endian):
@@ -10,7 +10,8 @@
     v}
 
     Request payloads: GET/DELETE carry an 8-byte non-negative key; PUT a
-    key plus [u32 vlen | vlen bytes]; STATS and PING are empty. Response
+    key plus [u32 vlen | vlen bytes]; STATS, PING and STATS_FULL are
+    empty. Response
     payloads mirror the constructors below. Keys are 63-bit non-negative
     integers (the storage engine is an integer-keyed lock-free hash
     table); values are opaque byte strings up to {!max_value_len}.
@@ -26,6 +27,12 @@ val version : int
 val max_value_len : int
 (** Upper bound on a PUT/VALUE payload (65535 bytes). *)
 
+val max_stats_entries : int
+(** Upper bound on entries in a [Stats_reply] (256). *)
+
+val max_stats_name_len : int
+(** Upper bound on one stats entry name (255 bytes). *)
+
 val max_frame_body : int
 (** Largest legal body length; a length prefix above this is rejected
     before any buffering, so a corrupt prefix cannot trigger a huge
@@ -37,6 +44,9 @@ type request =
   | Delete of int
   | Stats
   | Ping
+  | Stats_full
+      (** the full telemetry snapshot ({!Obs.Metrics.to_assoc}) as a
+          [Stats_reply] — the binary twin of [GET /metrics] *)
 
 type response =
   | Value of string  (** GET hit: the stored payload *)

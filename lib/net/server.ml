@@ -10,6 +10,7 @@ type config = {
   capacity : int option;
   retire_threshold : int option;
   prefill : bool;
+  metrics_port : int option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     capacity = None;
     retire_threshold = None;
     prefill = false;
+    metrics_port = None;
   }
 
 let scheme_of_cli s =
@@ -37,21 +39,56 @@ let scheme_of_cli s =
       Result.Error
         (Printf.sprintf "unknown scheme %S (expected ebr|hp|he|ibr|vbr|none)" s)
 
-(* Per-worker request counters: plain ints owned by one domain, summed
-   racily for STATS (the same contract as Obs.Counters shards). *)
-let c_get = 0
-let c_put = 1
-let c_delete = 2
-let c_stats = 3
-let c_ping = 4
-let c_errors = 5  (* protocol errors: malformed frames *)
-let c_batches = 6  (* drains that decoded at least one frame *)
-let c_accepted = 7
-let n_counts = 8
+(* Request opcodes indexed densely for the per-op instrument arrays. *)
+let op_count = 6
+
+let op_index : Protocol.request -> int = function
+  | Protocol.Get _ -> 0
+  | Protocol.Put _ -> 1
+  | Protocol.Delete _ -> 2
+  | Protocol.Stats -> 3
+  | Protocol.Ping -> 4
+  | Protocol.Stats_full -> 5
+
+let op_names = [| "get"; "put"; "delete"; "stats"; "ping"; "stats_full" |]
+
+(* The per-op server instruments (DESIGN.md §2.15). Counters and
+   histogram cells are per-worker single-writer (cell = worker tid), so
+   the hot path stays plain stores; STATS and /metrics merge them
+   monotonically at scrape time. *)
+type instruments = {
+  i_req : Obs.Metrics.counter array;  (* by op_index *)
+  i_lat : Obs.Metrics.histogram array;  (* by op_index, ns *)
+  i_errors : Obs.Metrics.counter;
+  i_batches : Obs.Metrics.counter;
+  i_accepted : Obs.Metrics.counter;
+  i_rx : Obs.Metrics.counter;
+  i_tx : Obs.Metrics.counter;
+}
+
+let make_instruments reg ~cells =
+  let ctr ?labels name help = Obs.Metrics.counter reg ~help ?labels ~cells name in
+  {
+    i_req =
+      Array.init op_count (fun i ->
+          ctr
+            ~labels:[ ("op", op_names.(i)) ]
+            "vbr_net_requests" "Requests served, by opcode.");
+    i_lat =
+      Array.init op_count (fun i ->
+          Obs.Metrics.histogram reg
+            ~help:"Request service time at the worker, by opcode."
+            ~labels:[ ("op", op_names.(i)) ]
+            ~scale:1e-9 ~cells "vbr_net_request_duration_seconds");
+    i_errors = ctr "vbr_net_protocol_errors" "Connections dropped on a malformed frame.";
+    i_batches = ctr "vbr_net_batches" "Read batches that decoded at least one frame.";
+    i_accepted = ctr "vbr_net_connections_accepted" "Connections accepted.";
+    i_rx = ctr "vbr_net_rx_bytes" "Bytes read from clients.";
+    i_tx = ctr "vbr_net_tx_bytes" "Bytes queued to clients.";
+  }
 
 type worker = {
   tid : int;
-  counts : int array;
   mutable live : int;  (* connections currently on this worker *)
 }
 
@@ -63,16 +100,22 @@ type t = {
   bound_port : int;
   stopping : bool Atomic.t;
   workers : worker array;
+  metrics : Obs.Metrics.t;
+  ins : instruments;
+  collector : Smr_metrics.t;
+  metrics_fd : Unix.file_descr option;
+  metrics_bound : int;
   mutable domains : unit Domain.t list;
   mutable stopped : bool;
 }
 
 let port t = t.bound_port
+let metrics_port t = Option.map (fun _ -> t.metrics_bound) t.metrics_fd
+let registry t = t.metrics
 
 let stats t =
-  let sum i =
-    Array.fold_left (fun acc w -> acc + w.counts.(i)) 0 t.workers
-  in
+  let cv = Obs.Metrics.counter_value in
+  let ops i = cv t.ins.i_req.(i) in
   let live = Array.fold_left (fun acc w -> acc + w.live) 0 t.workers in
   let snap = t.inst.Registry.stats () in
   let ev e = Obs.Counters.get snap e in
@@ -83,14 +126,15 @@ let stats t =
     ("buckets", t.cfg.buckets);
     ("size", t.inst.Registry.size ());
     ("conns", live);
-    ("accepted", sum c_accepted);
-    ("ops_get", sum c_get);
-    ("ops_put", sum c_put);
-    ("ops_delete", sum c_delete);
-    ("ops_stats", sum c_stats);
-    ("ops_ping", sum c_ping);
-    ("batches", sum c_batches);
-    ("protocol_errors", sum c_errors);
+    ("accepted", cv t.ins.i_accepted);
+    ("ops_get", ops 0);
+    ("ops_put", ops 1);
+    ("ops_delete", ops 2);
+    ("ops_stats", ops 3);
+    ("ops_ping", ops 4);
+    ("ops_stats_full", ops 5);
+    ("batches", cv t.ins.i_batches);
+    ("protocol_errors", cv t.ins.i_errors);
     ("unreclaimed", t.inst.Registry.unreclaimed ());
     ("allocated", t.inst.Registry.allocated ());
     ("epoch_advances", t.inst.Registry.epoch_advances ());
@@ -104,24 +148,36 @@ let stats t =
 (* [size] walks the buckets quiescently; under live traffic it is only a
    rough gauge, which is all STATS promises. *)
 
+(* The full telemetry snapshot as the binary STATS_FULL reply: the same
+   registry /metrics exposes, flattened to wire-safe (name, int) pairs. *)
+let metrics_snapshot t =
+  let clip name =
+    if String.length name > Protocol.max_stats_name_len then
+      String.sub name 0 Protocol.max_stats_name_len
+    else name
+  in
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  ("version", Protocol.version)
+  :: take
+       (Protocol.max_stats_entries - 1)
+       (List.map (fun (k, v) -> (clip k, v)) (Obs.Metrics.to_assoc t.metrics))
+
 let exec t w (req : Protocol.request) : Protocol.response =
   let tid = w.tid in
   let in_range k = k >= 0 && k < t.cfg.range in
   match req with
-  | Protocol.Ping ->
-      w.counts.(c_ping) <- w.counts.(c_ping) + 1;
-      Protocol.Pong
-  | Protocol.Stats ->
-      w.counts.(c_stats) <- w.counts.(c_stats) + 1;
-      Protocol.Stats_reply (stats t)
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Stats -> Protocol.Stats_reply (stats t)
+  | Protocol.Stats_full -> Protocol.Stats_reply (metrics_snapshot t)
   | Protocol.Get k ->
-      w.counts.(c_get) <- w.counts.(c_get) + 1;
       if not (in_range k) then Protocol.Error "key out of range"
       else if t.inst.Registry.contains ~tid k then
         Protocol.Value (Option.value t.values.(k) ~default:"")
       else Protocol.Not_found
   | Protocol.Put (k, v) ->
-      w.counts.(c_put) <- w.counts.(c_put) + 1;
       if not (in_range k) then Protocol.Error "key out of range"
       else begin
         (* Payload before presence: a concurrent GET that sees the key
@@ -134,7 +190,6 @@ let exec t w (req : Protocol.request) : Protocol.response =
             Protocol.Error "arena exhausted (NoRecl headroom ran out?)"
       end
   | Protocol.Delete k ->
-      w.counts.(c_delete) <- w.counts.(c_delete) + 1;
       if not (in_range k) then Protocol.Error "key out of range"
       else if t.inst.Registry.delete ~tid k then begin
         t.values.(k) <- None;
@@ -143,18 +198,27 @@ let exec t w (req : Protocol.request) : Protocol.response =
       else Protocol.Not_found
 
 (* Drain every complete frame the input buffer holds; returns [false]
-   when the connection must be dropped (malformed frame). *)
+   when the connection must be dropped (malformed frame). Each request is
+   counted and timed at the worker — the clock reads sit outside the
+   table operation's critical sections (those open and close inside
+   [exec]). *)
 let drain t w conn =
+  let cell = w.tid in
   let rec go n =
     match Conn.next conn ~decode:Protocol.decode_request with
     | `Need_more ->
-        if n > 0 then w.counts.(c_batches) <- w.counts.(c_batches) + 1;
+        if n > 0 then Obs.Metrics.incr t.ins.i_batches ~cell;
         true
     | `Bad _msg ->
-        w.counts.(c_errors) <- w.counts.(c_errors) + 1;
+        Obs.Metrics.incr t.ins.i_errors ~cell;
         false
     | `Msg req ->
-        Conn.queue conn Protocol.encode_response (exec t w req);
+        let idx = op_index req in
+        Obs.Metrics.incr t.ins.i_req.(idx) ~cell;
+        let t0 = Obs.Clock.now_ns () in
+        let resp = exec t w req in
+        Obs.Metrics.observe t.ins.i_lat.(idx) ~cell (Obs.Clock.now_ns () - t0);
+        Conn.queue conn Protocol.encode_response resp;
         go (n + 1)
   in
   go 0
@@ -167,7 +231,7 @@ let accept_all t w conns =
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true
          with Unix.Unix_error _ -> ());
-        w.counts.(c_accepted) <- w.counts.(c_accepted) + 1;
+        Obs.Metrics.incr t.ins.i_accepted ~cell:w.tid;
         w.live <- w.live + 1;
         conns := Conn.create fd :: !conns
     | exception
@@ -186,10 +250,13 @@ let service t w conns conn =
   match Conn.fill conn with
   | `Eof -> drop ()
   | `Would_block -> ()
-  | `Data _ ->
-      if drain t w conn then (
+  | `Data n ->
+      Obs.Metrics.add t.ins.i_rx ~cell:w.tid n;
+      if drain t w conn then begin
+        Obs.Metrics.add t.ins.i_tx ~cell:w.tid (Conn.output_pending conn);
         try Conn.flush conn
-        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop ())
+        with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> drop ()
+      end
       else drop ()
 
 let worker_loop t w =
@@ -214,6 +281,86 @@ let worker_loop t w =
   List.iter Conn.close !conns;
   w.live <- 0
 
+(* ------------------------------------------------------------------ *)
+(* The /metrics responder: its own listener on its own domain, riding  *)
+(* Conn's nonblocking machinery. A scrape only reads the Metrics       *)
+(* registry (padded cells, collector-fed atomics) — it never calls     *)
+(* scheme code and never enters a checkpoint/guard scope, so a slow    *)
+(* scraper cannot stall reclamation or any worker.                     *)
+(* ------------------------------------------------------------------ *)
+
+let add_raw buf s = Buffer.add_string buf s
+
+let serve_scrape t conns conn =
+  let drop () =
+    Conn.close conn;
+    conns := List.filter (fun c -> c != conn) !conns
+  in
+  match Conn.fill conn with
+  | `Eof -> drop ()
+  | `Would_block -> ()
+  | `Data _ -> (
+      let buf, pos, len = Conn.peek conn in
+      match Http.head_end buf ~pos ~len with
+      | None -> if len > Http.max_head_len then drop ()
+      | Some head_len ->
+          let head = Bytes.sub_string buf pos head_len in
+          Conn.consume conn head_len;
+          let resp =
+            match Http.parse_request head with
+            | Result.Error _ ->
+                Http.response ~status:400 ~content_type:"text/plain"
+                  "bad request\n"
+            | Ok ("GET", "/metrics") ->
+                Http.response ~status:200
+                  ~content_type:Http.openmetrics_content_type
+                  (Obs.Metrics.expose t.metrics)
+            | Ok ("GET", "/metrics.json") ->
+                Http.response ~status:200 ~content_type:"application/json"
+                  (Obs.Sink.to_string (Obs.Metrics.to_json t.metrics))
+            | Ok ("GET", _) ->
+                Http.response ~status:404 ~content_type:"text/plain"
+                  "not found (try /metrics)\n"
+            | Ok _ ->
+                Http.response ~status:405 ~content_type:"text/plain"
+                  "method not allowed\n"
+          in
+          Conn.queue conn add_raw resp;
+          (try Conn.flush conn
+           with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+          drop ())
+
+let metrics_loop t mfd =
+  let conns = ref [] in
+  let accept_scrapes () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept ~cloexec:true mfd with
+      | fd, _addr ->
+          Unix.set_nonblock fd;
+          conns := Conn.create fd :: !conns
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          continue := false
+      | exception Unix.Unix_error _ -> continue := false
+    done
+  in
+  while not (Atomic.get t.stopping) do
+    let fds = mfd :: List.map Conn.fd !conns in
+    match Unix.select fds [] [] 0.05 with
+    | readable, _, _ ->
+        if List.memq mfd readable then accept_scrapes ();
+        List.iter
+          (fun conn ->
+            if List.memq (Conn.fd conn) readable then serve_scrape t conns conn)
+          !conns
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        List.iter (fun conn -> serve_scrape t conns conn) !conns
+  done;
+  List.iter Conn.close !conns
+
 (* Arena sizing mirrors bench/main.ml's [capacity_for]: sentinels (one
    head per bucket + shared tail) + live set + churn slack, with big
    headroom for NoRecl since it never reuses a slot. *)
@@ -222,6 +369,23 @@ let auto_capacity (cfg : config) =
   let base = sentinels + cfg.range + 400_000 in
   let cap = if cfg.scheme = "NoRecl" then base + 8_000_000 else base in
   min cap Memsim.Packed.max_index
+
+let listen_on ~host ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with e ->
+     Unix.close fd;
+     raise e);
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
 
 let start (cfg : config) =
   if cfg.workers < 1 then invalid_arg "Server.start: workers < 1";
@@ -242,21 +406,28 @@ let start (cfg : config) =
     for k = 0 to cfg.range - 1 do
       if Workload.prefill_member k then ignore (inst.Registry.insert ~tid:0 k)
     done;
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-     Unix.bind listen_fd
-       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
-     Unix.listen listen_fd 128;
-     Unix.set_nonblock listen_fd
-   with e ->
-     Unix.close listen_fd;
-     raise e);
-  let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> cfg.port
+  let listen_fd, bound_port = listen_on ~host:cfg.host ~port:cfg.port in
+  let metrics_fd, metrics_bound =
+    match cfg.metrics_port with
+    | None -> (None, 0)
+    | Some p -> (
+        match listen_on ~host:cfg.host ~port:p with
+        | fd, bound -> (Some fd, bound)
+        | exception e ->
+            Unix.close listen_fd;
+            raise e)
   in
+  let workers = Array.init cfg.workers (fun tid -> { tid; live = 0 }) in
+  (* Registry, instruments and the SMR health collector exist whether or
+     not the HTTP responder is enabled: STATS_FULL serves the same
+     snapshot over the binary protocol. *)
+  let metrics = Obs.Metrics.create () in
+  let ins = make_instruments metrics ~cells:cfg.workers in
+  Obs.Metrics.gauge metrics
+    ~help:"Connections currently attached to a worker."
+    "vbr_net_active_connections" (fun () ->
+      float_of_int (Array.fold_left (fun acc w -> acc + w.live) 0 workers));
+  let collector = Smr_metrics.attach metrics ~scheme:cfg.scheme inst in
   let t =
     {
       cfg;
@@ -265,9 +436,12 @@ let start (cfg : config) =
       listen_fd;
       bound_port;
       stopping = Atomic.make false;
-      workers =
-        Array.init cfg.workers (fun tid ->
-            { tid; counts = Array.make n_counts 0; live = 0 });
+      workers;
+      metrics;
+      ins;
+      collector;
+      metrics_fd;
+      metrics_bound;
       domains = [];
       stopped = false;
     }
@@ -275,6 +449,10 @@ let start (cfg : config) =
   t.domains <-
     Array.to_list
       (Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers);
+  (match metrics_fd with
+  | Some mfd ->
+      t.domains <- Domain.spawn (fun () -> metrics_loop t mfd) :: t.domains
+  | None -> ());
   t
 
 let stop t =
@@ -283,6 +461,10 @@ let stop t =
     Atomic.set t.stopping true;
     List.iter Domain.join t.domains;
     t.domains <- [];
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+    Smr_metrics.stop t.collector;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.metrics_fd
   end;
   stats t

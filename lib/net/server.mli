@@ -15,6 +15,17 @@
     flushed with one [write(2)] — a pipelining client amortizes one
     syscall pair over the whole batch.
 
+    Telemetry (DESIGN.md §2.15): every server carries an {!Obs.Metrics}
+    registry — per-op request counters and latency histograms recorded
+    at the worker into per-worker cells, byte/connection counters, and
+    the per-scheme SMR health gauges kept fresh by a
+    {!Harness.Smr_metrics} background collector. With
+    [config.metrics_port] set, a dedicated domain serves [GET /metrics]
+    (OpenMetrics) and [GET /metrics.json] over a minimal HTTP/1.1
+    responder; the binary STATS_FULL opcode carries the same snapshot.
+    Scrapes only read padded cells and collector-fed atomics — they
+    never run scheme code and sit outside every checkpoint/guard scope.
+
     Values: the lock-free table indexes {e presence} of the integer key
     (that is the SMR-stressed hot path); the payload bytes ride in a
     per-key sidecar cell with last-writer-wins raciness. [GET] returns
@@ -30,10 +41,14 @@ type config = {
   capacity : int option;  (** arena slots; [None] = auto-sized *)
   retire_threshold : int option;  (** scheme default when [None] *)
   prefill : bool;  (** preload the deterministic half-range set *)
+  metrics_port : int option;
+      (** serve [GET /metrics] here (0 = ephemeral, see {!metrics_port});
+          [None] disables the HTTP responder (STATS_FULL still works) *)
 }
 
 val default_config : config
-(** VBR, port 0, 4 workers, range 65536, buckets = range, no prefill. *)
+(** VBR, port 0, 4 workers, range 65536, buckets = range, no prefill,
+    no metrics port. *)
 
 val scheme_of_cli : string -> (string, string) result
 (** Map a CLI spelling — [ebr|hp|he|ibr|vbr|none], case-insensitive,
@@ -42,20 +57,30 @@ val scheme_of_cli : string -> (string, string) result
 type t
 
 val start : config -> t
-(** Bind, build the table, spawn the workers, return immediately.
+(** Bind, build the table, spawn the workers (and the metrics responder
+    domain when configured), return immediately.
     @raise Invalid_argument on a bad scheme/range/buckets.
-    @raise Unix.Unix_error if the bind fails. *)
+    @raise Unix.Unix_error if a bind fails. *)
 
 val port : t -> int
 (** The bound port (the ephemeral one when [config.port] was 0). *)
+
+val metrics_port : t -> int option
+(** The bound metrics port, when the HTTP responder is enabled. *)
+
+val registry : t -> Obs.Metrics.t
+(** The server's telemetry registry — what [/metrics] and STATS_FULL
+    serve. Read-only access for in-process embedders (bench panels,
+    tests). *)
 
 val stats : t -> (string * int) list
 (** The same racy gauge/counter assoc served to STATS requests: request
     counts per opcode, live connections, protocol errors, and the
     scheme's SMR counters (unreclaimed, allocated, epoch advances,
-    retires, reclaims, rollbacks, CAS fails). *)
+    retires, reclaims, rollbacks, CAS fails). Counter values come from
+    the per-worker telemetry cells merged monotonically at scrape time. *)
 
 val stop : t -> (string * int) list
-(** Ask every worker to finish its current drain, join them, close the
-    listening socket and every connection, and return the final stats.
-    Idempotent. *)
+(** Ask every worker to finish its current drain, join them, stop the
+    telemetry collector, close the listening sockets and every
+    connection, and return the final stats. Idempotent. *)

@@ -1,0 +1,257 @@
+type scrape = { s_at : float; s_fams : Obs.Metrics.pfamily list }
+
+let scrape ~host ~port =
+  match Http.get ~host ~port "/metrics" with
+  | Error e -> Error e
+  | Ok body -> (
+      match Obs.Metrics.parse body with
+      | Error e -> Error ("bad exposition: " ^ e)
+      | Ok fams -> Ok { s_at = Obs.Clock.now_s (); s_fams = fams })
+
+(* ---------- formatting helpers ---------- *)
+
+let fmt_dur_s s =
+  if s < 0.0 then "-"
+  else if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let fmt_count n =
+  if n >= 1e9 then Printf.sprintf "%.2fG" (n /. 1e9)
+  else if n >= 1e6 then Printf.sprintf "%.2fM" (n /. 1e6)
+  else if n >= 1e4 then Printf.sprintf "%.1fk" (n /. 1e3)
+  else Printf.sprintf "%.0f" n
+
+let value fams ?labels name =
+  Option.value (Obs.Metrics.sample_value fams ?labels name) ~default:0.0
+
+(* Distinct values of [key] across a family's samples, first-seen order. *)
+let label_values fams family key =
+  match Obs.Metrics.find_family fams family with
+  | None -> []
+  | Some f ->
+      List.fold_left
+        (fun acc s ->
+          match List.assoc_opt key s.Obs.Metrics.ps_labels with
+          | Some v when not (List.mem v acc) -> acc @ [ v ]
+          | _ -> acc)
+        [] f.Obs.Metrics.pf_samples
+
+(* Cumulative buckets of [now] minus those of [prev] (le-aligned): the
+   window's distribution. Falls back to [now]'s buckets when the scrapes
+   do not line up. *)
+let window_buckets ~prev ~now =
+  if List.length prev <> List.length now then now
+  else
+    List.map2
+      (fun (le_p, c_p) (le_n, c_n) ->
+        if le_p = le_n then (le_n, Float.max 0.0 (c_n -. c_p))
+        else (le_n, c_n))
+      prev now
+
+let window_quantile ~prev_fams ~fams ~labels q =
+  match Obs.Metrics.find_family fams "vbr_net_request_duration_seconds" with
+  | None -> None
+  | Some f ->
+      let now = Obs.Metrics.buckets_of f ~labels in
+      let prev =
+        match
+          Option.bind prev_fams (fun pf ->
+              Obs.Metrics.find_family pf "vbr_net_request_duration_seconds")
+        with
+        | None -> []
+        | Some pf -> Obs.Metrics.buckets_of pf ~labels
+      in
+      let w = if prev = [] then now else window_buckets ~prev ~now in
+      Obs.Metrics.quantile_of_buckets w q
+
+let render ?prev now =
+  let fams = now.s_fams in
+  let prev_fams = Option.map (fun p -> p.s_fams) prev in
+  let dt =
+    match prev with
+    | Some p when now.s_at > p.s_at -> now.s_at -. p.s_at
+    | _ -> 0.0
+  in
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "vbr-top  (window %.1fs)"
+    (if dt > 0.0 then dt else 0.0);
+  line "";
+  line "  conns %s  accepted %s  proto errors %s  rx %s  tx %s"
+    (fmt_count (value fams "vbr_net_active_connections"))
+    (fmt_count (value fams "vbr_net_connections_accepted_total"))
+    (fmt_count (value fams "vbr_net_protocol_errors_total"))
+    (fmt_count (value fams "vbr_net_rx_bytes_total"))
+    (fmt_count (value fams "vbr_net_tx_bytes_total"));
+  line "";
+  line "  %-12s %10s %10s %9s %9s" "op" "total" "rate/s" "p50" "p99";
+  List.iter
+    (fun op ->
+      let labels = [ ("op", op) ] in
+      let total = value fams ~labels "vbr_net_requests_total" in
+      let rate =
+        if dt > 0.0 then
+          let before =
+            match prev_fams with
+            | None -> 0.0
+            | Some pf -> value pf ~labels "vbr_net_requests_total"
+          in
+          (total -. before) /. dt
+        else 0.0
+      in
+      let q p =
+        match window_quantile ~prev_fams ~fams ~labels p with
+        | None -> "-"
+        | Some s -> fmt_dur_s s
+      in
+      line "  %-12s %10s %10s %9s %9s" op (fmt_count total) (fmt_count rate)
+        (q 0.50) (q 0.99))
+    (label_values fams "vbr_net_requests" "op");
+  line "";
+  line "  %-8s %12s %12s %10s %8s %10s" "scheme" "unreclaimed" "allocated"
+    "retires" "stall" "advances";
+  List.iter
+    (fun scheme ->
+      let labels = [ ("scheme", scheme) ] in
+      line "  %-8s %12s %12s %10s %8s %10s" scheme
+        (fmt_count (value fams ~labels "vbr_smr_unreclaimed_slots"))
+        (fmt_count (value fams ~labels "vbr_smr_allocated_slots"))
+        (fmt_count (value fams ~labels "vbr_smr_retires_total"))
+        (fmt_dur_s (value fams ~labels "vbr_smr_epoch_stall_seconds"))
+        (fmt_count (value fams ~labels "vbr_smr_epoch_advances_total")))
+    (label_values fams "vbr_smr_unreclaimed_slots" "scheme");
+  Buffer.contents b
+
+let run ~host ~port ~interval_s ~once () =
+  if once then (
+    match scrape ~host ~port with
+    | Error e ->
+        Printf.eprintf "vbr-top: %s\n" e;
+        1
+    | Ok s ->
+        print_string (render s);
+        0)
+  else
+    let prev = ref None in
+    let failures = ref 0 in
+    let rc = ref (-1) in
+    while !rc < 0 do
+      (match scrape ~host ~port with
+      | Error e ->
+          incr failures;
+          if !failures >= 3 then (
+            Printf.eprintf "vbr-top: %s\n" e;
+            rc := 1)
+      | Ok s ->
+          failures := 0;
+          print_string "\027[2J\027[H";
+          print_string (render ?prev:!prev s);
+          flush stdout;
+          prev := Some s);
+      if !rc < 0 then Unix.sleepf interval_s
+    done;
+    !rc
+
+(* ---------- the CI smoke check ---------- *)
+
+let required_families =
+  [
+    "vbr_net_requests";
+    "vbr_net_request_duration_seconds";
+    "vbr_smr_unreclaimed_slots";
+  ]
+
+let counter_samples fams =
+  List.concat_map
+    (fun f ->
+      if f.Obs.Metrics.pf_kind = "counter" then
+        List.filter_map
+          (fun s ->
+            (* only the running totals; _created etc. would not be
+               monotone in the same sense *)
+            if
+              String.length s.Obs.Metrics.ps_name > 6
+              && Filename.check_suffix s.Obs.Metrics.ps_name "_total"
+            then Some s
+            else None)
+          f.Obs.Metrics.pf_samples
+      else [])
+    fams
+
+let buckets_monotone fams =
+  List.for_all
+    (fun f ->
+      if f.Obs.Metrics.pf_kind <> "histogram" then true
+      else
+        (* every label combination's cumulative series must be
+           non-decreasing in le *)
+        let serieses =
+          List.filter_map
+            (fun s ->
+              if Filename.check_suffix s.Obs.Metrics.ps_name "_bucket" then
+                Some (List.remove_assoc "le" s.Obs.Metrics.ps_labels)
+              else None)
+            f.Obs.Metrics.pf_samples
+        in
+        let distinct =
+          List.fold_left
+            (fun acc l -> if List.mem l acc then acc else l :: acc)
+            [] serieses
+        in
+        List.for_all
+          (fun labels ->
+            let bs = Obs.Metrics.buckets_of f ~labels in
+            let ok = ref true in
+            let last = ref neg_infinity in
+            List.iter
+              (fun (_, c) ->
+                if c < !last then ok := false;
+                last := c)
+              bs;
+            !ok)
+          distinct)
+    fams
+
+let check ~host ~port =
+  match scrape ~host ~port with
+  | Error e -> Error ("first scrape: " ^ e)
+  | Ok s1 -> (
+      Unix.sleepf 1.0;
+      match scrape ~host ~port with
+      | Error e -> Error ("second scrape: " ^ e)
+      | Ok s2 -> (
+          let missing =
+            List.filter
+              (fun n -> Obs.Metrics.find_family s2.s_fams n = None)
+              required_families
+          in
+          match missing with
+          | n :: _ -> Error ("family missing from exposition: " ^ n)
+          | [] ->
+              if not (buckets_monotone s2.s_fams) then
+                Error "histogram buckets not monotone within a scrape"
+              else
+                let bad =
+                  List.find_opt
+                    (fun s1s ->
+                      match
+                        Obs.Metrics.find_sample s2.s_fams
+                          ~labels:s1s.Obs.Metrics.ps_labels
+                          s1s.Obs.Metrics.ps_name
+                      with
+                      | None -> true
+                      | Some s2s ->
+                          s2s.Obs.Metrics.ps_value
+                          < s1s.Obs.Metrics.ps_value
+                    )
+                    (counter_samples s1.s_fams)
+                in
+                (match bad with
+                | Some s ->
+                    Error
+                      (Printf.sprintf
+                         "counter %s went backwards (or vanished) between \
+                          scrapes"
+                         s.Obs.Metrics.ps_name)
+                | None -> Ok ())))

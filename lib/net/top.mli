@@ -1,0 +1,33 @@
+(** vbr-top: the live terminal view over [GET /metrics], plus the
+    machine-checkable scrape validation behind [--check] and the CI
+    metrics smoke job.
+
+    Everything here is client-side: one {!Http.get} per refresh, parsed
+    with {!Obs.Metrics.parse}. Window rates and percentiles come from
+    differencing two consecutive scrapes (counter deltas over wall time;
+    histogram quantiles over the bucket-wise cumulative difference), so
+    the view converges on current behaviour rather than lifetime
+    averages. *)
+
+type scrape = { s_at : float; s_fams : Obs.Metrics.pfamily list }
+
+val scrape : host:string -> port:int -> (scrape, string) result
+(** One [GET /metrics] + parse, stamped with {!Obs.Clock.now_s}. *)
+
+val render : ?prev:scrape -> scrape -> string
+(** The dashboard: connection/byte totals, a per-op table (cumulative
+    count, window rate, window p50/p99), and per-scheme SMR health rows
+    (unreclaimed, allocated, retires, epoch stall, advances). Without
+    [prev], rates are 0 and percentiles are lifetime-cumulative. *)
+
+val run : host:string -> port:int -> interval_s:float -> once:bool -> unit -> int
+(** The CLI loop: clear-screen + render every [interval_s] until killed
+    (or a single plain render with [once]); returns a process exit code
+    (1 after three consecutive scrape failures). *)
+
+val check : host:string -> port:int -> (unit, string) result
+(** Scrape twice one second apart and validate: the required families
+    ([vbr_net_requests], [vbr_net_request_duration_seconds],
+    [vbr_smr_unreclaimed_slots]) are present, every histogram's
+    cumulative buckets are monotone within a scrape, and every counter
+    [_total] sample is monotone {e between} scrapes. *)

@@ -61,9 +61,66 @@ let record t v =
   if v < t.min_v then t.min_v <- v
 
 let count t = t.total
+let sum t = t.sum
 let max_value t = if t.total = 0 then 0 else t.max_v
 let min_value t = if t.total = 0 then 0 else t.min_v
 let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let clear t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.max_v <- 0;
+  t.min_v <- max_int
+
+let copy t =
+  {
+    buckets = Array.copy t.buckets;
+    total = t.total;
+    sum = t.sum;
+    max_v = t.max_v;
+    min_v = t.min_v;
+  }
+
+let count_le t v =
+  if v < 0 then 0
+  else begin
+    let last = bucket_of_value v in
+    let acc = ref 0 in
+    for i = 0 to last do
+      acc := !acc + t.buckets.(i)
+    done;
+    !acc
+  end
+
+(* Bucket-wise window [cur - since]. total/sum are recomputed from the
+   subtracted buckets so a racy [since] copy cannot push them negative;
+   max/min are only known to bucket precision inside a window, so they are
+   approximated by the edges of the outermost non-empty buckets (clamped
+   to [cur]'s exact extrema, which bound the window's). *)
+let diff ~since cur =
+  let out = create () in
+  let total = ref 0 and lo = ref (-1) and hi = ref (-1) in
+  for i = 0 to n_buckets - 1 do
+    let d = cur.buckets.(i) - since.buckets.(i) in
+    let d = if d < 0 then 0 else d in
+    out.buckets.(i) <- d;
+    if d > 0 then begin
+      total := !total + d;
+      if !lo < 0 then lo := i;
+      hi := i
+    end
+  done;
+  out.total <- !total;
+  (if !total > 0 then begin
+     let s = cur.sum -. since.sum in
+     out.sum <- (if s < 0.0 then 0.0 else s);
+     out.max_v <-
+       (if !hi + 1 >= n_buckets then cur.max_v
+        else min cur.max_v (bucket_lower_bound (!hi + 1) - 1));
+     out.min_v <- max (min_value cur) (bucket_lower_bound !lo)
+   end);
+  out
 
 let merge a b =
   let out = create () in

@@ -17,6 +17,9 @@ val record : t -> int -> unit
 val count : t -> int
 val mean : t -> float
 
+val sum : t -> float
+(** Exact sum of all recorded samples (0 when empty). *)
+
 val max_value : t -> int
 (** Exact tracked maximum (0 when empty). *)
 
@@ -36,6 +39,25 @@ val merge_into : into:t -> t -> unit
 val merge_all : t list -> t
 (** Fresh histogram holding every input's samples (empty for []) — the
     aggregation step after each thread recorded into its own [t]. *)
+
+val clear : t -> unit
+(** Reset to the empty state, keeping the allocation. *)
+
+val copy : t -> t
+(** Fresh independent snapshot of [t]. *)
+
+val count_le : t -> int -> int
+(** [count_le t v]: number of samples whose bucket lies at or below the
+    bucket of [v] — the cumulative count behind OpenMetrics [_bucket]
+    samples. Monotone in [v]; exact when [v] is a bucket upper edge,
+    otherwise over-counts by at most the ~3% bucket width. *)
+
+val diff : since:t -> t -> t
+(** [diff ~since cur]: the window of samples recorded into [cur] after the
+    snapshot [since] was {!copy}ed from it — bucket-wise subtraction, used
+    for interval time-series. Counts and quantiles are exact (to bucket
+    precision); the window max/min are approximated by the outermost
+    non-empty bucket edges, clamped to [cur]'s exact extrema. *)
 
 type summary = {
   count : int;

@@ -1,0 +1,614 @@
+(* The live-telemetry registry (DESIGN.md §2.15): typed counter / gauge /
+   histogram instruments with static label sets, exposed on demand as
+   OpenMetrics text, Sink JSON, or a flat (name, int) assoc for the binary
+   STATS_FULL opcode.
+
+   Hot-path writes follow the Counters contract: each writer owns one
+   cache-line-padded cell (plain stores, no RMW), and the scrape side sums
+   cells racily. A scrape therefore never blocks a worker and never runs
+   inside any SMR critical section — it may under-count in-flight updates
+   by one, which the monotone watermark in [counter_value] papers over
+   across scrapes. *)
+
+type labels = (string * string) list
+
+(* One padded slot per writer: stride 16 words keeps adjacent cells on
+   distinct cache lines (Counters uses the same layout). *)
+let stride = 16
+
+type counter = { c_cells : int array; mutable c_watermark : int }
+
+type histogram = {
+  h_cells : Histogram.t array;
+  h_le : int array;  (* sample-unit bucket bounds, strictly increasing *)
+  h_scale : float;   (* sample unit -> exposition unit (e.g. 1e-9 ns->s) *)
+}
+
+type instr =
+  | C of counter
+  | C_fn of (unit -> int)
+  | G_fn of (unit -> float)
+  | H of histogram
+
+type kind = Counter | Gauge | Hist
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Hist -> "histogram"
+
+type series = { s_labels : labels; s_instr : instr }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  mutable f_series : series list;  (* newest first *)
+}
+
+type t = { mutable families : family list (* newest first *) }
+
+let create () = { families = [] }
+
+(* ---------- registration ---------- *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_metric_name s =
+  s <> "" && is_name_start s.[0] && String.for_all is_name_char s
+
+let valid_label_name s =
+  s <> ""
+  && s.[0] <> ':'
+  && is_name_start s.[0]
+  && String.for_all (fun c -> c <> ':' && is_name_char c) s
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let register t ~name ~help ~kind ~labels instr =
+  if not (valid_metric_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_name k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k))
+    labels;
+  let labels = normalize_labels labels in
+  let series = { s_labels = labels; s_instr = instr } in
+  (match List.find_opt (fun f -> f.f_name = name) t.families with
+  | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s registered as both %s and %s" name
+             (kind_name f.f_kind) (kind_name kind));
+      if List.exists (fun s -> s.s_labels = labels) f.f_series then
+        invalid_arg
+          (Printf.sprintf "Metrics: duplicate series for %s" name);
+      f.f_series <- series :: f.f_series
+  | None ->
+      t.families <-
+        { f_name = name; f_help = help; f_kind = kind; f_series = [ series ] }
+        :: t.families)
+
+let counter t ?(help = "") ?(labels = []) ~cells name =
+  if cells < 1 then invalid_arg "Metrics.counter: cells < 1";
+  let c = { c_cells = Array.make (cells * stride) 0; c_watermark = 0 } in
+  register t ~name ~help ~kind:Counter ~labels (C c);
+  c
+
+let counter_fn t ?(help = "") ?(labels = []) name fn =
+  register t ~name ~help ~kind:Counter ~labels (C_fn fn)
+
+let gauge t ?(help = "") ?(labels = []) name fn =
+  register t ~name ~help ~kind:Gauge ~labels (G_fn fn)
+
+(* Default latency ladder in nanoseconds: 1 us .. 1 s, 1-2-5 steps. *)
+let default_le =
+  [
+    1_000; 2_000; 5_000; 10_000; 20_000; 50_000; 100_000; 200_000; 500_000;
+    1_000_000; 2_000_000; 5_000_000; 10_000_000; 20_000_000; 50_000_000;
+    100_000_000; 1_000_000_000;
+  ]
+
+let histogram t ?(help = "") ?(labels = []) ?(le = default_le) ?(scale = 1.0)
+    ~cells name =
+  if cells < 1 then invalid_arg "Metrics.histogram: cells < 1";
+  if le = [] then invalid_arg "Metrics.histogram: empty le ladder";
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a < b && sorted tl
+    | _ -> true
+  in
+  if List.exists (fun b -> b < 0) le || not (sorted le) then
+    invalid_arg "Metrics.histogram: le ladder must be non-negative ascending";
+  let h =
+    {
+      h_cells = Array.init cells (fun _ -> Histogram.create ());
+      h_le = Array.of_list le;
+      h_scale = scale;
+    }
+  in
+  register t ~name ~help ~kind:Hist ~labels (H h);
+  h
+
+(* ---------- hot-path writes ---------- *)
+
+let add c ~cell n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  let i = cell * stride in
+  c.c_cells.(i) <- c.c_cells.(i) + n
+
+let incr c ~cell = add c ~cell 1
+
+let observe h ~cell v = Histogram.record h.h_cells.(cell) v
+
+(* ---------- scrape-side reads ---------- *)
+
+let raw_sum c =
+  let acc = ref 0 in
+  let n = Array.length c.c_cells / stride in
+  for i = 0 to n - 1 do
+    acc := !acc + c.c_cells.(i * stride)
+  done;
+  !acc
+
+(* The racy cell sum can transiently regress between scrapes (a cell read
+   mid-update); the watermark makes the exported counter monotone, which
+   rate computations downstream rely on. *)
+let counter_value c =
+  let v = raw_sum c in
+  if v > c.c_watermark then c.c_watermark <- v;
+  c.c_watermark
+
+let histogram_merged h = Histogram.merge_all (Array.to_list h.h_cells)
+
+(* ---------- OpenMetrics text exposition ---------- *)
+
+let escape_label_value buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_help buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+
+(* Render a label set, optionally with a trailing le pair. [le_str]
+   carries the pre-formatted bound ("0.001" or "+Inf"). *)
+let add_labelset buf labels ~le_str =
+  if labels <> [] || le_str <> None then begin
+    Buffer.add_char buf '{';
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Buffer.add_char buf ','
+    in
+    List.iter
+      (fun (k, v) ->
+        sep ();
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape_label_value buf v;
+        Buffer.add_char buf '"')
+      labels;
+    (match le_str with
+    | Some le ->
+        sep ();
+        Buffer.add_string buf "le=\"";
+        Buffer.add_string buf le;
+        Buffer.add_char buf '"'
+    | None -> ());
+    Buffer.add_char buf '}'
+  end
+
+let add_sample buf name labels ?le_str value_str =
+  Buffer.add_string buf name;
+  add_labelset buf labels ~le_str;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value_str;
+  Buffer.add_char buf '\n'
+
+let fmt_scaled scale v =
+  let buf = Buffer.create 24 in
+  add_float buf (float_of_int v *. scale);
+  Buffer.contents buf
+
+let expose t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      if f.f_help <> "" then begin
+        Buffer.add_string buf "# HELP ";
+        Buffer.add_string buf f.f_name;
+        Buffer.add_char buf ' ';
+        escape_help buf f.f_help;
+        Buffer.add_char buf '\n'
+      end;
+      Buffer.add_string buf "# TYPE ";
+      Buffer.add_string buf f.f_name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (kind_name f.f_kind);
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun s ->
+          match s.s_instr with
+          | C c ->
+              add_sample buf (f.f_name ^ "_total") s.s_labels
+                (string_of_int (counter_value c))
+          | C_fn fn ->
+              add_sample buf (f.f_name ^ "_total") s.s_labels
+                (string_of_int (fn ()))
+          | G_fn fn ->
+              let vbuf = Buffer.create 24 in
+              add_float vbuf (fn ());
+              add_sample buf f.f_name s.s_labels (Buffer.contents vbuf)
+          | H h ->
+              (* Merge once per scrape: the cumulative bucket counts all
+                 come from the same frozen copy, so they are monotone in
+                 le by construction even while workers keep recording. *)
+              let m = histogram_merged h in
+              let count = Histogram.count m in
+              Array.iter
+                (fun b ->
+                  add_sample buf (f.f_name ^ "_bucket") s.s_labels
+                    ~le_str:(fmt_scaled h.h_scale b)
+                    (string_of_int (Histogram.count_le m b)))
+                h.h_le;
+              add_sample buf (f.f_name ^ "_bucket") s.s_labels
+                ~le_str:"+Inf" (string_of_int count);
+              let sbuf = Buffer.create 24 in
+              add_float sbuf (Histogram.sum m *. h.h_scale);
+              add_sample buf (f.f_name ^ "_sum") s.s_labels
+                (Buffer.contents sbuf);
+              add_sample buf (f.f_name ^ "_count") s.s_labels
+                (string_of_int count))
+        (List.rev f.f_series))
+    (List.rev t.families);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---------- JSON twin ---------- *)
+
+let labels_json labels =
+  Sink.Obj (List.map (fun (k, v) -> (k, Sink.String v)) labels)
+
+let to_json t =
+  let fam_json f =
+    let series_json s =
+      let base = [ ("labels", labels_json s.s_labels) ] in
+      let rest =
+        match s.s_instr with
+        | C c -> [ ("value", Sink.Int (counter_value c)) ]
+        | C_fn fn -> [ ("value", Sink.Int (fn ())) ]
+        | G_fn fn -> [ ("value", Sink.Float (fn ())) ]
+        | H h ->
+            let m = histogram_merged h in
+            [
+              ("count", Sink.Int (Histogram.count m));
+              ("sum", Sink.Float (Histogram.sum m *. h.h_scale));
+              ("p50", Sink.Int (Histogram.quantile m 0.50));
+              ("p99", Sink.Int (Histogram.quantile m 0.99));
+              ("max", Sink.Int (Histogram.max_value m));
+              ( "buckets",
+                Sink.List
+                  (Array.to_list h.h_le
+                  |> List.map (fun b ->
+                         Sink.Obj
+                           [
+                             ("le", Sink.Int b);
+                             ("count", Sink.Int (Histogram.count_le m b));
+                           ])) );
+            ]
+      in
+      Sink.Obj (base @ rest)
+    in
+    Sink.Obj
+      [
+        ("name", Sink.String f.f_name);
+        ("type", Sink.String (kind_name f.f_kind));
+        ("help", Sink.String f.f_help);
+        ("series", Sink.List (List.map series_json (List.rev f.f_series)));
+      ]
+  in
+  Sink.Obj
+    [ ("metrics", Sink.List (List.map fam_json (List.rev t.families))) ]
+
+(* ---------- flat assoc (binary STATS_FULL) ---------- *)
+
+(* Histogram sample values stay in the recorded unit (ns) here: the wire
+   carries ints, and scaling to seconds would round every latency to 0. *)
+let to_assoc t =
+  let suffix labels =
+    if labels = [] then ""
+    else
+      let buf = Buffer.create 32 in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf v)
+        labels;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+  in
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          let lb = suffix s.s_labels in
+          let put name v = out := (name, v) :: !out in
+          match s.s_instr with
+          | C c -> put (f.f_name ^ "_total" ^ lb) (counter_value c)
+          | C_fn fn -> put (f.f_name ^ "_total" ^ lb) (fn ())
+          | G_fn fn -> put (f.f_name ^ lb) (int_of_float (Float.round (fn ())))
+          | H h ->
+              let m = histogram_merged h in
+              put (f.f_name ^ "_count" ^ lb) (Histogram.count m);
+              put (f.f_name ^ "_p50" ^ lb) (Histogram.quantile m 0.50);
+              put (f.f_name ^ "_p99" ^ lb) (Histogram.quantile m 0.99);
+              put (f.f_name ^ "_max" ^ lb) (Histogram.max_value m))
+        (List.rev f.f_series))
+    (List.rev t.families);
+  List.rev !out
+
+(* ---------- exposition parser ---------- *)
+
+(* A strict-enough OpenMetrics reader for vbr-top, the loopback tests and
+   the CI smoke job: families from # TYPE/# HELP lines, samples attached
+   to their family by name (modulo the standard _total/_bucket/_sum/_count
+   suffixes), label values unescaped, a required # EOF terminator. *)
+
+type psample = { ps_name : string; ps_labels : labels; ps_value : float }
+
+type pfamily = {
+  pf_name : string;
+  pf_kind : string;
+  pf_help : string;
+  pf_samples : psample list;
+}
+
+exception Bad of string
+
+let float_of_om s =
+  match s with
+  | "+Inf" | "Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | _ -> (
+      match float_of_string_opt s with
+      | Some f -> f
+      | None -> raise (Bad (Printf.sprintf "bad sample value %S" s)))
+
+(* Stdlib's [incr], un-shadowed by the instrument [incr] above. *)
+let bump (i : int ref) = i := !i + 1
+
+(* [line.[!i] = '{']; consumes through the closing '}'. *)
+let parse_label_pairs line i =
+  let n = String.length line in
+  let out = ref [] in
+  bump i;
+  let expect c =
+    if !i >= n || line.[!i] <> c then
+      raise (Bad (Printf.sprintf "expected %C in label set" c));
+    bump i
+  in
+  let rec pairs () =
+    if !i >= n then raise (Bad "unterminated label set")
+    else if line.[!i] = '}' then bump i
+    else begin
+      let start = !i in
+      while !i < n && line.[!i] <> '=' do bump i done;
+      let name = String.sub line start (!i - start) in
+      if not (valid_label_name name) then
+        raise (Bad (Printf.sprintf "bad label name %S" name));
+      expect '=';
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec value () =
+        if !i >= n then raise (Bad "unterminated label value")
+        else
+          match line.[!i] with
+          | '"' -> bump i
+          | '\\' ->
+              if !i + 1 >= n then raise (Bad "dangling escape");
+              (match line.[!i + 1] with
+              | '\\' -> Buffer.add_char buf '\\'
+              | '"' -> Buffer.add_char buf '"'
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> raise (Bad (Printf.sprintf "bad escape \\%C" c)));
+              i := !i + 2;
+              value ()
+          | c ->
+              Buffer.add_char buf c;
+              bump i;
+              value ()
+      in
+      value ();
+      out := (name, Buffer.contents buf) :: !out;
+      if !i < n && line.[!i] = ',' then begin
+        bump i;
+        pairs ()
+      end
+      else if !i < n && line.[!i] = '}' then bump i
+      else raise (Bad "expected ',' or '}' in label set")
+    end
+  in
+  pairs ();
+  List.rev !out
+
+let parse_sample_line line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do bump i done;
+  if !i = 0 then raise (Bad "missing metric name");
+  let name = String.sub line 0 !i in
+  let labels =
+    if !i < n && line.[!i] = '{' then parse_label_pairs line i else []
+  in
+  while !i < n && line.[!i] = ' ' do bump i done;
+  let vstart = !i in
+  while !i < n && line.[!i] <> ' ' do bump i done;
+  if !i = vstart then raise (Bad "missing sample value");
+  (* Anything after the value (an optional timestamp) is ignored. *)
+  let value = float_of_om (String.sub line vstart (!i - vstart)) in
+  { ps_name = name; ps_labels = normalize_labels labels; ps_value = value }
+
+type builder = {
+  mutable b_kind : string;
+  mutable b_help : string;
+  mutable b_samples : psample list;  (* newest first *)
+}
+
+let sample_suffixes = [ "_total"; "_bucket"; "_sum"; "_count"; "_created" ]
+
+let parse text =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let fam name =
+    match Hashtbl.find_opt tbl name with
+    | Some b -> b
+    | None ->
+        let b = { b_kind = "untyped"; b_help = ""; b_samples = [] } in
+        Hashtbl.add tbl name b;
+        order := name :: !order;
+        b
+  in
+  let base_of sample_name =
+    if Hashtbl.mem tbl sample_name then sample_name
+    else
+      let strip suf =
+        if
+          String.length sample_name > String.length suf
+          && String.ends_with ~suffix:suf sample_name
+        then
+          Some
+            (String.sub sample_name 0
+               (String.length sample_name - String.length suf))
+        else None
+      in
+      match
+        List.find_opt (Hashtbl.mem tbl) (List.filter_map strip sample_suffixes)
+      with
+      | Some base -> base
+      | None -> sample_name
+  in
+  let unescape_help s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '\\' && !i + 1 < n then begin
+         (match s.[!i + 1] with
+         | 'n' -> Buffer.add_char buf '\n'
+         | c -> Buffer.add_char buf c);
+         bump i
+       end
+       else Buffer.add_char buf s.[!i]);
+      bump i
+    done;
+    Buffer.contents buf
+  in
+  let saw_eof = ref false in
+  try
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun ln line ->
+        let err msg = raise (Bad (Printf.sprintf "line %d: %s" (ln + 1) msg)) in
+        try
+          if line = "" then ()
+          else if !saw_eof then err "content after # EOF"
+          else if String.length line >= 1 && line.[0] = '#' then begin
+            match String.split_on_char ' ' line with
+            | "#" :: "EOF" :: _ -> saw_eof := true
+            | "#" :: "TYPE" :: name :: kind :: _ -> (fam name).b_kind <- kind
+            | "#" :: "HELP" :: name :: rest ->
+                (fam name).b_help <- unescape_help (String.concat " " rest)
+            | "#" :: "UNIT" :: _ -> ()
+            | _ -> ()  (* free-form comment *)
+          end
+          else begin
+            let s = parse_sample_line line in
+            let b = fam (base_of s.ps_name) in
+            b.b_samples <- s :: b.b_samples
+          end
+        with Bad msg when not (String.length msg > 5 && String.sub msg 0 5 = "line ")
+          -> err msg)
+      lines;
+    if not !saw_eof then raise (Bad "missing # EOF terminator");
+    Ok
+      (List.rev_map
+         (fun name ->
+           let b = Hashtbl.find tbl name in
+           {
+             pf_name = name;
+             pf_kind = b.b_kind;
+             pf_help = b.b_help;
+             pf_samples = List.rev b.b_samples;
+           })
+         !order)
+  with Bad msg -> Error msg
+
+(* ---------- parsed-form helpers ---------- *)
+
+let find_family fams name = List.find_opt (fun f -> f.pf_name = name) fams
+
+let labels_subset ~sub labels =
+  List.for_all (fun (k, v) -> List.assoc_opt k labels = Some v) sub
+
+let find_sample fams ?(labels = []) name =
+  let labels = normalize_labels labels in
+  List.find_map
+    (fun f ->
+      List.find_opt
+        (fun s -> s.ps_name = name && labels_subset ~sub:labels s.ps_labels)
+        f.pf_samples)
+    fams
+
+let sample_value fams ?labels name =
+  Option.map (fun s -> s.ps_value) (find_sample fams ?labels name)
+
+let buckets_of f ~labels =
+  let labels = normalize_labels labels in
+  f.pf_samples
+  |> List.filter_map (fun s ->
+         if
+           s.ps_name = f.pf_name ^ "_bucket"
+           && labels_subset ~sub:labels s.ps_labels
+         then
+           match List.assoc_opt "le" s.ps_labels with
+           | Some le -> Some (float_of_om le, s.ps_value)
+           | None -> None
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let quantile_of_buckets buckets q =
+  match List.rev buckets with
+  | [] -> None
+  | (_, total) :: _ ->
+      if total <= 0.0 then None
+      else
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let target = q *. total in
+        List.find_map
+          (fun (le, cum) -> if cum >= target then Some le else None)
+          buckets

@@ -1,0 +1,138 @@
+(** Live-telemetry registry (DESIGN.md §2.15).
+
+    Typed counter / gauge / histogram instruments with static label sets,
+    registered once at startup and scraped on demand: OpenMetrics text
+    ({!expose}), a {!Sink.json} twin ({!to_json}), or a flat
+    [(name, int)] assoc for the binary STATS_FULL opcode ({!to_assoc}).
+
+    Hot-path writes follow the {!Counters} contract: each writer owns one
+    cache-line-padded cell (plain stores, no read-modify-write), and the
+    scrape side sums the cells racily — a scrape never blocks a writer
+    and must never run inside an SMR critical section. The racy sum can
+    transiently under-count; {!counter_value} clamps it to a monotone
+    watermark so exported counters never regress between scrapes.
+
+    Registration is not thread-safe (do it before spawning writers);
+    writes are per-cell single-writer; scrapes may run concurrently with
+    writes from any domain. *)
+
+type t
+(** A registry: an ordered set of metric families. *)
+
+type labels = (string * string) list
+(** Static label pairs attached to one series, e.g.
+    [[("scheme", "vbr")]]. Normalized to key order internally. *)
+
+type counter
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration}
+
+    All registration functions raise [Invalid_argument] on a malformed
+    metric/label name ([[a-zA-Z_:][a-zA-Z0-9_:]*], no [:] in label
+    names), a duplicate (name, labels) series, or a kind clash with an
+    existing family of the same name. *)
+
+val counter : t -> ?help:string -> ?labels:labels -> cells:int -> string -> counter
+(** Monotone counter with [cells] single-writer slots (one per worker).
+    Exposed as [<name>_total]. *)
+
+val counter_fn : t -> ?help:string -> ?labels:labels -> string -> (unit -> int) -> unit
+(** Counter whose cumulative value is computed by a closure at scrape
+    time (e.g. an existing event-counter sum). The closure must be a
+    thread-safe racy read and SHOULD be monotone. *)
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> (unit -> float) -> unit
+(** Point-in-time gauge evaluated at scrape time. *)
+
+val default_le : int list
+(** The default histogram bucket ladder: 1 us .. 1 s in 1-2-5 steps,
+    expressed in nanoseconds (the recording unit). *)
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:labels ->
+  ?le:int list ->
+  ?scale:float ->
+  cells:int ->
+  string ->
+  histogram
+(** Histogram with [cells] single-writer {!Histogram.t} slots, merged at
+    scrape time. [le] is the exposed bucket ladder in the recording unit
+    (default {!default_le}); [scale] converts recorded values to the
+    exposition unit (e.g. [1e-9] for ns recordings exposed as seconds,
+    default [1.0]). Raises [Invalid_argument] unless [le] is
+    non-negative and strictly ascending. *)
+
+(** {2 Hot-path writes} *)
+
+val incr : counter -> cell:int -> unit
+val add : counter -> cell:int -> int -> unit
+(** Raises [Invalid_argument] on a negative increment. *)
+
+val observe : histogram -> cell:int -> int -> unit
+(** Record one sample (in the recording unit, conventionally ns). *)
+
+(** {2 Scrape-side reads} *)
+
+val counter_value : counter -> int
+(** Monotone cumulative value: the racy cell sum clamped to its
+    high-watermark. *)
+
+val histogram_merged : histogram -> Histogram.t
+(** Racy merge of all cells into a fresh snapshot. *)
+
+val expose : t -> string
+(** OpenMetrics / Prometheus text exposition: [# HELP] / [# TYPE] per
+    family in registration order, counters as [<name>_total], histograms
+    as cumulative [_bucket{le="..."}] / [_sum] / [_count] (bucket counts
+    all come from one frozen merge, so they are monotone in [le] even
+    under concurrent writes), label values escaped (backslash,
+    double-quote and newline), terminated by [# EOF]. *)
+
+val to_json : t -> Sink.json
+(** JSON twin of {!expose} for [Sink]-style artifacts. *)
+
+val to_assoc : t -> (string * int) list
+(** Flat integer snapshot for the binary STATS_FULL opcode: counters as
+    [<name>_total{k=v}], gauges rounded, histograms as
+    [_count] / [_p50] / [_p99] / [_max] in the recording unit. *)
+
+(** {2 Exposition parser}
+
+    A strict-enough OpenMetrics reader shared by vbr-top, the loopback
+    scrape tests and the CI smoke job. *)
+
+type psample = { ps_name : string; ps_labels : labels; ps_value : float }
+
+type pfamily = {
+  pf_name : string;
+  pf_kind : string;  (** "counter" | "gauge" | "histogram" | "untyped" *)
+  pf_help : string;
+  pf_samples : psample list;
+}
+
+val parse : string -> (pfamily list, string) result
+(** Parse an exposition page. Samples attach to their family by name
+    modulo the standard [_total]/[_bucket]/[_sum]/[_count] suffixes;
+    label values are unescaped; a missing [# EOF] terminator (or content
+    after it) is an error. *)
+
+val find_family : pfamily list -> string -> pfamily option
+
+val find_sample : pfamily list -> ?labels:labels -> string -> psample option
+(** First sample with the given {e sample} name (suffix included) whose
+    label set contains every pair in [labels]. *)
+
+val sample_value : pfamily list -> ?labels:labels -> string -> float option
+
+val buckets_of : pfamily -> labels:labels -> (float * float) list
+(** [(le, cumulative_count)] pairs of a histogram family's series
+    matching [labels], sorted ascending; [+Inf] maps to [infinity]. *)
+
+val quantile_of_buckets : (float * float) list -> float -> float option
+(** Quantile estimate from cumulative buckets: the smallest [le] whose
+    cumulative count reaches [q] of the total; [None] when empty. *)

@@ -12,10 +12,19 @@ type 'a t = {
   cell : 'a sample list Atomic.t;  (* newest first *)
   drained : bool Atomic.t;
   domain : unit Domain.t;
+  read : unit -> 'a;
+  t0 : float;
 }
 
-let start ?(interval_ms = 5.0) ~read () =
+(* Sleep in short slices so a stop request is honoured within ~50 ms even
+   at long sampling intervals. *)
+let max_slice_s = 0.05
+
+let start ?(interval_ms = 5.0) ?keep_last ~read () =
   if interval_ms <= 0.0 then invalid_arg "Sampler.start: interval_ms <= 0";
+  (match keep_last with
+  | Some k when k < 1 -> invalid_arg "Sampler.start: keep_last < 1"
+  | _ -> ());
   let stop_flag = Atomic.make false in
   let cell = Atomic.make [] in
   let drained = Atomic.make false in
@@ -25,24 +34,59 @@ let start ?(interval_ms = 5.0) ~read () =
        sample. *)
     let v = read () in
     let s = { elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.0; value = v } in
-    Atomic.set cell (s :: Atomic.get cell)
+    let prev = Atomic.get cell in
+    let prev =
+      match keep_last with
+      | Some k ->
+          (* Truncate the retained tail so long-lived collectors stay
+             bounded; [stop] then returns at most [k + 1] samples. *)
+          let rec take n = function
+            | x :: tl when n > 0 -> x :: take (n - 1) tl
+            | _ -> []
+          in
+          take (k - 1) prev
+      | None -> prev
+    in
+    Atomic.set cell (s :: prev)
   in
+  let interval_s = interval_ms /. 1000.0 in
   let domain =
     Domain.spawn (fun () ->
         Fun.protect
           ~finally:(fun () -> Atomic.set drained true)
           (fun () ->
             snap ();
+            (* Schedule off the absolute next deadline rather than
+               sleep-after-work: a slow [read] eats into the following
+               interval instead of shifting every later tick, so N ticks
+               over T seconds stays at T / interval regardless of gauge
+               cost. Deadlines the domain slept through entirely are
+               skipped (no catch-up bursts). *)
+            let next = ref (t0 +. interval_s) in
             while not (Atomic.get stop_flag) do
-              Unix.sleepf (interval_ms /. 1000.0);
-              snap ()
+              let now = Unix.gettimeofday () in
+              if now >= !next then begin
+                snap ();
+                next := !next +. interval_s;
+                let now = Unix.gettimeofday () in
+                while !next <= now do
+                  next := !next +. interval_s
+                done
+              end
+              else Unix.sleepf (Float.min (!next -. now) max_slice_s)
             done;
             (* One final sample after the stop request, so callers that
                quiesce the system before stopping always see its end
                state. *)
             snap ()))
   in
-  { stop_flag; cell; drained; domain }
+  { stop_flag; cell; drained; domain; read; t0 }
+
+let read_now t =
+  let v = t.read () in
+  { elapsed_ms = (Unix.gettimeofday () -. t.t0) *. 1000.0; value = v }
+
+let last t = match Atomic.get t.cell with [] -> None | s :: _ -> Some s
 
 let stop t =
   Atomic.set t.stop_flag true;

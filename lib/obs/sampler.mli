@@ -2,25 +2,44 @@
 
     [start] spawns one domain that evaluates a gauge-reading closure every
     [interval_ms] (plus one sample immediately and one after the stop
-    request), timestamping each sample relative to the start. This is the
-    footprint probe behind the robustness experiment: the closure reads
-    racy gauges (arena occupancy, unreclaimed counts, op counters) while
-    worker domains run undisturbed.
+    request), timestamping each sample relative to the start. Ticks are
+    scheduled off the absolute next deadline, not sleep-after-work, so a
+    slow gauge read does not accumulate drift: N ticks over T seconds
+    stays at T / interval (deadlines slept through entirely are skipped,
+    never burst-replayed). This is the footprint probe behind the
+    robustness experiment and the scrape-side collector behind
+    {!Metrics}: the closure reads racy gauges (arena occupancy,
+    unreclaimed counts, op counters) while worker domains run
+    undisturbed.
 
-    The [read] closure runs on the sampler domain: it must only perform
-    thread-safe reads. *)
+    The [read] closure runs on the sampler domain (or the caller's, for
+    {!read_now}): it must only perform thread-safe reads. *)
 
 type 'a sample = { elapsed_ms : float; value : 'a }
 
 type 'a t
 
-val start : ?interval_ms:float -> read:(unit -> 'a) -> unit -> 'a t
-(** Begin sampling ([interval_ms] defaults to 5 ms).
-    @raise Invalid_argument if [interval_ms <= 0]. *)
+val start :
+  ?interval_ms:float -> ?keep_last:int -> read:(unit -> 'a) -> unit -> 'a t
+(** Begin sampling ([interval_ms] defaults to 5 ms). [keep_last] bounds
+    the retained series to the most recent [k] samples (plus the final
+    post-stop one) for long-lived collectors that only ever consult
+    {!last}; omitted, the full series is kept for {!stop}.
+    @raise Invalid_argument if [interval_ms <= 0] or [keep_last < 1]. *)
+
+val read_now : 'a t -> 'a sample
+(** One-shot scrape on the calling domain: evaluate the gauge closure
+    immediately and return the sample without touching the background
+    series. *)
+
+val last : 'a t -> 'a sample option
+(** Most recent background sample, if any — a non-blocking read of the
+    published series. *)
 
 val stop : 'a t -> 'a sample list
 (** Request the final sample, drain the published series, then join the
     domain; returns the series in chronological order (always at least
-    two samples when the gauge closure does not raise). Samples are
-    drained {e before} the join, so a sampler domain that dies on its
-    way out cannot drop the final interval. *)
+    two samples when the gauge closure does not raise, at most
+    [keep_last + 1] when bounded). Samples are drained {e before} the
+    join, so a sampler domain that dies on its way out cannot drop the
+    final interval. *)

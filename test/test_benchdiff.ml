@@ -157,6 +157,102 @@ let test_panel_mismatch () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "panel mismatch accepted"
 
+(* ---------- net-panel timelines ---------- *)
+
+(* A net point: "clients" instead of "threads", no "mops", an interval
+   timeline of cumulative ops — the shape vbr-loadgen writes. *)
+let net_point ?(scheme = "VBR") ?timeline ?wire_mops ~clients () =
+  let fields =
+    [ ("scheme", Obs.Sink.String scheme); ("clients", Obs.Sink.Int clients) ]
+  in
+  let fields =
+    match wire_mops with
+    | None -> fields
+    | Some m -> fields @ [ ("wire_mops", Obs.Sink.Float m) ]
+  in
+  let fields =
+    match timeline with
+    | None -> fields
+    | Some samples ->
+        fields
+        @ [
+            ( "timeline",
+              Obs.Sink.List
+                (List.map
+                   (fun (t_ms, ops) ->
+                     Obs.Sink.Obj
+                       [
+                         ("t_ms", Obs.Sink.Float t_ms);
+                         ("ops", Obs.Sink.Int ops);
+                       ])
+                   samples) );
+          ]
+  in
+  Obs.Sink.Obj fields
+
+let net_panel pts =
+  Obs.Sink.Obj [ ("panel", Obs.Sink.String "net"); ("points", Obs.Sink.List pts) ]
+
+(* 11 samples, 1 op/ms in steady state but a slow first and last stretch:
+   the trimmed window must rate only the steady middle. *)
+let ramped_timeline rate =
+  List.init 11 (fun i ->
+      let t = float_of_int i *. 1000.0 in
+      let ops =
+        if i = 0 then 0
+        else if i <= 2 then i * 100 (* warmup: slow *)
+        else 200 + int_of_float (float_of_int (i - 2) *. rate)
+      in
+      (t, ops))
+
+let test_timeline_steady_state () =
+  let p = net_point ~clients:4 ~timeline:(ramped_timeline 1000.0) () in
+  match Benchdiff.points_of_json (net_panel [ p ]) with
+  | Error e -> Alcotest.fail e
+  | Ok (panel, pts) -> (
+      Alcotest.(check string) "panel" "net" panel;
+      match pts with
+      | [ pt ] ->
+          Alcotest.(check string) "scheme" "VBR" pt.Benchdiff.p_scheme;
+          Alcotest.(check int) "clients stand in for threads" 4
+            pt.Benchdiff.p_threads;
+          (* window [2s, 9s]: 7000 ops over 7 s = 1000 ops/s = 1e-3 Mops *)
+          Alcotest.(check bool)
+            (Printf.sprintf "steady-state rate (%g)" pt.Benchdiff.p_mops)
+            true
+            (Float.abs (pt.Benchdiff.p_mops -. 1e-3) < 1e-9)
+      | _ -> Alcotest.fail "expected one point")
+
+let test_timeline_regression_gate () =
+  let base = net_point ~clients:4 ~timeline:(ramped_timeline 1000.0) () in
+  let slow = net_point ~clients:4 ~timeline:(ramped_timeline 700.0) () in
+  match
+    Benchdiff.compare_json ~threshold:0.15 ~baseline:(net_panel [ base ])
+      ~candidate:(net_panel [ slow ])
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "a 30% steady-state drop is a regression" 1
+        (List.length r.Benchdiff.r_regressions)
+
+let test_timeline_fallbacks () =
+  (* too few samples -> wire_mops; no timeline at all -> wire_mops;
+     neither -> no point *)
+  let short =
+    net_point ~clients:2
+      ~timeline:[ (0.0, 0); (1000.0, 50) ]
+      ~wire_mops:0.5 ()
+  in
+  let bare = net_point ~clients:2 ~wire_mops:0.25 () in
+  let useless = net_point ~clients:2 () in
+  match Benchdiff.points_of_json (net_panel [ short; bare; useless ]) with
+  | Error e -> Alcotest.fail e
+  | Ok (_, pts) ->
+      Alcotest.(check int) "unusable point dropped" 2 (List.length pts);
+      Alcotest.(check (list (float 1e-9)))
+        "fallback to wire_mops" [ 0.5; 0.25 ]
+        (List.map (fun p -> p.Benchdiff.p_mops) pts)
+
 (* ---------- threshold resolution ---------- *)
 
 let test_threshold_resolution () =
@@ -192,6 +288,14 @@ let () =
           Alcotest.test_case "unmatched points ignored" `Quick
             test_unmatched_points_ignored;
           Alcotest.test_case "panel mismatch" `Quick test_panel_mismatch;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "steady-state window" `Quick
+            test_timeline_steady_state;
+          Alcotest.test_case "steady-state regression gates" `Quick
+            test_timeline_regression_gate;
+          Alcotest.test_case "fallback keys" `Quick test_timeline_fallbacks;
         ] );
       ( "threshold",
         [

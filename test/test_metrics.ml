@@ -1,0 +1,367 @@
+(* The telemetry plane: the Obs.Metrics registry (registration rules,
+   counter watermarks, exposition encoding and its parser), the
+   Histogram additions behind windowed timelines (count_le / diff /
+   clear / copy), and the Sampler's absolute-deadline scheduling. *)
+
+module Metrics = Obs.Metrics
+module Histogram = Obs.Histogram
+module Sampler = Obs.Sampler
+
+(* ------------------------------------------------------------------ *)
+(* registry rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_validation () =
+  let t = Metrics.create () in
+  let _c = Metrics.counter t ~cells:2 "good_name_total_ops" in
+  Alcotest.check_raises "bad metric name" (Invalid_argument "dummy")
+    (fun () ->
+      try ignore (Metrics.counter t ~cells:1 "0bad")
+      with Invalid_argument _ -> raise (Invalid_argument "dummy"));
+  Alcotest.check_raises "bad label name" (Invalid_argument "dummy")
+    (fun () ->
+      try
+        ignore
+          (Metrics.counter t ~cells:1 ~labels:[ ("a:b", "v") ] "ok_name")
+      with Invalid_argument _ -> raise (Invalid_argument "dummy"))
+
+let test_register_duplicates () =
+  let t = Metrics.create () in
+  let _a =
+    Metrics.counter t ~cells:1 ~labels:[ ("op", "get"); ("x", "1") ] "reqs"
+  in
+  (* same series spelled with labels in the other order *)
+  Alcotest.check_raises "duplicate series" (Invalid_argument "dummy")
+    (fun () ->
+      try
+        ignore
+          (Metrics.counter t ~cells:1
+             ~labels:[ ("x", "1"); ("op", "get") ]
+             "reqs")
+      with Invalid_argument _ -> raise (Invalid_argument "dummy"));
+  (* a different label set on the same family is fine *)
+  let _b = Metrics.counter t ~cells:1 ~labels:[ ("op", "put") ] "reqs" in
+  (* the same name as a different kind is not *)
+  Alcotest.check_raises "kind clash" (Invalid_argument "dummy") (fun () ->
+      try Metrics.gauge t "reqs" (fun () -> 0.0)
+      with Invalid_argument _ -> raise (Invalid_argument "dummy"))
+
+let test_counter_cells () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t ~cells:4 "ops" in
+  for cell = 0 to 3 do
+    for _ = 1 to cell + 1 do
+      Metrics.incr c ~cell
+    done
+  done;
+  Metrics.add c ~cell:0 10;
+  Alcotest.(check int) "sum across cells" 20 (Metrics.counter_value c);
+  Alcotest.check_raises "negative add" (Invalid_argument "dummy") (fun () ->
+      try Metrics.add c ~cell:0 (-1)
+      with Invalid_argument _ -> raise (Invalid_argument "dummy"))
+
+(* ------------------------------------------------------------------ *)
+(* exposition: golden page, escaping, parser                          *)
+(* ------------------------------------------------------------------ *)
+
+let golden_registry () =
+  let t = Metrics.create () in
+  let c =
+    Metrics.counter t ~help:"Requests served." ~cells:1
+      ~labels:[ ("op", "get") ] "vbr_requests"
+  in
+  Metrics.add c ~cell:0 42;
+  Metrics.gauge t ~help:"Live connections." "vbr_conns" (fun () -> 3.0);
+  let h =
+    Metrics.histogram t ~help:"Latency." ~le:[ 1_000; 1_000_000 ]
+      ~scale:1e-9 ~cells:1 "vbr_lat_seconds"
+  in
+  Metrics.observe h ~cell:0 500;
+  Metrics.observe h ~cell:0 2_000;
+  t
+
+let golden_page =
+  "# HELP vbr_requests Requests served.\n\
+   # TYPE vbr_requests counter\n\
+   vbr_requests_total{op=\"get\"} 42\n\
+   # HELP vbr_conns Live connections.\n\
+   # TYPE vbr_conns gauge\n\
+   vbr_conns 3.0\n\
+   # HELP vbr_lat_seconds Latency.\n\
+   # TYPE vbr_lat_seconds histogram\n\
+   vbr_lat_seconds_bucket{le=\"1e-06\"} 1\n\
+   vbr_lat_seconds_bucket{le=\"0.001\"} 2\n\
+   vbr_lat_seconds_bucket{le=\"+Inf\"} 2\n\
+   vbr_lat_seconds_sum 2.5e-06\n\
+   vbr_lat_seconds_count 2\n\
+   # EOF\n"
+
+let test_expose_golden () =
+  let t = golden_registry () in
+  Alcotest.(check string) "exposition page" golden_page (Metrics.expose t)
+
+let test_expose_parses () =
+  let t = golden_registry () in
+  match Metrics.parse (Metrics.expose t) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok fams ->
+      Alcotest.(check int) "families" 3 (List.length fams);
+      Alcotest.(check (option (float 0.0)))
+        "counter value" (Some 42.0)
+        (Metrics.sample_value fams ~labels:[ ("op", "get") ]
+           "vbr_requests_total");
+      Alcotest.(check (option (float 0.0)))
+        "gauge value" (Some 3.0)
+        (Metrics.sample_value fams "vbr_conns");
+      let f = Option.get (Metrics.find_family fams "vbr_lat_seconds") in
+      Alcotest.(check string) "histogram kind" "histogram" f.Metrics.pf_kind;
+      let buckets = Metrics.buckets_of f ~labels:[] in
+      Alcotest.(check int) "bucket count" 3 (List.length buckets);
+      Alcotest.(check bool)
+        "last bucket is +Inf" true
+        (fst (List.nth buckets 2) = infinity);
+      Alcotest.(check (option (float 1e-9)))
+        "p50 from buckets" (Some 1e-6)
+        (Metrics.quantile_of_buckets buckets 0.5)
+
+let test_label_escaping_roundtrip () =
+  let nasty = "a\\b\"c\nd" in
+  let t = Metrics.create () in
+  let c = Metrics.counter t ~cells:1 ~labels:[ ("path", nasty) ] "esc" in
+  Metrics.incr c ~cell:0;
+  let page = Metrics.expose t in
+  (* escaped on the wire... *)
+  Alcotest.(check bool)
+    "raw newline absent from sample line" false
+    (let lines = String.split_on_char '\n' page in
+     List.exists
+       (fun l ->
+         String.length l > 3
+         && String.sub l 0 3 = "esc"
+         && String.contains l '\t')
+       lines);
+  (* ...and recovered by the parser *)
+  match Metrics.parse page with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok fams -> (
+      match Metrics.find_sample fams "esc_total" with
+      | None -> Alcotest.fail "escaped sample not found"
+      | Some s ->
+          Alcotest.(check (option string))
+            "label round-trips" (Some nasty)
+            (List.assoc_opt "path" s.Metrics.ps_labels))
+
+let test_parse_rejects () =
+  let reject what text =
+    match Metrics.parse text with
+    | Ok _ -> Alcotest.failf "parser accepted %s" what
+    | Error _ -> ()
+  in
+  reject "missing EOF" "# TYPE a counter\na_total 1\n";
+  reject "garbage line" "# TYPE a counter\nnot a sample !!\n# EOF\n";
+  reject "trailing content" "# EOF\n# TYPE a counter\n";
+  reject "bad value" "a 1.2.3\n# EOF\n";
+  match Metrics.parse "# TYPE a counter\na_total 1\na{l=\"+Inf\"} 2\n# EOF\n" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok fams ->
+      Alcotest.(check (option (float 0.0)))
+        "ordinary page parses" (Some 1.0)
+        (Metrics.sample_value fams "a_total")
+
+(* ------------------------------------------------------------------ *)
+(* histogram: count_le monotonicity, diff windows, clear              *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_count_le () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 10; 100; 1_000; 1_000_000 ];
+  Alcotest.(check int) "below zero" 0 (Histogram.count_le h (-1));
+  Alcotest.(check int) "everything" 5 (Histogram.count_le h max_int);
+  Alcotest.(check int) "partial" 4 (Histogram.count_le h 1_000)
+
+let qcheck_count_le_monotone =
+  QCheck.Test.make ~name:"count_le monotone in v"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (int_bound 2_000_000))
+        (pair (int_bound 3_000_000) (int_bound 3_000_000)))
+    (fun (values, (a, b)) ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let lo = min a b and hi = max a b in
+      Histogram.count_le h lo <= Histogram.count_le h hi
+      && Histogram.count_le h max_int = List.length values)
+
+let test_hist_diff () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 5; 50; 500 ];
+  let before = Histogram.copy h in
+  List.iter (Histogram.record h) [ 7; 5_000; 5_000 ];
+  let w = Histogram.diff ~since:before h in
+  Alcotest.(check int) "window count" 3 (Histogram.count w);
+  Alcotest.(check (float 0.01)) "window sum" 10_007.0 (Histogram.sum w);
+  Alcotest.(check int) "cumulative untouched" 6 (Histogram.count h);
+  (* the window only contains the new samples *)
+  Alcotest.(check int) "window below 100" 1 (Histogram.count_le w 100);
+  let empty = Histogram.diff ~since:h (Histogram.copy h) in
+  Alcotest.(check int) "self-diff empty" 0 (Histogram.count empty)
+
+let test_hist_clear () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 3; 30; 300 ];
+  Histogram.clear h;
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "sum" 0.0 (Histogram.sum h);
+  Alcotest.(check int) "quantile of empty" 0 (Histogram.quantile h 0.5);
+  Histogram.record h 42;
+  Alcotest.(check int) "usable after clear" 1 (Histogram.count h)
+
+let test_hist_quantile_edges () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty p99" 0 (Histogram.quantile h 0.99);
+  Histogram.record h 17;
+  let q0 = Histogram.quantile h 0.0 in
+  let q1 = Histogram.quantile h 1.0 in
+  Alcotest.(check bool) "single-value q0 <= q1" true (q0 <= q1);
+  Alcotest.(check bool) "q1 covers the sample" true (q1 >= 17);
+  Histogram.record h max_int;
+  Alcotest.(check bool)
+    "overflow bucket survives q1" true
+    (Histogram.quantile h 1.0 >= 17)
+
+(* ------------------------------------------------------------------ *)
+(* histogram instrument end to end                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_instrument () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t ~cells:3 "lat_seconds" ~scale:1e-9 in
+  (* spread observations over cells like workers would *)
+  List.iteri
+    (fun i v -> Metrics.observe h ~cell:(i mod 3) v)
+    [ 100; 10_000; 1_000_000; 100_000_000; 2_000_000_000 ];
+  let m = Metrics.histogram_merged h in
+  Alcotest.(check int) "merged count" 5 (Histogram.count m);
+  match Metrics.parse (Metrics.expose t) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok fams ->
+      let f = Option.get (Metrics.find_family fams "lat_seconds") in
+      let buckets = Metrics.buckets_of f ~labels:[] in
+      (* cumulative buckets are monotone and end at the total count *)
+      let last = ref 0.0 in
+      List.iter
+        (fun (_, c) ->
+          Alcotest.(check bool) "bucket monotone" true (c >= !last);
+          last := c)
+        buckets;
+      Alcotest.(check (float 0.0)) "+Inf = count" 5.0 !last
+
+(* ------------------------------------------------------------------ *)
+(* sampler scheduling                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampler_drift () =
+  (* Absolute-deadline scheduling: over 0.55 s at 50 ms the tick count
+     stays near 11 even though each read burns 10 ms. The bound is
+     deliberately generous — CI machines stall — but a sleep-after-work
+     loop (interval + work per tick) would land near 9 and the old
+     drifting behaviour compounds further at scale. *)
+  let ticks = Atomic.make 0 in
+  let s =
+    Sampler.start ~interval_ms:50.0
+      ~read:(fun () ->
+        Unix.sleepf 0.010;
+        Atomic.incr ticks)
+      ()
+  in
+  Unix.sleepf 0.55;
+  let samples = Sampler.stop s in
+  let n = List.length samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "tick count %d in [9, 16]" n)
+    true
+    (n >= 9 && n <= 16);
+  (* timestamps are strictly increasing *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        a.Sampler.elapsed_ms <= b.Sampler.elapsed_ms && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (mono samples)
+
+let test_sampler_read_now_and_keep_last () =
+  let calls = Atomic.make 0 in
+  let s =
+    Sampler.start ~interval_ms:20.0 ~keep_last:2
+      ~read:(fun () -> Atomic.fetch_and_add calls 1)
+      ()
+  in
+  let r = Sampler.read_now s in
+  Alcotest.(check bool) "read_now evaluates" true (r.Sampler.value >= 0);
+  Unix.sleepf 0.2;
+  (match Sampler.last s with
+  | None -> Alcotest.fail "no background sample published"
+  | Some _ -> ());
+  let samples = Sampler.stop s in
+  Alcotest.(check bool)
+    (Printf.sprintf "keep_last bounds retention (%d)" (List.length samples))
+    true
+    (List.length samples <= 3)
+
+(* ------------------------------------------------------------------ *)
+(* flat snapshots                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_assoc () =
+  let t = golden_registry () in
+  let kvs = Metrics.to_assoc t in
+  Alcotest.(check (option int))
+    "counter" (Some 42)
+    (List.assoc_opt "vbr_requests_total{op=get}" kvs);
+  Alcotest.(check (option int)) "gauge" (Some 3) (List.assoc_opt "vbr_conns" kvs);
+  Alcotest.(check (option int))
+    "histogram count" (Some 2)
+    (List.assoc_opt "vbr_lat_seconds_count" kvs);
+  Alcotest.(check bool)
+    "histogram p99 present" true
+    (List.mem_assoc "vbr_lat_seconds_p99" kvs)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "name validation" `Quick test_register_validation;
+          Alcotest.test_case "duplicates and kind clashes" `Quick
+            test_register_duplicates;
+          Alcotest.test_case "counter cells" `Quick test_counter_cells;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "golden page" `Quick test_expose_golden;
+          Alcotest.test_case "parses back" `Quick test_expose_parses;
+          Alcotest.test_case "label escaping round-trip" `Quick
+            test_label_escaping_roundtrip;
+          Alcotest.test_case "parser rejections" `Quick test_parse_rejects;
+          Alcotest.test_case "histogram instrument" `Quick
+            test_histogram_instrument;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "count_le" `Quick test_hist_count_le;
+          QCheck_alcotest.to_alcotest qcheck_count_le_monotone;
+          Alcotest.test_case "diff windows" `Quick test_hist_diff;
+          Alcotest.test_case "clear" `Quick test_hist_clear;
+          Alcotest.test_case "quantile edges" `Quick test_hist_quantile_edges;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "deadline scheduling resists drift" `Quick
+            test_sampler_drift;
+          Alcotest.test_case "read_now and keep_last" `Quick
+            test_sampler_read_now_and_keep_last;
+        ] );
+      ( "snapshots",
+        [ Alcotest.test_case "to_assoc" `Quick test_to_assoc ] );
+    ]

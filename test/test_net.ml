@@ -156,7 +156,7 @@ let test_corrupt_frames () =
 (* ------------------------------------------------------------------ *)
 
 let with_server ?(scheme = "VBR") ?(range = 1024) ?(buckets = 256)
-    ?(prefill = false) f =
+    ?(prefill = false) ?(metrics = false) f =
   let cfg =
     {
       Server.default_config with
@@ -165,6 +165,7 @@ let with_server ?(scheme = "VBR") ?(range = 1024) ?(buckets = 256)
       buckets;
       workers = 2;
       prefill;
+      metrics_port = (if metrics then Some 0 else None);
     }
   in
   let server = Server.start cfg in
@@ -316,6 +317,106 @@ let test_every_scheme () =
     Harness.Registry.schemes
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: STATS_FULL and the /metrics scrape plane                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_full () =
+  with_server (fun server ->
+      with_client server (fun c ->
+          let req = Client.request c in
+          ignore (req (Protocol.Put (1, "v")));
+          ignore (req (Protocol.Get 1));
+          ignore (req Protocol.Ping);
+          match req Protocol.Stats_full with
+          | Protocol.Stats_reply kvs ->
+              let get k = Option.value (List.assoc_opt k kvs) ~default:(-1) in
+              Alcotest.(check int) "version rides along" Protocol.version
+                (get "version");
+              Alcotest.(check bool) "per-op counter present" true
+                (get "vbr_net_requests_total{op=get}" >= 1);
+              Alcotest.(check bool) "latency count present" true
+                (get "vbr_net_request_duration_seconds_count{op=get}" >= 1);
+              Alcotest.(check bool) "SMR gauge present" true
+                (get "vbr_smr_unreclaimed_slots{scheme=VBR}" >= 0);
+              Alcotest.(check bool) "reply fits the wire bound" true
+                (List.length kvs <= Protocol.max_stats_entries);
+              List.iter
+                (fun (k, _) ->
+                  Alcotest.(check bool) "name fits the wire bound" true
+                    (String.length k <= Protocol.max_stats_name_len))
+                kvs
+          | r ->
+              Alcotest.failf "STATS_FULL: %s" (Protocol.response_to_string r)))
+
+let test_metrics_scrape () =
+  with_server ~metrics:true (fun server ->
+      let mport = Option.get (Server.metrics_port server) in
+      with_client server (fun c ->
+          let req = Client.request c in
+          ignore (req (Protocol.Put (2, "v")));
+          ignore (req (Protocol.Get 2));
+          ignore (req Protocol.Ping));
+      (match Net.Http.get ~host:"127.0.0.1" ~port:mport "/metrics" with
+      | Error e -> Alcotest.failf "scrape: %s" e
+      | Ok body -> (
+          match Obs.Metrics.parse body with
+          | Error e -> Alcotest.failf "exposition: %s" e
+          | Ok fams ->
+              List.iter
+                (fun fam ->
+                  Alcotest.(check bool) (fam ^ " exposed") true
+                    (Obs.Metrics.find_family fams fam <> None))
+                [
+                  "vbr_net_requests";
+                  "vbr_net_request_duration_seconds";
+                  "vbr_net_rx_bytes";
+                  "vbr_net_tx_bytes";
+                  "vbr_net_active_connections";
+                  "vbr_smr_unreclaimed_slots";
+                  "vbr_smr_retires";
+                ];
+              Alcotest.(check bool) "ping counted" true
+                (Option.value ~default:0.0
+                   (Obs.Metrics.sample_value fams
+                      ~labels:[ ("op", "ping") ]
+                      "vbr_net_requests_total")
+                >= 1.0)));
+      (* the JSON twin serves an object *)
+      (match Net.Http.get ~host:"127.0.0.1" ~port:mport "/metrics.json" with
+      | Error e -> Alcotest.failf "json scrape: %s" e
+      | Ok body ->
+          Alcotest.(check bool) "json object" true
+            (String.length body > 0 && body.[0] = '{'));
+      (* unknown path is a 404 (reported as a non-200 by the client) *)
+      (match Net.Http.get ~host:"127.0.0.1" ~port:mport "/nope" with
+      | Ok _ -> Alcotest.fail "404 expected"
+      | Error _ -> ());
+      (* the full vbr-top validation: two scrapes, required families,
+         bucket monotonicity, counter monotonicity *)
+      match Net.Top.check ~host:"127.0.0.1" ~port:mport with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "top check: %s" e)
+
+let test_top_render () =
+  with_server ~metrics:true (fun server ->
+      let mport = Option.get (Server.metrics_port server) in
+      with_client server (fun c ->
+          ignore (Client.request c Protocol.Ping));
+      match Net.Top.scrape ~host:"127.0.0.1" ~port:mport with
+      | Error e -> Alcotest.failf "scrape: %s" e
+      | Ok s ->
+          let page = Net.Top.render s in
+          let contains needle =
+            let nh = String.length page and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub page i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "op table" true (contains "ping");
+          Alcotest.(check bool) "scheme row" true (contains "VBR"))
+
+(* ------------------------------------------------------------------ *)
 (* In-process loadgen                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -326,15 +427,36 @@ let test_loadgen_closed () =
           Loadgen.default_config with
           Loadgen.port = Server.port server;
           clients = 2;
-          duration = 0.3;
+          duration = 0.5;
           batch = 4;
           range = 1024;
           keydist = Harness.Keygen.Zipf 0.9;
+          timeline_ms = 100.0;
         }
       in
       let r = Loadgen.run cfg in
       Alcotest.(check int) "no protocol errors" 0 r.Loadgen.r_errors;
       Alcotest.(check bool) "made progress" true (r.Loadgen.r_ops > 0);
+      (* the interval time-series: several samples, cumulative counters
+         monotone, final sample consistent with the aggregate *)
+      Alcotest.(check bool) "timeline sampled" true
+        (List.length r.Loadgen.r_timeline >= 3);
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            a.Loadgen.tp_ms <= b.Loadgen.tp_ms
+            && a.Loadgen.tp_ops <= b.Loadgen.tp_ops
+            && a.Loadgen.tp_errors <= b.Loadgen.tp_errors
+            && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timeline monotone" true
+        (mono r.Loadgen.r_timeline);
+      let last = List.nth r.Loadgen.r_timeline
+          (List.length r.Loadgen.r_timeline - 1) in
+      Alcotest.(check int) "final sample = aggregate ops" r.Loadgen.r_ops
+        last.Loadgen.tp_ops;
+      Alcotest.(check bool) "unreclaimed sampled" true
+        (last.Loadgen.tp_unreclaimed >= 0);
       (* The JSON point is well-formed and carries both STATS snapshots. *)
       let json = Obs.Sink.to_string (Loadgen.report_json cfg r) in
       let contains hay needle =
@@ -347,7 +469,9 @@ let test_loadgen_closed () =
       Alcotest.(check bool) "json has server counters" true
         (contains json "unreclaimed"
         && contains json "p999_ns"
-        && contains json "mops"))
+        && contains json "mops");
+      Alcotest.(check bool) "json has the timeline panel" true
+        (contains json "timeline" && contains json "win_ops_per_s"))
 
 let test_loadgen_open () =
   with_server ~prefill:true (fun server ->
@@ -450,6 +574,13 @@ let () =
           Alcotest.test_case "malformed frame disconnects" `Quick
             test_malformed_disconnect;
           Alcotest.test_case "every scheme serves" `Quick test_every_scheme;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "STATS_FULL snapshot" `Quick test_stats_full;
+          Alcotest.test_case "loopback /metrics scrape" `Quick
+            test_metrics_scrape;
+          Alcotest.test_case "top renders" `Quick test_top_render;
         ] );
       ( "loadgen",
         [
