@@ -2,11 +2,19 @@
    scenario table (README "Schedule exploration").
 
    - `vbr-sched list` prints the scenario names.
-   - `vbr-sched explore -s SCENARIO` runs seeded random interleavings
-     until one fails its checks, prints the full and ddmin-shrunk replay
-     tokens, and exits 1. Exit 0 = the budget passed clean.
+   - `vbr-sched explore -s SCENARIO` runs coverage-guided interleavings
+     (sleep-set pruning on by default; see --random-tails / --no-dpor /
+     --domains) until one fails its checks, prints the full and
+     ddmin-shrunk replay tokens, and exits 1. Exit 0 = the budget passed
+     clean. Every scenario also emits one machine-readable coverage line
+     (distinct states, pruned candidates, exec/s); --json collects them
+     into a file for CI.
    - `vbr-sched replay TOKEN` re-runs a token's schedule bit for bit and
      reports the failure (or its absence).
+   - `vbr-sched soak --seconds N` sweeps the clean scenarios with
+     coverage-guided schedules under rotating seeds until the deadline;
+     any catch is shrunk and appended to test/sched_fixtures/ as a new
+     fixture, and the run exits 1 — the CI soak gate.
 
    Exploration over the seeded-bug scenarios is expected to find
    failures (that is what they are for); over lin-*/robust-* a failure
@@ -25,6 +33,11 @@ let pp_outcome (r : Schedsim.Explore.report) =
   in
   Printf.printf "threads    %d/%d completed\n" done_
     (Array.length r.outcome.Schedsim.Sched.completed);
+  (match r.mode with
+  | Schedsim.Sched.Plain -> ()
+  | Schedsim.Sched.Dpor ->
+      Printf.printf "pruned     %d candidates (sleep sets), %d resets\n"
+        r.outcome.Schedsim.Sched.pruned r.outcome.Schedsim.Sched.resets);
   match r.failure with
   | None ->
       print_endline "result     PASS";
@@ -72,27 +85,108 @@ let out_arg =
   in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
 
+let random_tails_arg =
+  let doc =
+    "Disable coverage guidance: pure seeded-random decision strings (the \
+     pre-fleet behaviour, kept for A/B coverage comparisons)."
+  in
+  Arg.(value & flag & info [ "random-tails" ] ~doc)
+
+let no_dpor_arg =
+  let doc = "Disable sleep-set pruning (mode 'p' schedules)." in
+  Arg.(value & flag & info [ "no-dpor" ] ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains; >1 stripes the budget over a parallel fleet with a \
+     shared, deterministically merged coverage set."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+
+let json_arg =
+  let doc = "Write the per-scenario coverage objects to this JSON file." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let mode_name = function
+  | Schedsim.Sched.Plain -> "plain"
+  | Schedsim.Sched.Dpor -> "dpor"
+
+let coverage_json ~scenario ~guided ~mode ~domains ~result
+    (st : Schedsim.Explore.stats) extra =
+  let eps = if st.st_secs > 0. then float_of_int st.st_execs /. st.st_secs else 0. in
+  Obs.Sink.Obj
+    ([
+       ("scenario", Obs.Sink.String scenario);
+       ("mode", Obs.Sink.String (mode_name mode));
+       ("guided", Obs.Sink.Bool guided);
+       ("domains", Obs.Sink.Int domains);
+       ("execs", Obs.Sink.Int st.st_execs);
+       ("distinct", Obs.Sink.Int st.st_distinct);
+       ("pruned", Obs.Sink.Int st.st_pruned);
+       ("resets", Obs.Sink.Int st.st_resets);
+       ("secs", Obs.Sink.Float st.st_secs);
+       ("execs_per_sec", Obs.Sink.Float eps);
+       ("result", Obs.Sink.String result);
+     ]
+    @ extra)
+
+let run_explore ~seed ~budget ~max_len ~guided ~mode ~domains ~scenario =
+  if domains <= 1 then
+    Schedsim.Explore.explore ~seed ~budget ?max_len ~guided ~mode ~scenario ()
+  else begin
+    let r = Schedsim.Fleet.explore ~seed ~budget ~domains ~guided ~mode ~scenario () in
+    match r.Schedsim.Fleet.r_found with
+    | Some f -> Schedsim.Explore.Found f
+    | None ->
+        Schedsim.Explore.Clean
+          {
+            Schedsim.Explore.st_execs = r.Schedsim.Fleet.r_execs;
+            st_distinct = r.Schedsim.Fleet.r_distinct;
+            st_pruned = r.Schedsim.Fleet.r_pruned;
+            st_resets = r.Schedsim.Fleet.r_resets;
+            st_secs = r.Schedsim.Fleet.r_secs;
+          }
+  end
+
 (* A scenario over a seeded bug MUST yield a failing schedule (a clean
    sweep means the explorer regressed); any other scenario must sweep
    clean (a failure is a real bug, and its shrunk token is the artifact
    to file). *)
-let explore_one ~seed ~budget ~max_len ~out scenario =
+let explore_one ~seed ~budget ~max_len ~out ~guided ~mode ~domains ~jsons
+    scenario =
   let expect_bug = List.mem scenario Schedsim.Explore.seeded_bugs in
-  match Schedsim.Explore.explore ~seed ~budget ?max_len ~scenario () with
-  | Schedsim.Explore.Clean n ->
+  let emit ~result (st : Schedsim.Explore.stats) extra =
+    let j =
+      coverage_json ~scenario ~guided ~mode ~domains ~result st extra
+    in
+    Printf.printf "coverage %s\n%!" (Obs.Sink.to_string j);
+    jsons := j :: !jsons
+  in
+  match run_explore ~seed ~budget ~max_len ~guided ~mode ~domains ~scenario with
+  | Schedsim.Explore.Clean st ->
+      emit ~result:"clean" st [];
       if expect_bug then begin
         Printf.printf
-          "%-24s UNEXPECTEDLY clean (%d schedules): the explorer failed to \
-           find the seeded bug\n\
+          "%-24s UNEXPECTEDLY clean (%d schedules, %d distinct states): the \
+           explorer failed to find the seeded bug\n\
            %!"
-          scenario n;
+          scenario st.Schedsim.Explore.st_execs
+          st.Schedsim.Explore.st_distinct;
         1
       end
       else begin
-        Printf.printf "%-24s clean (%d schedules)\n%!" scenario n;
+        Printf.printf "%-24s clean (%d schedules, %d distinct states)\n%!"
+          scenario st.Schedsim.Explore.st_execs
+          st.Schedsim.Explore.st_distinct;
         0
       end
   | Schedsim.Explore.Found f ->
+      emit ~result:"found" f.Schedsim.Explore.f_stats
+        [
+          ("class",
+           Obs.Sink.String f.Schedsim.Explore.f_failure.Schedsim.Explore.cls);
+          ("shrunk", Obs.Sink.String f.Schedsim.Explore.f_shrunk);
+        ];
       Printf.printf "%-24s %s [%s] on attempt %d\n" scenario
         (if expect_bug then "found seeded bug" else "FAIL")
         f.Schedsim.Explore.f_failure.Schedsim.Explore.cls
@@ -110,18 +204,35 @@ let explore_one ~seed ~budget ~max_len ~out scenario =
       if expect_bug then 0 else 1
 
 let explore_cmd =
-  let doc = "search seeded random interleavings for a failing schedule" in
-  let run scenario seed budget max_len out =
-    if scenario = "all" then
-      List.fold_left
-        (fun rc s -> max rc (explore_one ~seed ~budget ~max_len ~out s))
-        0 Schedsim.Explore.scenarios
-    else explore_one ~seed ~budget ~max_len ~out scenario
+  let doc = "search interleavings for a failing schedule (coverage-guided)" in
+  let run scenario seed budget max_len out random_tails no_dpor domains json =
+    let guided = not random_tails in
+    let mode =
+      if no_dpor then Schedsim.Sched.Plain else Schedsim.Sched.Dpor
+    in
+    let jsons = ref [] in
+    let rc =
+      if scenario = "all" then
+        List.fold_left
+          (fun rc s ->
+            max rc
+              (explore_one ~seed ~budget ~max_len ~out ~guided ~mode ~domains
+                 ~jsons s))
+          0 Schedsim.Explore.scenarios
+      else
+        explore_one ~seed ~budget ~max_len ~out ~guided ~mode ~domains ~jsons
+          scenario
+    in
+    Option.iter
+      (fun path -> Obs.Sink.write_file path (Obs.Sink.List (List.rev !jsons)))
+      json;
+    rc
   in
   Cmd.v
     (Cmd.info "explore" ~doc)
     Term.(
-      const run $ scenario_arg $ seed_arg $ budget_arg $ max_len_arg $ out_arg)
+      const run $ scenario_arg $ seed_arg $ budget_arg $ max_len_arg $ out_arg
+      $ random_tails_arg $ no_dpor_arg $ domains_arg $ json_arg)
 
 let token_arg =
   let doc = "Replay token, as printed by $(b,explore)." in
@@ -138,7 +249,103 @@ let replay_cmd =
   in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ token_arg)
 
+(* ---------- soak ---------- *)
+
+let seconds_arg =
+  let doc = "Wall-clock budget for the whole soak." in
+  Arg.(value & opt int 60 & info [ "seconds" ] ~docv:"N" ~doc)
+
+let slab_arg =
+  let doc = "Executions per scenario per sweep round." in
+  Arg.(value & opt int 48 & info [ "slab" ] ~docv:"N" ~doc)
+
+let fixture_dir_arg =
+  let doc = "Directory where caught schedules are written as fixtures." in
+  Arg.(
+    value
+    & opt string "test/sched_fixtures"
+    & info [ "dir" ] ~docv:"DIR" ~doc)
+
+(* One fixture file per caught scenario, in the corpus format
+   (comment lines, shrunk token, expected failure class): the test
+   suite's fixture replay picks it up on the next run, and the CI soak
+   gate fails the build the moment one appears. *)
+let write_fixture ~dir ~scenario ~seed ~round
+    (f : Schedsim.Explore.found) =
+  let path = Filename.concat dir (Printf.sprintf "soak-%s.token" scenario) in
+  let one_line s =
+    String.map (function '\n' | '\r' -> ' ' | c -> c) s
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "# Caught by `vbr-sched soak` (round %d, seed %d) and ddmin-shrunk.\n\
+     # %s\n\
+     # Replay: vbr-sched replay '%s'\n\
+     %s\n\
+     %s\n"
+    round seed
+    (one_line f.Schedsim.Explore.f_failure.Schedsim.Explore.detail)
+    f.Schedsim.Explore.f_shrunk f.Schedsim.Explore.f_shrunk
+    f.Schedsim.Explore.f_failure.Schedsim.Explore.cls;
+  close_out oc;
+  path
+
+let soak_cmd =
+  let doc =
+    "coverage-guided soak over the clean scenarios; catches become fixtures"
+  in
+  let run seconds seed slab dir no_dpor domains =
+    let mode =
+      if no_dpor then Schedsim.Sched.Plain else Schedsim.Sched.Dpor
+    in
+    let deadline = Obs.Clock.now_s () +. float_of_int seconds in
+    let scenarios =
+      List.filter
+        (fun s -> not (List.mem s Schedsim.Explore.seeded_bugs))
+        Schedsim.Explore.scenarios
+    in
+    let caught = ref [] in
+    let execs = ref 0 in
+    let round = ref 0 in
+    while Obs.Clock.now_s () < deadline do
+      List.iteri
+        (fun i scenario ->
+          if
+            Obs.Clock.now_s () < deadline
+            && not (List.mem_assoc scenario !caught)
+          then begin
+            (* A fresh seed per (scenario, round): each sweep explores
+               different territory while staying replayable. *)
+            let seed = seed + (1009 * !round) + i in
+            match
+              run_explore ~seed ~budget:slab ~max_len:None ~guided:true ~mode
+                ~domains ~scenario
+            with
+            | Schedsim.Explore.Clean st ->
+                execs := !execs + st.Schedsim.Explore.st_execs
+            | Schedsim.Explore.Found f ->
+                execs := !execs + f.Schedsim.Explore.f_stats.Schedsim.Explore.st_execs;
+                let path = write_fixture ~dir ~scenario ~seed ~round:!round f in
+                Printf.printf "CAUGHT %-24s [%s] -> %s\n  %s\n%!" scenario
+                  f.Schedsim.Explore.f_failure.Schedsim.Explore.cls path
+                  f.Schedsim.Explore.f_shrunk;
+                caught := (scenario, path) :: !caught
+          end)
+        scenarios;
+      incr round
+    done;
+    Printf.printf "soak: %d rounds, %d executions, %d scenario(s), %d caught\n%!"
+      !round !execs (List.length scenarios) (List.length !caught);
+    if !caught = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "soak" ~doc)
+    Term.(
+      const run $ seconds_arg $ seed_arg $ slab_arg $ fixture_dir_arg
+      $ no_dpor_arg $ domains_arg)
+
 let () =
   let doc = "deterministic schedule exploration for the SMR schemes" in
   let info = Cmd.info "vbr-sched" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; explore_cmd; replay_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ list_cmd; explore_cmd; replay_cmd; soak_cmd ]))

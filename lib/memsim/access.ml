@@ -5,54 +5,96 @@
    roots, the global pool stacks — is read and written through these
    wrappers instead of raw [Atomic] calls. When no scheduler is
    installed (the default, and always the case in benchmarks) each
-   wrapper is one load of an immediate [None] and a branch in front of
-   the underlying atomic operation, so Figure-2 throughput is
+   wrapper is one load of the installed-hook count and a branch in front
+   of the underlying atomic operation, so Figure-2 throughput is
    unaffected. When [Schedsim.Sched] installs its hook, every access
    becomes a scheduling decision point, which is what makes exhaustive
    interleaving exploration meaningful.
+
+   Since the model-checking fleet (DESIGN.md §2.16) the hook is
+   per-domain: each fleet worker runs its own virtual scheduler over its
+   own scenario instance, so the hook lives in domain-local storage and
+   the global word is just a count of installed hooks gating the slow
+   path. The hook also receives the identity of the access — its kind
+   and the physical word it targets — which is what the DPOR
+   commutativity check and the coverage signatures consume.
 
    Observability words (Obs counters, trace sequence numbers) stay on
    raw [Atomic] deliberately: they are not part of any algorithm's
    shared state, and yielding inside them would only inflate decision
    strings without adding interleavings of interest. *)
 
-let hook : (unit -> unit) option ref = ref None
+type kind = Read | Write | Cas | Exchange | Fetch_add
+
+type op = { kind : kind; word : Obj.t }
+
+(* How many domains currently have a hook installed. The uninstrumented
+   fast path is one load of this word and a branch; only when it is
+   nonzero does an access pay the domain-local lookup. *)
+let hooks : int Atomic.t = Atomic.make 0
+
+let key : (op -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let install f =
-  match !hook with
-  | Some _ -> invalid_arg "Access.install: a scheduler hook is already installed"
-  | None -> hook := Some f
+  match Domain.DLS.get key with
+  | Some _ ->
+      invalid_arg
+        "Access.install: a scheduler hook is already installed on this domain"
+  | None ->
+      Domain.DLS.set key (Some f);
+      Atomic.incr hooks
 
-let uninstall () = hook := None
-let installed () = Option.is_some !hook
+let uninstall () =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some _ ->
+      Domain.DLS.set key None;
+      Atomic.decr hooks
 
-let[@inline] yield_point () =
-  match !hook with None -> () | Some f -> f ()
+let installed () = Option.is_some (Domain.DLS.get key)
+
+(* The slow path, deliberately not inlined: only runs while some domain
+   is simulating. A domain with no hook of its own (it merely coexists
+   with a simulating one) falls through to the plain operation. *)
+let notify kind word =
+  match Domain.DLS.get key with
+  | None -> ()
+  | Some f -> f { kind; word }
+
+let[@inline] note kind word = if Atomic.get hooks > 0 then notify kind word
+
+(* Decision points marked by [yield_point] are not shared-memory accesses
+   at all, so they are modelled as reads of one dedicated word: they
+   commute with every real access (and with each other). *)
+let marker : Obj.t = Obj.repr (ref 0)
+
+let[@inline] yield_point () = note Read marker
 
 let[@inline] get a =
-  yield_point ();
+  note Read (Obj.repr a);
   Atomic.get a
 
 let[@inline] set a v =
-  yield_point ();
+  note Write (Obj.repr a);
   Atomic.set a v
 
 let[@inline] compare_and_set a expected new_ =
-  yield_point ();
+  note Cas (Obj.repr a);
   Atomic.compare_and_set a expected new_
 
 let[@inline] exchange a v =
-  yield_point ();
+  note Exchange (Obj.repr a);
   Atomic.exchange a v
 
 let[@inline] fetch_and_add a n =
-  yield_point ();
+  note Fetch_add (Obj.repr a);
   Atomic.fetch_and_add a n
 
 let[@inline] incr a =
-  yield_point ();
+  note Fetch_add (Obj.repr a);
   Atomic.incr a
 
 let[@inline] decr a =
-  yield_point ();
+  note Fetch_add (Obj.repr a);
   Atomic.decr a

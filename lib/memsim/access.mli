@@ -1,38 +1,55 @@
-(** The instrumentable shared-memory access layer (DESIGN.md §2.11).
+(** The instrumentable shared-memory access layer (DESIGN.md §2.11, §2.16).
 
     Semantic shared words — node fields, epoch counters, hazard and
     announce slots, structure roots, global pool stacks — are accessed
     through these wrappers rather than raw [Atomic] calls. With no hook
-    installed each wrapper is a single match on an immediate [None]
-    followed by the underlying atomic operation, so the null path costs
-    one predictable branch and benchmark numbers are unaffected.
+    installed anywhere each wrapper is a single load of the installed-hook
+    count followed by the underlying atomic operation, so the null path
+    costs one predictable branch and benchmark numbers are unaffected.
 
-    [Schedsim.Sched] installs a hook for the duration of a virtual-
-    thread run, turning every access into a scheduling decision point.
-    The hook is process-global and not synchronised: install it only
-    while no other domain is touching instrumented words (the scheduler
-    runs all virtual threads on one domain, and the harness never
-    installs it during a parallel run). *)
+    [Schedsim.Sched] installs a hook for the duration of a virtual-thread
+    run, turning every access into a scheduling decision point. Hooks are
+    {e per-domain} (domain-local storage): the model-checking fleet runs
+    one virtual scheduler per worker domain, each over its own scenario
+    instance, and an access only ever reaches the hook of the domain that
+    performs it. Do not share instrumented words between a simulating
+    domain and any other domain. *)
 
-val install : (unit -> unit) -> unit
-(** Install the yield hook. @raise Invalid_argument if one is already
-    installed (two schedulers cannot share the process). *)
+type kind = Read | Write | Cas | Exchange | Fetch_add
+(** What an instrumented operation does to its word. [Fetch_add] also
+    covers [incr]/[decr]; everything except [Read] writes. *)
+
+type op = { kind : kind; word : Obj.t }
+(** The identity of a pending access: its kind and the physical word it
+    targets ([Obj.repr] of the [Atomic.t]). Compare words with [==] only
+    — this is exactly what the DPOR commutativity predicate
+    ({!Schedsim.Dpor}) needs, and all a hook may do with it. *)
+
+val install : (op -> unit) -> unit
+(** Install the yield hook on the calling domain. The hook runs before
+    every instrumented access performed by this domain, receiving the
+    access's identity. @raise Invalid_argument if this domain already has
+    one (two schedulers cannot share a domain). *)
 
 val uninstall : unit -> unit
+(** Remove the calling domain's hook (no-op if none). *)
+
 val installed : unit -> bool
+(** Whether the calling domain has a hook installed. *)
 
 val yield_point : unit -> unit
 (** Run the hook if one is installed; otherwise a no-op. Exposed so
     instrumented code can mark a decision point that is not itself an
-    atomic access (e.g. a spin-loop body). *)
+    atomic access (e.g. a spin-loop body). Modelled as a [Read] of a
+    dedicated marker word, so it commutes with every real access. *)
 
 (** {1 Instrumented atomic operations}
 
-    Each is [yield_point ()] followed by the plain [Atomic] operation.
-    The yield happens {e before} the access, so a scheduler observes
-    the machine state in which the access is still pending — the same
-    convention model checkers use for sequentially consistent
-    exploration. *)
+    Each notifies the domain's hook (if any) and then performs the plain
+    [Atomic] operation. The hook runs {e before} the access, so a
+    scheduler observes the machine state in which the access is still
+    pending — the same convention model checkers use for sequentially
+    consistent exploration. *)
 
 val get : 'a Atomic.t -> 'a
 val set : 'a Atomic.t -> 'a -> unit

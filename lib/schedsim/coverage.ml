@@ -1,0 +1,224 @@
+(* Coverage accounting for one virtual-scheduler execution.
+
+   Two views of the same run feed the guided explorer (DESIGN.md §2.16):
+
+   - The *canonical signature*: one hash per execution, invariant under
+     reordering of commuting accesses. Every executed access gets a
+     Foata depth — 1 + the maximum depth of any earlier access it
+     depends on (same thread, or conflicting per Dpor) — and the
+     signature is a commutative (sum) hash over (depth, tid,
+     per-thread index, kind) tuples. Two schedules that only reorder
+     commuting accesses induce the same dependence graph, hence the
+     same depths on the same per-thread access sequences, hence the
+     same signature; a schedule that flips the order of any conflicting
+     pair changes some access's depth (or some thread's behaviour, and
+     with it the thread's access sequence). Distinct signatures
+     therefore count genuinely distinct interleavings, which is the
+     "distinct states" metric the explore report prints.
+
+   - The *choice trail*: a rolling hash of the (thread, kind, word)
+     sequence at decision points, one prefix hash per choice. The first
+     position whose prefix hash was never seen before is where an
+     execution left charted territory — the guided search mutates
+     decision strings at exactly that point.
+
+   Word identity is physical: words are interned first-seen into dense
+   ids with a move-one-forward scan (traversals touch the same few
+   words repeatedly, so the hot entries migrate to the front). The
+   interner is per-execution, so ids — and with them every hash — are a
+   pure function of the schedule, never of address layout or process
+   history. *)
+
+let max_trail = 1 lsl 16
+
+(* splitmix-style avalanche on 62-bit values (constants truncated to fit
+   OCaml's 63-bit int; wrapping multiplication is deterministic). *)
+let mix x =
+  let x = x * 0x1E3779B97F4A7C15 in
+  let x = x lxor (x lsr 31) in
+  let x = x * 0x1F58476D1CE4E5B9 in
+  let x = x lxor (x lsr 29) in
+  x land max_int
+
+(* Array filler that can never be [==] to a real word. *)
+let filler : Obj.t = Obj.repr (ref 0)
+
+type t = {
+  mutable words : Obj.t array;  (* scan order (move-one-forward) *)
+  mutable ids : int array;  (* ids.(i) = dense id of words.(i) *)
+  mutable n_words : int;
+  mutable wdepth : int array;  (* by id: depth of the last write *)
+  mutable rdepth : int array;  (* by id: max depth of any read *)
+  tdepth : int array;  (* by tid: depth of the thread's last access *)
+  taccs : int array;  (* by tid: accesses executed so far *)
+  mutable csig : int;  (* commutative signature accumulator *)
+  mutable accesses : int;
+  mutable trail : int array;
+  mutable n_trail : int;
+  mutable chash : int;  (* rolling choice-prefix hash *)
+}
+
+let create ~n_threads =
+  {
+    words = Array.make 64 filler;
+    ids = Array.make 64 (-1);
+    n_words = 0;
+    wdepth = Array.make 64 0;
+    rdepth = Array.make 64 0;
+    tdepth = Array.make n_threads 0;
+    taccs = Array.make n_threads 0;
+    csig = 0;
+    accesses = 0;
+    trail = Array.make 256 0;
+    n_trail = 0;
+    chash = 0x5EED;
+  }
+
+let grow a fill = Array.append a (Array.make (Array.length a) fill)
+
+let fresh t w =
+  if t.n_words = Array.length t.words then begin
+    t.words <- grow t.words w;
+    t.ids <- grow t.ids (-1)
+  end;
+  let id = t.n_words in
+  t.words.(t.n_words) <- w;
+  t.ids.(t.n_words) <- id;
+  t.n_words <- t.n_words + 1;
+  if id >= Array.length t.wdepth then begin
+    t.wdepth <- grow t.wdepth 0;
+    t.rdepth <- grow t.rdepth 0
+  end;
+  id
+
+let intern t w =
+  let n = t.n_words in
+  let rec find i =
+    if i >= n then fresh t w
+    else if t.words.(i) == w then begin
+      let id = t.ids.(i) in
+      if i > 0 then begin
+        (* Transpose toward the front so hot words stay cheap. *)
+        let pw = t.words.(i - 1) and pi = t.ids.(i - 1) in
+        t.words.(i - 1) <- t.words.(i);
+        t.ids.(i - 1) <- id;
+        t.words.(i) <- pw;
+        t.ids.(i) <- pi
+      end;
+      id
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let hash_event ~depth ~tid ~k ~kind =
+  mix (depth lxor mix ((tid lsl 32) lxor (k lsl 3) lxor kind))
+
+let access t ~tid (op : Memsim.Access.op) =
+  let id = intern t op.Memsim.Access.word in
+  let w = Dpor.writes op.Memsim.Access.kind in
+  let depth =
+    1
+    + max t.tdepth.(tid)
+        (if w then max t.wdepth.(id) t.rdepth.(id) else t.wdepth.(id))
+  in
+  if w then t.wdepth.(id) <- depth
+  else if depth > t.rdepth.(id) then t.rdepth.(id) <- depth;
+  t.tdepth.(tid) <- depth;
+  let k = t.taccs.(tid) in
+  t.taccs.(tid) <- k + 1;
+  t.accesses <- t.accesses + 1;
+  let kind = Dpor.kind_code op.Memsim.Access.kind in
+  t.csig <- (t.csig + hash_event ~depth ~tid ~k ~kind) land max_int
+
+let choice t ~tid (op : Memsim.Access.op option) =
+  let kind, id =
+    match op with
+    | None -> (7, max_int)  (* a thread's first slice: no pending access *)
+    | Some o -> (Dpor.kind_code o.Memsim.Access.kind, intern t o.Memsim.Access.word)
+  in
+  t.chash <- mix (t.chash lxor mix ((tid lsl 36) lxor (id lsl 3) lxor kind));
+  if t.n_trail < max_trail then begin
+    if t.n_trail = Array.length t.trail then t.trail <- grow t.trail 0;
+    t.trail.(t.n_trail) <- t.chash;
+    t.n_trail <- t.n_trail + 1
+  end
+
+(* Fold the access count in so executions whose choice structure ended
+   early (e.g. one thread crashed) cannot collide with clean ones. *)
+let signature t = mix (t.csig lxor mix t.accesses)
+
+let trail t = Array.sub t.trail 0 t.n_trail
+
+(* ---------- corpus entries and decision-string mutation ---------- *)
+
+type entry = { e_dec : int array; e_novel : int }
+
+(* Decision strings are drawn with geometric run lengths (mean ~8), not
+   per-position uniform values: interesting schedules are run-structured
+   — advance one thread for a stretch, then switch — and under sleep-set
+   pruning the addressable schedules are exactly the run-structured
+   ones. A per-position uniform draw makes a k-long run 2^-k rare and
+   (measurably) never finds the late-guard window in Dpor mode. *)
+let fill_runs rng a ~from =
+  let n = Array.length a in
+  let i = ref from in
+  while !i < n do
+    let v = Harness.Rng.below rng 8 in
+    a.(!i) <- v;
+    incr i;
+    while !i < n && Harness.Rng.below rng 8 < 7 do
+      a.(!i) <- v;
+      incr i
+    done
+  done
+
+let random rng ~max_len =
+  let a = Array.make (max 0 max_len) 0 in
+  fill_runs rng a ~from:0;
+  a
+
+(* The pre-fleet generator: per-position uniform draws. Kept as the
+   explicit baseline for guided-vs-random A/B comparisons. *)
+let uniform rng ~max_len =
+  Array.init (max 0 max_len) (fun _ -> Harness.Rng.below rng 8)
+
+let fill_uniform rng a ~from =
+  for i = from to Array.length a - 1 do
+    a.(i) <- Harness.Rng.below rng 8
+  done
+
+(* Mutations keep the prefix that reached charted territory and perturb
+   at (or near) the first novel choice point: half the time truncate
+   there and regrow a fresh tail (run-structured or uniform, 50/50),
+   half the time keep the whole string and flip a few positions
+   at-or-after the novelty point. *)
+let mutate rng e ~max_len =
+  let n = Array.length e.e_dec in
+  if n = 0 || max_len < 1 then random rng ~max_len
+  else begin
+    let novel = min (max 0 e.e_novel) (n - 1) in
+    let regrow out ~from =
+      if from < max_len then
+        if Harness.Rng.below rng 2 = 0 then fill_runs rng out ~from
+        else fill_uniform rng out ~from
+    in
+    match Harness.Rng.below rng 2 with
+    | 0 ->
+        let cut = min n (novel + Harness.Rng.below rng 4) in
+        let out = Array.make max_len 0 in
+        Array.blit e.e_dec 0 out 0 (min cut max_len);
+        regrow out ~from:(min cut max_len);
+        out
+    | _ ->
+        let out = Array.make max_len 0 in
+        Array.blit e.e_dec 0 out 0 (min n max_len);
+        regrow out ~from:(min n max_len);
+        let flips = 1 + Harness.Rng.below rng 3 in
+        for _ = 1 to flips do
+          let span = max 1 (max_len - novel) in
+          let i = min (max_len - 1) (novel + Harness.Rng.below rng span) in
+          out.(i) <- Harness.Rng.below rng 8
+        done;
+        out
+  end

@@ -1,0 +1,57 @@
+(** Per-execution coverage accounting for the guided explorer
+    (DESIGN.md §2.16).
+
+    A [Coverage.t] is fed every executed access and every scheduling
+    choice of one virtual-scheduler run, and yields two things:
+
+    - {!signature}: a canonical hash of the execution, invariant under
+      reordering of commuting accesses (Foata-depth canonicalisation of
+      the Mazurkiewicz trace). Counting distinct signatures counts
+      genuinely distinct interleavings — the "distinct states" metric.
+    - {!trail}: rolling prefix hashes of the choice sequence; the first
+      prefix never seen before is where the run left charted territory,
+      and the mutation engine perturbs decision strings there.
+
+    All hashing is deterministic: word ids are interned per-execution in
+    first-touch order, so the numbers depend only on the schedule, never
+    on address layout. One [t] serves one execution; create a fresh one
+    per run. *)
+
+type t
+
+val create : n_threads:int -> t
+
+val access : t -> tid:int -> Memsim.Access.op -> unit
+(** Record that thread [tid] executed (committed) this access. *)
+
+val choice : t -> tid:int -> Memsim.Access.op option -> unit
+(** Record a scheduling choice: [tid] was picked at a multi-candidate
+    choice point with the given pending access ([None] for a thread's
+    first slice, before it has reached any access). *)
+
+val signature : t -> int
+(** Canonical execution signature (stable across runs and domains). *)
+
+val trail : t -> int array
+(** Prefix hashes of the choice sequence so far, one per recorded
+    choice, capped at an internal bound (65536). *)
+
+(** {1 Corpus entries and mutation} *)
+
+type entry = {
+  e_dec : int array;  (** the decision string that found novelty *)
+  e_novel : int;  (** index of its first never-seen choice prefix *)
+}
+
+val random : Harness.Rng.t -> max_len:int -> int array
+(** A fresh decision string of length [max_len] with geometric run
+    lengths (mean ~8): interesting schedules are run-structured, and
+    under sleep-set pruning the addressable ones are exactly those. *)
+
+val uniform : Harness.Rng.t -> max_len:int -> int array
+(** The pre-fleet generator: per-position uniform draws. The baseline
+    for guided-vs-random coverage comparisons. *)
+
+val mutate : Harness.Rng.t -> entry -> max_len:int -> int array
+(** A mutant of [entry]: keeps the prefix up to (near) [e_novel] and
+    perturbs at or after it — truncate-and-regrow or point flips. *)

@@ -1,0 +1,38 @@
+(* The DPOR dependence relation over instrumented accesses.
+
+   Two accesses are independent (commute) when executing them in either
+   order from the same state yields the same state and the same values:
+   accesses to physically distinct words always commute, and two reads
+   of the same word commute. Everything else — any pair touching the
+   same word where at least one side writes — conflicts. A CAS or
+   exchange counts as a write even though it may fail and leave the word
+   untouched: treating it as a read would require knowing the outcome,
+   and over-approximating the dependence relation only costs pruning
+   power, never soundness.
+
+   This is the predicate the scheduler's sleep sets (sched.ml) and the
+   coverage canonicalisation (coverage.ml) are built on; keeping it in
+   one tiny module is what lets the unit tests pin its exact truth
+   table. *)
+
+open Memsim
+
+let writes = function
+  | Access.Read -> false
+  | Access.Write | Access.Cas | Access.Exchange | Access.Fetch_add -> true
+
+(* Stable small codes for hashing (coverage signatures bake these in, so
+   reordering the kind variant would silently re-key old measurements —
+   keep the codes explicit). *)
+let kind_code = function
+  | Access.Read -> 0
+  | Access.Write -> 1
+  | Access.Cas -> 2
+  | Access.Exchange -> 3
+  | Access.Fetch_add -> 4
+
+let conflicts (a : Access.op) (b : Access.op) =
+  a.Access.word == b.Access.word
+  && (writes a.Access.kind || writes b.Access.kind)
+
+let commutes a b = not (conflicts a b)

@@ -1,0 +1,19 @@
+(** The DPOR dependence relation over instrumented accesses
+    (DESIGN.md §2.16).
+
+    [conflicts a b] holds when the order of [a] and [b] can matter: they
+    target the same physical word and at least one of them writes. CAS
+    and exchange count as writes regardless of outcome — an
+    over-approximation that costs pruning power, never soundness.
+    [commutes] is its negation; the scheduler's sleep sets prune only
+    reorderings of commuting accesses, so every pruned schedule is
+    Mazurkiewicz-equivalent to one that is still explored. *)
+
+val writes : Memsim.Access.kind -> bool
+(** Everything except [Read]. *)
+
+val kind_code : Memsim.Access.kind -> int
+(** Stable small integer per kind (baked into coverage signatures). *)
+
+val conflicts : Memsim.Access.op -> Memsim.Access.op -> bool
+val commutes : Memsim.Access.op -> Memsim.Access.op -> bool

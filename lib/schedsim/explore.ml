@@ -1,12 +1,12 @@
 (* The scenario table and the explore/replay drivers on top of Sched.
 
    A scenario is a named, fully deterministic workload: given a decision
-   string and a tail policy it builds a fresh instance, runs the bodies
-   under the virtual scheduler, and post-checks the run (linearizability,
-   sanitizer, trace invariants, robustness bounds). Determinism is what
-   makes tokens work — a failure found by random exploration replays bit
-   for bit from [outcome.recorded], and ddmin can shrink it by replaying
-   candidates.
+   string, a tail policy and a scheduler mode it builds a fresh instance,
+   runs the bodies under the virtual scheduler, and post-checks the run
+   (linearizability, sanitizer, trace invariants, robustness bounds).
+   Determinism is what makes tokens work — a failure found by
+   exploration replays bit for bit from [outcome.recorded] in the same
+   mode, and ddmin can shrink it by replaying candidates.
 
    Three scenario families:
    - lin-<structure>-<scheme>: three threads over a small key range with
@@ -21,7 +21,15 @@
    - seeded bugs (aba-immediate-free, late-guard, double-retire): known
      broken protocols whose failing interleavings the explorer must be
      able to find; their shrunk tokens are the test/sched_fixtures/
-     corpus. *)
+     corpus.
+
+   Exploration is coverage-guided (DESIGN.md §2.16): every execution
+   yields a canonical signature and a choice-prefix trail (Coverage);
+   decision strings that reached never-seen territory enter a small
+   corpus and get mutated at their novelty point, which walks the
+   schedule space far faster than uniform random tails. Sleep-set
+   pruning (Sched.Dpor) is on by default and skips whole equivalence
+   classes of schedules per execution. *)
 
 open Memsim
 
@@ -30,6 +38,7 @@ type failure = { cls : string; detail : string }
 type report = {
   scenario : string;
   tail : Sched.tail;
+  mode : Sched.mode;
   outcome : Sched.outcome;
   failure : failure option;
 }
@@ -38,11 +47,27 @@ type scenario = {
   s_name : string;
   s_tail : Sched.tail;
   s_max_len : int;
+  s_threads : int;
+  s_quota : int;
   s_expect_bug : bool;
       (* seeded-bug scenarios: exploration is EXPECTED to find a failing
          schedule; not finding one means the explorer lost its teeth *)
-  s_exec : decisions:int array -> tail:Sched.tail -> report;
+  s_exec :
+    decisions:int array ->
+    tail:Sched.tail ->
+    mode:Sched.mode ->
+    coverage:Coverage.t option ->
+    report;
 }
+
+(* Step quotas are per thread, not per scenario: a 3-thread workload
+   legitimately takes ~3× the slices of a 2-thread one, and a
+   scenario-global number either starves the big scenarios or lets a
+   2-thread livelock burn a 3-thread allowance. Robust scenarios get a
+   larger per-thread allowance — their writers churn 40 rounds × 8 keys
+   through full retire/scan cycles. *)
+let quota_std = 400_000
+let quota_robust = 700_000
 
 (* Failure classes are part of the fixture format (sched_fixtures files
    name the class they expect), so keep them short and stable. *)
@@ -53,13 +78,13 @@ let classify = function
       { cls = "quota"; detail = Printf.sprintf "exceeded %d steps" n }
   | e -> { cls = "exn"; detail = Printexc.to_string e }
 
-let report ~name ~tail ~outcome failure =
+let report ~name ~tail ~mode ~outcome failure =
   let failure =
     match failure with
     | Some _ as f -> f
     | None -> Option.map classify outcome.Sched.error
   in
-  { scenario = name; tail; outcome; failure }
+  { scenario = name; tail; mode; outcome; failure }
 
 (* ---------- lin-<structure>-<scheme> ---------- *)
 
@@ -74,9 +99,10 @@ let lin_script tid =
   | _ -> [ `C 1; `I 3; `D 2; `C 5; `D 1 ]
 
 let lin_prepopulated = [ 1; 3; 5 ]
+let lin_threads = 3
 
-let lin_exec ~structure ~scheme ~name ~decisions ~tail =
-  let n_threads = 3 in
+let lin_exec ~structure ~scheme ~name ~decisions ~tail ~mode ~coverage =
+  let n_threads = lin_threads in
   let trace =
     Obs.Trace.create ~capacity:(1 lsl 12) ~n_threads ~scheme ()
   in
@@ -117,7 +143,11 @@ let lin_exec ~structure ~scheme ~name ~decisions ~tail =
       (lin_script tid);
     histories.(tid) <- Array.of_list (List.rev !events)
   in
-  let outcome = Sched.run ~decisions ~tail ~trace (Array.init n_threads body) in
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage ~trace
+      ~max_steps:(n_threads * quota_std)
+      (Array.init n_threads body)
+  in
   let failure =
     if outcome.Sched.error <> None then None
     else begin
@@ -134,7 +164,7 @@ let lin_exec ~structure ~scheme ~name ~decisions ~tail =
           Some { cls = "lin"; detail = m }
     end
   in
-  report ~name ~tail ~outcome failure
+  report ~name ~tail ~mode ~outcome failure
 
 (* ---------- robust-<scheme>-<structure> ---------- *)
 
@@ -152,9 +182,10 @@ let lin_exec ~structure ~scheme ~name ~decisions ~tail =
 let robust_rounds = 40
 let robust_stripe = 8
 let robust_bound = robust_rounds * 4
+let robust_threads = 3
 
-let robust_exec ~structure ~scheme ~name ~decisions ~tail =
-  let n_threads = 3 in
+let robust_exec ~structure ~scheme ~name ~decisions ~tail ~mode ~coverage =
+  let n_threads = robust_threads in
   let inst =
     Harness.Registry.make ~structure ~scheme ~n_threads ~range:64
       ~capacity:(1 lsl 15) ~retire_threshold:8 ~epoch_freq:4
@@ -188,7 +219,10 @@ let robust_exec ~structure ~scheme ~name ~decisions ~tail =
   let fault =
     { Sched.victim = 2; after_yields = 12; for_steps = Sched.forever }
   in
-  let outcome = Sched.run ~decisions ~tail ~fault ~max_steps:2_000_000 bodies in
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage ~fault
+      ~max_steps:(n_threads * quota_robust) bodies
+  in
   let failure =
     if outcome.Sched.error <> None then None
     else begin
@@ -219,7 +253,7 @@ let robust_exec ~structure ~scheme ~name ~decisions ~tail =
         else None
     end
   in
-  report ~name ~tail ~outcome failure
+  report ~name ~tail ~mode ~outcome failure
 
 (* ---------- pool-steal ---------- *)
 
@@ -232,8 +266,9 @@ let robust_exec ~structure ~scheme ~name ~decisions ~tail =
    thief loot + own-shard pops + a quiescent drain must be exactly the
    pushed set, and the resident count must return to zero. *)
 let pool_steal_batches = 6
+let pool_steal_threads = 3
 
-let pool_steal_exec ~name ~decisions ~tail =
+let pool_steal_exec ~name ~decisions ~tail ~mode ~coverage =
   let g = Global_pool.create ~max_level:1 in
   let n = pool_steal_batches in
   let popped = Array.make 3 [] in
@@ -258,7 +293,11 @@ let pool_steal_exec ~name ~decisions ~tail =
         | None -> ()
       done
   in
-  let outcome = Sched.run ~decisions ~tail (Array.init 3 body) in
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage
+      ~max_steps:(pool_steal_threads * quota_std)
+      (Array.init 3 body)
+  in
   let failure =
     if outcome.Sched.error <> None then None
     else begin
@@ -286,7 +325,7 @@ let pool_steal_exec ~name ~decisions ~tail =
       else None
     end
   in
-  report ~name ~tail ~outcome failure
+  report ~name ~tail ~mode ~outcome failure
 
 (* ---------- seeded bugs ---------- *)
 
@@ -294,7 +333,8 @@ let pool_steal_exec ~name ~decisions ~tail =
    threads churn the keys in the middle of its path. Under a broken
    scheme a specific interleaving has the reader dereference a freed
    slot — Sanitizer Strict fault — or see a reincarnated node. *)
-let faulty_exec (module R : Reclaim.Smr_intf.GUARDED) ~name ~decisions ~tail =
+let faulty_exec (module R : Reclaim.Smr_intf.GUARDED) ~name ~decisions ~tail
+    ~mode ~coverage =
   let arena = Arena.create ~capacity:4096 in
   ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
   let global = Global_pool.create ~max_level:1 in
@@ -322,8 +362,11 @@ let faulty_exec (module R : Reclaim.Smr_intf.GUARDED) ~name ~decisions ~tail =
           ignore (L.insert l ~tid:2 4)
         done
   in
-  let outcome = Sched.run ~decisions ~tail (Array.init 3 body) in
-  report ~name ~tail ~outcome None
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage ~max_steps:(3 * quota_std)
+      (Array.init 3 body)
+  in
+  report ~name ~tail ~mode ~outcome None
 
 (* The late-guard window is one yield wide: between a protect's edge
    read and its (too late) hazard store. A churner that also inserts
@@ -331,7 +374,7 @@ let faulty_exec (module R : Reclaim.Smr_intf.GUARDED) ~name ~decisions ~tail =
    parked reader resumes onto a live reincarnation and Strict sees
    nothing. A delete-only churner leaves the freed slots dead: a reader
    parked in the window dereferences one on resume. *)
-let late_guard_exec ~name ~decisions ~tail =
+let late_guard_exec ~name ~decisions ~tail ~mode ~coverage =
   let arena = Arena.create ~capacity:4096 in
   ignore (Arena.attach_sanitizer arena Sanitizer.Strict);
   let global = Global_pool.create ~max_level:1 in
@@ -353,15 +396,18 @@ let late_guard_exec ~name ~decisions ~tail =
       ignore (L.contains l ~tid:1 5)
     done
   in
-  let outcome = Sched.run ~decisions ~tail [| deleter; reader |] in
-  report ~name ~tail ~outcome None
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage ~max_steps:(2 * quota_std)
+      [| deleter; reader |]
+  in
+  report ~name ~tail ~mode ~outcome None
 
 (* A check-then-act race on an unsynchronised claim flag: both threads
    can observe it unclaimed and retire the same slot. With a threshold
    of 1 each retire scans immediately, so the second free is a Track
    double-free Violation. Sequential schedules never fail — only the
    interleaving where both reads precede both writes does. *)
-let double_retire_exec ~name ~decisions ~tail =
+let double_retire_exec ~name ~decisions ~tail ~mode ~coverage =
   let arena = Arena.create ~capacity:64 in
   ignore (Arena.attach_sanitizer arena Sanitizer.Track);
   let global = Global_pool.create ~max_level:1 in
@@ -377,8 +423,11 @@ let double_retire_exec ~name ~decisions ~tail =
       Reclaim.Ebr.retire r ~tid slot
     end
   in
-  let outcome = Sched.run ~decisions ~tail (Array.init 2 body) in
-  report ~name ~tail ~outcome None
+  let outcome =
+    Sched.run ~decisions ~tail ~mode ?coverage ~max_steps:(2 * quota_std)
+      (Array.init 2 body)
+  in
+  report ~name ~tail ~mode ~outcome None
 
 (* ---------- the table ---------- *)
 
@@ -395,6 +444,8 @@ let table =
             s_name = name;
             s_tail = Sched.First;
             s_max_len = 96;
+            s_threads = lin_threads;
+            s_quota = lin_threads * quota_std;
             s_expect_bug = false;
             s_exec = lin_exec ~structure ~scheme ~name;
           })
@@ -409,6 +460,8 @@ let table =
               s_name = name;
               s_tail = Sched.Round_robin;
               s_max_len = 32;
+              s_threads = robust_threads;
+              s_quota = robust_threads * quota_robust;
               s_expect_bug = false;
               s_exec = robust_exec ~structure ~scheme ~name;
             })
@@ -419,6 +472,8 @@ let table =
         s_name = "pool-steal";
         s_tail = Sched.Round_robin;
         s_max_len = 64;
+        s_threads = pool_steal_threads;
+        s_quota = pool_steal_threads * quota_std;
         s_expect_bug = false;
         s_exec = pool_steal_exec ~name:"pool-steal";
       };
@@ -426,6 +481,8 @@ let table =
         s_name = "aba-immediate-free";
         s_tail = Sched.First;
         s_max_len = 96;
+        s_threads = 3;
+        s_quota = 3 * quota_std;
         s_expect_bug = true;
         s_exec =
           faulty_exec (module Faulty.Immediate_free) ~name:"aba-immediate-free";
@@ -434,6 +491,8 @@ let table =
         s_name = "late-guard";
         s_tail = Sched.First;
         s_max_len = 48;
+        s_threads = 2;
+        s_quota = 2 * quota_std;
         s_expect_bug = true;
         s_exec = late_guard_exec ~name:"late-guard";
       };
@@ -441,13 +500,16 @@ let table =
         s_name = "double-retire";
         s_tail = Sched.First;
         s_max_len = 8;
+        s_threads = 2;
+        s_quota = 2 * quota_std;
         s_expect_bug = true;
         s_exec = double_retire_exec ~name:"double-retire";
       };
     ]
 
 let scenarios = List.map (fun s -> s.s_name) table
-let seeded_bugs = List.filter_map (fun s -> if s.s_expect_bug then Some s.s_name else None) table
+let seeded_bugs =
+  List.filter_map (fun s -> if s.s_expect_bug then Some s.s_name else None) table
 
 let find name =
   match List.find_opt (fun s -> s.s_name = name) table with
@@ -457,37 +519,103 @@ let find name =
         (Printf.sprintf "Explore: unknown scenario %S (try: %s)" name
            (String.concat ", " scenarios))
 
-let run_scenario ?(decisions = [||]) ?tail name =
+type spec = {
+  sp_name : string;
+  sp_tail : Sched.tail;
+  sp_max_len : int;
+  sp_threads : int;
+  sp_quota : int;
+  sp_expect_bug : bool;
+}
+
+let spec name =
+  let s = find name in
+  {
+    sp_name = s.s_name;
+    sp_tail = s.s_tail;
+    sp_max_len = s.s_max_len;
+    sp_threads = s.s_threads;
+    sp_quota = s.s_quota;
+    sp_expect_bug = s.s_expect_bug;
+  }
+
+let run_scenario ?(decisions = [||]) ?tail ?(mode = Sched.Plain) ?coverage name
+    =
   let s = find name in
   let tail = Option.value tail ~default:s.s_tail in
-  s.s_exec ~decisions ~tail
+  s.s_exec ~decisions ~tail ~mode ~coverage
 
 let replay token =
-  let name, tail, decisions = Token.decode token in
-  run_scenario ~decisions ~tail name
+  let name, tail, mode, decisions = Token.decode token in
+  run_scenario ~decisions ~tail ~mode name
 
 (* ---------- exploration ---------- *)
+
+type stats = {
+  st_execs : int;
+  st_distinct : int;
+  st_pruned : int;
+  st_resets : int;
+  st_secs : float;
+}
 
 type found = {
   f_token : string;
   f_shrunk : string;
   f_failure : failure;
   f_attempt : int;
+  f_stats : stats;
 }
 
-type explored = Clean of int | Found of found
+type explored = Clean of stats | Found of found
 
-let token_of s ~tail decisions = Token.encode ~scenario:s.s_name ~tail decisions
+let token_of s ~tail ~mode decisions =
+  Token.encode ~scenario:s.s_name ~tail ~mode decisions
 
-let shrink_failure s ~tail ~cls decisions =
+let shrink_failure s ~tail ~mode ~cls decisions =
   let fails cand =
-    match (s.s_exec ~decisions:cand ~tail).failure with
+    match (s.s_exec ~decisions:cand ~tail ~mode ~coverage:None).failure with
     | Some f -> f.cls = cls
     | None -> false
   in
   Shrink.ddmin fails decisions
 
-let explore ?(seed = 0) ?(budget = 200) ?max_len ~scenario () =
+let shrink ~scenario ~tail ~mode ~cls decisions =
+  shrink_failure (find scenario) ~tail ~mode ~cls decisions
+
+(* The guided search loop. Shared by [explore] and the fleet workers
+   (which run it one execution at a time against a shared visited set);
+   here the state is all local.
+
+   Each execution contributes:
+   - its canonical signature to the visited-signature set ("distinct
+     states");
+   - its choice-prefix trail to the visited-prefix set; the first index
+     whose prefix was never seen is the execution's novelty point.
+   An execution that produced a fresh signature AND has a reachable
+   novelty point enters the corpus (recorded schedule + novelty index).
+   Candidate generation interleaves fresh random strings (1 in 3) with
+   mutants of random corpus entries, so the search never fixates. *)
+
+let corpus_cap = 64
+
+type search = {
+  sigs : (int, unit) Hashtbl.t;
+  prefixes : (int, unit) Hashtbl.t;
+  mutable corpus : Coverage.entry list;
+  mutable n_corpus : int;
+}
+
+let make_search () =
+  {
+    sigs = Hashtbl.create 1024;
+    prefixes = Hashtbl.create 4096;
+    corpus = [];
+    n_corpus = 0;
+  }
+
+let explore ?(seed = 0) ?(budget = 200) ?max_len ?(guided = true)
+    ?(mode = Sched.Dpor) ~scenario () =
   let s = find scenario in
   (* Seeded-bug scenarios exist to prove the explorer still has teeth, and
      their workloads are tiny, so spend more schedules on them than on the
@@ -497,11 +625,77 @@ let explore ?(seed = 0) ?(budget = 200) ?max_len ~scenario () =
   let budget = if s.s_expect_bug then budget * 8 else budget in
   let max_len = Option.value max_len ~default:s.s_max_len in
   let rng = Harness.Rng.create ~seed in
+  let st = make_search () in
+  let pruned = ref 0 in
+  let resets = ref 0 in
+  let t0 = Obs.Clock.now_s () in
+  let stats execs =
+    {
+      st_execs = execs;
+      st_distinct = Hashtbl.length st.sigs;
+      st_pruned = !pruned;
+      st_resets = !resets;
+      st_secs = Obs.Clock.now_s () -. t0;
+    }
+  in
+  (* Guided generation mixes three sources — fine-grained uniform
+     strings, run-structured strings, and mutants of corpus entries at
+     their novelty point — so the search dominates either pure baseline:
+     uniform excels where productive schedules alternate every access
+     (pool-steal's CAS races), run-structure where they need long
+     exclusive stretches (the late-guard window under pruning). *)
+  let pick_decisions i =
+    if not guided then Coverage.uniform rng ~max_len
+    else if st.n_corpus = 0 then
+      if i land 1 = 0 then Coverage.random rng ~max_len
+      else Coverage.uniform rng ~max_len
+    else
+      match i mod 4 with
+      | 0 -> Coverage.uniform rng ~max_len
+      | 1 -> Coverage.random rng ~max_len
+      | _ ->
+          let e = List.nth st.corpus (Harness.Rng.below rng st.n_corpus) in
+          Coverage.mutate rng e ~max_len
+  in
   let rec attempt i =
-    if i > budget then Clean budget
+    if i > budget then Clean (stats budget)
     else begin
-      let decisions = Array.init max_len (fun _ -> Harness.Rng.below rng 8) in
-      let r = s.s_exec ~decisions ~tail:s.s_tail in
+      let decisions = pick_decisions i in
+      let cov = Coverage.create ~n_threads:s.s_threads in
+      let r = s.s_exec ~decisions ~tail:s.s_tail ~mode ~coverage:(Some cov) in
+      pruned := !pruned + r.outcome.Sched.pruned;
+      resets := !resets + r.outcome.Sched.resets;
+      (* Note coverage before branching on failure so Found stats include
+         the failing run itself. *)
+      let sg = Coverage.signature cov in
+      let fresh_sig = not (Hashtbl.mem st.sigs sg) in
+      if fresh_sig then Hashtbl.add st.sigs sg ();
+      let trail = Coverage.trail cov in
+      let novel = ref (-1) in
+      Array.iteri
+        (fun j h ->
+          if not (Hashtbl.mem st.prefixes h) then begin
+            if !novel < 0 then novel := j;
+            Hashtbl.add st.prefixes h ()
+          end)
+        trail;
+      (match r.failure with
+      | Some _ -> ()
+      | None ->
+          if guided && fresh_sig && !novel >= 0 && !novel < 2 * max_len then begin
+            let recorded = r.outcome.Sched.recorded in
+            let cap = min (Array.length recorded) (2 * max_len) in
+            let entry =
+              { Coverage.e_dec = Array.sub recorded 0 cap; e_novel = !novel }
+            in
+            st.corpus <-
+              entry
+              ::
+              (if st.n_corpus >= corpus_cap then
+                 List.filteri (fun j _ -> j < corpus_cap - 1) st.corpus
+               else st.corpus);
+            st.n_corpus <- min corpus_cap (st.n_corpus + 1)
+          end);
       match r.failure with
       | None -> attempt (i + 1)
       | Some f ->
@@ -510,14 +704,15 @@ let explore ?(seed = 0) ?(budget = 200) ?max_len ~scenario () =
              replays bit for bit whatever the tail. *)
           let recorded = r.outcome.Sched.recorded in
           let shrunk =
-            shrink_failure s ~tail:s.s_tail ~cls:f.cls recorded
+            shrink_failure s ~tail:s.s_tail ~mode ~cls:f.cls recorded
           in
           Found
             {
-              f_token = token_of s ~tail:s.s_tail recorded;
-              f_shrunk = token_of s ~tail:s.s_tail shrunk;
+              f_token = token_of s ~tail:s.s_tail ~mode recorded;
+              f_shrunk = token_of s ~tail:s.s_tail ~mode shrunk;
               f_failure = f;
               f_attempt = i;
+              f_stats = stats i;
             }
     end
   in

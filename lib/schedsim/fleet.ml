@@ -1,0 +1,220 @@
+(* Parallel coverage-guided exploration (DESIGN.md §2.16).
+
+   K worker domains each run the single-domain virtual scheduler over
+   their own fresh scenario instances; the Access hook is domain-local,
+   so the simulations never observe each other. What the workers share
+   is the search state — visited signatures, visited choice prefixes,
+   the mutation corpus — and that state is only ever touched by the
+   coordinating domain, between rounds:
+
+     round:  main draws a batch of candidate decision strings from
+             (rng, corpus snapshot)            — deterministic
+             workers execute disjoint stripes of the batch (worker w
+             takes candidates w, w+K, ...)     — embarrassingly parallel
+             main joins and merges results in candidate order
+                                               — deterministic
+
+   Because every rng draw and every corpus update happens on the main
+   domain in a fixed order, the visited-signature set after any round is
+   a pure function of (scenario, seed, domains, budget, guided, mode) —
+   worker timing cannot leak in. That is what the determinism test
+   asserts: two fleets with the same seed produce byte-identical sorted
+   signature sets. The first failure, by candidate order, wins; its
+   recorded schedule is ddmin-shrunk on the main domain and reported
+   with a replay token like any single-domain catch.
+
+   Workers truncate what they ship back (trails and clean recorded
+   strings to 2×max_len) — novelty beyond reach of a decision string
+   cannot seed a useful mutant, and it keeps round merges cheap.
+
+   [domains] is a *logical* parameter: it fixes the batch size and with
+   it the deterministic search trajectory. The number of OS domains
+   actually spawned is capped at [Domain.recommended_domain_count] —
+   which worker executes which candidate is invisible to the merge, so
+   on a single-core host a 4-domain fleet runs at single-domain speed
+   (no stop-the-world barriers between starved domains) yet still
+   visits the exact coverage set it would visit on a 64-core host. *)
+
+type result = {
+  r_execs : int;
+  r_distinct : int;
+  r_pruned : int;
+  r_resets : int;
+  r_secs : float;
+  r_signatures : int array;
+  r_found : Explore.found option;
+}
+
+(* Candidates per worker per round: big enough to amortise spawn/join,
+   small enough that corpus feedback still steers the search. *)
+let chunk = 8
+
+type exec_out = {
+  x_idx : int;
+  x_sig : int;
+  x_trail : int array;
+  x_recorded : int array;
+  x_pruned : int;
+  x_resets : int;
+  x_failure : Explore.failure option;
+}
+
+let run_one ~scenario ~tail ~mode ~threads ~cap idx decisions =
+  let cov = Coverage.create ~n_threads:threads in
+  let r = Explore.run_scenario ~decisions ~tail ~mode ~coverage:cov scenario in
+  let clip a = if Array.length a > cap then Array.sub a 0 cap else a in
+  let recorded = r.Explore.outcome.Sched.recorded in
+  {
+    x_idx = idx;
+    x_sig = Coverage.signature cov;
+    x_trail = clip (Coverage.trail cov);
+    x_recorded =
+      (match r.Explore.failure with Some _ -> recorded | None -> clip recorded);
+    x_pruned = r.Explore.outcome.Sched.pruned;
+    x_resets = r.Explore.outcome.Sched.resets;
+    x_failure = r.Explore.failure;
+  }
+
+let corpus_cap = 64
+
+let explore ?(seed = 0) ?(budget = 256) ?(domains = 4) ?(guided = true)
+    ?(mode = Sched.Dpor) ?target ~scenario () =
+  let sp = Explore.spec scenario in
+  let domains = max 1 domains in
+  let max_len = sp.sp_max_len in
+  let cap = 2 * max_len in
+  let rng = Harness.Rng.create ~seed in
+  let sigs : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let prefixes : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let corpus = ref [] in
+  let n_corpus = ref 0 in
+  let pruned = ref 0 in
+  let resets = ref 0 in
+  let execs = ref 0 in
+  let found = ref None in
+  let t0 = Obs.Clock.now_s () in
+  let run_one =
+    run_one ~scenario ~tail:sp.Explore.sp_tail ~mode
+      ~threads:sp.Explore.sp_threads ~cap
+  in
+  (* Merge one execution into the shared search state (main domain only,
+     candidate order). Mirrors the single-domain loop in Explore. *)
+  let note out =
+    incr execs;
+    pruned := !pruned + out.x_pruned;
+    resets := !resets + out.x_resets;
+    let fresh = not (Hashtbl.mem sigs out.x_sig) in
+    if fresh then Hashtbl.add sigs out.x_sig ();
+    let novel = ref (-1) in
+    Array.iteri
+      (fun j h ->
+        if not (Hashtbl.mem prefixes h) then begin
+          if !novel < 0 then novel := j;
+          Hashtbl.add prefixes h ()
+        end)
+      out.x_trail;
+    match out.x_failure with
+    | Some f -> if !found = None then found := Some (out, f)
+    | None ->
+        if guided && fresh && !novel >= 0 then begin
+          let entry =
+            { Coverage.e_dec = out.x_recorded; e_novel = !novel }
+          in
+          corpus :=
+            entry
+            ::
+            (if !n_corpus >= corpus_cap then
+               List.filteri (fun j _ -> j < corpus_cap - 1) !corpus
+             else !corpus);
+          n_corpus := min corpus_cap (!n_corpus + 1)
+        end
+  in
+  (* Warm up on this domain before any worker spawns: one execution
+     forces every module/instance lazy the scenario touches (OCaml's
+     [Lazy] is not safe under concurrent first force). Counted and
+     merged as candidate 0. *)
+  note (run_one 0 [||]);
+  (* Same three-source mix as Explore.explore: uniform, run-structured,
+     corpus mutants. *)
+  let gen () =
+    if not guided then Coverage.uniform rng ~max_len
+    else if !n_corpus = 0 then
+      if Harness.Rng.below rng 2 = 0 then Coverage.random rng ~max_len
+      else Coverage.uniform rng ~max_len
+    else
+      match Harness.Rng.below rng 4 with
+      | 0 -> Coverage.uniform rng ~max_len
+      | 1 -> Coverage.random rng ~max_len
+      | _ ->
+          let e = List.nth !corpus (Harness.Rng.below rng !n_corpus) in
+          Coverage.mutate rng e ~max_len
+  in
+  let reached_target () =
+    match target with
+    | Some t -> Hashtbl.length sigs >= t
+    | None -> false
+  in
+  let physical =
+    min domains (max 1 (Domain.recommended_domain_count ()))
+  in
+  while !found = None && !execs < budget && not (reached_target ()) do
+    let batch = min (domains * chunk) (budget - !execs) in
+    let cands = Array.init batch (fun i -> (!execs + i, gen ())) in
+    let worker w () =
+      let out = ref [] in
+      Array.iteri
+        (fun i (idx, dec) ->
+          if i mod physical = w then out := run_one idx dec :: !out)
+        cands;
+      List.rev !out
+    in
+    let outs =
+      if physical = 1 || batch <= 1 then [ worker 0 () ]
+      else
+        Array.init physical (fun w -> Domain.spawn (worker w))
+        |> Array.map Domain.join |> Array.to_list
+    in
+    List.concat outs
+    |> List.sort (fun a b -> compare a.x_idx b.x_idx)
+    |> List.iter note
+  done;
+  let stats =
+    {
+      Explore.st_execs = !execs;
+      st_distinct = Hashtbl.length sigs;
+      st_pruned = !pruned;
+      st_resets = !resets;
+      st_secs = Obs.Clock.now_s () -. t0;
+    }
+  in
+  let r_found =
+    match !found with
+    | None -> None
+    | Some (out, f) ->
+        let shrunk =
+          Explore.shrink ~scenario ~tail:sp.Explore.sp_tail ~mode ~cls:f.cls
+            out.x_recorded
+        in
+        Some
+          {
+            Explore.f_token =
+              Token.encode ~scenario ~tail:sp.Explore.sp_tail ~mode
+                out.x_recorded;
+            f_shrunk =
+              Token.encode ~scenario ~tail:sp.Explore.sp_tail ~mode shrunk;
+            f_failure = f;
+            f_attempt = out.x_idx + 1;
+            f_stats = stats;
+          }
+  in
+  {
+    r_execs = !execs;
+    r_distinct = Hashtbl.length sigs;
+    r_pruned = !pruned;
+    r_resets = !resets;
+    r_secs = stats.Explore.st_secs;
+    r_signatures =
+      Hashtbl.fold (fun k () acc -> k :: acc) sigs []
+      |> List.sort compare |> Array.of_list;
+    r_found;
+  }

@@ -1,0 +1,51 @@
+(** Parallel coverage-guided exploration (DESIGN.md §2.16): K worker
+    domains run the single-domain virtual scheduler over disjoint
+    stripes of a shared candidate batch, while the coordinating domain
+    owns all search state — rng, corpus, visited signature and prefix
+    sets — and updates it only between rounds, in candidate order.
+
+    The visited-signature set is therefore a pure function of
+    (scenario, seed, domains, budget, guided, mode): worker timing
+    cannot affect it, so a fixed seed gives byte-identical coverage
+    across runs (the determinism test compares {!result.r_signatures}
+    verbatim). Failures are reported by candidate order with a ddmin-
+    shrunk replay token, exactly like single-domain {!Explore.explore}. *)
+
+type result = {
+  r_execs : int;  (** executions actually run (includes the warmup) *)
+  r_distinct : int;  (** distinct coverage signatures visited *)
+  r_pruned : int;  (** sleep-set pruned candidates, summed *)
+  r_resets : int;  (** sleep-set progress resets, summed *)
+  r_secs : float;  (** wall-clock seconds *)
+  r_signatures : int array;
+      (** every distinct signature, sorted ascending — deterministic for
+          a fixed (scenario, seed, domains, budget, guided, mode) *)
+  r_found : Explore.found option;
+      (** first failure by candidate order, shrunk, with tokens *)
+}
+
+val explore :
+  ?seed:int ->
+  ?budget:int ->
+  ?domains:int ->
+  ?guided:bool ->
+  ?mode:Sched.mode ->
+  ?target:int ->
+  scenario:string ->
+  unit ->
+  result
+(** Explore [scenario] with up to [budget] (default 256) executions
+    striped over [domains] (default 4, min 1) worker domains. Stops at
+    the first failure, when the budget is spent, or — with [target] —
+    at the end of the first round that reaches [target] distinct
+    signatures. [guided] and [mode] as in {!Explore.explore}.
+
+    [domains] is logical: it fixes the round/batch structure and hence
+    the deterministic trajectory; the OS domains actually spawned are
+    capped at [Domain.recommended_domain_count ()], so over-subscribing
+    a small host costs nothing and changes no result.
+
+    The first execution (the warmup) runs on the calling domain before
+    any worker spawns, forcing every lazy the scenario touches; OCaml's
+    [Lazy] is not safe under concurrent first force.
+    @raise Invalid_argument on an unknown scenario name. *)

@@ -1,18 +1,36 @@
-(* The cooperative virtual-thread scheduler (DESIGN.md §2.11).
+(* The cooperative virtual-thread scheduler (DESIGN.md §2.11, §2.16).
 
    N logical threads run on one domain as effect-based fibers. Every
-   instrumented shared-memory access (Memsim.Access) performs [Yield],
-   suspending the fiber and handing control back here; which fiber runs
-   next is decided by a decision string, so an execution is a pure
-   function of (bodies, decisions, tail policy, fault) and any failing
-   interleaving replays bit for bit from its recorded decisions.
+   instrumented shared-memory access (Memsim.Access) performs [Yield]
+   *before* the access commits, suspending the fiber with the access's
+   identity parked in the thread record; the access executes when the
+   scheduler resumes the fiber. Which fiber runs next is decided by a
+   decision string, so an execution is a pure function of (bodies,
+   decisions, tail policy, mode, fault) and any failing interleaving
+   replays bit for bit from its recorded decisions.
 
-   Decisions are consumed only when more than one thread is runnable —
-   forced moves are not recorded — which keeps decision strings short
+   Decisions are consumed only when more than one thread is a candidate
+   — forced moves are not recorded — which keeps decision strings short
    and makes delta-debugging shrink well: dropping a decision merely
-   re-routes the suffix instead of desynchronising it. *)
+   re-routes the suffix instead of desynchronising it.
+
+   [Dpor] mode prunes with sleep sets. The rule is asymmetric on thread
+   order: when the scheduler picks candidate [c], every candidate [j]
+   earlier in the (ascending) candidate list whose pending access
+   commutes with [c]'s pending access goes to sleep; [j] wakes as soon
+   as any committed access conflicts with its pending one, or when it is
+   itself scheduled. Sleeping [j] discards only schedules of the form
+   "run j's access now" where running [c]'s first provably reaches the
+   same state — and because only *earlier* candidates sleep, the
+   tid-ascending representative of every Mazurkiewicz class remains
+   explorable, so pruning never hides a bug (test: qcheck property that
+   Plain and Dpor find the same seeded bugs). If every candidate at a
+   choice point is asleep the set is cleared (counted in
+   [outcome.resets]) — a progress valve, not a soundness requirement. *)
 
 type tail = First | Round_robin
+
+type mode = Plain | Dpor
 
 let forever = max_int
 
@@ -23,6 +41,8 @@ type outcome = {
   steps : int;
   completed : bool array;
   error : exn option;
+  pruned : int;
+  resets : int;
 }
 
 exception Torn_down
@@ -32,9 +52,12 @@ type _ Effect.t += Yield : unit Effect.t
 
 (* The virtual clock: scheduler slices since the run began. Histories
    recorded by fiber bodies use it as their timestamp source, giving the
-   linearizability checker a sharper precedence order than wall time. *)
-let clock = ref 0
-let now () = float_of_int !clock
+   linearizability checker a sharper precedence order than wall time.
+   Domain-local so fleet workers, each running their own scheduler, do
+   not race on it. *)
+let clock_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+let now () = float_of_int !(Domain.DLS.get clock_key)
 
 type thread = {
   body : unit -> unit;
@@ -42,10 +65,13 @@ type thread = {
   mutable finished : bool;
   mutable yields : int;
   mutable wake_at : int;  (* runnable iff current step >= wake_at *)
+  mutable pending : Memsim.Access.op option;
+      (* the access the thread is suspended on, yet to commit *)
+  mutable asleep : bool;  (* Dpor: pruned until a conflicting commit *)
 }
 
-let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
-    ?trace bodies =
+let run ?(decisions = [||]) ?(tail = First) ?(mode = Plain)
+    ?(max_steps = 1_000_000) ?fault ?trace ?coverage bodies =
   let n = Array.length bodies in
   if n < 1 then invalid_arg "Sched.run: no threads";
   (match fault with
@@ -54,9 +80,19 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
   | _ -> ());
   let threads =
     Array.map
-      (fun body -> { body; cont = None; finished = false; yields = 0; wake_at = 0 })
+      (fun body ->
+        {
+          body;
+          cont = None;
+          finished = false;
+          yields = 0;
+          wake_at = 0;
+          pending = None;
+          asleep = false;
+        })
       bodies
   in
+  let clock = Domain.DLS.get clock_key in
   let in_fiber = ref false in
   let teardown = ref false in
   let step = ref 0 in
@@ -64,6 +100,9 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
   let recorded = ref [] in
   let dpos = ref 0 in
   let last = ref 0 in
+  let cur = ref 0 in
+  let pruned = ref 0 in
+  let resets = ref 0 in
   let record_error e =
     if !error = None && e <> Torn_down then error := Some e
   in
@@ -119,6 +158,18 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
           (Obs.Trace.ring tr ~tid:to_)
           Obs.Trace.Sched_yield ~slot:to_ ~v1:!last ~v2:!step ~epoch:0
   in
+  (* A committed access wakes every sleeper whose pending access
+     conflicts with it: the reordering the sleeper was pruned for is no
+     longer guaranteed equivalent. *)
+  let wake_conflicting op =
+    for j = 0 to n - 1 do
+      let t = threads.(j) in
+      if t.asleep then
+        match t.pending with
+        | Some p when Dpor.conflicts op p -> t.asleep <- false
+        | _ -> ()
+    done
+  in
   let schedule i =
     incr step;
     clock := !step;
@@ -126,11 +177,43 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
     else begin
       if i <> !last then emit_switch ~to_:i;
       last := i;
-      run_slice threads.(i)
+      cur := i;
+      let t = threads.(i) in
+      t.asleep <- false;
+      let executed = t.pending in
+      t.pending <- None;
+      (match executed with
+      | None -> ()
+      | Some op ->
+          (match coverage with
+          | Some cov -> Coverage.access cov ~tid:i op
+          | None -> ());
+          wake_conflicting op);
+      run_slice t
     end
   in
-  Memsim.Access.install (fun () ->
-      if !in_fiber && not !teardown then Effect.perform Yield);
+  (* The chosen candidate's pending access is about to commit first. Any
+     earlier candidate whose pending access commutes with it would reach
+     an equivalent state by going second — sleep it. A candidate whose
+     next access is still unknown (first slice) neither sleeps nor puts
+     others to sleep. *)
+  let sleep_earlier cands chosen =
+    match threads.(chosen).pending with
+    | None -> ()
+    | Some cop ->
+        List.iter
+          (fun j ->
+            if j < chosen then
+              match threads.(j).pending with
+              | Some p when Dpor.commutes p cop -> threads.(j).asleep <- true
+              | _ -> ())
+          cands
+  in
+  Memsim.Access.install (fun op ->
+      if !in_fiber && not !teardown then begin
+        threads.(!cur).pending <- Some op;
+        Effect.perform Yield
+      end);
   clock := 0;
   Fun.protect
     ~finally:(fun () ->
@@ -156,29 +239,55 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
               in
               if wake = forever then running := false else step := wake
           | [ i ] -> schedule i
-          | rs ->
-              let len = List.length rs in
-              let raw =
-                if !dpos < Array.length decisions then begin
-                  let d = decisions.(!dpos) in
-                  incr dpos;
-                  d
-                end
-                else
-                  match tail with
-                  | First -> 0
-                  | Round_robin ->
-                      (* Index in [rs] of the first thread after the one
-                         scheduled last, cyclically ([rs] is sorted). *)
-                      let rec pos i = function
-                        | [] -> 0
-                        | x :: tl -> if x > !last then i else pos (i + 1) tl
-                      in
-                      pos 0 rs
+          | rs -> (
+              let cands =
+                match mode with
+                | Plain -> rs
+                | Dpor -> (
+                    match
+                      List.filter (fun i -> not threads.(i).asleep) rs
+                    with
+                    | [] ->
+                        (* Progress valve: everyone asleep — forget the
+                           sleep set and fall back to the full set. *)
+                        incr resets;
+                        List.iter (fun i -> threads.(i).asleep <- false) rs;
+                        rs
+                    | awake ->
+                        pruned := !pruned + (List.length rs - List.length awake);
+                        awake)
               in
-              let idx = ((raw mod len) + len) mod len in
-              recorded := idx :: !recorded;
-              schedule (List.nth rs idx)
+              match cands with
+              | [ i ] -> schedule i
+              | _ ->
+                  let len = List.length cands in
+                  let raw =
+                    if !dpos < Array.length decisions then begin
+                      let d = decisions.(!dpos) in
+                      incr dpos;
+                      d
+                    end
+                    else
+                      match tail with
+                      | First -> 0
+                      | Round_robin ->
+                          (* Index in [cands] of the first thread after the
+                             one scheduled last, cyclically (sorted). *)
+                          let rec pos i = function
+                            | [] -> 0
+                            | x :: tl -> if x > !last then i else pos (i + 1) tl
+                          in
+                          pos 0 cands
+                  in
+                  let idx = ((raw mod len) + len) mod len in
+                  recorded := idx :: !recorded;
+                  let chosen = List.nth cands idx in
+                  (match coverage with
+                  | Some cov ->
+                      Coverage.choice cov ~tid:chosen threads.(chosen).pending
+                  | None -> ());
+                  if mode = Dpor then sleep_earlier cands chosen;
+                  schedule chosen)
       done;
       let completed = Array.map (fun t -> t.finished) threads in
       (* Tear down unfinished fibers: resume each at its yield point with
@@ -200,4 +309,6 @@ let run ?(decisions = [||]) ?(tail = First) ?(max_steps = 1_000_000) ?fault
         steps = !step;
         completed;
         error = !error;
+        pruned = !pruned;
+        resets = !resets;
       })

@@ -1,24 +1,36 @@
-(** The cooperative virtual-thread scheduler (DESIGN.md §2.11): N logical
-    threads interleaved on one domain, with a scheduling decision at
-    every instrumented shared-memory access.
+(** The cooperative virtual-thread scheduler (DESIGN.md §2.11, §2.16):
+    N logical threads interleaved on one domain, with a scheduling
+    decision at every instrumented shared-memory access.
 
-    While {!run} is active it installs the {!Memsim.Access} hook, so
-    every [Access] operation performed by a thread body suspends the
-    body and returns control to the scheduler. Which thread resumes is
-    chosen by a {e decision string}: an execution is a pure function of
-    (bodies, decisions, tail policy, fault), and a failing interleaving
-    replays bit for bit from the decisions the run records.
+    While {!run} is active it installs the {!Memsim.Access} hook for the
+    calling domain, so every [Access] operation performed by a thread
+    body suspends the body — with the access's identity parked as the
+    thread's {e pending access} — and returns control to the scheduler;
+    the access commits when the thread is resumed. Which thread resumes
+    is chosen by a {e decision string}: an execution is a pure function
+    of (bodies, decisions, tail policy, mode, fault), and a failing
+    interleaving replays bit for bit from the decisions the run records.
 
-    Decisions are consumed only when more than one thread is runnable;
-    forced moves are free. A decision value [d] picks entry
-    [d mod |runnable|] of the runnable set in ascending thread order.
+    Decisions are consumed only when more than one thread is a
+    candidate; forced moves are free. A decision value [d] picks entry
+    [d mod |candidates|] of the candidate set in ascending thread order.
     When the string is exhausted, the {!tail} policy takes over — and
     those picks are recorded too, so [outcome.recorded] always
-    determines the whole schedule. *)
+    determines the whole schedule. In {!Dpor} mode the candidate set
+    excludes sleeping threads, so the mode is part of a schedule's
+    identity (and of its replay token). *)
 
 type tail =
-  | First  (** always the lowest-numbered runnable thread *)
-  | Round_robin  (** the next runnable thread after the last scheduled *)
+  | First  (** always the lowest-numbered candidate thread *)
+  | Round_robin  (** the next candidate after the last scheduled *)
+
+type mode =
+  | Plain  (** candidates = all runnable threads *)
+  | Dpor
+      (** sleep-set pruning: when candidate [c] is picked, earlier
+          candidates whose pending access commutes with [c]'s go to
+          sleep until a conflicting access commits. Prunes only
+          schedules Mazurkiewicz-equivalent to ones still explored. *)
 
 val forever : int
 (** Stall duration meaning "never wakes up" ([max_int]). *)
@@ -35,8 +47,8 @@ type fault = {
 type outcome = {
   recorded : int array;
       (** every decision actually taken, including tail-policy picks:
-          replaying with [~decisions:recorded] reproduces the schedule
-          exactly, whatever the tail *)
+          replaying with [~decisions:recorded] (same mode!) reproduces
+          the schedule exactly, whatever the tail *)
   steps : int;  (** total scheduler slices executed *)
   completed : bool array;
       (** per thread: body ran to completion (a stalled or torn-down
@@ -44,6 +56,12 @@ type outcome = {
   error : exn option;
       (** first exception raised by any thread body, or
           {!Quota_exceeded}; [None] for a clean run *)
+  pruned : int;
+      (** Dpor: candidates excluded by sleep sets, summed over choice
+          points (0 in Plain mode) *)
+  resets : int;
+      (** Dpor: choice points where every candidate was asleep and the
+          sleep set was cleared to guarantee progress *)
 }
 
 exception Torn_down
@@ -61,27 +79,33 @@ type _ Effect.t += Yield : unit Effect.t
 val now : unit -> float
 (** The virtual clock: scheduler slices since {!run} began, as a float
     so recorded histories can use it directly as a
-    {!Harness.Lin.event} timestamp. 0 outside a run. *)
+    {!Harness.Lin.event} timestamp. Domain-local; 0 outside a run. *)
 
 val run :
   ?decisions:int array ->
   ?tail:tail ->
+  ?mode:mode ->
   ?max_steps:int ->
   ?fault:fault ->
   ?trace:Obs.Trace.t ->
+  ?coverage:Coverage.t ->
   (unit -> unit) array ->
   outcome
 (** [run bodies] interleaves the bodies (thread [i] = [bodies.(i)]) to
     completion and returns the outcome. Defaults: no decisions (pure
-    tail policy), [tail = First], [max_steps = 1_000_000], no fault, no
-    trace. [trace], when given, receives a [Sched_yield] event on every
-    context switch (ring of the incoming thread; [v1] = outgoing).
+    tail policy), [tail = First], [mode = Plain],
+    [max_steps = 1_000_000], no fault, no trace, no coverage. [trace],
+    when given, receives a [Sched_yield] event on every context switch
+    (ring of the incoming thread; [v1] = outgoing). [coverage], when
+    given, is fed every committed access and every recorded choice.
 
     The run ends when every thread that can still wake has finished, an
     error is recorded, or the step quota is hit; remaining suspended
     fibers are then resumed once with {!Torn_down} to unwind.
 
-    Not reentrant (the Access hook is process-global) and must not run
-    concurrently with any other domain touching instrumented words.
+    One scheduler per domain (the Access hook is domain-local); the
+    fleet ({!Fleet}) runs one per worker domain over disjoint scenario
+    instances. Instrumented words must not be shared with any
+    concurrently running domain.
     @raise Invalid_argument on an empty body array or an out-of-range
     fault victim. *)

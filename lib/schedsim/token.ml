@@ -1,16 +1,27 @@
 (* Replay tokens: a failing schedule printed as one copy-pastable line.
 
-   Grammar:  S1.<scenario>.<tail>.<rle>
+   Grammar:  S2.<scenario>.<tail>.<mode>.<rle>
      scenario  name from Explore's table; no '.' allowed
      tail      f (First) | r (Round_robin)
+     mode      p (Plain) | d (Dpor)
      rle       run-length-encoded decisions: comma-separated [v] or
                [vxn] groups ("0,2x3,1" = [|0;2;2;2;1|]); "-" when empty
 
+   The mode is part of the schedule's identity: under Dpor sleep-set
+   pruning the candidate set at a choice point excludes sleeping
+   threads, so the same decision indices map to different threads than
+   in Plain mode. A token therefore names the mode it was recorded
+   under and replays in that mode.
+
    The version prefix is bumped whenever the encoding or the decision
    semantics change, so a stale token fails loudly instead of silently
-   replaying a different schedule. *)
+   replaying a different schedule. S1 tokens (the pre-fleet format,
+   without a mode field) are rejected with a pointed message: their
+   decision strings were recorded against the full runnable set, which
+   is what mode 'p' means today, so upgrading one by hand is safe —
+   insert ".p" after the tail letter — but we refuse to guess. *)
 
-let version = "S1"
+let version = "S2"
 
 let check_scenario s =
   if s = "" then invalid_arg "Token: empty scenario name";
@@ -43,11 +54,12 @@ let encode_rle d =
   end
 
 let tail_to_char = function Sched.First -> 'f' | Sched.Round_robin -> 'r'
+let mode_to_char = function Sched.Plain -> 'p' | Sched.Dpor -> 'd'
 
-let encode ~scenario ~tail decisions =
+let encode ~scenario ~tail ~mode decisions =
   check_scenario scenario;
-  Printf.sprintf "%s.%s.%c.%s" version scenario (tail_to_char tail)
-    (encode_rle decisions)
+  Printf.sprintf "%s.%s.%c.%c.%s" version scenario (tail_to_char tail)
+    (mode_to_char mode) (encode_rle decisions)
 
 exception Malformed of string
 
@@ -75,17 +87,27 @@ let decode_rle s =
                List.init n (fun _ -> v))
     |> Array.of_list
 
+let decode_tail = function
+  | "f" -> Sched.First
+  | "r" -> Sched.Round_robin
+  | t -> fail "unknown tail policy %S (want f or r)" t
+
+let decode_mode = function
+  | "p" -> Sched.Plain
+  | "d" -> Sched.Dpor
+  | m -> fail "unknown mode %S (want p or d)" m
+
 let decode s =
   match String.split_on_char '.' s with
-  | [ v; scenario; tail; rle ] ->
+  | [ v; scenario; tail; mode; rle ] ->
       if v <> version then
         fail "token version %S (this build expects %s)" v version;
       if scenario = "" then fail "empty scenario name";
-      let tail =
-        match tail with
-        | "f" -> Sched.First
-        | "r" -> Sched.Round_robin
-        | t -> fail "unknown tail policy %S (want f or r)" t
-      in
-      (scenario, tail, decode_rle rle)
-  | _ -> fail "want %s.<scenario>.<tail>.<rle>, got %S" version s
+      (scenario, decode_tail tail, decode_mode mode, decode_rle rle)
+  | "S1" :: _ ->
+      fail
+        "stale S1 token: pre-fleet format without a mode field. S1 \
+         decisions indexed the full runnable set (today's mode 'p'); to \
+         upgrade, insert \".p\" after the tail letter — e.g. \
+         S1.name.f.0,2 becomes S2.name.f.p.0,2"
+  | _ -> fail "want %s.<scenario>.<tail>.<mode>.<rle>, got %S" version s

@@ -1,22 +1,29 @@
 (** Replay tokens: a failing schedule as one copy-pastable line,
-    [S1.<scenario>.<tail>.<rle>] — version prefix, scenario name from
-    {!Explore}'s table, tail policy ([f]irst / [r]ound-robin), and the
-    run-length-encoded decision string ("0,2x3,1" = [|0;2;2;2;1|]; "-"
-    when empty).
+    [S2.<scenario>.<tail>.<mode>.<rle>] — version prefix, scenario name
+    from {!Explore}'s table, tail policy ([f]irst / [r]ound-robin),
+    scheduler mode ([p]lain / [d]por), and the run-length-encoded
+    decision string ("0,2x3,1" = [|0;2;2;2;1|]; "-" when empty).
 
-    Replaying a token re-runs its scenario with exactly these decisions;
-    because an execution is a pure function of (scenario, decisions,
-    tail), the failure reproduces bit for bit. The version prefix is
-    bumped whenever encoding or decision semantics change, so a stale
-    token fails loudly instead of replaying a different schedule. *)
+    Replaying a token re-runs its scenario with exactly these decisions
+    in exactly the recorded mode; because an execution is a pure
+    function of (scenario, decisions, tail, mode), the failure
+    reproduces bit for bit. The mode matters: Dpor sleep-set pruning
+    changes which threads the candidate set contains, so the same
+    decision indices name different schedules in the two modes.
+
+    The version prefix is bumped whenever encoding or decision semantics
+    change, so a stale token fails loudly instead of replaying a
+    different schedule; pre-fleet [S1] tokens get a dedicated error
+    explaining the (mechanical, safe) upgrade to [S2] mode ['p']. *)
 
 val version : string
 
 exception Malformed of string
 
-val encode : scenario:string -> tail:Sched.tail -> int array -> string
+val encode :
+  scenario:string -> tail:Sched.tail -> mode:Sched.mode -> int array -> string
 (** @raise Invalid_argument if the scenario name contains '.' or ','. *)
 
-val decode : string -> string * Sched.tail * int array
-(** [(scenario, tail, decisions)] of a token.
+val decode : string -> string * Sched.tail * Sched.mode * int array
+(** [(scenario, tail, mode, decisions)] of a token.
     @raise Malformed with a diagnostic on any parse error. *)

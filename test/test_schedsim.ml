@@ -1,9 +1,12 @@
 (* The virtual-thread scheduler end to end: decision-string determinism
    and bit-for-bit replay, tail policies, fault injection, replay-token
-   round-trips, ddmin shrinking, the Strict sanitizer under virtual
-   scheduling, the robustness assertions (stalled reader: EBR grows,
-   everyone else keeps reclaiming) for list AND skiplist, exploration
-   finding a seeded bug, and the sched_fixtures/ token corpus. *)
+   round-trips (S2, with the mode field), ddmin shrinking, the Strict
+   sanitizer under virtual scheduling, the robustness assertions
+   (stalled reader: EBR grows, everyone else keeps reclaiming) for list
+   AND skiplist, the DPOR commutativity predicate, the sleep-set
+   soundness property (Plain and Dpor both find every seeded bug), the
+   coverage-guided search beating uniform-random tails, parallel fleet
+   determinism, and the sched_fixtures/ token corpus. *)
 
 open Schedsim
 module Access = Memsim.Access
@@ -105,6 +108,71 @@ let test_sched_yield_trace () =
   Alcotest.(check bool) "context switches were traced" true
     (List.length yields >= 2)
 
+(* ---------- the DPOR commutativity predicate ---------- *)
+
+let op kind word = { Access.kind; word = Obj.repr word }
+
+let test_dpor_predicate () =
+  let a = Atomic.make 0 and b = Atomic.make 0 in
+  let check msg v got = Alcotest.(check bool) msg v got in
+  check "write/write same word conflicts" true
+    (Dpor.conflicts (op Access.Write a) (op Access.Write a));
+  check "read/write same word conflicts" true
+    (Dpor.conflicts (op Access.Read a) (op Access.Write a));
+  check "cas/read same word conflicts" true
+    (Dpor.conflicts (op Access.Cas a) (op Access.Read a));
+  check "read/read same word commutes" true
+    (Dpor.commutes (op Access.Read a) (op Access.Read a));
+  check "write/write disjoint words commutes" true
+    (Dpor.commutes (op Access.Write a) (op Access.Write b));
+  check "cas/exchange disjoint words commutes" true
+    (Dpor.commutes (op Access.Cas a) (op Access.Exchange b));
+  check "only Read does not write" true
+    (List.for_all Dpor.writes
+       [ Access.Write; Access.Cas; Access.Exchange; Access.Fetch_add ]
+    && not (Dpor.writes Access.Read))
+
+let test_dpor_yield_marker_commutes () =
+  (* yield_point is modelled as a Read of a private marker word, so it
+     must commute with every access to a real word. *)
+  let seen = ref None in
+  Access.install (fun o -> seen := Some o);
+  Fun.protect ~finally:Access.uninstall Access.yield_point;
+  match !seen with
+  | None -> Alcotest.fail "yield_point did not reach the hook"
+  | Some marker ->
+      Alcotest.(check bool) "marker is a read" true
+        (marker.Access.kind = Access.Read);
+      let a = Atomic.make 0 in
+      Alcotest.(check bool) "marker commutes with a write" true
+        (Dpor.commutes marker (op Access.Write a))
+
+let prop_dpor_commutes =
+  (* conflicts is symmetric, commutes is its exact negation, and two
+     accesses to distinct words always commute. *)
+  let kind_gen =
+    QCheck.Gen.oneofl
+      [ Access.Read; Access.Write; Access.Cas; Access.Exchange;
+        Access.Fetch_add ]
+  in
+  let words = Array.init 4 (fun _ -> Atomic.make 0) in
+  let op_gen =
+    QCheck.Gen.map2
+      (fun k i -> (op k words.(i), i))
+      kind_gen (QCheck.Gen.int_bound 3)
+  in
+  QCheck.Test.make ~name:"conflicts symmetric, commutes = negation"
+    ~count:200
+    (QCheck.make (QCheck.Gen.pair op_gen op_gen))
+    (fun ((x, i), (y, j)) ->
+      let implies p q = (not p) || q in
+      Dpor.conflicts x y = Dpor.conflicts y x
+      && Dpor.commutes x y = not (Dpor.conflicts x y)
+      && implies (i <> j) (Dpor.commutes x y)
+      && implies
+           (i = j && (Dpor.writes x.Access.kind || Dpor.writes y.Access.kind))
+           (Dpor.conflicts x y))
+
 (* ---------- Strict sanitization under virtual scheduling ---------- *)
 
 (* The injected bug Strict must catch: a reader parked at a yield point
@@ -147,11 +215,15 @@ let test_token_roundtrip () =
     (fun d ->
       List.iter
         (fun tail ->
-          let t = Token.encode ~scenario:"lin-list-VBR" ~tail d in
-          let n, tl, d' = Token.decode t in
-          Alcotest.(check string) "scenario" "lin-list-VBR" n;
-          Alcotest.(check bool) "tail" true (tl = tail);
-          Alcotest.(check (array int)) "decisions" d d')
+          List.iter
+            (fun mode ->
+              let t = Token.encode ~scenario:"lin-list-VBR" ~tail ~mode d in
+              let n, tl, md, d' = Token.decode t in
+              Alcotest.(check string) "scenario" "lin-list-VBR" n;
+              Alcotest.(check bool) "tail" true (tl = tail);
+              Alcotest.(check bool) "mode" true (md = mode);
+              Alcotest.(check (array int)) "decisions" d d')
+            [ Sched.Plain; Sched.Dpor ])
         [ Sched.First; Sched.Round_robin ])
     cases
 
@@ -163,13 +235,53 @@ let test_token_malformed () =
       | exception Token.Malformed _ -> ())
     [
       "";
-      "S0.x.f.-" (* wrong version *);
-      "S1.x.q.-" (* bad tail *);
-      "S1.x.f" (* missing decisions *);
-      "S1.x.f.1x" (* bad RLE *);
-      "S1.x.f.1x0" (* zero repeat *);
-      "S1.x.f.a" (* not a number *);
+      "S0.x.f.p.-" (* wrong version *);
+      "S2.x.q.p.-" (* bad tail *);
+      "S2.x.f.z.-" (* bad mode *);
+      "S2.x.f.-" (* missing mode field *);
+      "S2.x.f.p" (* missing decisions *);
+      "S2.x.f.p.1x" (* bad RLE *);
+      "S2.x.f.p.1x0" (* zero repeat *);
+      "S2.x.f.p.a" (* not a number *);
     ]
+
+let test_token_stale_s1 () =
+  (* Pre-fleet tokens must fail with the upgrade recipe, not a generic
+     version error: their decision strings are still meaningful (today's
+     mode 'p'), and the message says exactly how to port one. *)
+  match Token.decode "S1.late-guard.f.1x32" with
+  | _ -> Alcotest.fail "decoded a stale S1 token"
+  | exception Token.Malformed m ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool) "names S1" true (contains m "S1");
+      Alcotest.(check bool) "gives the upgrade recipe" true
+        (contains m "insert \".p\"")
+
+(* ---------- per-scenario step quotas ---------- *)
+
+let test_quota_scales_with_threads () =
+  (* Step quotas are threads × a per-thread allowance, so a 3-thread
+     scenario is not starved by a 2-thread budget (the flaky-soak fix).
+     robust-* runs to a fault horizon and gets the bigger allowance. *)
+  let per_thread name =
+    let sp = Explore.spec name in
+    Alcotest.(check bool)
+      (name ^ ": quota divisible by thread count")
+      true
+      (sp.Explore.sp_quota mod sp.Explore.sp_threads = 0);
+    sp.Explore.sp_quota / sp.Explore.sp_threads
+  in
+  let lin = per_thread "lin-list-VBR" in
+  let robust = per_thread "robust-EBR-list" in
+  Alcotest.(check int) "lin scenarios: 400k steps per thread" 400_000 lin;
+  Alcotest.(check int) "robust scenarios: 700k steps per thread" 700_000
+    robust;
+  Alcotest.(check int) "late-guard shares the standard allowance" 400_000
+    (per_thread "late-guard")
 
 (* ---------- shrinking ---------- *)
 
@@ -188,8 +300,8 @@ let test_explore_finds_and_shrinks () =
   | Explore.Clean _ -> Alcotest.fail "explorer missed the seeded double retire"
   | Explore.Found f ->
       Alcotest.(check string) "class" "sanitizer" f.Explore.f_failure.Explore.cls;
-      let _, _, full = Token.decode f.Explore.f_token in
-      let _, _, shrunk = Token.decode f.Explore.f_shrunk in
+      let _, _, _, full = Token.decode f.Explore.f_token in
+      let _, _, _, shrunk = Token.decode f.Explore.f_shrunk in
       Alcotest.(check bool) "shrunk no longer than the original" true
         (Array.length shrunk <= Array.length full);
       (* Both tokens must still replay to the same failure class. *)
@@ -199,6 +311,114 @@ let test_explore_finds_and_shrinks () =
           | Some { Explore.cls = "sanitizer"; _ } -> ()
           | _ -> Alcotest.fail ("token did not replay: " ^ token))
         [ f.Explore.f_token; f.Explore.f_shrunk ]
+
+(* ---------- sleep-set soundness ---------- *)
+
+(* The property that makes DPOR admissible at all: pruning only ever
+   discards schedules Mazurkiewicz-equivalent to ones still explored, so
+   exploration with sleep sets must find every seeded bug that
+   exploration without them finds. Run as a property over seeds: any
+   seed where one mode finds a bug and the other exhausts its budget is
+   a soundness (or addressability) regression. *)
+let prop_sleep_sets_sound =
+  QCheck.Test.make ~name:"Plain and Dpor both find every seeded bug"
+    ~count:2
+    (QCheck.int_range 0 999)
+    (fun seed ->
+      List.for_all
+        (fun scenario ->
+          List.for_all
+            (fun mode ->
+              match Explore.explore ~seed ~mode ~scenario () with
+              | Explore.Found _ -> true
+              | Explore.Clean _ ->
+                  QCheck.Test.fail_reportf "seed %d: %s clean under %s" seed
+                    scenario
+                    (match mode with Sched.Plain -> "plain" | _ -> "dpor"))
+            [ Sched.Plain; Sched.Dpor ])
+        Explore.seeded_bugs)
+
+let test_dpor_prunes_and_replays () =
+  (* Dpor mode actually prunes on a real scenario, and a schedule
+     recorded under Dpor replays bit-for-bit in Dpor mode (the mode is
+     part of the token, so this is the replay path for 'd' tokens). *)
+  let r1 =
+    Explore.run_scenario ~decisions:[| 1; 0; 2; 1; 0; 1 |] ~mode:Sched.Dpor
+      "lin-list-VBR"
+  in
+  Alcotest.(check bool) "clean run" true (r1.Explore.failure = None);
+  Alcotest.(check bool) "sleep sets pruned candidates" true
+    (r1.Explore.outcome.Sched.pruned > 0);
+  let r2 =
+    Explore.run_scenario ~decisions:r1.Explore.outcome.Sched.recorded
+      ~mode:Sched.Dpor "lin-list-VBR"
+  in
+  Alcotest.(check (array int)) "recorded replays under Dpor"
+    r1.Explore.outcome.Sched.recorded r2.Explore.outcome.Sched.recorded;
+  Alcotest.(check int) "steps stable" r1.Explore.outcome.Sched.steps
+    r2.Explore.outcome.Sched.steps
+
+(* ---------- coverage-guided search vs uniform-random tails ---------- *)
+
+let distinct_of = function
+  | Explore.Clean s -> s.Explore.st_distinct
+  | Explore.Found f -> f.Explore.f_stats.Explore.st_distinct
+
+let test_guided_beats_uniform () =
+  (* Same scenario, same budget ceiling: the guided search must visit
+     at least 5× the distinct coverage states uniform tails visit.
+     late-guard is the stress case — its bug window needs a ~32-long
+     run of one thread, which per-position uniform draws essentially
+     never produce under sleep-set pruning. *)
+  let uniform =
+    Explore.explore ~seed:7 ~budget:40 ~guided:false ~mode:Sched.Dpor
+      ~scenario:"late-guard" ()
+  in
+  let guided =
+    Explore.explore ~seed:7 ~budget:40 ~guided:true ~mode:Sched.Dpor
+      ~scenario:"late-guard" ()
+  in
+  let u = distinct_of uniform and g = distinct_of guided in
+  Alcotest.(check bool)
+    (Printf.sprintf "guided %d >= 5x uniform %d distinct states" g u)
+    true
+    (g >= 5 * u)
+
+(* ---------- the parallel fleet ---------- *)
+
+let test_fleet_deterministic () =
+  (* The visited-signature set is a pure function of (scenario, seed,
+     domains, budget, guided, mode): two runs must agree byte for byte,
+     whatever the worker domains' timing did. *)
+  let run () =
+    Schedsim.Fleet.explore ~seed:3 ~budget:96 ~domains:4
+      ~scenario:"lin-list-VBR" ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (array int)) "identical signature sets"
+    a.Fleet.r_signatures b.Fleet.r_signatures;
+  Alcotest.(check int) "identical execution counts" a.Fleet.r_execs
+    b.Fleet.r_execs;
+  Alcotest.(check bool) "visited more than one state" true
+    (a.Fleet.r_distinct > 1)
+
+let test_fleet_finds_with_token () =
+  (* A fleet catch carries a deterministic replay token like any
+     single-domain catch; the shrunk token must reproduce the class. *)
+  match
+    (Schedsim.Fleet.explore ~seed:0 ~budget:512 ~domains:4
+       ~scenario:"double-retire" ())
+      .Fleet.r_found
+  with
+  | None -> Alcotest.fail "fleet missed the seeded double retire"
+  | Some f -> (
+      Alcotest.(check string) "class" "sanitizer"
+        f.Explore.f_failure.Explore.cls;
+      match (Explore.replay f.Explore.f_shrunk).Explore.failure with
+      | Some { Explore.cls = "sanitizer"; _ } -> ()
+      | _ ->
+          Alcotest.fail
+            ("fleet token did not replay: " ^ f.Explore.f_shrunk))
 
 (* ---------- the robustness assertions ---------- *)
 
@@ -257,8 +477,8 @@ let fixture_files () =
 (* ---------- a short exploration sweep over the real schemes ---------- *)
 
 let test_lin_sweep () =
-  (* A handful of random schedules per structure under the two extreme
-     schemes; the full-budget sweep lives behind `dune build @schedsim`. *)
+  (* A handful of schedules per structure under the two extreme schemes;
+     the full-budget sweep lives behind `dune build @schedsim`. *)
   List.iter
     (fun scenario ->
       match Explore.explore ~seed:11 ~budget:6 ~scenario () with
@@ -272,6 +492,7 @@ let test_lin_sweep () =
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
+  let qcheck = QCheck_alcotest.to_alcotest in
   Alcotest.run "schedsim"
     [
       ( "sched",
@@ -284,6 +505,13 @@ let () =
           quick "quota" test_quota;
           quick "sched-yield-trace" test_sched_yield_trace;
         ] );
+      ( "dpor",
+        [
+          quick "predicate" test_dpor_predicate;
+          quick "yield-marker-commutes" test_dpor_yield_marker_commutes;
+          qcheck prop_dpor_commutes;
+          quick "prunes-and-replays" test_dpor_prunes_and_replays;
+        ] );
       ( "sanitizer",
         [
           quick "strict-catches-deref-after-free"
@@ -294,11 +522,23 @@ let () =
         [
           quick "roundtrip" test_token_roundtrip;
           quick "malformed" test_token_malformed;
+          quick "stale-s1" test_token_stale_s1;
         ] );
+      ("quotas", [ quick "per-thread-scaling" test_quota_scales_with_threads ]);
       ( "shrink",
         [
           quick "ddmin" test_ddmin;
           quick "explore-finds-and-shrinks" test_explore_finds_and_shrinks;
+        ] );
+      ( "coverage",
+        [
+          qcheck prop_sleep_sets_sound;
+          quick "guided-beats-uniform" test_guided_beats_uniform;
+        ] );
+      ( "fleet",
+        [
+          quick "deterministic" test_fleet_deterministic;
+          quick "finds-with-token" test_fleet_finds_with_token;
         ] );
       ( "robustness",
         List.concat_map
